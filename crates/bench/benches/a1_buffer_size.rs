@@ -1,0 +1,110 @@
+//! **A1 — ablation: the 2 MB write buffer** (§5.4.4).
+//!
+//! Paper: "The Stream Server buffers up to 2MB of records into a single
+//! write to a Fragment. Buffering 2MB enables better compression and
+//! avoids sending a large number of small writes to the file system."
+//! This sweep varies the block buffer size and reports on-disk bytes
+//! (compression efficiency) and the number of file-system writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex::{Region, RegionConfig};
+use vortex_bench::bench_schema;
+
+const INPUT_BYTES: usize = 8 << 20; // 8 MiB of rows per configuration
+
+fn run_config(block_buffer: usize) -> (u64, u64, usize) {
+    let region = Region::create(RegionConfig {
+        block_buffer_bytes: block_buffer,
+        ..RegionConfig::default()
+    })
+    .unwrap();
+    let client = region.client();
+    let table = client.create_table("a1", bench_schema()).unwrap().table;
+    let mut writer = client.create_unbuffered_writer(table).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xA1);
+    let mut logical = 0u64;
+    // Feed in 256 KiB client batches; the server re-chunks to its buffer.
+    while (logical as usize) < INPUT_BYTES {
+        let batch = vortex_bench::batch_of_bytes(&mut rng, 256 << 10);
+        logical += batch.approx_bytes() as u64;
+        writer.append(batch).unwrap();
+    }
+    // Count on-disk bytes + log-file records on one replica.
+    let tm = region.sms().get_table(table).unwrap();
+    let cluster = region.fleet().get(tm.primary).unwrap();
+    let mut disk = 0u64;
+    let mut blocks = 0usize;
+    for f in cluster.list("wos/").unwrap() {
+        let bytes = cluster.read_all(&f).unwrap().data;
+        disk += bytes.len() as u64;
+        let parsed =
+            vortex_wos::parse_fragment(&bytes, &tm.encryption_key(), None).unwrap();
+        blocks += parsed.blocks.len();
+    }
+    (logical, disk, blocks)
+}
+
+fn reproduce_table() {
+    println!("\n=== A1: write-buffer size ablation ({} MiB of rows) ===", INPUT_BYTES >> 20);
+    println!(
+        "{:>10} | {:>11} | {:>11} | {:>7} | {:>9}",
+        "buffer", "rows bytes", "disk bytes", "ratio", "fs writes"
+    );
+    let mut results = Vec::new();
+    for &buf in &[16usize << 10, 64 << 10, 256 << 10, 2 << 20, 8 << 20] {
+        let (logical, disk, blocks) = run_config(buf);
+        let ratio = logical as f64 / disk as f64;
+        println!(
+            "{:>9}K | {logical:>11} | {disk:>11} | {ratio:>6.2}x | {blocks:>9}",
+            buf >> 10
+        );
+        results.push((buf, ratio, blocks));
+    }
+    let small = results.first().unwrap();
+    let paper_default = results.iter().find(|(b, _, _)| *b == 2 << 20).unwrap();
+    println!(
+        "paper: 2MB buffering compresses better and issues fewer writes — \
+         measured {:.2}x→{:.2}x ratio and {}→{} writes going 16K→2M",
+        small.1, paper_default.1, small.2, paper_default.2
+    );
+    assert!(
+        paper_default.1 > small.1,
+        "bigger buffers must compress better"
+    );
+    assert!(
+        paper_default.2 * 4 < small.2,
+        "bigger buffers must issue far fewer writes"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_table();
+    c.bench_function("ingest_1mib_through_2mb_buffer", |b| {
+        b.iter_with_setup(
+            || {
+                let region = Region::create(RegionConfig::default()).unwrap();
+                let client = region.client();
+                let table = client.create_table("a1-crit", bench_schema()).unwrap().table;
+                let writer = client.create_unbuffered_writer(table).unwrap();
+                (region, writer)
+            },
+            |(region, mut writer)| {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+                writer
+                    .append(vortex_bench::batch_of_bytes(&mut rng, 1 << 20))
+                    .unwrap();
+                drop(region);
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **A2 — ablation: optimizer yielding vs stable 1:1 conversion under a
+//! DML storm** (§7.3).
+//!
+//! Paper: "whenever a DML statement is running, storage optimizer will
+//! not commit. This introduces a problem when there is ... a continuous
+//! stream of DML statements ... the Optimizer might accumulate a large
+//! backlog of work ... To address this, Vortex supports a stable 1:1
+//! conversion". This bench runs a continuous DML stream and compares the
+//! optimizer backlog with merged (yielding) vs 1:1 (non-yielding)
+//! conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex::row::Value;
+use vortex::{Expr, Region, RegionConfig};
+use vortex_bench::{bench_schema, ingest_finalized};
+
+const ROUNDS: usize = 6;
+
+/// Runs ROUNDS of (ingest → DML held open → optimizer attempt) and
+/// returns (final backlog, conversions that committed).
+fn run_mode(one_to_one: bool) -> (usize, usize) {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let table = client.create_table("a2", bench_schema()).unwrap().table;
+    let mut committed = 0usize;
+    for round in 0..ROUNDS {
+        ingest_finalized(&region, table, 1_000, 0xA2 + round as u64);
+        // A DML statement is running while the optimizer wakes up — the
+        // "continuous stream of DML" regime.
+        region.sms().begin_dml(table).unwrap();
+        let result = if one_to_one {
+            region.optimizer().convert_one_to_one(table).map(|r| r.blocks_written)
+        } else {
+            region.optimizer().convert_wos(table).map(|r| r.blocks_written)
+        };
+        if let Ok(n) = result {
+            committed += n;
+        }
+        // The DML commits its masks and finishes.
+        let dml = region.dml();
+        let _ = dml.delete_where(
+            table,
+            &Expr::eq("amount", Value::Int64((round * 37) as i64)),
+        );
+        region.sms().end_dml(table).unwrap();
+    }
+    (region.optimizer().backlog(table), committed)
+}
+
+fn reproduce_table() {
+    println!("\n=== A2: optimizer under a continuous DML stream ({ROUNDS} rounds) ===");
+    let (backlog_merged, committed_merged) = run_mode(false);
+    let (backlog_121, committed_121) = run_mode(true);
+    println!(
+        "  merged (yields to DML): backlog {backlog_merged:>3} fragments, {committed_merged:>3} blocks committed"
+    );
+    println!(
+        "  stable 1:1 (race-free): backlog {backlog_121:>3} fragments, {committed_121:>3} blocks committed"
+    );
+    println!(
+        "paper: yielding accumulates a backlog; 1:1 conversion keeps optimizing because \
+         masks carry over positionally"
+    );
+    assert!(
+        backlog_merged > 0,
+        "yielding optimizer must accumulate a backlog under continuous DML"
+    );
+    assert_eq!(backlog_121, 0, "1:1 conversion must keep up");
+    assert!(committed_121 > committed_merged);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_table();
+    // Criterion: the cost of one 1:1 conversion of a 1k-row fragment.
+    c.bench_function("one_to_one_conversion_1k_rows", |b| {
+        b.iter_with_setup(
+            || {
+                let region = Region::create(RegionConfig::default()).unwrap();
+                let client = region.client();
+                let table = client.create_table("a2-crit", bench_schema()).unwrap().table;
+                ingest_finalized(&region, table, 1_000, 0xA22);
+                (region, table)
+            },
+            |(region, table)| {
+                region.optimizer().convert_one_to_one(table).unwrap();
+                drop(region);
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! **A3 — ablation: fragment max size** (§5.3).
+//!
+//! Paper: "The maximum size of a Fragment is chosen to be small enough
+//! that conversion by the Storage Optimization Service to the ROS format
+//! happens frequently, but not so small that too many Fragments are
+//! created in the metadata." This sweep varies the rotation threshold
+//! and reports fragment counts (metadata volume / Big Metadata tail) vs
+//! how much data each conversion wave can pick up mid-stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex::{Region, RegionConfig};
+use vortex_bench::{batch_of_bytes, bench_schema};
+
+const INPUT_BYTES: usize = 4 << 20;
+
+fn run_config(fragment_max: u64) -> (usize, u64, usize) {
+    let region = Region::create(RegionConfig {
+        fragment_max_bytes: fragment_max,
+        ..RegionConfig::default()
+    })
+    .unwrap();
+    let client = region.client();
+    let table = client.create_table("a3", bench_schema()).unwrap().table;
+    let mut writer = client.create_unbuffered_writer(table).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xA3);
+    let mut fed = 0usize;
+    while fed < INPUT_BYTES {
+        let batch = batch_of_bytes(&mut rng, 128 << 10);
+        fed += batch.approx_bytes();
+        writer.append(batch).unwrap();
+    }
+    // Mid-stream (no finalize!): how much did rotation already expose to
+    // the optimizer, and how many metadata entries did it cost?
+    region.run_heartbeats(false).unwrap();
+    let frags = region
+        .sms()
+        .list_fragments(table, region.sms().read_snapshot());
+    let metadata_entries = frags.len();
+    let convertible_rows: u64 = {
+        // Finalized fragments are conversion candidates without waiting
+        // for the stream to end (§5.3: conversion "happens frequently").
+        region.optimizer().backlog(table) as u64
+    };
+    let converted = region.optimizer().convert_wos(table).unwrap();
+    (metadata_entries, converted.rows, convertible_rows as usize)
+}
+
+fn reproduce_table() {
+    println!(
+        "\n=== A3: fragment max size ablation ({} MiB mid-stream) ===",
+        INPUT_BYTES >> 20
+    );
+    println!(
+        "{:>12} | {:>16} | {:>18} | {:>14}",
+        "max size", "metadata entries", "rows convertible", "frags eligible"
+    );
+    let mut res = Vec::new();
+    for &size in &[64u64 << 10, 512 << 10, 4 << 20, 64 << 20] {
+        let (entries, rows, eligible) = run_config(size);
+        println!(
+            "{:>11}K | {entries:>16} | {rows:>18} | {eligible:>14}",
+            size >> 10
+        );
+        res.push((size, entries, rows));
+    }
+    let smallest = res.first().unwrap();
+    let largest = res.last().unwrap();
+    println!(
+        "paper: small fragments → frequent conversion but metadata churn; \
+         large fragments → the active fragment hoards unconverted data"
+    );
+    assert!(
+        smallest.1 > largest.1,
+        "smaller fragments must create more metadata entries"
+    );
+    assert!(
+        smallest.2 > largest.2,
+        "smaller fragments must expose more rows to mid-stream conversion"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_table();
+    // Criterion: fragment rotation cost (seal with bloom+footer, open
+    // next with File Map).
+    c.bench_function("ingest_with_tiny_fragments_rotation", |b| {
+        b.iter_with_setup(
+            || {
+                let region = Region::create(RegionConfig {
+                    fragment_max_bytes: 16 << 10,
+                    ..RegionConfig::default()
+                })
+                .unwrap();
+                let client = region.client();
+                let table = client.create_table("a3-crit", bench_schema()).unwrap().table;
+                let writer = client.create_unbuffered_writer(table).unwrap();
+                (region, writer)
+            },
+            |(region, mut writer)| {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+                for _ in 0..4 {
+                    writer
+                        .append(batch_of_bytes(&mut rng, 32 << 10))
+                        .unwrap();
+                }
+                drop(region);
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

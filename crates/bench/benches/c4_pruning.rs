@@ -1,0 +1,113 @@
+//! **C4 — partition elimination** (§7.2).
+//!
+//! Paper: "partition elimination ... eliminates scan (and sometimes
+//! dispatch) of the partitions which cannot possibly satisfy the filter
+//! condition", using min/max column properties and bloom filters. This
+//! bench measures how many fragments point and range predicates
+//! eliminate, and the resulting scan-work reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex::row::Value;
+use vortex::{Expr, ScanOptions};
+use vortex_bench::{bench_schema, fast_region, ingest_finalized};
+
+fn reproduce_table() {
+    println!("\n=== C4: partition elimination efficacy ===");
+    let region = fast_region();
+    let client = region.client();
+    let table = client.create_table("c4", bench_schema()).unwrap().table;
+    // 10 ingest rounds → 10 streams → many fragments, then convert so
+    // partition-split, clustered ROS blocks exist (days 0..9).
+    for i in 0..10 {
+        ingest_finalized(&region, table, 2_000, 0xC4 + i);
+    }
+    region.run_optimizer_cycle(table).unwrap();
+    let engine = region.engine();
+    let snapshot = client.snapshot();
+
+    let cases: Vec<(&str, Expr)> = vec![
+        ("full scan", Expr::True),
+        ("day = 3", Expr::eq("day", Value::Int64(3))),
+        (
+            "day in [2,4]",
+            Expr::ge("day", Value::Int64(2)).and(Expr::le("day", Value::Int64(4))),
+        ),
+        (
+            "customer = c-...17",
+            Expr::eq("customer", Value::String("customer-00017".into())),
+        ),
+        ("day = 99 (empty)", Expr::eq("day", Value::Int64(99))),
+    ];
+    println!(
+        "{:>22} | {:>9} | {:>7} | {:>7} | {:>12} | {:>8}",
+        "predicate", "fragments", "pruned", "bloom", "rows scanned", "matched"
+    );
+    let mut full_scan_rows = 0u64;
+    for (label, pred) in &cases {
+        let res = engine
+            .scan(
+                table,
+                snapshot,
+                &ScanOptions {
+                    predicate: pred.clone(),
+                    ..ScanOptions::default()
+                },
+            )
+            .unwrap();
+        println!(
+            "{label:>22} | {:>9} | {:>7} | {:>7} | {:>12} | {:>8}",
+            res.stats.fragments_total,
+            res.stats.pruned_by_stats,
+            res.stats.pruned_by_bloom,
+            res.stats.rows_scanned,
+            res.stats.rows_matched
+        );
+        if *label == "full scan" {
+            full_scan_rows = res.stats.rows_scanned;
+        }
+        if *label == "day = 3" {
+            assert!(
+                res.stats.rows_scanned * 5 < full_scan_rows,
+                "point partition predicate must cut scanned rows ≥5x"
+            );
+        }
+        if label.contains("empty") {
+            assert_eq!(res.stats.rows_scanned, 0, "impossible predicate scans nothing");
+        }
+    }
+    println!("paper: pruned partitions are neither scanned nor dispatched");
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_table();
+    let region = fast_region();
+    let client = region.client();
+    let table = client.create_table("c4-crit", bench_schema()).unwrap().table;
+    for i in 0..4 {
+        ingest_finalized(&region, table, 2_000, 0xC40 + i);
+    }
+    region.run_optimizer_cycle(table).unwrap();
+    let engine = region.engine();
+    let snapshot = client.snapshot();
+    let pruned = ScanOptions {
+        predicate: Expr::eq("day", Value::Int64(3)),
+        ..ScanOptions::default()
+    };
+    let full = ScanOptions::default();
+    c.bench_function("scan_with_pruning_day_eq", |b| {
+        b.iter(|| engine.scan(table, snapshot, &pruned).unwrap())
+    });
+    c.bench_function("scan_full_table", |b| {
+        b.iter(|| engine.scan(table, snapshot, &full).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! **C8 — per-table ingest scaling** (§8).
+//!
+//! Paper: Vortex "supports throughput of multiple GB/sec over a given
+//! table" by fanning writers across streams, streamlets, and Stream
+//! Servers. This bench sweeps the stream count at fixed per-stream rate
+//! and reports aggregate virtual throughput: it should scale near-
+//! linearly (streams land on different log files and servers, so they
+//! do not queue on each other).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex_bench::{bench_schema, open_loop_append_latencies, paper_region, percentiles};
+
+fn run_scale(streams: usize) -> (f64, u64) {
+    let region = paper_region();
+    let client = region.client();
+    let table = client.create_table("c8", bench_schema()).unwrap().table;
+    const APPENDS: usize = 40;
+    const BATCH: usize = 1 << 20; // 1 MiB
+    const INTERARRIVAL_US: f64 = 25_000.0; // 40 appends/s/stream
+    let start = region.truetime().record_timestamp();
+    let lat = open_loop_append_latencies(
+        &region,
+        table,
+        streams,
+        APPENDS,
+        BATCH,
+        INTERARRIVAL_US,
+        0xC8 + streams as u64,
+    );
+    // Virtual makespan: arrivals span ~APPENDS × interarrival; aggregate
+    // throughput = total bytes / (virtual time from first submit to a
+    // conservative last completion bound).
+    let p = percentiles(lat);
+    let span_us = APPENDS as f64 * INTERARRIVAL_US + p.max as f64;
+    let bytes = (streams * APPENDS * BATCH) as f64;
+    let gbps = bytes / (1 << 30) as f64 / (span_us / 1e6);
+    let _ = start;
+    (gbps, p.p99)
+}
+
+fn reproduce_table() {
+    println!("\n=== C8: aggregate table throughput vs stream count ===");
+    println!("{:>9} | {:>12} | {:>9}", "streams", "agg GB/s", "p99 (ms)");
+    let mut first_per_stream = 0.0;
+    for &streams in &[1usize, 4, 16, 64] {
+        let (gbps, p99) = run_scale(streams);
+        println!(
+            "{streams:>9} | {gbps:>12.3} | {:>9.1}",
+            p99 as f64 / 1000.0
+        );
+        if streams == 1 {
+            first_per_stream = gbps;
+        }
+        if streams == 64 {
+            assert!(
+                gbps > 1.0,
+                "64 streams × 1MiB × 40/s should exceed 1 GB/s (got {gbps:.2})"
+            );
+            assert!(
+                gbps > first_per_stream * 30.0,
+                "scaling should be near-linear: {gbps:.2} vs single-stream {first_per_stream:.3}"
+            );
+            assert!(p99 < 60_000, "tail stays bounded while scaling");
+        }
+    }
+    println!("paper: multiple GB/sec over a given table");
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_table();
+    // Criterion: the wall-clock hot path at high fan-in — 8 threads
+    // appending concurrently to one table.
+    let region = vortex_bench::fast_region();
+    let client = region.client();
+    let table = client.create_table("c8-crit", bench_schema()).unwrap().table;
+    c.bench_function("concurrent_appends_8_streams", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for w in 0..8u64 {
+                    let client = client.clone();
+                    s.spawn(move || {
+                        let mut rng =
+                            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(w);
+                        let mut writer = client.create_unbuffered_writer(table).unwrap();
+                        writer
+                            .append(vortex_bench::batch_of_bytes(&mut rng, 16 * 1024))
+                            .unwrap();
+                    });
+                }
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **Figure 7**: Vortex append latency distribution over two weeks.
+//!
+//! Paper: p50 ≈ 10 ms, p90/p95 between, p99 ≈ 30 ms, stable over a
+//! 2-week window. We reproduce the *shape* against the simulated Colossus
+//! latency model (dual-cluster synchronous writes = max of two lognormal
+//! samples): flat percentile series across time buckets with p50 ≈ 10 ms
+//! and p99 ≲ 30 ms. Virtual time: two weeks of traffic run in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vortex_bench::{
+    batch_of_bytes, bench_schema, open_loop_append_latencies, paper_region, percentiles,
+    print_percentile_row,
+};
+
+const BUCKETS: usize = 14; // one per simulated day
+const STREAMS: usize = 8;
+const APPENDS_PER_STREAM_PER_BUCKET: usize = 120;
+
+fn reproduce_figure() {
+    println!("\n=== Figure 7: append latency percentiles over 2 simulated weeks ===");
+    let region = paper_region();
+    let client = region.client();
+    let table = client.create_table("fig7", bench_schema()).unwrap().table;
+    let mut all = Vec::new();
+    for day in 0..BUCKETS {
+        let lat = open_loop_append_latencies(
+            &region,
+            table,
+            STREAMS,
+            APPENDS_PER_STREAM_PER_BUCKET,
+            4 * 1024,
+            50_000.0, // 20 appends/sec/stream
+            0xF1607 + day as u64,
+        );
+        let p = percentiles(lat.clone());
+        print_percentile_row(&format!("day {:>2}", day + 1), &p);
+        all.extend(lat);
+        // Advance the virtual clock by a day between buckets.
+        region.advance_micros(86_400_000_000);
+    }
+    let p = percentiles(all);
+    println!("{}", "-".repeat(88));
+    print_percentile_row("overall", &p);
+    println!(
+        "paper:          p50 ≈ 10ms, p99 ≈ 30ms — measured p50 {:.1}ms, p99 {:.1}ms",
+        p.p50 as f64 / 1000.0,
+        p.p99 as f64 / 1000.0
+    );
+    assert!(
+        (6_000..16_000).contains(&p.p50),
+        "p50 {}us should be ~10ms",
+        p.p50
+    );
+    assert!(
+        (20_000..45_000).contains(&p.p99),
+        "p99 {}us should be ~30ms",
+        p.p99
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure();
+    // Criterion measurement: the real (wall-clock) cost of one append
+    // through the full client→server→dual-replica path.
+    let region = vortex_bench::fast_region();
+    let client = region.client();
+    let table = client.create_table("fig7-crit", bench_schema()).unwrap().table;
+    let mut writer = client.create_unbuffered_writer(table).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    c.bench_function("append_4kib_batch_dual_replica", |b| {
+        b.iter(|| {
+            let batch = batch_of_bytes(&mut rng, 4 * 1024);
+            writer.append(batch).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

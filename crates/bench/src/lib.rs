@@ -1,0 +1,176 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Every table and figure in the paper's evaluation (§8) plus the
+//! quantitative claims scattered through the text has a bench target in
+//! `benches/` (see DESIGN.md's experiment index). Each target prints the
+//! paper-style series/rows it regenerates, then registers a Criterion
+//! measurement of the representative hot operation so `cargo bench`
+//! tracks regressions.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, PartitionTransform, Schema};
+use vortex::{Percentiles, Region, RegionConfig, Timestamp};
+
+/// The clickstream-style schema every ingest bench uses.
+pub fn bench_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("day", FieldType::Int64),
+        Field::required("customer", FieldType::String),
+        Field::required("amount", FieldType::Int64),
+        Field::nullable("note", FieldType::String),
+    ])
+    .with_partition("day", PartitionTransform::Identity)
+    .with_clustering(&["customer"])
+}
+
+/// A deterministic batch of rows, `approx_bytes` ≈ `target_bytes`.
+pub fn batch_of_bytes(rng: &mut StdRng, target_bytes: usize) -> RowSet {
+    // ~96 bytes per row with a mix of repetitive and varying content —
+    // the string-heavy shape §5.4.5 describes.
+    let mut rows = Vec::new();
+    let mut bytes = 0usize;
+    while bytes < target_bytes {
+        let k: u32 = rng.gen_range(0..1_000_000);
+        let row = Row::insert(vec![
+            Value::Int64((k % 30) as i64),
+            Value::String(format!("customer-{:05}", k % 5_000)),
+            Value::Int64(k as i64),
+            Value::String(format!(
+                "session={} browser=Chrome platform=Linux region=us-central1",
+                k
+            )),
+        ]);
+        bytes += row.approx_bytes();
+        rows.push(row);
+    }
+    RowSet::new(rows)
+}
+
+/// A region with the paper-calibrated Colossus latency profile.
+pub fn paper_region() -> Region {
+    Region::create(RegionConfig::paper_latency()).expect("region")
+}
+
+/// A region with near-zero storage latency (CPU-bound benches).
+pub fn fast_region() -> Region {
+    Region::create(RegionConfig::default()).expect("region")
+}
+
+/// Prints one row of a percentile table.
+pub fn print_percentile_row(label: &str, p: &Percentiles) {
+    println!(
+        "{label:>14} | p50 {:>7.2}ms | p90 {:>7.2}ms | p95 {:>7.2}ms | p99 {:>7.2}ms | n={}",
+        p.p50 as f64 / 1000.0,
+        p.p90 as f64 / 1000.0,
+        p.p95 as f64 / 1000.0,
+        p.p99 as f64 / 1000.0,
+        p.count
+    );
+}
+
+/// An exponential inter-arrival sampler (open-loop arrivals).
+pub fn exp_interarrival_us(rng: &mut StdRng, mean_us: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean_us * u.ln()).max(1.0) as u64
+}
+
+/// Runs an open-loop append workload against one table and returns the
+/// virtual end-to-end latencies (microseconds).
+///
+/// `streams` writers each submit `appends_per_stream` batches of
+/// ~`batch_bytes`, with exponential inter-arrival times of mean
+/// `mean_interarrival_us` *per stream*. Latency = durable-on-both-
+/// replicas completion minus submission, on the virtual clock — two
+/// simulated weeks run in seconds of wall time.
+pub fn open_loop_append_latencies(
+    region: &Region,
+    table: vortex::ids::TableId,
+    streams: usize,
+    appends_per_stream: usize,
+    batch_bytes: usize,
+    mean_interarrival_us: f64,
+    seed: u64,
+) -> Vec<u64> {
+    let client = region.client();
+    let base_now = region.truetime().record_timestamp();
+    let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..streams)
+            .map(|w| {
+                let client = client.clone();
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (w as u64) << 32);
+                    let mut writer = client
+                        .create_writer(
+                            table,
+                            vortex::WriterOptions {
+                                pipelined: true,
+                                ..vortex::WriterOptions::default()
+                            },
+                        )
+                        .expect("writer");
+                    // Warm the transport into bi-di mode so appends are
+                    // open-loop (no waiting on completions).
+                    let mut t = base_now;
+                    let mut latencies = Vec::with_capacity(appends_per_stream);
+                    for _ in 0..appends_per_stream {
+                        t = t.plus_micros(exp_interarrival_us(&mut rng, mean_interarrival_us));
+                        let batch = batch_of_bytes(&mut rng, batch_bytes);
+                        let res = writer.append_at(batch, t).expect("append");
+                        latencies.push(res.latency_us);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut all: Vec<u64> = results.into_iter().flatten().collect();
+    // Skip the transport warm-up tail: the first few appends per stream
+    // ran serially before bi-di pipelining kicked in.
+    all.retain(|l| *l > 0);
+    all
+}
+
+/// Summarizes latencies as paper-style percentiles.
+pub fn percentiles(mut samples: Vec<u64>) -> Percentiles {
+    Percentiles::compute(&mut samples)
+}
+
+/// Ingests `n` rows and finalizes the stream, returning it ready for
+/// conversion benches.
+pub fn ingest_finalized(region: &Region, table: vortex::ids::TableId, n: usize, seed: u64) {
+    let client = region.client();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = client.create_unbuffered_writer(table).expect("writer");
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(1_000);
+        let rs = RowSet::new(
+            (0..take)
+                .map(|_| {
+                    let k: u32 = rng.gen_range(0..1_000_000);
+                    Row::insert(vec![
+                        Value::Int64((k % 10) as i64),
+                        Value::String(format!("customer-{:05}", k % 2_000)),
+                        Value::Int64(k as i64),
+                        Value::Null,
+                    ])
+                })
+                .collect(),
+        );
+        w.append(rs).expect("append");
+        remaining -= take;
+    }
+    let s = w.stream_id();
+    region.sms().finalize_stream(table, s).expect("finalize");
+}
+
+/// Virtual timestamp helper.
+pub fn ts(us: u64) -> Timestamp {
+    Timestamp(us)
+}

@@ -1,0 +1,181 @@
+//! Query-aware read caching — the paper's §9 future-work direction.
+//!
+//! "For some streaming applications, the most recent data is also the
+//! most interesting to read. Colossus already provides caching, but we
+//! are looking into further avenues to build query aware caching on top
+//! of our ingestion servers."
+//!
+//! [`ReadCache`] caches the *decoded* rows of immutable fragment extents:
+//! the key is `(path, committed_size)`, which uniquely identifies a
+//! fragment's content — a fragment that grows (active WOS) or is replaced
+//! (conversion) gets a different key, so invalidation is structural
+//! rather than time-based. Visibility filtering (snapshot timestamps,
+//! flush limits, deletion masks) happens *after* the cache, so one cached
+//! decode serves every snapshot.
+//!
+//! Eviction is a simple FIFO bound on decoded rows — enough to
+//! demonstrate the design point (hot recent fragments stay decoded).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use vortex_common::row::Row;
+use vortex_ros::RowMeta;
+
+type Key = (String, u64);
+type Entry = Arc<Vec<(RowMeta, Row)>>;
+
+/// A bounded cache of decoded immutable fragment extents.
+pub struct ReadCache {
+    inner: Mutex<Inner>,
+    max_rows: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<Key, Entry>,
+    order: VecDeque<Key>,
+    rows: usize,
+}
+
+impl ReadCache {
+    /// A cache bounded to roughly `max_rows` decoded rows.
+    pub fn new(max_rows: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                rows: 0,
+            }),
+            max_rows,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a fragment extent.
+    pub fn get(&self, path: &str, committed_size: u64) -> Option<Entry> {
+        let inner = self.inner.lock();
+        match inner.map.get(&(path.to_string(), committed_size)) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded extent, evicting oldest entries past the bound.
+    pub fn put(&self, path: &str, committed_size: u64, rows: Entry) {
+        let mut inner = self.inner.lock();
+        let key = (path.to_string(), committed_size);
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        inner.rows += rows.len();
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, rows);
+        while inner.rows > self.max_rows && inner.order.len() > 1 {
+            if let Some(old) = inner.order.pop_front() {
+                if let Some(e) = inner.map.remove(&old) {
+                    inner.rows -= e.len();
+                }
+            }
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ReadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_common::schema::ChangeType;
+    use vortex_common::truetime::Timestamp;
+
+    fn rows(n: usize) -> Entry {
+        Arc::new(
+            (0..n)
+                .map(|i| {
+                    (
+                        RowMeta {
+                            change_type: ChangeType::Insert,
+                            ts: Timestamp(i as u64),
+                            stream: 1,
+                            offset: i as u64,
+                        },
+                        Row::insert(vec![]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = ReadCache::new(1000);
+        assert!(c.get("a", 10).is_none());
+        c.put("a", 10, rows(5));
+        assert!(c.get("a", 10).is_some());
+        // Different committed_size = different content = miss.
+        assert!(c.get("a", 20).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_bounds_rows() {
+        let c = ReadCache::new(100);
+        for i in 0..20 {
+            c.put(&format!("f{i}"), 1, rows(10));
+        }
+        assert!(c.len() <= 11, "bounded to ~100 rows: {}", c.len());
+        // Newest entries survive.
+        assert!(c.get("f19", 1).is_some());
+        assert!(c.get("f0", 1).is_none());
+    }
+
+    #[test]
+    fn duplicate_put_is_noop() {
+        let c = ReadCache::new(100);
+        c.put("x", 1, rows(10));
+        c.put("x", 1, rows(10));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

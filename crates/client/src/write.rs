@@ -1,0 +1,361 @@
+//! The write side of the thick client: offset-tracked, retrying,
+//! schema-evolution-aware appends (§4.2, §5.4).
+
+use std::sync::Arc;
+
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::{StreamId, TableId};
+use vortex_common::row::{Row, RowSet, Value};
+use vortex_common::schema::Schema;
+use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_sms::meta::StreamType;
+use vortex_sms::sms::{SmsTask, StreamHandle};
+
+use crate::transport::{AdaptiveTransport, TransportLedger};
+
+/// Options controlling a [`StreamWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriterOptions {
+    /// UNBUFFERED, BUFFERED, or PENDING (§4.2.1).
+    pub stream_type: StreamType,
+    /// When true, every append carries its expected `row_offset`, giving
+    /// exactly-once semantics under retries (§4.2.2). When false, appends
+    /// land at the current end of stream (at-least-once).
+    pub exactly_once: bool,
+    /// When true (and the transport is bi-di), appends do not wait for
+    /// the previous append's completion — they queue on the log file's
+    /// timeline (§4.2.2's pipelining).
+    pub pipelined: bool,
+    /// One-way acknowledgement delay (client↔server network), in virtual
+    /// microseconds. A serial (non-pipelined) writer cannot send the next
+    /// append before the previous ack *arrives*; a pipelined writer hides
+    /// this entirely. Zero by default (in-process tests).
+    pub ack_delay_us: u64,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions {
+            stream_type: StreamType::Unbuffered,
+            exactly_once: true,
+            pipelined: false,
+            ack_delay_us: 0,
+        }
+    }
+}
+
+/// Result of a successful append.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendResult {
+    /// Stream-level row offset of the first appended row.
+    pub row_offset: u64,
+    /// Rows appended.
+    pub row_count: u64,
+    /// Virtual completion time of the append (both replicas durable).
+    pub completion: Timestamp,
+    /// End-to-end virtual latency in microseconds (send → durable),
+    /// including queueing behind earlier pipelined appends.
+    pub latency_us: u64,
+    /// CPU charged to the transport for this request.
+    pub transport_cpu_us: u64,
+}
+
+/// A writer bound to one Vortex stream.
+pub struct StreamWriter {
+    sms: Arc<SmsTask>,
+    tt: TrueTime,
+    table: TableId,
+    handle: StreamHandle,
+    schema: Schema,
+    opts: WriterOptions,
+    next_offset: u64,
+    transport: AdaptiveTransport,
+    last_completion: Timestamp,
+    max_rotate_retries: usize,
+}
+
+impl StreamWriter {
+    /// Creates a stream of the requested type on `table` and returns a
+    /// writer for it.
+    pub fn create(
+        sms: Arc<SmsTask>,
+        tt: TrueTime,
+        table: TableId,
+        opts: WriterOptions,
+    ) -> VortexResult<Self> {
+        // `CreateStream` opens the first fragment on the data plane, so
+        // it is exposed to the same transient storage faults as appends;
+        // retry a few times (a failed attempt leaves at most an orphan
+        // stream for the groomer).
+        let mut attempts = 0usize;
+        let handle = loop {
+            match sms.create_stream(table, opts.stream_type) {
+                Ok(h) => break h,
+                Err(e) if e.is_retryable() && attempts < 4 => attempts += 1,
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(Self {
+            schema: handle.schema.clone(),
+            next_offset: handle.streamlet.first_stream_row,
+            sms,
+            tt,
+            table,
+            handle,
+            opts,
+            transport: AdaptiveTransport::with_defaults(),
+            last_completion: Timestamp::MIN,
+            max_rotate_retries: 4,
+        })
+    }
+
+    /// The stream this writer appends to.
+    pub fn stream_id(&self) -> StreamId {
+        self.handle.stream.stream
+    }
+
+    /// The table this writer appends to.
+    pub fn table_id(&self) -> TableId {
+        self.table
+    }
+
+    /// The stream-level row offset the next append will use.
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// The schema version this writer currently serializes against.
+    pub fn schema_version(&self) -> u32 {
+        self.schema.version
+    }
+
+    /// Transport cost ledger (bench C3).
+    pub fn transport_ledger(&self) -> TransportLedger {
+        self.transport.ledger()
+    }
+
+    /// Pads a row with NULLs up to the writer's current schema arity —
+    /// the additive-evolution upgrade path (§5.4.1).
+    fn pad_row(&self, mut row: Row) -> Row {
+        while row.values.len() < self.schema.fields.len() {
+            row.values.push(Value::Null);
+        }
+        row
+    }
+
+    /// Appends a batch of rows, retrying transparently per §5.4:
+    /// schema-version mismatches refetch the schema; retryable failures
+    /// obtain a new streamlet from the SMS and retry there.
+    pub fn append(&mut self, rows: RowSet) -> VortexResult<AppendResult> {
+        let now = self.tt.record_timestamp();
+        self.append_at(rows, now)
+    }
+
+    /// [`StreamWriter::append`] with an explicit virtual send time (used
+    /// by latency benchmarks driving virtual clocks).
+    pub fn append_at(&mut self, rows: RowSet, now: Timestamp) -> VortexResult<AppendResult> {
+        if rows.is_empty() {
+            return Err(VortexError::InvalidArgument("empty append".into()));
+        }
+        let padded = RowSet::new(rows.rows.into_iter().map(|r| self.pad_row(r)).collect());
+        // Serial mode waits for the previous append; pipelined mode (on a
+        // bi-di connection) sends immediately and queues at the log file.
+        let start = if self.opts.pipelined && self.transport.supports_pipelining() {
+            now
+        } else {
+            // Serial mode waits for the previous append's acknowledgement
+            // to arrive over the network before sending the next request.
+            now.max(self.last_completion.plus_micros(self.opts.ack_delay_us))
+        };
+        let cpu = self.transport.on_request(now);
+        let mut schema_refetches = 0usize;
+        let mut rotations = 0usize;
+        loop {
+            let expected = self.opts.exactly_once.then_some(self.next_offset);
+            let outcome = self.handle.server_append(
+                &padded,
+                self.schema.version,
+                expected,
+                start,
+            );
+            match outcome {
+                Ok(ack) => {
+                    self.transport.on_response();
+                    self.next_offset = ack.first_stream_row + ack.row_count;
+                    self.last_completion = self.last_completion.max(ack.completion);
+                    return Ok(AppendResult {
+                        row_offset: ack.first_stream_row,
+                        row_count: ack.row_count,
+                        completion: ack.completion,
+                        latency_us: ack.completion.micros().saturating_sub(now.micros()),
+                        transport_cpu_us: cpu,
+                    });
+                }
+                Err(VortexError::SchemaVersionMismatch { .. }) if schema_refetches < 2 => {
+                    // §5.4.1: fetch the updated schema from the SMS, then
+                    // retry the append under the new version.
+                    schema_refetches += 1;
+                    self.schema = self.sms.get_table(self.table)?.schema;
+                }
+                Err(e) if e.is_retryable() && rotations < self.max_rotate_retries => {
+                    // §5.4: finalize the current streamlet, obtain a new
+                    // one from the SMS, and retry the write there. The
+                    // rotation itself can hit the same transient storage
+                    // faults; treat that as one consumed retry and try
+                    // again.
+                    rotations += 1;
+                    match self
+                        .sms
+                        .rotate_streamlet(self.table, self.handle.stream.stream)
+                    {
+                        Ok(h) => self.handle = h,
+                        Err(re) if re.is_retryable() => continue,
+                        Err(re) => {
+                            self.transport.on_response();
+                            return Err(re);
+                        }
+                    }
+                    // The reconciled stream length is authoritative; it
+                    // may differ from our optimistic counter if unacked
+                    // data survived (at-least-once) — exactly-once mode
+                    // detects that via the offset check below.
+                    let reconciled = self.handle.streamlet.first_stream_row;
+                    if self.opts.exactly_once && reconciled > self.next_offset {
+                        // Our "failed" rows actually committed; treat the
+                        // retry as a duplicate and report success at the
+                        // original offset.
+                        let row_offset = self.next_offset;
+                        self.next_offset = reconciled;
+                        self.transport.on_response();
+                        return Ok(AppendResult {
+                            row_offset,
+                            row_count: padded.len() as u64,
+                            completion: self.last_completion.max(now),
+                            latency_us: 0,
+                            transport_cpu_us: cpu,
+                        });
+                    }
+                    self.next_offset = self.next_offset.max(reconciled);
+                }
+                Err(e) => {
+                    self.transport.on_response();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// `FlushStream` (§4.2.3): makes rows `[0, row_offset)` visible on a
+    /// BUFFERED stream. Durable (a flush record lands in the log) and
+    /// recorded in the SMS.
+    ///
+    /// Like [`StreamWriter::append`](mod@crate::write), transient storage
+    /// faults rotate the streamlet and retry: the in-log flush record is
+    /// a recovery hint, while the SMS watermark written afterwards is
+    /// what gates visibility, so a record landing on the successor
+    /// streamlet (or covering zero of its rows) is harmless.
+    pub fn flush(&mut self, row_offset: u64) -> VortexResult<()> {
+        let mut rotations = 0usize;
+        loop {
+            // Persist the flush record in the current streamlet's log.
+            let streamlet_rel =
+                row_offset.saturating_sub(self.handle.streamlet.first_stream_row);
+            match self.handle.server_flush(streamlet_rel) {
+                Ok(()) => break,
+                Err(e) if e.is_retryable() && rotations < self.max_rotate_retries => {
+                    rotations += 1;
+                    match self
+                        .sms
+                        .rotate_streamlet(self.table, self.handle.stream.stream)
+                    {
+                        Ok(h) => {
+                            self.handle = h;
+                            let reconciled = self.handle.streamlet.first_stream_row;
+                            self.next_offset = self.next_offset.max(reconciled);
+                        }
+                        Err(re) if re.is_retryable() => continue,
+                        Err(re) => return Err(re),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Record the stream-level watermark in the SMS.
+        self.sms
+            .flush_stream(self.table, self.handle.stream.stream, row_offset)
+    }
+
+    /// `FinalizeStream` (§4.2.5): no further appends.
+    pub fn finalize(self) -> VortexResult<()> {
+        self.sms
+            .finalize_stream(self.table, self.handle.stream.stream)
+            .map(|_| ())
+    }
+}
+
+impl std::fmt::Debug for StreamWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamWriter")
+            .field("table", &self.table)
+            .field("stream", &self.handle.stream.stream)
+            .field("next_offset", &self.next_offset)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Small extension trait so the writer can talk to whatever hosts the
+/// streamlet. The `StreamHandle`'s server is a `dyn StreamServerCtl`
+/// (control surface); appends need the data surface, which in this
+/// in-process build is the concrete `StreamServer`. To keep the crates
+/// decoupled, the data surface is reached through downcasting-free
+/// dynamic dispatch: the handle's control object also implements the
+/// data-plane trait below (implemented by `vortex-server`).
+pub trait DataPlane {
+    /// Appends rows to the handle's streamlet.
+    fn server_append(
+        &self,
+        rows: &RowSet,
+        schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<vortex_server::AppendAck>;
+
+    /// Writes a flush record at the streamlet-relative row offset.
+    fn server_flush(&self, streamlet_relative_row: u64) -> VortexResult<()>;
+}
+
+impl DataPlane for StreamHandle {
+    fn server_append(
+        &self,
+        rows: &RowSet,
+        schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<vortex_server::AppendAck> {
+        let server = self
+            .server
+            .as_any()
+            .downcast_ref::<vortex_server::StreamServer>()
+            .ok_or_else(|| {
+                VortexError::Internal("stream handle's server is not a StreamServer".into())
+            })?;
+        server.append(
+            self.streamlet.streamlet,
+            rows,
+            schema_version,
+            expected_stream_offset,
+            start,
+        )
+    }
+
+    fn server_flush(&self, streamlet_relative_row: u64) -> VortexResult<()> {
+        let server = self
+            .server
+            .as_any()
+            .downcast_ref::<vortex_server::StreamServer>()
+            .ok_or_else(|| {
+                VortexError::Internal("stream handle's server is not a StreamServer".into())
+            })?;
+        server.flush(self.streamlet.streamlet, streamlet_relative_row)
+    }
+}

@@ -1,0 +1,289 @@
+//! Storage backends for the simulated Colossus: in-memory (tests,
+//! benchmarks) and on-disk (durable examples), behind one trait.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use vortex_common::error::{VortexError, VortexResult};
+
+/// The operations a Colossus cluster needs from its storage medium.
+pub trait Backend: Send + Sync {
+    /// Creates an empty file; errors if it exists.
+    fn create(&self, path: &str) -> VortexResult<()>;
+    /// Appends bytes (creating the file if absent); returns new length.
+    fn append(&self, path: &str, data: &[u8]) -> VortexResult<u64>;
+    /// Reads up to `len` bytes at `offset`; short reads at EOF are normal.
+    fn read(&self, path: &str, offset: u64, len: usize) -> VortexResult<Vec<u8>>;
+    /// File length in bytes.
+    fn len(&self, path: &str) -> VortexResult<u64>;
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool;
+    /// Deletes the file (idempotent).
+    fn delete(&self, path: &str) -> VortexResult<()>;
+    /// Sorted list of paths with the given prefix.
+    fn list(&self, prefix: &str) -> Vec<String>;
+}
+
+/// In-memory backend: a sorted map of path → buffer.
+#[derive(Default)]
+pub struct MemBackend {
+    files: RwLock<BTreeMap<String, BytesMut>>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn create(&self, path: &str) -> VortexResult<()> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(VortexError::AlreadyExists(format!("file {path}")));
+        }
+        files.insert(path.to_string(), BytesMut::new());
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> VortexResult<u64> {
+        let mut files = self.files.write();
+        let buf = files.entry(path.to_string()).or_default();
+        buf.extend_from_slice(data);
+        Ok(buf.len() as u64)
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize) -> VortexResult<Vec<u8>> {
+        let files = self.files.read();
+        let buf = files
+            .get(path)
+            .ok_or_else(|| VortexError::NotFound(format!("file {path}")))?;
+        let start = (offset as usize).min(buf.len());
+        let end = start.saturating_add(len).min(buf.len());
+        Ok(buf[start..end].to_vec())
+    }
+
+    fn len(&self, path: &str) -> VortexResult<u64> {
+        let files = self.files.read();
+        files
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| VortexError::NotFound(format!("file {path}")))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    fn delete(&self, path: &str) -> VortexResult<()> {
+        self.files.write().remove(path);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// On-disk backend rooted at a directory. Logical paths are sanitized into
+/// flat file names (slashes become `%2F`) so arbitrary path components
+/// cannot escape the root.
+pub struct DiskBackend {
+    root: PathBuf,
+}
+
+impl DiskBackend {
+    /// Creates (or reopens) a disk backend rooted at `root`.
+    pub fn new(root: PathBuf) -> VortexResult<Self> {
+        fs::create_dir_all(&root)
+            .map_err(|e| VortexError::Io(format!("create_dir_all {}: {e}", root.display())))?;
+        Ok(Self { root })
+    }
+
+    fn fs_path(&self, path: &str) -> PathBuf {
+        let escaped: String = path
+            .chars()
+            .map(|c| match c {
+                '/' => "%2F".to_string(),
+                '%' => "%25".to_string(),
+                c => c.to_string(),
+            })
+            .collect();
+        self.root.join(escaped)
+    }
+
+    fn logical_name(file_name: &str) -> String {
+        file_name.replace("%2F", "/").replace("%25", "%")
+    }
+}
+
+impl Backend for DiskBackend {
+    fn create(&self, path: &str) -> VortexResult<()> {
+        let p = self.fs_path(path);
+        if p.exists() {
+            return Err(VortexError::AlreadyExists(format!("file {path}")));
+        }
+        fs::File::create(&p).map_err(|e| VortexError::Io(format!("create {path}: {e}")))?;
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> VortexResult<u64> {
+        let p = self.fs_path(path);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&p)
+            .map_err(|e| VortexError::Io(format!("open {path}: {e}")))?;
+        f.write_all(data)
+            .map_err(|e| VortexError::Io(format!("append {path}: {e}")))?;
+        f.flush()
+            .map_err(|e| VortexError::Io(format!("flush {path}: {e}")))?;
+        let len = f
+            .metadata()
+            .map_err(|e| VortexError::Io(format!("stat {path}: {e}")))?
+            .len();
+        Ok(len)
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize) -> VortexResult<Vec<u8>> {
+        let p = self.fs_path(path);
+        let mut f = fs::File::open(&p)
+            .map_err(|_| VortexError::NotFound(format!("file {path}")))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| VortexError::Io(format!("seek {path}: {e}")))?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0usize;
+        loop {
+            let n = f
+                .read(&mut buf[filled..])
+                .map_err(|e| VortexError::Io(format!("read {path}: {e}")))?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+            if filled == buf.len() {
+                break;
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+
+    fn len(&self, path: &str) -> VortexResult<u64> {
+        let p = self.fs_path(path);
+        fs::metadata(&p)
+            .map(|m| m.len())
+            .map_err(|_| VortexError::NotFound(format!("file {path}")))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.fs_path(path).exists()
+    }
+
+    fn delete(&self, path: &str) -> VortexResult<()> {
+        let p = self.fs_path(path);
+        match fs::remove_file(&p) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(VortexError::Io(format!("delete {path}: {e}"))),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut out: Vec<String> = match fs::read_dir(&self.root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .map(|n| Self::logical_name(&n))
+                .filter(|n| n.starts_with(prefix))
+                .collect(),
+            Err(_) => vec![],
+        };
+        out.sort();
+        out
+    }
+}
+
+/// A cheap read-only snapshot of a memory file (used nowhere on the hot
+/// path yet; retained for zero-copy reader experiments).
+pub fn freeze(buf: &BytesMut) -> Bytes {
+    buf.clone().freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend_contract(b: &dyn Backend) {
+        b.create("x/a").unwrap();
+        assert!(b.create("x/a").is_err());
+        assert_eq!(b.append("x/a", b"12345").unwrap(), 5);
+        assert_eq!(b.append("x/a", b"678").unwrap(), 8);
+        assert_eq!(b.read("x/a", 0, 8).unwrap(), b"12345678");
+        assert_eq!(b.read("x/a", 5, 100).unwrap(), b"678");
+        assert_eq!(b.read("x/a", 100, 5).unwrap(), b"");
+        assert_eq!(b.len("x/a").unwrap(), 8);
+        assert!(b.exists("x/a"));
+        assert!(!b.exists("x/b"));
+        assert!(b.read("x/b", 0, 1).is_err());
+        assert_eq!(b.append("x/b", b"implicit").unwrap(), 8);
+        assert_eq!(b.list("x/"), vec!["x/a", "x/b"]);
+        b.delete("x/a").unwrap();
+        b.delete("x/a").unwrap(); // idempotent
+        assert_eq!(b.list("x/"), vec!["x/b"]);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        backend_contract(&MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "vortex-backend-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        backend_contract(&DiskBackend::new(dir.clone()).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_paths_are_sanitized() {
+        let dir = std::env::temp_dir().join(format!("vortex-sanitize-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let b = DiskBackend::new(dir.clone()).unwrap();
+        b.append("../../etc/passwd", b"nope").unwrap();
+        // The file must live inside the root, not outside it.
+        let listed = b.list("..");
+        assert_eq!(listed, vec!["../../etc/passwd"]);
+        assert_eq!(b.read("../../etc/passwd", 0, 4).unwrap(), b"nope");
+        let entries: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_list_prefix_boundaries() {
+        let b = MemBackend::new();
+        for p in ["a", "ab", "b"] {
+            b.create(p).unwrap();
+        }
+        assert_eq!(b.list("a"), vec!["a", "ab"]);
+        assert_eq!(b.list("ab"), vec!["ab"]);
+        assert_eq!(b.list(""), vec!["a", "ab", "b"]);
+    }
+}

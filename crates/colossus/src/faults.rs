@@ -1,0 +1,155 @@
+//! Fault injection for a simulated Colossus cluster.
+//!
+//! The paper's resilience machinery — local retries to a new Fragment,
+//! Streamlet failover, cross-cluster reconciliation (§5.3, §5.6) — only
+//! runs when storage misbehaves. [`FaultPlan`] lets tests and benchmarks
+//! schedule exactly the misbehaviour they need:
+//!
+//! - **unavailability**: every operation fails until cleared (a cluster
+//!   outage, the trigger for table failover to the secondary cluster);
+//! - **append/read failure tokens**: the next N operations fail with an
+//!   I/O error (transient write errors, the trigger for fragment
+//!   rotation);
+//! - **slow factor**: latency multiplier (the trigger for flow control).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Shared, thread-safe fault state for one cluster.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    unavailable: AtomicBool,
+    fail_appends: AtomicU32,
+    fail_reads: AtomicU32,
+    /// Slow factor ×1000 (atomic fixed-point); 1000 = normal speed.
+    slow_millis: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Marks the cluster unavailable (or restores it).
+    pub fn set_unavailable(&self, v: bool) {
+        self.unavailable.store(v, Ordering::SeqCst);
+    }
+
+    /// Whether the cluster is currently unavailable.
+    pub fn is_unavailable(&self) -> bool {
+        self.unavailable.load(Ordering::SeqCst)
+    }
+
+    /// Schedules the next `n` appends to fail with an I/O error.
+    pub fn fail_next_appends(&self, n: u32) {
+        self.fail_appends.store(n, Ordering::SeqCst);
+    }
+
+    /// Schedules the next `n` reads to fail with an I/O error.
+    pub fn fail_next_reads(&self, n: u32) {
+        self.fail_reads.store(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one append-failure token if any remain.
+    pub fn take_append_failure(&self) -> bool {
+        take_token(&self.fail_appends)
+    }
+
+    /// Consumes one read-failure token if any remain.
+    pub fn take_read_failure(&self) -> bool {
+        take_token(&self.fail_reads)
+    }
+
+    /// Sets the latency multiplier (1.0 = normal; clamped to ≥ 0.001).
+    pub fn set_slow_factor(&self, f: f64) {
+        let fixed = (f.max(0.001) * 1000.0) as u64;
+        self.slow_millis.store(fixed, Ordering::SeqCst);
+    }
+
+    /// The current latency multiplier.
+    pub fn slow_factor(&self) -> f64 {
+        let v = self.slow_millis.load(Ordering::SeqCst);
+        if v == 0 {
+            1.0
+        } else {
+            v as f64 / 1000.0
+        }
+    }
+}
+
+fn take_token(counter: &AtomicU32) -> bool {
+    loop {
+        let cur = counter.load(Ordering::SeqCst);
+        if cur == 0 {
+            return false;
+        }
+        if counter
+            .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_consumed_exactly_n_times() {
+        let f = FaultPlan::default();
+        f.fail_next_appends(3);
+        let taken = (0..10).filter(|_| f.take_append_failure()).count();
+        assert_eq!(taken, 3);
+        assert!(!f.take_append_failure());
+    }
+
+    #[test]
+    fn read_and_append_tokens_are_independent() {
+        let f = FaultPlan::default();
+        f.fail_next_reads(1);
+        assert!(!f.take_append_failure());
+        assert!(f.take_read_failure());
+        assert!(!f.take_read_failure());
+    }
+
+    #[test]
+    fn slow_factor_defaults_to_one() {
+        let f = FaultPlan::default();
+        assert_eq!(f.slow_factor(), 1.0);
+        f.set_slow_factor(2.5);
+        assert!((f.slow_factor() - 2.5).abs() < 1e-9);
+        f.set_slow_factor(0.0); // clamped, never zero
+        assert!(f.slow_factor() > 0.0);
+    }
+
+    #[test]
+    fn unavailability_toggles() {
+        let f = FaultPlan::default();
+        assert!(!f.is_unavailable());
+        f.set_unavailable(true);
+        assert!(f.is_unavailable());
+        f.set_unavailable(false);
+        assert!(!f.is_unavailable());
+    }
+
+    #[test]
+    fn concurrent_token_consumption_is_exact() {
+        use std::sync::Arc;
+        let f = Arc::new(FaultPlan::default());
+        f.fail_next_appends(1000);
+        let mut handles = vec![];
+        let total = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let f = Arc::clone(&f);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if f.take_append_failure() {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 1000);
+    }
+}

@@ -1,0 +1,395 @@
+//! "vsnap" — a byte-oriented LZ77 compressor standing in for Snappy.
+//!
+//! The Stream Server "uses the Snappy compressor, which has a negligible
+//! CPU impact, to compress rows before appending them to the Fragment"
+//! (§5.4.5); typical ratios are 4:1, up to 10:1 when string values repeat
+//! across rows. Snappy itself is not on the approved dependency list, so
+//! this module implements a compressor with the same design point: greedy
+//! hash-table LZ matching, byte-aligned output, no entropy coding, fast
+//! enough that compression never dominates an append.
+//!
+//! ## Format
+//!
+//! A varint of the uncompressed length, then a sequence of elements:
+//!
+//! - **Literal** (`tag & 3 == 0`): `tag >> 2` is `len - 1` for lengths up
+//!   to 60; values 60–61 mean 1 or 2 extra little-endian length bytes
+//!   follow. `len` literal bytes follow.
+//! - **Copy** (`tag & 3 == 1`): `tag >> 2` is `len - 4` (4–66 bytes), then
+//!   a 2-byte little-endian back-offset (1–65535). Copies may overlap the
+//!   output cursor (RLE-style).
+//!
+//! Decompression is bounds-checked everywhere; corrupt input yields an
+//! error, never UB or a panic.
+
+/// Errors produced while decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended in the middle of an element.
+    Truncated,
+    /// A copy element referenced bytes before the start of output.
+    BadOffset {
+        /// The offset requested.
+        offset: usize,
+        /// Bytes produced so far.
+        produced: usize,
+    },
+    /// The output did not match the declared uncompressed length.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Length actually produced.
+        produced: usize,
+    },
+    /// Reserved tag bits were set.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "vsnap input truncated"),
+            DecompressError::BadOffset { offset, produced } => {
+                write!(f, "vsnap copy offset {offset} exceeds produced {produced}")
+            }
+            DecompressError::LengthMismatch { declared, produced } => {
+                write!(f, "vsnap declared {declared} bytes, produced {produced}")
+            }
+            DecompressError::BadTag(t) => write!(f, "vsnap bad tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+const MIN_MATCH: usize = 4;
+const MAX_COPY_LEN: usize = 66;
+const MAX_OFFSET: usize = 65535;
+const HASH_BITS: u32 = 14;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *input.get(*pos).ok_or(DecompressError::Truncated)?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecompressError::BadTag(b));
+        }
+    }
+}
+
+fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
+    let mut rest = lit;
+    while !rest.is_empty() {
+        let take = rest.len().min(1 << 16);
+        let (head, tail) = rest.split_at(take);
+        let n = head.len();
+        if n <= 60 {
+            out.push(((n - 1) as u8) << 2);
+        } else if n <= 256 {
+            out.push(60 << 2);
+            out.push((n - 1) as u8);
+        } else {
+            out.push(61 << 2);
+            out.extend_from_slice(&((n - 1) as u16).to_le_bytes());
+        }
+        out.extend_from_slice(head);
+        rest = tail;
+    }
+}
+
+fn emit_copy(out: &mut Vec<u8>, offset: usize, mut len: usize) {
+    debug_assert!((1..=MAX_OFFSET).contains(&offset));
+    while len >= MIN_MATCH {
+        let take = len.min(MAX_COPY_LEN);
+        // Avoid leaving a tail shorter than MIN_MATCH.
+        let take = if len - take > 0 && len - take < MIN_MATCH {
+            len - MIN_MATCH
+        } else {
+            take
+        };
+        out.push((((take - MIN_MATCH) as u8) << 2) | 1);
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        len -= take;
+    }
+    debug_assert_eq!(len, 0);
+}
+
+/// Compresses `input`, returning the vsnap-framed bytes.
+///
+/// Worst case output is `input.len() + input.len()/60 + 10` bytes (pure
+/// literals), so incompressible data costs under 2% expansion.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    put_varint(&mut out, input.len() as u64);
+    if input.len() < MIN_MATCH {
+        if !input.is_empty() {
+            emit_literal(&mut out, input);
+        }
+        return out;
+    }
+
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    // The last position where a 4-byte read is valid.
+    let limit = input.len() - MIN_MATCH;
+
+    while pos <= limit {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h] as usize;
+        table[h] = pos as u32;
+        let dist = pos.wrapping_sub(candidate);
+        if candidate < pos
+            && dist <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match forward.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            if lit_start < pos {
+                emit_literal(&mut out, &input[lit_start..pos]);
+            }
+            emit_copy(&mut out, dist, len);
+            // Seed the hash table sparsely inside the match to keep the
+            // compressor fast on long runs.
+            let end = pos + len;
+            let mut seed = pos + 1;
+            while seed <= limit && seed < end {
+                table[hash4(&input[seed..])] = seed as u32;
+                seed += 13;
+            }
+            pos = end;
+            lit_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    if lit_start < input.len() {
+        emit_literal(&mut out, &input[lit_start..]);
+    }
+    out
+}
+
+/// Decompresses vsnap-framed bytes produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut pos = 0usize;
+    let declared = get_varint(input, &mut pos)? as usize;
+    let mut out: Vec<u8> = Vec::with_capacity(declared);
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag & 3 {
+            0 => {
+                let selector = (tag >> 2) as usize;
+                let len = match selector {
+                    0..=59 => selector + 1,
+                    60 => {
+                        let b = *input.get(pos).ok_or(DecompressError::Truncated)?;
+                        pos += 1;
+                        b as usize + 1
+                    }
+                    61 => {
+                        if pos + 2 > input.len() {
+                            return Err(DecompressError::Truncated);
+                        }
+                        let v = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                        pos += 2;
+                        v + 1
+                    }
+                    _ => return Err(DecompressError::BadTag(tag)),
+                };
+                if pos + len > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            }
+            1 => {
+                let len = ((tag >> 2) as usize) + MIN_MATCH;
+                if pos + 2 > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                pos += 2;
+                if offset == 0 || offset > out.len() {
+                    return Err(DecompressError::BadOffset {
+                        offset,
+                        produced: out.len(),
+                    });
+                }
+                // Overlapping copies are legal (RLE); copy byte-by-byte.
+                let start = out.len() - offset;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(DecompressError::BadTag(tag)),
+        }
+        if out.len() > declared {
+            return Err(DecompressError::LengthMismatch {
+                declared,
+                produced: out.len(),
+            });
+        }
+    }
+    if out.len() != declared {
+        return Err(DecompressError::LengthMismatch {
+            declared,
+            produced: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "roundtrip mismatch ({} bytes)", data.len());
+        c
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_hard() {
+        let data = b"customerKey=alice;".repeat(1000);
+        let c = roundtrip(&data);
+        let ratio = data.len() as f64 / c.len() as f64;
+        assert!(ratio > 10.0, "expected >10:1 on repeated strings, got {ratio:.1}");
+    }
+
+    #[test]
+    fn rle_run() {
+        let data = vec![7u8; 100_000];
+        let c = roundtrip(&data);
+        // Copies are capped at 66 bytes / 3 output bytes, so the best an
+        // RLE run can do is ~22:1 (same ballpark as Snappy's 64-byte cap).
+        assert!(c.len() < 6_000, "RLE run should collapse, got {}", c.len());
+    }
+
+    #[test]
+    fn mixed_row_like_data_hits_typical_ratio() {
+        // Rows with repeated field names and common values, varying keys —
+        // the "typical compression ratio is 4:1" shape from §5.4.5.
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(
+                format!(
+                    "orderTimestamp=2023-10-{:02};customerKey=cust{:04};currency=USD;qty={};",
+                    (i % 28) + 1,
+                    i % 97,
+                    i % 13
+                )
+                .as_bytes(),
+            );
+        }
+        let c = roundtrip(&data);
+        let ratio = data.len() as f64 / c.len() as f64;
+        assert!(ratio > 4.0, "expected ~4:1, got {ratio:.2}");
+    }
+
+    #[test]
+    fn incompressible_data_expands_little() {
+        // A fixed LCG so the test is deterministic.
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let c = roundtrip(&data);
+        assert!(
+            c.len() < data.len() + data.len() / 50 + 16,
+            "expansion too large: {} -> {}",
+            data.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn long_literals_cross_block_boundaries() {
+        // Exercise the 60/61 literal length selectors.
+        for n in [59, 60, 61, 255, 256, 257, 65536, 65537, 70000] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let c = compress(&b"hello world hello world hello world".repeat(10));
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 8);
+        bad.push(1); // copy, len 4
+        bad.extend_from_slice(&100u16.to_le_bytes()); // offset 100 with 0 produced
+        assert!(matches!(
+            decompress(&bad),
+            Err(DecompressError::BadOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 100); // declares 100 bytes
+        bad.push(0 << 2); // one literal byte
+        bad.push(b'x');
+        assert!(matches!(
+            decompress(&bad),
+            Err(DecompressError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

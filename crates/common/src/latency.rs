@@ -1,0 +1,274 @@
+//! Virtual latency models for the simulated I/O substrate.
+//!
+//! The paper's evaluation (Figures 7 and 8) plots append-latency
+//! percentiles from production: p50 ≈ 10 ms and p99 ≈ 30 ms, flat across
+//! table throughputs. Reproducing the *shape* of those figures does not
+//! require Google's hardware — it requires (a) a heavy-tailed per-cluster
+//! write-latency distribution, (b) the dual-cluster synchronous write
+//! (latency = max of two samples, §5.6), and (c) single-writer queueing on
+//! each log file (pipelined appends serialize at the file).
+//!
+//! This module provides those three pieces: a [`LogNormal`] sampler
+//! parameterized by (median, p99), a [`WriteProfile`] combining fixed RPC
+//! overhead + bandwidth + tail, and a [`ResourceTimeline`] that turns
+//! service times into completion times under FIFO queueing on virtual
+//! time. Nothing here sleeps: two simulated weeks of traffic run in
+//! milliseconds of wall time.
+
+use rand::Rng;
+
+use crate::truetime::Timestamp;
+
+/// A lognormal distribution over microseconds, parameterized by quantiles
+/// rather than (μ, σ) so profiles read like SLOs.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+/// z-value of the 99th percentile of the standard normal.
+const Z99: f64 = 2.3263478740408408;
+
+impl LogNormal {
+    /// Builds the distribution whose median and 99th percentile are the
+    /// given values (both in microseconds, p99 must exceed median).
+    pub fn from_median_p99(median_us: f64, p99_us: f64) -> Self {
+        assert!(median_us > 0.0 && p99_us > median_us, "need p99 > median > 0");
+        let mu = median_us.ln();
+        let sigma = (p99_us / median_us).ln() / Z99;
+        LogNormal { mu, sigma }
+    }
+
+    /// Samples one value in microseconds.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box–Muller transform; one normal per call keeps this allocation-
+        // free and dependency-free.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp().max(1.0) as u64
+    }
+
+    /// The distribution's median in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// Latency profile for one write (or read) against a storage cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteProfile {
+    /// Fixed per-request overhead (RPC dispatch, queue hop), microseconds.
+    pub overhead_us: u64,
+    /// Transfer cost per mebibyte, microseconds (inverse bandwidth).
+    pub per_mib_us: u64,
+    /// Heavy-tailed service component.
+    pub tail: LogNormal,
+}
+
+impl WriteProfile {
+    /// The profile used to reproduce Figures 7–8: calibrated so that the
+    /// *max of two* independent samples (the dual-cluster synchronous
+    /// write) has p50 ≈ 10 ms and p99 ≈ 30 ms for small batches.
+    pub fn paper_colossus() -> Self {
+        WriteProfile {
+            overhead_us: 600,
+            // ~350 MiB/s effective per-stream disk bandwidth.
+            per_mib_us: 2_900,
+            tail: LogNormal::from_median_p99(7_000.0, 21_000.0),
+        }
+    }
+
+    /// A near-instant profile for functional tests (no queueing effects).
+    pub fn instant() -> Self {
+        WriteProfile {
+            overhead_us: 1,
+            per_mib_us: 0,
+            tail: LogNormal::from_median_p99(1.0, 2.0),
+        }
+    }
+
+    /// Samples the service time for a request of `bytes` payload.
+    pub fn sample_us<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> u64 {
+        let transfer = (bytes as u64 * self.per_mib_us) >> 20;
+        self.overhead_us + transfer + self.tail.sample(rng)
+    }
+}
+
+/// FIFO queueing on a single resource (e.g. one log file's writer, one
+/// connection) over virtual time.
+///
+/// `submit(start, service)` returns the completion time assuming the
+/// request cannot begin before `start` nor before the previous request on
+/// this resource finished — exactly the pipelining rule for appends to a
+/// Streamlet (§4.2.2: pipelined, but applied in offset order).
+#[derive(Debug, Clone, Default)]
+pub struct ResourceTimeline {
+    busy_until: Timestamp,
+}
+
+impl ResourceTimeline {
+    /// A timeline that is idle until the first submission.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a request; returns its completion timestamp.
+    pub fn submit(&mut self, start: Timestamp, service_us: u64) -> Timestamp {
+        let begin = start.max(self.busy_until);
+        let done = begin.plus_micros(service_us);
+        self.busy_until = done;
+        done
+    }
+
+    /// When the resource becomes free.
+    pub fn busy_until(&self) -> Timestamp {
+        self.busy_until
+    }
+}
+
+/// Percentile summary of a latency sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 50th percentile (median), microseconds.
+    pub p50: u64,
+    /// 90th percentile, microseconds.
+    pub p90: u64,
+    /// 95th percentile, microseconds.
+    pub p95: u64,
+    /// 99th percentile, microseconds.
+    pub p99: u64,
+    /// Maximum observed, microseconds.
+    pub max: u64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Percentiles {
+    /// Computes percentiles (nearest-rank) from unsorted samples.
+    /// Returns zeros for an empty input.
+    pub fn compute(samples: &mut [u64]) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles {
+                p50: 0,
+                p90: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+                count: 0,
+            };
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let at = |q: f64| samples[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        Percentiles {
+            p50: at(0.50),
+            p90: at(0.90),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: samples[n - 1],
+            count: n,
+        }
+    }
+}
+
+impl std::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={:.1}ms p90={:.1}ms p95={:.1}ms p99={:.1}ms (n={})",
+            self.p50 as f64 / 1000.0,
+            self.p90 as f64 / 1000.0,
+            self.p95 as f64 / 1000.0,
+            self.p99 as f64 / 1000.0,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_hits_requested_quantiles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = LogNormal::from_median_p99(10_000.0, 30_000.0);
+        let mut samples: Vec<u64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let p = Percentiles::compute(&mut samples);
+        let p50 = p.p50 as f64;
+        let p99 = p.p99 as f64;
+        assert!((p50 - 10_000.0).abs() / 10_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 30_000.0).abs() / 30_000.0 < 0.10, "p99={p99}");
+    }
+
+    #[test]
+    fn paper_profile_dual_write_matches_figure7() {
+        // max of two samples ≈ the dual-cluster synchronous write.
+        let mut rng = StdRng::seed_from_u64(42);
+        let prof = WriteProfile::paper_colossus();
+        let mut samples: Vec<u64> = (0..100_000)
+            .map(|_| prof.sample_us(4096, &mut rng).max(prof.sample_us(4096, &mut rng)))
+            .collect();
+        let p = Percentiles::compute(&mut samples);
+        assert!(
+            (8_000..13_000).contains(&p.p50),
+            "p50 {}us should be ~10ms",
+            p.p50
+        );
+        assert!(
+            (22_000..38_000).contains(&p.p99),
+            "p99 {}us should be ~30ms",
+            p.p99
+        );
+    }
+
+    #[test]
+    fn bigger_payload_costs_more() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let prof = WriteProfile::paper_colossus();
+        let small: u64 = (0..1000).map(|_| prof.sample_us(1024, &mut rng)).sum();
+        let big: u64 = (0..1000).map(|_| prof.sample_us(8 << 20, &mut rng)).sum();
+        assert!(big > small + 1000 * 10_000, "8MiB must add >=10ms transfer");
+    }
+
+    #[test]
+    fn timeline_serializes_overlapping_requests() {
+        let mut tl = ResourceTimeline::new();
+        let a = tl.submit(Timestamp(0), 100);
+        assert_eq!(a, Timestamp(100));
+        // Submitted at t=10 but the resource is busy until 100.
+        let b = tl.submit(Timestamp(10), 50);
+        assert_eq!(b, Timestamp(150));
+        // Submitted after idle gap.
+        let c = tl.submit(Timestamp(1_000), 5);
+        assert_eq!(c, Timestamp(1_005));
+        assert_eq!(tl.busy_until(), Timestamp(1_005));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let p = Percentiles::compute(&mut s);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p90, 90);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(Percentiles::compute(&mut empty).count, 0);
+        let mut one = vec![7u64];
+        let p1 = Percentiles::compute(&mut one);
+        assert_eq!((p1.p50, p1.p99), (7, 7));
+    }
+
+    #[test]
+    fn display_formats_ms() {
+        let mut s = vec![10_000u64, 20_000, 30_000];
+        let p = Percentiles::compute(&mut s);
+        let out = p.to_string();
+        assert!(out.contains("p50=20.0ms"), "{out}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Common types and substrate primitives shared by every Vortex crate.
+//!
+//! This crate contains the pieces of Google infrastructure that the Vortex
+//! paper (SIGMOD 2024) depends on but does not itself describe, implemented
+//! from scratch as laptop-scale equivalents:
+//!
+//! - [`truetime`]: a TrueTime-style clock returning bounded-uncertainty
+//!   intervals.
+//! - [`crc`]: CRC32C (Castagnoli) used for end-to-end data protection.
+//! - [`compress`]: "vsnap", a byte-oriented LZ compressor standing in for
+//!   Snappy.
+//! - [`crypt`]: a from-scratch ChaCha20 stream cipher for encryption at
+//!   rest and in flight.
+//! - [`bloom`]: bloom filters for partition/cluster key pruning.
+//! - [`latency`]: the virtual-latency model used to reproduce the paper's
+//!   latency figures without sleeping for two weeks.
+//!
+//! It also defines the data model shared by the whole engine: typed
+//! [`schema::Schema`]s with nested/repeated fields, [`row::Row`] values,
+//! and the binary wire encoding ([`codec`]) used by the append API and the
+//! write-optimized storage format.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod codec;
+pub mod compress;
+pub mod crc;
+pub mod crypt;
+pub mod error;
+pub mod ids;
+pub mod latency;
+pub mod mask;
+pub mod row;
+pub mod schema;
+pub mod schema_codec;
+pub mod stats;
+pub mod truetime;
+
+pub use error::{VortexError, VortexResult};

@@ -1,0 +1,301 @@
+//! Deletion masks: sorted row-ranges marked deleted by DML (§7.3).
+//!
+//! "Vortex allows a range of rows in a Fragment or Streamlet to be marked
+//! as deleted. A DELETE statement first determines the candidate rows ...
+//! and at commit time persists a deletion mask to the Streamlet or
+//! Fragment metadata." Readers apply the mask to filter out deleted rows;
+//! the Storage Optimizer carries masks across WOS→ROS conversion.
+//!
+//! Represented as a sorted, coalesced list of half-open `[start, end)`
+//! row-offset ranges — the natural shape for both "delete these rows" and
+//! "mark the whole streamlet tail deleted" (§7.3).
+
+use crate::codec::{get_uvarint, put_uvarint};
+use crate::error::{VortexError, VortexResult};
+
+/// A set of deleted row offsets, stored as sorted disjoint ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeletionMask {
+    /// Sorted, disjoint, coalesced half-open ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl DeletionMask {
+    /// An empty mask (nothing deleted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A mask deleting a single half-open range.
+    pub fn from_range(start: u64, end: u64) -> Self {
+        let mut m = Self::new();
+        m.delete_range(start, end);
+        m
+    }
+
+    /// Marks `[start, end)` deleted (merging with existing ranges).
+    pub fn delete_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window of ranges overlapping or adjacent.
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut remove_from = None;
+        let mut remove_to = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < start {
+                i += 1;
+                continue;
+            }
+            if s > end {
+                break;
+            }
+            // Overlapping or adjacent: absorb.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            if remove_from.is_none() {
+                remove_from = Some(i);
+            }
+            remove_to = i + 1;
+            i += 1;
+        }
+        match remove_from {
+            Some(from) => {
+                self.ranges.drain(from..remove_to);
+                self.ranges.insert(from, (new_start, new_end));
+            }
+            None => {
+                let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
+                self.ranges.insert(pos, (new_start, new_end));
+            }
+        }
+    }
+
+    /// Marks a single row deleted.
+    pub fn delete_row(&mut self, row: u64) {
+        self.delete_range(row, row + 1);
+    }
+
+    /// Whether `row` is deleted.
+    pub fn contains(&self, row: u64) -> bool {
+        let idx = self.ranges.partition_point(|&(_, e)| e <= row);
+        self.ranges
+            .get(idx)
+            .map(|&(s, _)| s <= row)
+            .unwrap_or(false)
+    }
+
+    /// Number of deleted rows.
+    pub fn deleted_count(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Whether nothing is deleted.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Merges another mask into this one.
+    pub fn union(&mut self, other: &DeletionMask) {
+        for &(s, e) in &other.ranges {
+            self.delete_range(s, e);
+        }
+    }
+
+    /// The underlying sorted ranges.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Restricts the mask to `[start, end)` and rebases offsets to start
+    /// at zero — used when a streamlet-tail mask is mapped down onto the
+    /// fragments later reported by heartbeat (§7.3).
+    pub fn slice_rebased(&self, start: u64, end: u64) -> DeletionMask {
+        let mut out = DeletionMask::new();
+        for &(s, e) in &self.ranges {
+            let s2 = s.max(start);
+            let e2 = e.min(end);
+            if s2 < e2 {
+                out.delete_range(s2 - start, e2 - start);
+            }
+        }
+        out
+    }
+
+    /// Binary serialization: count then delta-encoded range pairs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_uvarint(&mut out, self.ranges.len() as u64);
+        let mut prev = 0u64;
+        for &(s, e) in &self.ranges {
+            put_uvarint(&mut out, s - prev);
+            put_uvarint(&mut out, e - s);
+            prev = e;
+        }
+        out
+    }
+
+    /// Deserializes from [`DeletionMask::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> VortexResult<Self> {
+        let mut pos = 0usize;
+        let n = get_uvarint(buf, &mut pos)? as usize;
+        if n > buf.len() {
+            return Err(VortexError::Decode(format!("mask declares {n} ranges")));
+        }
+        let mut ranges = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let gap = get_uvarint(buf, &mut pos)?;
+            let len = get_uvarint(buf, &mut pos)?;
+            if len == 0 {
+                return Err(VortexError::Decode("mask range of length 0".into()));
+            }
+            let s = prev + gap;
+            let e = s + len;
+            ranges.push((s, e));
+            prev = e;
+        }
+        Ok(DeletionMask { ranges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_contains() {
+        let mut m = DeletionMask::new();
+        m.delete_range(10, 20);
+        assert!(!m.contains(9));
+        assert!(m.contains(10));
+        assert!(m.contains(19));
+        assert!(!m.contains(20));
+        assert_eq!(m.deleted_count(), 10);
+    }
+
+    #[test]
+    fn overlapping_ranges_coalesce() {
+        let mut m = DeletionMask::new();
+        m.delete_range(10, 20);
+        m.delete_range(15, 30);
+        m.delete_range(5, 12);
+        assert_eq!(m.ranges(), &[(5, 30)]);
+        assert_eq!(m.deleted_count(), 25);
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut m = DeletionMask::new();
+        m.delete_range(0, 10);
+        m.delete_range(10, 20);
+        assert_eq!(m.ranges(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_separate() {
+        let mut m = DeletionMask::new();
+        m.delete_range(30, 40);
+        m.delete_range(0, 10);
+        m.delete_range(50, 60);
+        assert_eq!(m.ranges(), &[(0, 10), (30, 40), (50, 60)]);
+        assert!(m.contains(35));
+        assert!(!m.contains(45));
+    }
+
+    #[test]
+    fn middle_insert_bridges_neighbors() {
+        let mut m = DeletionMask::new();
+        m.delete_range(0, 10);
+        m.delete_range(20, 30);
+        m.delete_range(10, 20);
+        assert_eq!(m.ranges(), &[(0, 30)]);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut m = DeletionMask::new();
+        assert!(m.is_empty());
+        m.delete_range(5, 5);
+        assert!(m.is_empty());
+        m.delete_row(7);
+        assert_eq!(m.ranges(), &[(7, 8)]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut a = DeletionMask::from_range(0, 5);
+        let b = DeletionMask::from_range(3, 10);
+        a.union(&b);
+        assert_eq!(a.ranges(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn slice_rebased_maps_tail_mask_to_fragment() {
+        // Streamlet-level mask deleting rows [100, 250); a fragment covers
+        // streamlet rows [200, 300) → fragment-local rows [0, 50) deleted.
+        let m = DeletionMask::from_range(100, 250);
+        let frag = m.slice_rebased(200, 300);
+        assert_eq!(frag.ranges(), &[(0, 50)]);
+        // A fragment fully inside the deleted range.
+        let all = m.slice_rebased(120, 180);
+        assert_eq!(all.ranges(), &[(0, 60)]);
+        // A fragment fully outside.
+        assert!(m.slice_rebased(300, 400).is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut m = DeletionMask::new();
+        m.delete_range(0, 1);
+        m.delete_range(1_000_000, 2_000_000);
+        m.delete_range(5, 10);
+        let bytes = m.to_bytes();
+        assert_eq!(DeletionMask::from_bytes(&bytes).unwrap(), m);
+        let empty = DeletionMask::new();
+        assert_eq!(
+            DeletionMask::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn corrupt_serialization_rejected() {
+        assert!(DeletionMask::from_bytes(&[255, 255]).is_err());
+        let m = DeletionMask::from_range(1, 5);
+        let bytes = m.to_bytes();
+        assert!(DeletionMask::from_bytes(&bytes[..1]).is_err());
+    }
+
+    #[test]
+    fn dense_random_ops_match_reference() {
+        // Compare against a naive HashSet model.
+        use std::collections::HashSet;
+        let mut model: HashSet<u64> = HashSet::new();
+        let mut mask = DeletionMask::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..500 {
+            let s = next() % 200;
+            let len = next() % 20 + 1;
+            mask.delete_range(s, s + len);
+            for r in s..s + len {
+                model.insert(r);
+            }
+        }
+        for r in 0..250 {
+            assert_eq!(mask.contains(r), model.contains(&r), "row {r}");
+        }
+        assert_eq!(mask.deleted_count() as usize, model.len());
+        // Ranges must be sorted, disjoint, non-adjacent.
+        for w in mask.ranges().windows(2) {
+            assert!(w[0].1 < w[1].0);
+        }
+    }
+}

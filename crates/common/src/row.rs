@@ -1,0 +1,370 @@
+//! Row values: the dynamic representation of semi-structured records.
+//!
+//! Clients "serialize structured or semi-structured input data to a binary
+//! format" before appending (§4.2.2); [`Value`] is the in-memory form on
+//! both sides of that wire format (see [`crate::codec`]). Values carry a
+//! total order ([`Value::total_cmp`]) used for clustering-key ranges and
+//! min/max column properties, and a canonical key encoding
+//! ([`Value::encode_key`]) used for bloom filters and primary keys.
+
+use std::cmp::Ordering;
+
+use crate::schema::ChangeType;
+use crate::truetime::Timestamp;
+
+/// A dynamically-typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit IEEE float.
+    Float64(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Microseconds since epoch.
+    Timestamp(Timestamp),
+    /// Days since epoch.
+    Date(i32),
+    /// Fixed-point decimal scaled by 10^9.
+    Numeric(i128),
+    /// JSON text.
+    Json(String),
+    /// Nested record values, positionally matching the struct's fields.
+    Struct(Vec<Value>),
+    /// Repeated values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Bool(_) => "BOOL",
+            Value::Int64(_) => "INT64",
+            Value::Float64(_) => "FLOAT64",
+            Value::String(_) => "STRING",
+            Value::Bytes(_) => "BYTES",
+            Value::Timestamp(_) => "TIMESTAMP",
+            Value::Date(_) => "DATE",
+            Value::Numeric(_) => "NUMERIC",
+            Value::Json(_) => "JSON",
+            Value::Struct(_) => "STRUCT",
+            Value::Array(_) => "ARRAY",
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int64(_) => 2,
+            Value::Float64(_) => 3,
+            Value::String(_) => 4,
+            Value::Bytes(_) => 5,
+            Value::Timestamp(_) => 6,
+            Value::Date(_) => 7,
+            Value::Numeric(_) => 8,
+            Value::Json(_) => 9,
+            Value::Struct(_) => 10,
+            Value::Array(_) => 11,
+        }
+    }
+
+    /// Numeric view for cross-type numeric comparisons (SQL coercion):
+    /// `Numeric` is fixed-point scaled by 10^9.
+    fn as_numeric_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int64(i) => Some(*i as f64),
+            Value::Float64(f) => Some(*f),
+            Value::Numeric(n) => Some(*n as f64 / 1e9),
+            _ => None,
+        }
+    }
+
+    /// A total order over values. NULL sorts first; numeric types
+    /// (INT64/FLOAT64/NUMERIC) compare numerically across each other (SQL
+    /// coercion); remaining cross-type pairs order by a fixed type rank
+    /// (they only arise in corrupted or mixed inputs — within a column
+    /// the type is fixed by the schema).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (String(a), String(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Numeric(a), Numeric(b)) => a.cmp(b),
+            (Json(a), Json(b)) => a.cmp(b),
+            (Struct(a), Struct(b)) | (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.total_cmp(y) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => match (a.as_numeric_f64(), b.as_numeric_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => a.type_rank().cmp(&b.type_rank()),
+            },
+        }
+    }
+
+    /// Canonical byte encoding used for bloom-filter membership and primary
+    /// key bytes. Injective per type (a type-tag byte prevents cross-type
+    /// collisions like `Int64(0)` vs `Bool(false)`).
+    pub fn encode_key(&self) -> Vec<u8> {
+        let mut out = vec![self.type_rank()];
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => out.push(*b as u8),
+            Value::Int64(i) => out.extend_from_slice(&i.to_le_bytes()),
+            Value::Float64(f) => out.extend_from_slice(&f.to_bits().to_le_bytes()),
+            Value::String(s) => out.extend_from_slice(s.as_bytes()),
+            Value::Bytes(b) => out.extend_from_slice(b),
+            Value::Timestamp(t) => out.extend_from_slice(&t.micros().to_le_bytes()),
+            Value::Date(d) => out.extend_from_slice(&d.to_le_bytes()),
+            Value::Numeric(n) => out.extend_from_slice(&n.to_le_bytes()),
+            Value::Json(s) => out.extend_from_slice(s.as_bytes()),
+            Value::Struct(vs) | Value::Array(vs) => {
+                for v in vs {
+                    let k = v.encode_key();
+                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts an `i64` if this is an `Int64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `&str` if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts a timestamp if this is a `Timestamp`.
+    pub fn as_timestamp(&self) -> Option<Timestamp> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by flow control and
+    /// the 2 MB fragment write buffer accounting.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int64(_) | Value::Float64(_) | Value::Timestamp(_) => 8,
+            Value::Date(_) => 4,
+            Value::Numeric(_) => 16,
+            Value::String(s) | Value::Json(s) => 4 + s.len(),
+            Value::Bytes(b) => 4 + b.len(),
+            Value::Struct(vs) | Value::Array(vs) => {
+                4 + vs.iter().map(Value::approx_bytes).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A row: an ordered list of values plus its `_CHANGE_TYPE` (§4.2.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Column values in schema order.
+    pub values: Vec<Value>,
+    /// INSERT (default), UPSERT, or DELETE.
+    pub change_type: ChangeType,
+}
+
+impl Row {
+    /// An INSERT row.
+    pub fn insert(values: Vec<Value>) -> Self {
+        Row {
+            values,
+            change_type: ChangeType::Insert,
+        }
+    }
+
+    /// A row with an explicit change type.
+    pub fn with_change(values: Vec<Value>, change_type: ChangeType) -> Self {
+        Row {
+            values,
+            change_type,
+        }
+    }
+
+    /// Approximate serialized size, used for batch sizing and flow control.
+    pub fn approx_bytes(&self) -> usize {
+        1 + self.values.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+}
+
+/// A batch of rows supplied to one `AppendStream` call (§4.2.2's
+/// `RowsSet`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowSet {
+    /// The rows, in append order.
+    pub rows: Vec<Row>,
+}
+
+impl RowSet {
+    /// Creates a row set.
+    pub fn new(rows: Vec<Row>) -> Self {
+        RowSet { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate serialized size of the whole batch.
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.iter().map(Row::approx_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cmp_orders_within_types() {
+        assert_eq!(
+            Value::Int64(1).total_cmp(&Value::Int64(2)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::String("b".into()).total_cmp(&Value::String("a".into())),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float64(f64::NAN).total_cmp(&Value::Float64(f64::NAN)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Float64(-0.0).total_cmp(&Value::Float64(0.0)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn numeric_types_coerce_in_comparisons() {
+        assert_eq!(
+            Value::Int64(2).total_cmp(&Value::Float64(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float64(3.0).total_cmp(&Value::Int64(3)),
+            Ordering::Equal
+        );
+        // Numeric(2_500_000_000) == 2.5
+        assert_eq!(
+            Value::Numeric(2_500_000_000).total_cmp(&Value::Float64(2.5)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Int64(3).total_cmp(&Value::Numeric(2_500_000_000)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int64(i64::MIN)), Ordering::Less);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn arrays_compare_lexicographically() {
+        let a = Value::Array(vec![Value::Int64(1), Value::Int64(2)]);
+        let b = Value::Array(vec![Value::Int64(1), Value::Int64(3)]);
+        let c = Value::Array(vec![Value::Int64(1)]);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(c.total_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn encode_key_injective_across_types() {
+        let pairs = [
+            (Value::Int64(0), Value::Bool(false)),
+            (Value::String("1".into()), Value::Int64(1)),
+            (Value::Bytes(b"x".to_vec()), Value::String("x".into())),
+            (Value::Null, Value::Bool(false)),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(a.encode_key(), b.encode_key(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn encode_key_nested_lengths_prevent_ambiguity() {
+        // ["ab","c"] must not collide with ["a","bc"].
+        let a = Value::Array(vec![
+            Value::String("ab".into()),
+            Value::String("c".into()),
+        ]);
+        let b = Value::Array(vec![
+            Value::String("a".into()),
+            Value::String("bc".into()),
+        ]);
+        assert_ne!(a.encode_key(), b.encode_key());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_content() {
+        let small = Row::insert(vec![Value::Int64(1)]);
+        let big = Row::insert(vec![Value::String("x".repeat(1000))]);
+        assert!(big.approx_bytes() > small.approx_bytes() + 900);
+        let rs = RowSet::new(vec![small.clone(), big]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.approx_bytes() > 1000);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int64(7).as_i64(), Some(7));
+        assert_eq!(Value::Bool(true).as_i64(), None);
+        assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+        assert!(Value::Null.is_null());
+        assert_eq!(
+            Value::Timestamp(Timestamp(9)).as_timestamp(),
+            Some(Timestamp(9))
+        );
+    }
+}

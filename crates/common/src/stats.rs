@@ -1,0 +1,234 @@
+//! Column properties: min/max statistics used for partition elimination.
+//!
+//! "Vortex performs partition elimination by maintaining column properties
+//! such as min/max values and bloom filters for columns on which the data
+//! is partitioned or clustered" (§7.2). The Stream Server accumulates
+//! these per Streamlet/Fragment as data is written; the Storage Optimizer
+//! and Big Metadata track them per ROS block.
+
+use crate::codec::{decode_value, encode_value, get_uvarint, put_uvarint};
+use crate::error::{VortexError, VortexResult};
+use crate::row::Value;
+
+/// Min/max (and null presence) for one column over some set of rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Smallest non-null value seen, if any.
+    pub min: Option<Value>,
+    /// Largest non-null value seen, if any.
+    pub max: Option<Value>,
+    /// Whether any NULL was seen.
+    pub has_null: bool,
+    /// Rows observed.
+    pub count: u64,
+}
+
+impl ColumnStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one value into the stats.
+    pub fn observe(&mut self, v: &Value) {
+        self.count += 1;
+        if v.is_null() {
+            self.has_null = true;
+            return;
+        }
+        match &self.min {
+            Some(m) if m.total_cmp(v).is_le() => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if m.total_cmp(v).is_ge() => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        if let Some(m) = &other.min {
+            match &self.min {
+                Some(cur) if cur.total_cmp(m).is_le() => {}
+                _ => self.min = Some(m.clone()),
+            }
+        }
+        if let Some(m) = &other.max {
+            match &self.max {
+                Some(cur) if cur.total_cmp(m).is_ge() => {}
+                _ => self.max = Some(m.clone()),
+            }
+        }
+        self.has_null |= other.has_null;
+        self.count += other.count;
+    }
+
+    /// Whether a point predicate `col == v` could match rows summarized
+    /// by these stats.
+    pub fn may_contain_point(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return self.has_null;
+        }
+        match (&self.min, &self.max) {
+            (Some(lo), Some(hi)) => lo.total_cmp(v).is_le() && hi.total_cmp(v).is_ge(),
+            // No non-null values at all: only NULLs can match.
+            _ => false,
+        }
+    }
+
+    /// Whether a range predicate `lo <= col <= hi` (either bound optional)
+    /// could match.
+    pub fn may_overlap_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        let (Some(smin), Some(smax)) = (&self.min, &self.max) else {
+            return false;
+        };
+        if let Some(lo) = lo {
+            if smax.total_cmp(lo).is_lt() {
+                return false;
+            }
+        }
+        if let Some(hi) = hi {
+            if smin.total_cmp(hi).is_gt() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Binary serialization (embedded in heartbeats and ROS block
+    /// metadata).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut flags = 0u8;
+        if self.min.is_some() {
+            flags |= 1;
+        }
+        if self.max.is_some() {
+            flags |= 2;
+        }
+        if self.has_null {
+            flags |= 4;
+        }
+        out.push(flags);
+        put_uvarint(&mut out, self.count);
+        if let Some(m) = &self.min {
+            encode_value(&mut out, m);
+        }
+        if let Some(m) = &self.max {
+            encode_value(&mut out, m);
+        }
+        out
+    }
+
+    /// Deserializes from [`ColumnStats::to_bytes`] output, advancing `pos`.
+    pub fn from_bytes(buf: &[u8], pos: &mut usize) -> VortexResult<Self> {
+        let flags = *buf
+            .get(*pos)
+            .ok_or_else(|| VortexError::Decode("stats flags truncated".into()))?;
+        *pos += 1;
+        let count = get_uvarint(buf, pos)?;
+        let min = if flags & 1 != 0 {
+            Some(decode_value(buf, pos)?)
+        } else {
+            None
+        };
+        let max = if flags & 2 != 0 {
+            Some(decode_value(buf, pos)?)
+        } else {
+            None
+        };
+        Ok(ColumnStats {
+            min,
+            max,
+            has_null: flags & 4 != 0,
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_tracks_min_max_null() {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::Int64(5));
+        s.observe(&Value::Int64(-2));
+        s.observe(&Value::Null);
+        s.observe(&Value::Int64(9));
+        assert_eq!(s.min, Some(Value::Int64(-2)));
+        assert_eq!(s.max, Some(Value::Int64(9)));
+        assert!(s.has_null);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn point_containment() {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::String("f".into()));
+        s.observe(&Value::String("m".into()));
+        assert!(s.may_contain_point(&Value::String("g".into())));
+        assert!(s.may_contain_point(&Value::String("f".into())));
+        assert!(!s.may_contain_point(&Value::String("a".into())));
+        assert!(!s.may_contain_point(&Value::String("z".into())));
+        assert!(!s.may_contain_point(&Value::Null));
+        s.observe(&Value::Null);
+        assert!(s.may_contain_point(&Value::Null));
+    }
+
+    #[test]
+    fn range_overlap() {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::Int64(10));
+        s.observe(&Value::Int64(20));
+        let v = |i| Value::Int64(i);
+        assert!(s.may_overlap_range(Some(&v(15)), Some(&v(25))));
+        assert!(s.may_overlap_range(Some(&v(0)), Some(&v(10))));
+        assert!(!s.may_overlap_range(Some(&v(21)), None));
+        assert!(!s.may_overlap_range(None, Some(&v(9))));
+        assert!(s.may_overlap_range(None, None));
+    }
+
+    #[test]
+    fn all_null_column_matches_nothing_but_null() {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::Null);
+        assert!(!s.may_contain_point(&Value::Int64(0)));
+        assert!(s.may_contain_point(&Value::Null));
+        assert!(!s.may_overlap_range(Some(&Value::Int64(0)), None));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ColumnStats::new();
+        a.observe(&Value::Int64(1));
+        let mut b = ColumnStats::new();
+        b.observe(&Value::Int64(100));
+        b.observe(&Value::Null);
+        a.merge(&b);
+        assert_eq!(a.min, Some(Value::Int64(1)));
+        assert_eq!(a.max, Some(Value::Int64(100)));
+        assert!(a.has_null);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::String("alpha".into()));
+        s.observe(&Value::String("omega".into()));
+        s.observe(&Value::Null);
+        let bytes = s.to_bytes();
+        let mut pos = 0;
+        let back = ColumnStats::from_bytes(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, s);
+        // Empty stats roundtrip too.
+        let empty = ColumnStats::new();
+        let bytes = empty.to_bytes();
+        let mut pos = 0;
+        assert_eq!(ColumnStats::from_bytes(&bytes, &mut pos).unwrap(), empty);
+    }
+}

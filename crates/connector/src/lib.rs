@@ -1,0 +1,37 @@
+//! The exactly-once processing connector (§7.4): a Beam/Dataflow-style
+//! two-stage sink writing to Vortex BUFFERED streams.
+//!
+//! "To achieve exactly-once, the sink operates in two stages. The first
+//! stage, called the Append stage, receives a partitioned stream of rows
+//! ... Each worker in the Append stage creates its own dedicated BUFFERED
+//! stream on the table. ... It reads the next batch of rows (called a
+//! bundle) from Shuffle and writes to its dedicated Stream at the row
+//! offset. ... A subsequent FlushStream call that includes all the rows
+//! up to the end row offset will mark them committed. The Beam sink will
+//! perform this FlushStream call in a separate stage, called the Flush
+//! stage."
+//!
+//! After each successful `AppendStream` the worker atomically (a) marks
+//! the bundle processed, (b) writes the (stream, row offset) for the
+//! flush stage to shuffle, and (c) updates its stream state — the
+//! [`state::PipelineState`] transaction. "Rarely, zombie workers may
+//! process input rows that were already previously marked as processed
+//! ... the results ... may be appended multiple times to the same Vortex
+//! Stream (at different offsets), but only one worker will succeed in
+//! marking that row as processed. This will prevent the stream identifier
+//! and row offset for FlushStream call from being written to Shuffle" —
+//! so a zombie's appends sit durable-but-unflushed in its own BUFFERED
+//! stream, invisible forever.
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod shuffle;
+pub mod state;
+
+#[cfg(test)]
+mod tests;
+
+pub use pipeline::{BeamSink, SinkConfig, SinkReport};
+pub use shuffle::{Bundle, Shuffle};
+pub use state::PipelineState;

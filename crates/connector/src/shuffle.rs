@@ -1,0 +1,159 @@
+//! The Shuffle substrate: deterministic partitioning of input rows into
+//! bundles, and the durable queue carrying flush instructions from the
+//! Append stage to the Flush stage (§7.4, and the in-memory shuffle the
+//! paper cites as \[4\]).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use vortex_common::ids::StreamId;
+use vortex_common::row::Row;
+
+/// A batch of rows delivered to one Append-stage worker.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// The key-space partition this bundle belongs to.
+    pub partition: usize,
+    /// Sequence number within the partition (the dedup identity).
+    pub seq: u64,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Bundle {
+    /// The bundle's dedup identity.
+    pub fn id(&self) -> (usize, u64) {
+        (self.partition, self.seq)
+    }
+}
+
+/// A flush instruction emitted by the Append stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushMsg {
+    /// Stream to flush.
+    pub stream: StreamId,
+    /// Flush up to this stream-level row offset (exclusive).
+    pub row_offset: u64,
+}
+
+/// Deterministically partitions rows into per-partition bundles ("rows in
+/// this stream are deterministically partitioned", §7.4). The partition of
+/// a row is a stable hash of its first column.
+pub fn partition_rows(rows: Vec<Row>, partitions: usize, bundle_size: usize) -> Vec<Bundle> {
+    assert!(partitions > 0 && bundle_size > 0);
+    let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); partitions];
+    for row in rows {
+        let key = row
+            .values
+            .first()
+            .map(|v| v.encode_key())
+            .unwrap_or_default();
+        let mut h = 0xcbf29ce484222325u64;
+        for b in &key {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        buckets[(h % partitions as u64) as usize].push(row);
+    }
+    let mut bundles = Vec::new();
+    for (p, rows) in buckets.into_iter().enumerate() {
+        for (seq, chunk) in rows.chunks(bundle_size).enumerate() {
+            bundles.push(Bundle {
+                partition: p,
+                seq: seq as u64,
+                rows: chunk.to_vec(),
+            });
+        }
+    }
+    bundles
+}
+
+/// The durable queue between the Append and Flush stages.
+#[derive(Debug, Default)]
+pub struct Shuffle {
+    flush_queue: Mutex<VecDeque<FlushMsg>>,
+}
+
+impl Shuffle {
+    /// An empty shuffle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a flush instruction (called from inside the state
+    /// transaction so it is atomic with the processed-marking).
+    pub fn push_flush(&self, msg: FlushMsg) {
+        self.flush_queue.lock().push_back(msg);
+    }
+
+    /// Dequeues the next flush instruction.
+    pub fn pop_flush(&self) -> Option<FlushMsg> {
+        self.flush_queue.lock().pop_front()
+    }
+
+    /// Number of queued flush instructions.
+    pub fn pending(&self) -> usize {
+        self.flush_queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_common::row::Value;
+
+    fn row(k: i64) -> Row {
+        Row::insert(vec![Value::Int64(k)])
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_and_total() {
+        let rows: Vec<Row> = (0..100).map(row).collect();
+        let a = partition_rows(rows.clone(), 4, 10);
+        let b = partition_rows(rows.clone(), 4, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.rows, y.rows);
+        }
+        let total: usize = a.iter().map(|bd| bd.rows.len()).sum();
+        assert_eq!(total, 100);
+        // Same key → same partition.
+        let c = partition_rows(vec![row(42), row(42)], 4, 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn bundle_seqs_are_per_partition_and_ordered() {
+        let rows: Vec<Row> = (0..100).map(row).collect();
+        let bundles = partition_rows(rows, 3, 7);
+        for p in 0..3 {
+            let seqs: Vec<u64> = bundles
+                .iter()
+                .filter(|b| b.partition == p)
+                .map(|b| b.seq)
+                .collect();
+            let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+            assert_eq!(seqs, expect);
+        }
+    }
+
+    #[test]
+    fn shuffle_queue_fifo() {
+        let s = Shuffle::new();
+        assert_eq!(s.pop_flush(), None);
+        for i in 0..3 {
+            s.push_flush(FlushMsg {
+                stream: StreamId::from_raw(i),
+                row_offset: i * 10,
+            });
+        }
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.pop_flush().unwrap().stream.raw(), 0);
+        assert_eq!(s.pop_flush().unwrap().stream.raw(), 1);
+        assert_eq!(s.pop_flush().unwrap().stream.raw(), 2);
+        assert_eq!(s.pop_flush(), None);
+    }
+}

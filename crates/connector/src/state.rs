@@ -1,0 +1,170 @@
+//! The Dataflow state store: the atomic commit that makes the sink
+//! exactly-once.
+//!
+//! §7.4: after each successful `AppendStream` the worker (1) marks the
+//! bundle processed, (2) writes the flush instruction to shuffle, and
+//! (3) updates the stream state — and "Dataflow guarantees that these
+//! three modifications are committed atomically". [`PipelineState::
+//! commit_bundle`] is that atomic commit; a zombie that lost the race
+//! gets `false` back and none of its effects happen.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use vortex_common::ids::StreamId;
+
+use crate::shuffle::{FlushMsg, Shuffle};
+
+/// Per-worker durable state: the dedicated stream and its next offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerState {
+    /// The worker's dedicated BUFFERED stream.
+    pub stream: StreamId,
+    /// Next stream-level row offset to append at.
+    pub next_offset: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    processed: HashSet<(usize, u64)>,
+    workers: HashMap<u64, WorkerState>,
+}
+
+/// The atomically-updated pipeline state.
+#[derive(Debug, Default)]
+pub struct PipelineState {
+    inner: Mutex<Inner>,
+}
+
+impl PipelineState {
+    /// An empty state store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a worker's dedicated stream.
+    pub fn register_worker(&self, worker: u64, stream: StreamId) {
+        self.inner.lock().workers.insert(
+            worker,
+            WorkerState {
+                stream,
+                next_offset: 0,
+            },
+        );
+    }
+
+    /// The worker's current state.
+    pub fn worker(&self, worker: u64) -> Option<WorkerState> {
+        self.inner.lock().workers.get(&worker).copied()
+    }
+
+    /// Whether a bundle is already marked processed.
+    pub fn is_processed(&self, bundle: (usize, u64)) -> bool {
+        self.inner.lock().processed.contains(&bundle)
+    }
+
+    /// The atomic §7.4 commit: marks the bundle processed, pushes the
+    /// flush instruction, and advances the worker's offset — all or
+    /// nothing. Returns `false` (no effects) if another worker already
+    /// processed the bundle.
+    pub fn commit_bundle(
+        &self,
+        shuffle: &Shuffle,
+        worker: u64,
+        bundle: (usize, u64),
+        rows: u64,
+    ) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.processed.contains(&bundle) {
+            return false; // zombie lost the race; nothing committed
+        }
+        let Some(ws) = inner.workers.get_mut(&worker) else {
+            return false;
+        };
+        ws.next_offset += rows;
+        let msg = FlushMsg {
+            stream: ws.stream,
+            row_offset: ws.next_offset,
+        };
+        inner.processed.insert(bundle);
+        shuffle.push_flush(msg);
+        true
+    }
+
+    /// Number of processed bundles.
+    pub fn processed_count(&self) -> usize {
+        self.inner.lock().processed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_is_exactly_once() {
+        let st = PipelineState::new();
+        let sh = Shuffle::new();
+        st.register_worker(1, StreamId::from_raw(10));
+        st.register_worker(2, StreamId::from_raw(20));
+        assert!(st.commit_bundle(&sh, 1, (0, 0), 5));
+        // A zombie (worker 2) committing the same bundle: rejected, no
+        // flush message, no offset advance.
+        assert!(!st.commit_bundle(&sh, 2, (0, 0), 5));
+        assert_eq!(sh.pending(), 1);
+        assert_eq!(st.worker(2).unwrap().next_offset, 0);
+        assert_eq!(st.worker(1).unwrap().next_offset, 5);
+        assert!(st.is_processed((0, 0)));
+    }
+
+    #[test]
+    fn offsets_accumulate_per_worker() {
+        let st = PipelineState::new();
+        let sh = Shuffle::new();
+        st.register_worker(1, StreamId::from_raw(10));
+        assert!(st.commit_bundle(&sh, 1, (0, 0), 5));
+        assert!(st.commit_bundle(&sh, 1, (0, 1), 7));
+        assert_eq!(st.worker(1).unwrap().next_offset, 12);
+        let m1 = sh.pop_flush().unwrap();
+        let m2 = sh.pop_flush().unwrap();
+        assert_eq!(m1.row_offset, 5);
+        assert_eq!(m2.row_offset, 12);
+        assert_eq!(st.processed_count(), 2);
+    }
+
+    #[test]
+    fn unregistered_worker_cannot_commit() {
+        let st = PipelineState::new();
+        let sh = Shuffle::new();
+        assert!(!st.commit_bundle(&sh, 9, (0, 0), 1));
+        assert_eq!(sh.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_zombie_races_one_winner() {
+        use std::sync::Arc;
+        let st = Arc::new(PipelineState::new());
+        let sh = Arc::new(Shuffle::new());
+        for w in 0..8 {
+            st.register_worker(w, StreamId::from_raw(w));
+        }
+        let mut handles = vec![];
+        for w in 0..8u64 {
+            let st = Arc::clone(&st);
+            let sh = Arc::clone(&sh);
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0;
+                for seq in 0..100u64 {
+                    if st.commit_bundle(&sh, w, (0, seq), 1) {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "each bundle committed exactly once");
+        assert_eq!(sh.pending(), 100);
+    }
+}

@@ -1,0 +1,190 @@
+//! Background service loops: the always-on machinery of a region.
+//!
+//! In production these are independent Borg jobs: Stream Servers
+//! heartbeat "every few seconds" (§5.5), idle commit records land "after
+//! a small period of inactivity" (§7.1), the Storage Optimization Service
+//! "continuously optimizes data ... as it is written" (§6.1), and a
+//! groomer sweeps periodically (§5.4.3). [`RegionDaemon`] runs all four
+//! loops on real threads against a [`Region`], with clean shutdown.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use vortex_common::ids::TableId;
+
+use crate::region::Region;
+
+/// How often each loop fires (wall-clock; the engine's own virtual clock
+/// is independent).
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Heartbeat cadence ("every few seconds" in production; fast here).
+    pub heartbeat_every: Duration,
+    /// Idle-commit tick cadence.
+    pub tick_every: Duration,
+    /// Optimizer cycle cadence.
+    pub optimize_every: Duration,
+    /// GC + groomer cadence.
+    pub gc_every: Duration,
+    /// Send a full-state heartbeat every N rounds (§5.4.3's orphan
+    /// guard).
+    pub full_state_every: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            heartbeat_every: Duration::from_millis(20),
+            tick_every: Duration::from_millis(10),
+            optimize_every: Duration::from_millis(50),
+            gc_every: Duration::from_millis(100),
+            full_state_every: 10,
+        }
+    }
+}
+
+/// Counters of work the daemon performed.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Heartbeat rounds completed.
+    pub heartbeats: AtomicU64,
+    /// Streamlet deltas carried by those heartbeats.
+    pub deltas: AtomicU64,
+    /// Idle commit records written.
+    pub idle_commits: AtomicU64,
+    /// Optimizer cycles run (across all registered tables).
+    pub optimizer_cycles: AtomicU64,
+    /// GC sweeps run.
+    pub gc_sweeps: AtomicU64,
+}
+
+/// Handle to the running background loops; dropping it (or calling
+/// [`RegionDaemon::shutdown`]) stops them.
+pub struct RegionDaemon {
+    stop: Arc<AtomicBool>,
+    stats: Arc<DaemonStats>,
+    tables: Arc<Mutex<HashSet<TableId>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RegionDaemon {
+    /// Starts the loops over a shared region.
+    pub fn start(region: Arc<Region>, cfg: DaemonConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(DaemonStats::default());
+        let tables: Arc<Mutex<HashSet<TableId>>> = Arc::new(Mutex::new(HashSet::new()));
+        let mut threads = Vec::new();
+
+        // Heartbeat loop (§5.5).
+        {
+            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            threads.push(std::thread::spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    let full = round % cfg.full_state_every == 0;
+                    if let Ok(n) = region.run_heartbeats(full) {
+                        stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+                        stats.deltas.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(cfg.heartbeat_every);
+                }
+            }));
+        }
+        // Idle-commit tick loop (§7.1).
+        {
+            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let n = region.run_ticks();
+                    stats.idle_commits.fetch_add(n as u64, Ordering::Relaxed);
+                    std::thread::sleep(cfg.tick_every);
+                }
+            }));
+        }
+        // Optimizer loop (§6.1: "continuously optimizes").
+        {
+            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            let tables = Arc::clone(&tables);
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let current: Vec<TableId> = tables.lock().iter().copied().collect();
+                    for t in current {
+                        if region.run_optimizer_cycle(t).is_ok() {
+                            stats.optimizer_cycles.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(cfg.optimize_every);
+                }
+            }));
+        }
+        // GC + groomer loop (§5.4.3).
+        {
+            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            let tables = Arc::clone(&tables);
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let current: Vec<TableId> = tables.lock().iter().copied().collect();
+                    for t in current {
+                        let _ = region.run_gc(t);
+                    }
+                    let _ = region.sms().run_groomer();
+                    stats.gc_sweeps.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(cfg.gc_every);
+                }
+            }));
+        }
+
+        Self {
+            stop,
+            stats,
+            tables,
+            threads,
+        }
+    }
+
+    /// Registers a table for continuous optimization and GC.
+    pub fn watch_table(&self, table: TableId) {
+        self.tables.lock().insert(table);
+    }
+
+    /// Stops watching a table (e.g. after dropping it).
+    pub fn unwatch_table(&self, table: TableId) {
+        self.tables.lock().remove(&table);
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
+
+    /// Stops every loop and joins the threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RegionDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for RegionDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionDaemon")
+            .field("tables", &self.tables.lock().len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

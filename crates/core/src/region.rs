@@ -1,0 +1,472 @@
+//! A BigQuery region in one process: clusters, control plane, data plane,
+//! optimizer, and the background loops that tie them together (§5.2.1's
+//! "a BigQuery region consists of 2 or more Borg clusters").
+
+use std::sync::Arc;
+
+use vortex_client::VortexClient;
+use vortex_colossus::{Colossus, StorageFleet};
+use vortex_common::error::VortexResult;
+use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
+use vortex_common::latency::WriteProfile;
+use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
+use vortex_metastore::MetaStore;
+use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
+use vortex_query::{DmlExecutor, QueryEngine};
+use vortex_server::{ServerConfig, StreamServer};
+use vortex_sms::slicer::{Slicer, SlicerView};
+use vortex_sms::sms::{SmsConfig, SmsTask};
+use vortex_verify::Verifier;
+
+/// How to assemble a region.
+#[derive(Debug, Clone)]
+pub struct RegionConfig {
+    /// Number of Colossus clusters (≥ 2 for dual-replica writes).
+    pub clusters: usize,
+    /// Stream Servers per cluster.
+    pub servers_per_cluster: usize,
+    /// SMS tasks (Slicer shards tables across them when > 1).
+    pub sms_tasks: usize,
+    /// Latency model of the storage clusters.
+    pub write_profile: WriteProfile,
+    /// Seed for the latency model's RNGs.
+    pub seed: u64,
+    /// Starting virtual time (microseconds).
+    pub start_micros: u64,
+    /// TrueTime uncertainty half-width (§5.4.4: single-digit ms).
+    pub tt_epsilon_micros: u64,
+    /// Per-server overrides applied to every Stream Server.
+    pub block_buffer_bytes: usize,
+    /// Fragment rotation threshold.
+    pub fragment_max_bytes: u64,
+    /// Storage Optimization Service tuning.
+    pub optimizer: OptimizerConfig,
+    /// Root directory for on-disk clusters; `None` = in-memory.
+    pub disk_root: Option<std::path::PathBuf>,
+    /// GC grace period override in virtual microseconds (`None` = the
+    /// SMS default, 10 s). This is the time-travel horizon: snapshots
+    /// older than the grace may fail with `NotFound` ("snapshot too
+    /// old") once files are collected, so it must comfortably exceed the
+    /// longest read. Tests that advance the virtual clock aggressively
+    /// must scale it up in proportion.
+    pub gc_grace_micros: Option<u64>,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            clusters: 2,
+            servers_per_cluster: 2,
+            sms_tasks: 1,
+            write_profile: WriteProfile::instant(),
+            seed: 7,
+            start_micros: 1_000_000,
+            tt_epsilon_micros: 3_500,
+            block_buffer_bytes: vortex_wos::DEFAULT_BLOCK_BUFFER_BYTES,
+            fragment_max_bytes: vortex_wos::DEFAULT_FRAGMENT_MAX_BYTES,
+            optimizer: OptimizerConfig::default(),
+            disk_root: None,
+            gc_grace_micros: None,
+        }
+    }
+}
+
+impl RegionConfig {
+    /// A config whose storage latencies reproduce the paper's Figures 7–8.
+    pub fn paper_latency() -> Self {
+        RegionConfig {
+            write_profile: WriteProfile::paper_colossus(),
+            ..RegionConfig::default()
+        }
+    }
+}
+
+/// Colossus path of the metastore checkpoint in cluster 0.
+const META_CHECKPOINT_PATH: &str = "meta/checkpoint";
+
+/// A fully assembled region.
+pub struct Region {
+    clock: SimClock,
+    tt: TrueTime,
+    fleet: StorageFleet,
+    store: Arc<MetaStore>,
+    ids: Arc<IdGen>,
+    slicer: Arc<Slicer>,
+    sms_tasks: Vec<Arc<SmsTask>>,
+    servers: Vec<Arc<StreamServer>>,
+    optimizer: StorageOptimizer,
+}
+
+impl Region {
+    /// Builds and wires a region.
+    ///
+    /// ```
+    /// use vortex::{Region, RegionConfig};
+    ///
+    /// // Paper-calibrated storage latency, three clusters:
+    /// let region = Region::create(RegionConfig {
+    ///     clusters: 3,
+    ///     ..RegionConfig::default()
+    /// })
+    /// .unwrap();
+    /// assert_eq!(region.fleet().cluster_ids().len(), 3);
+    /// ```
+    pub fn create(cfg: RegionConfig) -> VortexResult<Self> {
+        assert!(cfg.clusters >= 2, "dual-replica writes need ≥ 2 clusters");
+        let clock = SimClock::new(cfg.start_micros);
+        let tt = TrueTime::simulated(clock.clone(), cfg.tt_epsilon_micros, 0);
+        let mut fleet = StorageFleet::new();
+        for i in 0..cfg.clusters {
+            let id = ClusterId::from_raw(i as u64);
+            let cluster = match &cfg.disk_root {
+                Some(root) => Colossus::new_disk(
+                    id,
+                    root.join(format!("cluster-{i}")),
+                    cfg.write_profile,
+                    cfg.seed.wrapping_add(i as u64),
+                )?,
+                None => Colossus::new_mem(id, cfg.write_profile, cfg.seed.wrapping_add(i as u64)),
+            };
+            fleet.add(cluster);
+        }
+        // The customer-bucket store for BigLake Managed Tables (§6.4).
+        let bucket_store = match &cfg.disk_root {
+            Some(root) => Colossus::new_disk(
+                vortex_colossus::BUCKET_CLUSTER_ID,
+                root.join("bucket"),
+                cfg.write_profile,
+                cfg.seed.wrapping_add(0xB0C),
+            )?,
+            None => Colossus::new_mem(
+                vortex_colossus::BUCKET_CLUSTER_ID,
+                cfg.write_profile,
+                cfg.seed.wrapping_add(0xB0C),
+            ),
+        };
+        fleet.add(bucket_store);
+        // On-disk regions restore control-plane metadata from the last
+        // checkpoint (production Spanner is durable by itself; the
+        // simulated metastore checkpoints into cluster 0).
+        let store = {
+            let restored = fleet
+                .get(ClusterId::from_raw(0))
+                .ok()
+                .filter(|_| cfg.disk_root.is_some())
+                .and_then(|c| c.read_all(META_CHECKPOINT_PATH).ok())
+                .and_then(|out| MetaStore::restore(tt.clone(), &out.data).ok());
+            restored.unwrap_or_else(|| MetaStore::new(tt.clone()))
+        };
+        // The restored metadata carries timestamps from the previous
+        // incarnation; the fresh virtual clock must start beyond them or
+        // new writes would sort before old snapshots.
+        clock.advance_to(Timestamp(store.now().micros()));
+        // Seed the id generator past every id the restored metadata
+        // uses (table/stream/streamlet/fragment ids share one sequence).
+        let max_used = store
+            .scan_prefix_at("t/", store.now())
+            .into_iter()
+            .flat_map(|(k, _)| {
+                k.split('/')
+                    .filter_map(|part| u64::from_str_radix(part, 16).ok())
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(0);
+        let ids = Arc::new(IdGen::new(max_used + 1));
+        let task_ids: Vec<SmsTaskId> = (0..cfg.sms_tasks as u64).map(SmsTaskId::from_raw).collect();
+        let slicer = Slicer::new(task_ids.clone());
+        let mut sms_tasks = Vec::new();
+        for (i, task) in task_ids.iter().enumerate() {
+            let view = if cfg.sms_tasks > 1 {
+                Some(SlicerView::new(Arc::clone(&slicer), *task))
+            } else {
+                None
+            };
+            let mut sms_cfg =
+                SmsConfig::new(*task, ClusterId::from_raw((i % cfg.clusters) as u64));
+            if let Some(g) = cfg.gc_grace_micros {
+                sms_cfg.gc_grace_micros = g;
+            }
+            sms_tasks.push(SmsTask::new(
+                sms_cfg,
+                Arc::clone(&store),
+                fleet.clone(),
+                tt.clone(),
+                Arc::clone(&ids),
+                view,
+            ));
+        }
+        let mut servers = Vec::new();
+        for c in 0..cfg.clusters {
+            for s in 0..cfg.servers_per_cluster {
+                let server = StreamServer::new(
+                    ServerConfig {
+                        block_buffer_bytes: cfg.block_buffer_bytes,
+                        fragment_max_bytes: cfg.fragment_max_bytes,
+                        ..ServerConfig::new(
+                            ServerId::from_raw((100 + c * 16 + s) as u64),
+                            ClusterId::from_raw(c as u64),
+                        )
+                    },
+                    fleet.clone(),
+                    tt.clone(),
+                    Arc::clone(&ids),
+                )?;
+                for sms in &sms_tasks {
+                    sms.register_server(server.clone());
+                }
+                servers.push(server);
+            }
+        }
+        let optimizer = StorageOptimizer::new(
+            Arc::clone(&sms_tasks[0]),
+            fleet.clone(),
+            tt.clone(),
+            Arc::clone(&ids),
+            cfg.optimizer,
+        );
+        Ok(Region {
+            clock,
+            tt,
+            fleet,
+            store,
+            ids,
+            slicer,
+            sms_tasks,
+            servers,
+            optimizer,
+        })
+    }
+
+    /// The SMS task that owns `table` (Slicer assignment; task 0 when a
+    /// single task runs).
+    pub fn sms_for(&self, table: TableId) -> &Arc<SmsTask> {
+        if self.sms_tasks.len() == 1 {
+            return &self.sms_tasks[0];
+        }
+        let owner = self
+            .slicer
+            .assignment(table)
+            .unwrap_or(vortex_common::ids::SmsTaskId::from_raw(0));
+        self.sms_tasks
+            .iter()
+            .find(|t| t.task_id() == owner)
+            .unwrap_or(&self.sms_tasks[0])
+    }
+
+    /// The first SMS task (single-task deployments).
+    pub fn sms(&self) -> &Arc<SmsTask> {
+        &self.sms_tasks[0]
+    }
+
+    /// All SMS tasks.
+    pub fn sms_tasks(&self) -> &[Arc<SmsTask>] {
+        &self.sms_tasks
+    }
+
+    /// The Slicer (assignment authority).
+    pub fn slicer(&self) -> &Arc<Slicer> {
+        &self.slicer
+    }
+
+    /// All Stream Servers.
+    pub fn servers(&self) -> &[Arc<StreamServer>] {
+        &self.servers
+    }
+
+    /// The storage fleet.
+    pub fn fleet(&self) -> &StorageFleet {
+        &self.fleet
+    }
+
+    /// The shared metastore.
+    pub fn store(&self) -> &Arc<MetaStore> {
+        &self.store
+    }
+
+    /// The shared id generator.
+    pub fn ids(&self) -> &Arc<IdGen> {
+        &self.ids
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The TrueTime source.
+    pub fn truetime(&self) -> &TrueTime {
+        &self.tt
+    }
+
+    /// Advances virtual time.
+    pub fn advance_micros(&self, us: u64) -> Timestamp {
+        self.clock.advance(us)
+    }
+
+    /// A client bound to the region (single-task: task 0).
+    pub fn client(&self) -> VortexClient {
+        VortexClient::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone(), self.tt.clone())
+    }
+
+    /// A client routed to the SMS task owning `table`.
+    pub fn client_for(&self, table: TableId) -> VortexClient {
+        VortexClient::new(Arc::clone(self.sms_for(table)), self.fleet.clone(), self.tt.clone())
+    }
+
+    /// The query engine.
+    ///
+    /// ```
+    /// use vortex::{Expr, Region, RegionConfig, ScanOptions};
+    /// use vortex::row::{Row, RowSet, Value};
+    /// use vortex::schema::{Field, FieldType, Schema};
+    ///
+    /// let region = Region::create(RegionConfig::default()).unwrap();
+    /// let client = region.client();
+    /// let t = client
+    ///     .create_table("m", Schema::new(vec![Field::required("k", FieldType::Int64)]))
+    ///     .unwrap()
+    ///     .table;
+    /// let mut w = client.create_unbuffered_writer(t).unwrap();
+    /// w.append(RowSet::new(
+    ///     (0..10).map(|k| Row::insert(vec![Value::Int64(k)])).collect(),
+    /// ))
+    /// .unwrap();
+    /// let n = region
+    ///     .engine()
+    ///     .count(
+    ///         t,
+    ///         client.snapshot(),
+    ///         &ScanOptions {
+    ///             predicate: Expr::ge("k", Value::Int64(5)),
+    ///             ..ScanOptions::default()
+    ///         },
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(n, 5);
+    /// ```
+    pub fn engine(&self) -> QueryEngine {
+        QueryEngine::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone())
+    }
+
+    /// The DML executor.
+    ///
+    /// ```
+    /// use vortex::{Expr, Region, RegionConfig};
+    /// use vortex::row::{Row, RowSet, Value};
+    /// use vortex::schema::{Field, FieldType, Schema};
+    ///
+    /// let region = Region::create(RegionConfig::default()).unwrap();
+    /// let client = region.client();
+    /// let t = client
+    ///     .create_table("d", Schema::new(vec![Field::required("k", FieldType::Int64)]))
+    ///     .unwrap()
+    ///     .table;
+    /// let mut w = client.create_unbuffered_writer(t).unwrap();
+    /// w.append(RowSet::new(
+    ///     (0..10).map(|k| Row::insert(vec![Value::Int64(k)])).collect(),
+    /// ))
+    /// .unwrap();
+    /// let report = region
+    ///     .dml()
+    ///     .delete_where(t, &Expr::lt("k", Value::Int64(3)))
+    ///     .unwrap();
+    /// assert_eq!(report.rows_matched, 3);
+    /// assert_eq!(client.read_rows(t).unwrap().rows.len(), 7);
+    /// ```
+    pub fn dml(&self) -> DmlExecutor {
+        DmlExecutor::new(self.client())
+    }
+
+    /// The storage optimizer.
+    pub fn optimizer(&self) -> &StorageOptimizer {
+        &self.optimizer
+    }
+
+    /// The verification pipelines.
+    pub fn verifier(&self) -> Verifier {
+        Verifier::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone())
+    }
+
+    /// One heartbeat round (§5.5): every server reports deltas to its
+    /// SMS, applies the response (schema updates, GC orders, orphan
+    /// deletions), and acks completed GC so the SMS can drop metadata.
+    /// Returns the number of streamlet deltas processed.
+    pub fn run_heartbeats(&self, full_state: bool) -> VortexResult<usize> {
+        let mut deltas = 0;
+        for server in &self.servers {
+            let report = server.build_heartbeat(full_state);
+            deltas += report.streamlets.len();
+            // Every SMS task sees the heartbeat; each applies what it
+            // owns (transactions keep double-apply safe).
+            for sms in &self.sms_tasks {
+                let resp = sms.heartbeat(&report)?;
+                let acks = server.apply_heartbeat_response(&resp, 60_000_000);
+                for (table, streamlet, ordinals) in acks {
+                    let _ = sms.ack_gc(table, streamlet, &ordinals);
+                }
+            }
+            server.reset_heartbeat_window();
+        }
+        Ok(deltas)
+    }
+
+    /// One idle tick: servers write standalone commit records for quiet
+    /// streamlets (§7.1).
+    pub fn run_ticks(&self) -> usize {
+        self.servers.iter().map(|s| s.tick()).sum()
+    }
+
+    /// One optimization cycle for a table: WOS→ROS conversion, then a
+    /// recluster check, then metadata compaction (§6).
+    pub fn run_optimizer_cycle(&self, table: TableId) -> VortexResult<()> {
+        // Yielding to DML surfaces as Unavailable, and transient storage
+        // faults surface as retryable errors — both mean "try again next
+        // cycle" for a continuous background service (§6.1, §7.3).
+        let tolerate = |r: VortexResult<()>| match r {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_retryable() => Ok(()),
+            Err(e) => Err(e),
+        };
+        tolerate(self.optimizer.convert_wos(table).map(|_| ()))?;
+        tolerate(self.optimizer.recluster(table).map(|_| ()))?;
+        self.optimizer.compact_metadata(table)?;
+        Ok(())
+    }
+
+    /// Checkpoints the control-plane metadata into cluster 0 so an
+    /// on-disk region can be reopened with its tables intact. (Writes a
+    /// fresh file each time; the previous checkpoint is replaced.)
+    pub fn checkpoint_metadata(&self) -> VortexResult<()> {
+        let c0 = self.fleet.get(vortex_common::ids::ClusterId::from_raw(0))?;
+        let bytes = self.store.snapshot_bytes();
+        let _ = c0.delete(META_CHECKPOINT_PATH);
+        c0.append(META_CHECKPOINT_PATH, &bytes, Timestamp::MIN)?;
+        Ok(())
+    }
+
+    /// One groomer sweep (§5.4.3): physically deletes fragments whose GC
+    /// grace elapsed and prunes old metastore versions.
+    pub fn run_gc(&self, table: TableId) -> VortexResult<usize> {
+        let n = self.sms_tasks[0].run_gc(table)?;
+        // Metastore MVCC garbage below a conservative watermark.
+        let wm = Timestamp(
+            self.store
+                .now()
+                .micros()
+                .saturating_sub(60_000_000),
+        );
+        self.store.gc_versions(wm);
+        Ok(n)
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("clusters", &self.fleet.len())
+            .field("servers", &self.servers.len())
+            .field("sms_tasks", &self.sms_tasks.len())
+            .finish()
+    }
+}

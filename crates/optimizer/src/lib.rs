@@ -1,0 +1,573 @@
+//! The Storage Optimization Service (§6.1).
+//!
+//! "A background service continuously optimizes data in Vortex as it is
+//! written ... it maintains an LSM tree of Fragments, starting with
+//! Fragments in WOS at the deepest level of the tree, with progressively
+//! more optimized ROS versions as we climb up the tree."
+//!
+//! Implemented here:
+//!
+//! - **WOS→ROS conversion** ([`StorageOptimizer::convert_wos`]): finalized
+//!   WOS fragments are read back, decoded, and rewritten as columnar ROS
+//!   blocks split by partition (Figure 5), committed atomically through
+//!   the SMS so "a row is included exactly once";
+//! - **stable 1:1 conversion** ([`StorageOptimizer::convert_one_to_one`]):
+//!   the DML-race-free mode of §7.3 — one WOS fragment becomes exactly one
+//!   ROS block with identical row order, so deletion masks carry over
+//!   positionally and the optimizer does not need to yield;
+//! - **automatic reclustering** ([`StorageOptimizer::recluster`]): level-0
+//!   delta blocks are range-partitioned and, once large enough relative to
+//!   the baseline, merged with it into a new non-overlapping baseline
+//!   (Figure 6); the **clustering ratio** — the fraction of ROS rows in
+//!   non-overlapping baseline blocks — is the service's steering metric;
+//! - Big Metadata compaction driven by the optimization watermark (§6.2).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vortex_colossus::StorageFleet;
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::{IdGen, StreamletId, TableId};
+use vortex_common::row::{Row, Value};
+use vortex_common::schema::Schema;
+use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_ros::{RosBlock, RosBlockBuilder, RowMeta};
+use vortex_sms::meta::{
+    ros_path, FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletMeta,
+};
+use vortex_sms::sms::SmsTask;
+use vortex_wos::parse_fragment;
+
+#[cfg(test)]
+mod tests;
+
+/// Tunables of the optimization service.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Target rows per ROS block.
+    pub target_block_rows: usize,
+    /// Merge deltas into the baseline once `delta_rows >= trigger ×
+    /// baseline_rows` (§6.1: "after the deltas have accumulated
+    /// sufficient data comparable in size to the size of the current
+    /// baseline").
+    pub merge_trigger: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            target_block_rows: 4096,
+            merge_trigger: 0.5,
+        }
+    }
+}
+
+/// Outcome of one optimization pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConversionReport {
+    /// Source WOS fragments converted.
+    pub fragments_converted: usize,
+    /// ROS blocks written.
+    pub blocks_written: usize,
+    /// Rows carried into ROS.
+    pub rows: u64,
+    /// Rows dropped because a deletion mask covered them (merged mode
+    /// applies masks during conversion).
+    pub rows_masked: u64,
+    /// Source WOS bytes.
+    pub bytes_in: u64,
+    /// ROS bytes written (per replica).
+    pub bytes_out: u64,
+}
+
+/// Outcome of a recluster pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReclusterReport {
+    /// Whether a baseline merge ran.
+    pub merged: bool,
+    /// Blocks in the new baseline (0 if no merge).
+    pub baseline_blocks: usize,
+    /// Clustering ratio after the pass (rows in non-overlapping baseline
+    /// blocks / total ROS rows).
+    pub clustering_ratio: f64,
+}
+
+/// The background storage optimization service.
+pub struct StorageOptimizer {
+    sms: Arc<SmsTask>,
+    fleet: StorageFleet,
+    ids: Arc<IdGen>,
+    cfg: OptimizerConfig,
+}
+
+impl StorageOptimizer {
+    /// Creates the service over shared infrastructure.
+    pub fn new(
+        sms: Arc<SmsTask>,
+        fleet: StorageFleet,
+        tt: TrueTime,
+        ids: Arc<IdGen>,
+        cfg: OptimizerConfig,
+    ) -> Self {
+        let _ = tt; // reserved for future time-based pacing
+        Self {
+            sms,
+            fleet,
+            ids,
+            cfg,
+        }
+    }
+
+    /// Returns WOS fragments eligible for conversion: finalized, live,
+    /// and with fully-visible rows (PENDING streams must be committed,
+    /// BUFFERED fragments fully flushed — ROS blocks carry no stream
+    /// visibility gate).
+    fn candidates(&self, table: TableId) -> VortexResult<Vec<(FragmentMeta, StreamletMeta)>> {
+        let now = self.sms.read_snapshot();
+        let streamlets: BTreeMap<StreamletId, StreamletMeta> = self
+            .sms
+            .list_streamlets(table)
+            .into_iter()
+            .map(|m| (m.streamlet, m))
+            .collect();
+        let mut out = Vec::new();
+        for f in self.sms.list_fragments(table, now) {
+            if f.kind != FragmentKind::Wos
+                || f.state != FragmentState::Finalized
+                || f.deleted_at != Timestamp::MAX
+                || f.row_count == 0
+            {
+                continue;
+            }
+            let Some(sl) = streamlets.get(&f.streamlet) else {
+                continue;
+            };
+            let Ok(stream) = self.sms.get_stream(table, sl.stream) else {
+                continue;
+            };
+            let eligible = match stream.stype {
+                StreamType::Unbuffered => true,
+                StreamType::Pending => stream.committed_at.is_some(),
+                StreamType::Buffered => {
+                    // Entire fragment must be below the flush watermark.
+                    let flushed_rel = stream.flushed_row.saturating_sub(sl.first_stream_row);
+                    f.first_row + f.row_count <= flushed_rel
+                }
+            };
+            if eligible {
+                out.push((f, sl.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads a WOS fragment's committed rows with provenance.
+    fn read_wos_rows(
+        &self,
+        _table: TableId,
+        f: &FragmentMeta,
+        sl: &StreamletMeta,
+        key: &vortex_common::crypt::Key,
+    ) -> VortexResult<Vec<(RowMeta, Row)>> {
+        let mut bytes = None;
+        for c in f.clusters {
+            if let Ok(cluster) = self.fleet.get(c) {
+                if let Ok(out) = cluster.read_all(&f.path) {
+                    bytes = Some(out.data);
+                    break;
+                }
+            }
+        }
+        let bytes = bytes.ok_or_else(|| {
+            VortexError::Unavailable(format!("no replica readable for {}", f.path))
+        })?;
+        let parsed = parse_fragment(&bytes, key, Some(f.committed_size))?;
+        let mut rows = Vec::with_capacity(f.row_count as usize);
+        for block in &parsed.blocks {
+            for (i, row) in block.rows.rows.iter().enumerate() {
+                let streamlet_row = block.first_row + i as u64;
+                rows.push((
+                    RowMeta {
+                        change_type: row.change_type,
+                        ts: block.timestamp,
+                        stream: sl.stream.raw(),
+                        offset: sl.first_stream_row + streamlet_row,
+                    },
+                    row.clone(),
+                ));
+            }
+        }
+        Ok(rows)
+    }
+
+    fn write_ros_block(
+        &self,
+        table: TableId,
+        block: &RosBlock,
+        key: &vortex_common::crypt::Key,
+        clusters: [vortex_common::ids::ClusterId; 2],
+        bucket: Option<&str>,
+    ) -> VortexResult<FragmentMeta> {
+        let fragment = self.ids.next_fragment();
+        // BLMT tables (§6.4) write their ROS into the customer bucket (a
+        // single durable copy — the bucket store replicates internally);
+        // managed tables dual-write to the replica clusters.
+        if let Some(bucket) = bucket {
+            let path = vortex_sms::meta::blmt_path(bucket, table, fragment);
+            let bytes = block.to_bytes(key, fragment.raw());
+            let store = self.fleet.get(vortex_colossus::BUCKET_CLUSTER_ID)?;
+            let mut last = None;
+            for _ in 0..3 {
+                match store.append(&path, &bytes, Timestamp::MIN) {
+                    Ok(_) => {
+                        last = None;
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if let Some(e) = last {
+                return Err(e);
+            }
+            return Ok(FragmentMeta {
+                fragment,
+                table,
+                streamlet: StreamletId::from_raw(0),
+                kind: FragmentKind::Ros,
+                ordinal: 0,
+                first_row: 0,
+                row_count: block.row_count() as u64,
+                committed_size: bytes.len() as u64,
+                state: FragmentState::Finalized,
+                created_at: Timestamp::MIN,
+                deleted_at: Timestamp::MAX,
+                clusters: [
+                    vortex_colossus::BUCKET_CLUSTER_ID,
+                    vortex_colossus::BUCKET_CLUSTER_ID,
+                ],
+                path,
+                stats: block.all_stats().to_vec(),
+                masks: vec![],
+                partition_key: None,
+                level: 0,
+            });
+        }
+        let path = ros_path(table, fragment);
+        let bytes = block.to_bytes(key, fragment.raw());
+        for c in clusters {
+            // A background service retries transient write errors itself
+            // rather than abandoning the whole conversion pass.
+            let cluster = self.fleet.get(c)?;
+            let mut last = None;
+            for _ in 0..3 {
+                match cluster.append(&path, &bytes, Timestamp::MIN) {
+                    Ok(_) => {
+                        last = None;
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if let Some(e) = last {
+                return Err(e);
+            }
+        }
+        Ok(FragmentMeta {
+            fragment,
+            table,
+            streamlet: StreamletId::from_raw(0),
+            kind: FragmentKind::Ros,
+            ordinal: 0,
+            first_row: 0,
+            row_count: block.row_count() as u64,
+            committed_size: bytes.len() as u64,
+            state: FragmentState::Finalized,
+            created_at: Timestamp::MIN, // set by commit_conversion
+            deleted_at: Timestamp::MAX,
+            clusters,
+            path,
+            stats: block.all_stats().to_vec(),
+            masks: vec![],
+            partition_key: None,
+            level: 0,
+        })
+    }
+
+    /// One conversion pass (Figure 5): gathers candidate fragments,
+    /// splits their live rows by partition, writes clustered level-0 ROS
+    /// blocks, and atomically swaps visibility. Yields to DML (§7.3).
+    pub fn convert_wos(&self, table: TableId) -> VortexResult<ConversionReport> {
+        let tmeta = self.sms.get_table(table)?;
+        let key = tmeta.encryption_key();
+        let schema = &tmeta.schema;
+        let candidates = self.candidates(table)?;
+        if candidates.is_empty() {
+            return Ok(ConversionReport::default());
+        }
+        let snapshot = self.sms.read_snapshot();
+        let mut report = ConversionReport {
+            fragments_converted: candidates.len(),
+            ..ConversionReport::default()
+        };
+        // Partition key → rows.
+        let mut partitions: BTreeMap<Option<i64>, Vec<(RowMeta, Row)>> = BTreeMap::new();
+        let mut sources = Vec::with_capacity(candidates.len());
+        for (f, sl) in &candidates {
+            report.bytes_in += f.committed_size;
+            let mask = f.mask_at(snapshot);
+            sources.push((f.fragment, f.masks.len()));
+            for (i, (meta, row)) in self
+                .read_wos_rows(table, f, sl, &key)?
+                .into_iter()
+                .enumerate()
+            {
+                // Merged conversions apply masks now (the commit will
+                // conflict if new masks appear concurrently).
+                if mask.contains(i as u64) {
+                    report.rows_masked += 1;
+                    continue;
+                }
+                let pkey = partition_key_of(schema, &row);
+                partitions.entry(pkey).or_default().push((meta, row));
+            }
+        }
+        // Build per-partition clustered blocks.
+        let mut replacements = Vec::new();
+        for (pkey, rows) in partitions {
+            for chunk in rows.chunks(self.cfg.target_block_rows) {
+                let mut b = RosBlockBuilder::new(schema);
+                for (m, r) in chunk {
+                    b.push(*m, r.clone())?;
+                }
+                let block = b.build(true)?;
+                report.rows += block.row_count() as u64;
+                let mut meta = self.write_ros_block(
+                    table,
+                    &block,
+                    &key,
+                    [tmeta.primary, tmeta.secondary],
+                    tmeta.external_bucket.as_deref(),
+                )?;
+                meta.partition_key = pkey;
+                meta.level = 0; // delta level
+                report.bytes_out += meta.committed_size;
+                report.blocks_written += 1;
+                replacements.push(meta);
+            }
+        }
+        self.sms
+            .commit_conversion(table, &sources, replacements, true)?;
+        Ok(report)
+    }
+
+    /// Stable 1:1 conversion (§7.3): each WOS fragment becomes exactly
+    /// one ROS block with the same rows in the same order; deletion masks
+    /// carry over positionally, so this never races with DML and does not
+    /// yield.
+    pub fn convert_one_to_one(&self, table: TableId) -> VortexResult<ConversionReport> {
+        let tmeta = self.sms.get_table(table)?;
+        let key = tmeta.encryption_key();
+        let schema = &tmeta.schema;
+        let candidates = self.candidates(table)?;
+        let mut report = ConversionReport::default();
+        for (f, sl) in &candidates {
+            let rows = self.read_wos_rows(table, f, sl, &key)?;
+            if rows.is_empty() {
+                continue;
+            }
+            let mut b = RosBlockBuilder::new(schema);
+            for (m, r) in &rows {
+                b.push(*m, r.clone())?;
+            }
+            // NOTE: build(false) — row order must match the WOS fragment
+            // so masks stay positionally valid.
+            let block = b.build(false)?;
+            let mut meta = self.write_ros_block(
+                table,
+                &block,
+                &key,
+                [tmeta.primary, tmeta.secondary],
+                tmeta.external_bucket.as_deref(),
+            )?;
+            meta.masks = f.masks.clone(); // §7.3: masks carry over
+            meta.streamlet = f.streamlet;
+            meta.ordinal = f.ordinal;
+            meta.first_row = f.first_row;
+            report.bytes_in += f.committed_size;
+            report.bytes_out += meta.committed_size;
+            report.rows += meta.row_count;
+            report.blocks_written += 1;
+            report.fragments_converted += 1;
+            self.sms.commit_conversion(
+                table,
+                &[(f.fragment, f.masks.len())],
+                vec![meta],
+                false,
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// Automatic reclustering (Figure 6): when level-0 deltas are large
+    /// enough relative to the baseline, merge everything into a new
+    /// non-overlapping baseline sorted by the clustering keys.
+    pub fn recluster(&self, table: TableId) -> VortexResult<ReclusterReport> {
+        let tmeta = self.sms.get_table(table)?;
+        let key = tmeta.encryption_key();
+        let schema = &tmeta.schema;
+        let now = self.sms.read_snapshot();
+        let ros: Vec<FragmentMeta> = self
+            .sms
+            .list_fragments(table, now)
+            .into_iter()
+            .filter(|f| {
+                f.kind == FragmentKind::Ros
+                    && f.state == FragmentState::Finalized
+                    && f.deleted_at == Timestamp::MAX
+            })
+            .collect();
+        let baseline_rows: u64 = ros.iter().filter(|f| f.level > 0).map(|f| f.row_count).sum();
+        let delta_rows: u64 = ros.iter().filter(|f| f.level == 0).map(|f| f.row_count).sum();
+        let total = baseline_rows + delta_rows;
+        let ratio_before = if total == 0 {
+            1.0
+        } else {
+            baseline_rows as f64 / total as f64
+        };
+        let should_merge = delta_rows > 0
+            && (baseline_rows == 0 || delta_rows as f64 >= self.cfg.merge_trigger * baseline_rows as f64);
+        if !should_merge {
+            return Ok(ReclusterReport {
+                merged: false,
+                baseline_blocks: 0,
+                clustering_ratio: ratio_before,
+            });
+        }
+        let next_level = ros.iter().map(|f| f.level).max().unwrap_or(0) + 1;
+        // Read all live ROS rows, applying masks.
+        let mut partitions: BTreeMap<Option<i64>, Vec<(RowMeta, Row)>> = BTreeMap::new();
+        let mut sources = Vec::new();
+        for f in &ros {
+            let bytes = read_any_replica(&self.fleet, f)?;
+            let block = RosBlock::from_bytes(&bytes, &key, f.fragment.raw())?;
+            let mask = f.mask_at(now);
+            sources.push((f.fragment, f.masks.len()));
+            for (i, (m, r)) in block.rows()?.into_iter().enumerate() {
+                if mask.contains(i as u64) {
+                    continue;
+                }
+                partitions
+                    .entry(f.partition_key.or_else(|| partition_key_of(schema, &r)))
+                    .or_default()
+                    .push((m, r));
+            }
+        }
+        // Per partition: global sort by clustering key, then split into
+        // non-overlapping blocks.
+        let cl_idx: Vec<usize> = schema
+            .clustering
+            .iter()
+            .filter_map(|c| schema.column_index(c))
+            .collect();
+        let mut replacements = Vec::new();
+        let mut baseline_blocks = 0usize;
+        for (pkey, mut rows) in partitions {
+            rows.sort_by(|(ma, a), (mb, b)| {
+                for &i in &cl_idx {
+                    let ord = a.values[i].total_cmp(&b.values[i]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                ma.order_key().cmp(&mb.order_key())
+            });
+            for chunk in rows.chunks(self.cfg.target_block_rows) {
+                let mut b = RosBlockBuilder::new(schema);
+                for (m, r) in chunk {
+                    b.push(*m, r.clone())?;
+                }
+                let block = b.build(false)?; // already globally sorted
+                let mut meta = self.write_ros_block(
+                    table,
+                    &block,
+                    &key,
+                    [tmeta.primary, tmeta.secondary],
+                    tmeta.external_bucket.as_deref(),
+                )?;
+                meta.partition_key = pkey;
+                meta.level = next_level;
+                baseline_blocks += 1;
+                replacements.push(meta);
+            }
+        }
+        self.sms
+            .commit_conversion(table, &sources, replacements, true)?;
+        Ok(ReclusterReport {
+            merged: true,
+            baseline_blocks,
+            clustering_ratio: self.clustering_ratio(table)?,
+        })
+    }
+
+    /// Current clustering ratio of the table's ROS data (§6.1).
+    pub fn clustering_ratio(&self, table: TableId) -> VortexResult<f64> {
+        let now = self.sms.read_snapshot();
+        let ros: Vec<FragmentMeta> = self
+            .sms
+            .list_fragments(table, now)
+            .into_iter()
+            .filter(|f| {
+                f.kind == FragmentKind::Ros
+                    && f.state == FragmentState::Finalized
+                    && f.deleted_at == Timestamp::MAX
+            })
+            .collect();
+        let baseline: u64 = ros.iter().filter(|f| f.level > 0).map(|f| f.row_count).sum();
+        let total: u64 = ros.iter().map(|f| f.row_count).sum();
+        Ok(if total == 0 {
+            1.0
+        } else {
+            baseline as f64 / total as f64
+        })
+    }
+
+    /// Runs Big Metadata compaction for the table (§6.2): the watermark
+    /// is the current snapshot once every candidate has been converted.
+    pub fn compact_metadata(&self, table: TableId) -> VortexResult<usize> {
+        let pending = self.candidates(table)?.len();
+        if pending > 0 {
+            return Ok(0); // watermark pinned by unoptimized fragments
+        }
+        let wm = self.sms.read_snapshot();
+        Ok(self.sms.bigmeta().compact(table, wm))
+    }
+
+    /// Number of live WOS fragments waiting for conversion (the
+    /// optimizer backlog; grows when yielding to DML, §7.3).
+    pub fn backlog(&self, table: TableId) -> usize {
+        self.candidates(table).map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+/// Computes the partition key of a row under the table's partition spec.
+fn partition_key_of(schema: &Schema, row: &Row) -> Option<i64> {
+    let spec = schema.partition.as_ref()?;
+    let idx = schema.column_index(&spec.column)?;
+    spec.partition_key(row.values.get(idx).unwrap_or(&Value::Null))
+}
+
+fn read_any_replica(fleet: &StorageFleet, f: &FragmentMeta) -> VortexResult<Vec<u8>> {
+    for c in f.clusters {
+        if let Ok(cluster) = fleet.get(c) {
+            if let Ok(out) = cluster.read_all(&f.path) {
+                return Ok(out.data);
+            }
+        }
+    }
+    Err(VortexError::Unavailable(format!(
+        "no replica readable for {}",
+        f.path
+    )))
+}

@@ -1,0 +1,182 @@
+//! Merge-on-read resolution of `_CHANGE_TYPE` rows (§4.2.6).
+//!
+//! "UPSERT indicates intent to either update an existing row for the
+//! value of the primary key column(s) ... DELETE indicates that all rows
+//! with the primary key matching the value specified in the input row
+//! must be deleted. ... When a user uses only the UPSERT and DELETE
+//! change types, uniqueness of primary keys is enforced by construction."
+//!
+//! Resolution order is the total order of [`RowMeta::order_key`]: the
+//! TrueTime write timestamp, tie-broken by source position — later writes
+//! win.
+
+use std::collections::HashMap;
+
+use vortex_common::row::Row;
+use vortex_common::schema::{ChangeType, Schema};
+use vortex_ros::RowMeta;
+
+/// Applies UPSERT/DELETE semantics, returning the surviving rows.
+///
+/// Rows of tables without a primary key pass through unchanged (only
+/// INSERTs can exist there — appends of other change types are rejected
+/// at validation).
+pub fn resolve_changes(schema: &Schema, rows: Vec<(RowMeta, Row)>) -> Vec<(RowMeta, Row)> {
+    if schema.primary_key.is_empty() {
+        return rows;
+    }
+    let mut ordered = rows;
+    ordered.sort_by_key(|(m, _)| m.order_key());
+    // Per primary key: the current surviving instances, in arrival order.
+    let mut state: HashMap<Vec<u8>, Vec<(RowMeta, Row)>> = HashMap::new();
+    let mut keyless: Vec<(RowMeta, Row)> = Vec::new();
+    for (meta, row) in ordered {
+        let Some(pk) = schema.primary_key_bytes(&row) else {
+            keyless.push((meta, row));
+            continue;
+        };
+        match meta.change_type {
+            ChangeType::Insert => {
+                state.entry(pk).or_default().push((meta, row));
+            }
+            ChangeType::Upsert => {
+                let slot = state.entry(pk).or_default();
+                slot.clear();
+                slot.push((meta, row));
+            }
+            ChangeType::Delete => {
+                state.remove(&pk);
+            }
+        }
+    }
+    let mut out: Vec<(RowMeta, Row)> = state.into_values().flatten().collect();
+    out.extend(keyless);
+    out.sort_by_key(|(m, _)| m.order_key());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_common::row::Value;
+    use vortex_common::schema::{Field, FieldType};
+    use vortex_common::truetime::Timestamp;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("id", FieldType::String),
+            Field::required("val", FieldType::Int64),
+        ])
+        .with_primary_key(&["id"])
+    }
+
+    fn ev(ts: u64, ct: ChangeType, id: &str, val: i64) -> (RowMeta, Row) {
+        (
+            RowMeta {
+                change_type: ct,
+                ts: Timestamp(ts),
+                stream: 1,
+                offset: ts,
+            },
+            Row::with_change(vec![Value::String(id.into()), Value::Int64(val)], ct),
+        )
+    }
+
+    fn vals(rows: &[(RowMeta, Row)]) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = rows
+            .iter()
+            .map(|(_, r)| {
+                (
+                    r.values[0].as_str().unwrap().to_string(),
+                    r.values[1].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn upsert_replaces_then_delete_removes() {
+        let s = schema();
+        let rows = vec![
+            ev(1, ChangeType::Upsert, "a", 1),
+            ev(2, ChangeType::Upsert, "b", 2),
+            ev(3, ChangeType::Upsert, "a", 10),
+            ev(4, ChangeType::Delete, "b", 0),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 10)]);
+    }
+
+    #[test]
+    fn order_is_by_timestamp_not_input_position() {
+        let s = schema();
+        // Later timestamp delivered first.
+        let rows = vec![
+            ev(9, ChangeType::Upsert, "a", 99),
+            ev(1, ChangeType::Upsert, "a", 1),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 99)]);
+    }
+
+    #[test]
+    fn delete_of_absent_key_is_noop() {
+        let s = schema();
+        let rows = vec![
+            ev(1, ChangeType::Delete, "ghost", 0),
+            ev(2, ChangeType::Upsert, "a", 1),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 1)]);
+    }
+
+    #[test]
+    fn upsert_then_reinsert_after_delete() {
+        let s = schema();
+        let rows = vec![
+            ev(1, ChangeType::Upsert, "a", 1),
+            ev(2, ChangeType::Delete, "a", 0),
+            ev(3, ChangeType::Upsert, "a", 3),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 3)]);
+    }
+
+    #[test]
+    fn plain_inserts_may_duplicate_keys() {
+        // Primary keys are unenforced for INSERT (§4.2.6).
+        let s = schema();
+        let rows = vec![
+            ev(1, ChangeType::Insert, "a", 1),
+            ev(2, ChangeType::Insert, "a", 2),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 1), ("a".into(), 2)]);
+        // But an UPSERT collapses all of them.
+        let rows = vec![
+            ev(1, ChangeType::Insert, "a", 1),
+            ev(2, ChangeType::Insert, "a", 2),
+            ev(3, ChangeType::Upsert, "a", 9),
+        ];
+        let out = resolve_changes(&s, rows);
+        assert_eq!(vals(&out), vec![("a".into(), 9)]);
+    }
+
+    #[test]
+    fn no_primary_key_passes_through() {
+        let s = Schema::new(vec![Field::required("x", FieldType::Int64)]);
+        let rows = vec![(
+            RowMeta {
+                change_type: ChangeType::Insert,
+                ts: Timestamp(1),
+                stream: 1,
+                offset: 0,
+            },
+            Row::insert(vec![Value::Int64(1)]),
+        )];
+        let out = resolve_changes(&s, rows.clone());
+        assert_eq!(out.len(), 1);
+    }
+}

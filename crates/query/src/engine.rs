@@ -1,0 +1,549 @@
+//! The scan executor: partition elimination (§7.2) + parallel fragment
+//! scans (§7's "dispatches these Fragments and Streamlets to different
+//! Dremel shards to process them in parallel") + aggregation.
+
+use std::sync::Arc;
+
+use vortex_client::read::{read_fragment, read_reconciled_tail, read_tail, TailOutcome};
+use vortex_colossus::StorageFleet;
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::TableId;
+use vortex_common::row::{Row, Value};
+use vortex_common::schema::Schema;
+use vortex_common::stats::ColumnStats;
+use vortex_common::truetime::Timestamp;
+use vortex_ros::RowMeta;
+use vortex_sms::meta::FragmentKind;
+use vortex_sms::readset::FragmentReadSpec;
+use vortex_sms::sms::SmsTask;
+use vortex_wos::format::{Footer, RecordHeader, RecordType, FOOTER_TOTAL_LEN, RECORD_HEADER_LEN};
+
+use crate::cdc::resolve_changes;
+use crate::expr::Expr;
+
+/// Scan configuration.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// Filter predicate (also drives pruning).
+    pub predicate: Expr,
+    /// Resolve UPSERT/DELETE change types by primary key (merge-on-read,
+    /// §4.2.6).
+    pub resolve_changes: bool,
+    /// Consult WOS fragment bloom filters (footer reads) for point
+    /// predicates on partition/clustering columns (§7.2).
+    pub use_bloom: bool,
+    /// Parallel scan shards.
+    pub parallelism: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            predicate: Expr::True,
+            resolve_changes: false,
+            use_bloom: true,
+            parallelism: 8,
+        }
+    }
+}
+
+/// Pruning / scanning counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Fragments in the read set before pruning.
+    pub fragments_total: usize,
+    /// Fragments eliminated via min/max column properties.
+    pub pruned_by_stats: usize,
+    /// Fragments eliminated via bloom filters.
+    pub pruned_by_bloom: usize,
+    /// Streamlet tails probed.
+    pub tails_scanned: usize,
+    /// Rows decoded from storage.
+    pub rows_scanned: u64,
+    /// Rows matching the predicate.
+    pub rows_matched: u64,
+}
+
+/// Result of a scan.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Snapshot the scan ran at.
+    pub snapshot: Timestamp,
+    /// Schema at the snapshot.
+    pub schema: Schema,
+    /// Matching rows with provenance.
+    pub rows: Vec<(RowMeta, Row)>,
+    /// Pruning/scan counters.
+    pub stats: ScanStats,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// COUNT(*)
+    Count,
+    /// SUM(col) over Int64 / Float64 / Numeric.
+    Sum,
+    /// MIN(col).
+    Min,
+    /// MAX(col).
+    Max,
+    /// AVG(col): arithmetic mean over Int64 / Float64 / Numeric, always
+    /// FLOAT64 (BigQuery's `AVG(INT64)` semantics).
+    Avg,
+}
+
+/// The Dremel-lite query engine.
+pub struct QueryEngine {
+    sms: Arc<SmsTask>,
+    fleet: StorageFleet,
+}
+
+impl QueryEngine {
+    /// Creates an engine over the control plane + storage fleet.
+    pub fn new(sms: Arc<SmsTask>, fleet: StorageFleet) -> Self {
+        Self { sms, fleet }
+    }
+
+    /// Scans a table at a snapshot with partition elimination.
+    pub fn scan(
+        &self,
+        table: TableId,
+        snapshot: Timestamp,
+        opts: &ScanOptions,
+    ) -> VortexResult<ScanResult> {
+        let tmeta = self.sms.get_table(table)?;
+        let key = tmeta.encryption_key();
+        let mut reconciled: std::collections::HashMap<
+            vortex_common::ids::StreamletId,
+            Timestamp,
+        > = Default::default();
+        for _round in 0..8 {
+            let rs = self.sms.list_read_fragments(table, snapshot)?;
+            let mut stats = ScanStats {
+                fragments_total: rs.fragments.len(),
+                ..ScanStats::default()
+            };
+            // ---- Partition elimination (§7.2) ----
+            let mut survivors: Vec<&FragmentReadSpec> = Vec::new();
+            for spec in &rs.fragments {
+                let lookup = |col: &str| -> Option<ColumnStats> {
+                    spec.meta
+                        .stats
+                        .iter()
+                        .find(|(n, _)| n == col)
+                        .map(|(_, s)| s.clone())
+                };
+                if !opts.predicate.may_match_stats(&lookup) {
+                    stats.pruned_by_stats += 1;
+                    continue;
+                }
+                if opts.use_bloom
+                    && spec.meta.kind == FragmentKind::Wos
+                    && !self.bloom_may_match(&tmeta.schema, spec, &opts.predicate)?
+                {
+                    stats.pruned_by_bloom += 1;
+                    continue;
+                }
+                survivors.push(spec);
+            }
+            // ---- Parallel fragment scans ----
+            let shards = opts.parallelism.max(1);
+            #[allow(unused_mut)]
+            let mut rows: Vec<(RowMeta, Row)> = Vec::new();
+            let results: Vec<VortexResult<Vec<(RowMeta, Row)>>> = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in survivors.chunks(survivors.len().div_ceil(shards).max(1)) {
+                    let fleet = &self.fleet;
+                    let key = &key;
+                    handles.push(s.spawn(move || {
+                        let mut out = Vec::new();
+                        for spec in chunk {
+                            out.extend(read_fragment(spec, fleet, key, snapshot)?);
+                        }
+                        Ok(out)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in results {
+                rows.extend(r?);
+            }
+            // ---- Tails (no cached properties; always scanned, §7.2:
+            // "the properties for the tail of a Streamlet are maintained
+            // by the Stream Server" — our reader goes to the log) ----
+            let mut ambiguous = Vec::new();
+            for tail in &rs.tails {
+                stats.tails_scanned += 1;
+                if let Some(list_at) = reconciled.get(&tail.streamlet).copied() {
+                    // The fixed snapshot still shows this streamlet as a
+                    // tail, but it was reconciled during this scan: read
+                    // through the authoritative fragment records instead
+                    // of re-probing the (now poisoned) log files.
+                    rows.extend(read_reconciled_tail(
+                        &self.sms,
+                        &self.fleet,
+                        &key,
+                        table,
+                        tail,
+                        snapshot,
+                        list_at,
+                    )?);
+                    continue;
+                }
+                match read_tail(tail, &self.fleet, &key, snapshot)? {
+                    TailOutcome::Rows(r) => rows.extend(r),
+                    TailOutcome::NeedsReconcile => ambiguous.push(tail.streamlet),
+                }
+            }
+            if !ambiguous.is_empty() {
+                for slid in ambiguous {
+                    self.sms.reconcile_streamlet(table, slid)?;
+                    reconciled.insert(slid, self.sms.read_snapshot());
+                }
+                continue; // retry with reconciled metadata
+            }
+            stats.rows_scanned = rows.len() as u64;
+            // Pad short (pre-evolution) rows to the snapshot schema.
+            let arity = rs.schema.fields.len();
+            for (_, r) in rows.iter_mut() {
+                while r.values.len() < arity {
+                    r.values.push(Value::Null);
+                }
+            }
+            // ---- CDC resolution, then the filter ----
+            let rows = if opts.resolve_changes {
+                resolve_changes(&tmeta.schema, rows)
+            } else {
+                rows
+            };
+            let mut matched = Vec::new();
+            for (m, r) in rows {
+                if opts.predicate.eval(&rs.schema, &r)? {
+                    matched.push((m, r));
+                }
+            }
+            stats.rows_matched = matched.len() as u64;
+            matched.sort_by_key(|(m, _)| (m.stream, m.offset, m.ts));
+            return Ok(ScanResult {
+                snapshot,
+                schema: rs.schema,
+                rows: matched,
+                stats,
+            });
+        }
+        Err(VortexError::Unavailable(format!(
+            "table {table}: scan could not settle after reconciliation rounds"
+        )))
+    }
+
+    /// Checks the WOS fragment's on-file bloom filter against every
+    /// required point predicate on a partition/clustering column. Reads
+    /// only the footer + bloom record, not the data (§5.4.4).
+    fn bloom_may_match(
+        &self,
+        schema: &Schema,
+        spec: &FragmentReadSpec,
+        predicate: &Expr,
+    ) -> VortexResult<bool> {
+        // Which columns does the bloom filter cover?
+        let mut key_cols: Vec<&str> = Vec::new();
+        if let Some(p) = &schema.partition {
+            key_cols.push(&p.column);
+        }
+        for c in &schema.clustering {
+            if !key_cols.contains(&c.as_str()) {
+                key_cols.push(c);
+            }
+        }
+        let points: Vec<(&str, &Value)> = key_cols
+            .iter()
+            .filter_map(|c| predicate.required_point(c).map(|v| (*c, v)))
+            .collect();
+        if points.is_empty() {
+            return Ok(true); // nothing bloom can decide
+        }
+        let Some(bloom) = self.read_fragment_bloom(spec)? else {
+            return Ok(true); // unfinalized / no footer: keep
+        };
+        for (_, v) in points {
+            if !bloom.may_contain(&v.encode_key()) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Reads the bloom filter of a finalized WOS fragment via two ranged
+    /// reads (footer, then bloom record) without touching row data.
+    fn read_fragment_bloom(
+        &self,
+        spec: &FragmentReadSpec,
+    ) -> VortexResult<Option<vortex_common::bloom::BloomFilter>> {
+        let size = spec.meta.committed_size;
+        if size < FOOTER_TOTAL_LEN as u64 {
+            return Ok(None);
+        }
+        for c in spec.meta.clusters {
+            let Ok(cluster) = self.fleet.get(c) else {
+                continue;
+            };
+            let Ok(tail) = cluster.read(
+                &spec.meta.path,
+                size - FOOTER_TOTAL_LEN as u64,
+                FOOTER_TOTAL_LEN,
+            ) else {
+                continue;
+            };
+            let Ok(rec) = RecordHeader::from_bytes(&tail.data) else {
+                return Ok(None); // closed without footer
+            };
+            if rec.rtype != RecordType::Footer {
+                return Ok(None);
+            }
+            let footer = Footer::from_bytes(&tail.data[RECORD_HEADER_LEN..])?;
+            let Ok(brec_head) = cluster.read(
+                &spec.meta.path,
+                footer.bloom_offset,
+                RECORD_HEADER_LEN,
+            ) else {
+                continue;
+            };
+            let brec = RecordHeader::from_bytes(&brec_head.data)?;
+            if brec.rtype != RecordType::Bloom {
+                return Err(VortexError::CorruptData(
+                    "footer bloom offset does not point at a bloom record".into(),
+                ));
+            }
+            let payload = cluster
+                .read(
+                    &spec.meta.path,
+                    footer.bloom_offset + RECORD_HEADER_LEN as u64,
+                    brec.payload_len as usize,
+                )?
+                .data;
+            return Ok(Some(
+                vortex_common::bloom::BloomFilter::from_bytes(&payload)
+                    .map_err(VortexError::CorruptData)?,
+            ));
+        }
+        Ok(None)
+    }
+
+    /// COUNT(*) with a predicate.
+    pub fn count(&self, table: TableId, snapshot: Timestamp, opts: &ScanOptions) -> VortexResult<u64> {
+        Ok(self.scan(table, snapshot, opts)?.stats.rows_matched)
+    }
+
+    /// Grouped aggregation over a scan. `group_by` of `None` produces a
+    /// single global group.
+    pub fn aggregate(
+        &self,
+        table: TableId,
+        snapshot: Timestamp,
+        opts: &ScanOptions,
+        group_by: Option<&str>,
+        aggs: &[(AggKind, Option<&str>)],
+    ) -> VortexResult<Vec<(Option<Value>, Vec<Value>)>> {
+        let result = self.scan(table, snapshot, opts)?;
+        let schema = &result.schema;
+        let group_idx = match group_by {
+            Some(c) => Some(schema.column_index(c).ok_or_else(|| {
+                VortexError::InvalidArgument(format!("unknown group column {c}"))
+            })?),
+            None => None,
+        };
+        let agg_idx: Vec<Option<usize>> = aggs
+            .iter()
+            .map(|(_, col)| {
+                col.map(|c| {
+                    schema.column_index(c).ok_or_else(|| {
+                        VortexError::InvalidArgument(format!("unknown agg column {c}"))
+                    })
+                })
+                .transpose()
+            })
+            .collect::<VortexResult<_>>()?;
+
+        #[derive(Clone)]
+        enum Acc {
+            Count(u64),
+            /// Integer-domain sum; `saw_numeric` tracks whether inputs
+            /// were NUMERIC (fixed-point 1e9) so the result keeps that
+            /// scale, and `saw_any` whether any non-NULL input arrived.
+            SumI {
+                sum: i128,
+                saw_numeric: bool,
+                saw_any: bool,
+            },
+            SumF(f64),
+            Min(Option<Value>),
+            Max(Option<Value>),
+            Avg { sum: f64, n: u64 },
+        }
+        let fresh = |kind: AggKind| match kind {
+            AggKind::Count => Acc::Count(0),
+            AggKind::Sum => Acc::SumI {
+                sum: 0,
+                saw_numeric: false,
+                saw_any: false,
+            },
+            AggKind::Min => Acc::Min(None),
+            AggKind::Max => Acc::Max(None),
+            AggKind::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        };
+        let mut groups: std::collections::BTreeMap<Vec<u8>, (Option<Value>, Vec<Acc>)> =
+            Default::default();
+        for (_, row) in &result.rows {
+            let gval = group_idx.map(|i| row.values[i].clone());
+            let gkey = gval
+                .as_ref()
+                .map(|v| v.encode_key())
+                .unwrap_or_default();
+            let entry = groups
+                .entry(gkey)
+                .or_insert_with(|| (gval.clone(), aggs.iter().map(|(k, _)| fresh(*k)).collect()));
+            for (slot, ((kind, _), idx)) in aggs.iter().zip(agg_idx.iter()).enumerate() {
+                let acc = &mut entry.1[slot];
+                match kind {
+                    AggKind::Count => {
+                        if let Acc::Count(c) = acc {
+                            *c += 1;
+                        }
+                    }
+                    AggKind::Sum => {
+                        let v = &row.values[idx.expect("SUM needs a column")];
+                        match (acc, v) {
+                            (
+                                Acc::SumI {
+                                    sum, saw_any, ..
+                                },
+                                Value::Int64(i),
+                            ) => {
+                                *sum += *i as i128;
+                                *saw_any = true;
+                            }
+                            (
+                                Acc::SumI {
+                                    sum,
+                                    saw_numeric,
+                                    saw_any,
+                                },
+                                Value::Numeric(n),
+                            ) => {
+                                *sum += n;
+                                *saw_numeric = true;
+                                *saw_any = true;
+                            }
+                            (acc @ Acc::SumI { .. }, Value::Float64(f)) => {
+                                let base = if let Acc::SumI {
+                                    sum, saw_numeric, ..
+                                } = acc
+                                {
+                                    if *saw_numeric {
+                                        *sum as f64 / 1e9
+                                    } else {
+                                        *sum as f64
+                                    }
+                                } else {
+                                    0.0
+                                };
+                                *acc = Acc::SumF(base + f);
+                            }
+                            (Acc::SumF(s), Value::Float64(f)) => *s += f,
+                            (Acc::SumF(s), Value::Int64(i)) => *s += *i as f64,
+                            (Acc::SumF(s), Value::Numeric(n)) => *s += *n as f64 / 1e9,
+                            _ => {} // NULLs and non-numerics ignored
+                        }
+                    }
+                    AggKind::Min => {
+                        let v = &row.values[idx.expect("MIN needs a column")];
+                        if !v.is_null() {
+                            if let Acc::Min(m) = acc {
+                                let better = m
+                                    .as_ref()
+                                    .map(|cur| v.total_cmp(cur).is_lt())
+                                    .unwrap_or(true);
+                                if better {
+                                    *m = Some(v.clone());
+                                }
+                            }
+                        }
+                    }
+                    AggKind::Max => {
+                        let v = &row.values[idx.expect("MAX needs a column")];
+                        if !v.is_null() {
+                            if let Acc::Max(m) = acc {
+                                let better = m
+                                    .as_ref()
+                                    .map(|cur| v.total_cmp(cur).is_gt())
+                                    .unwrap_or(true);
+                                if better {
+                                    *m = Some(v.clone());
+                                }
+                            }
+                        }
+                    }
+                    AggKind::Avg => {
+                        let v = &row.values[idx.expect("AVG needs a column")];
+                        if let Acc::Avg { sum, n } = acc {
+                            match v {
+                                Value::Int64(i) => {
+                                    *sum += *i as f64;
+                                    *n += 1;
+                                }
+                                Value::Float64(f) => {
+                                    *sum += f;
+                                    *n += 1;
+                                }
+                                Value::Numeric(x) => {
+                                    *sum += *x as f64 / 1e9;
+                                    *n += 1;
+                                }
+                                _ => {} // NULLs and non-numerics ignored
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // SQL: a global aggregate over zero rows still yields one row —
+        // COUNT(*) = 0, SUM/MIN/MAX = NULL.
+        if group_idx.is_none() && groups.is_empty() {
+            let vals = aggs
+                .iter()
+                .map(|(k, _)| match k {
+                    AggKind::Count => Value::Int64(0),
+                    _ => Value::Null,
+                })
+                .collect();
+            return Ok(vec![(None, vals)]);
+        }
+        Ok(groups
+            .into_values()
+            .map(|(gval, accs)| {
+                let vals = accs
+                    .into_iter()
+                    .map(|a| match a {
+                        Acc::Count(c) => Value::Int64(c as i64),
+                        Acc::SumI { saw_any: false, .. } => Value::Null, // SUM of no rows
+                        Acc::SumI {
+                            sum,
+                            saw_numeric: true,
+                            ..
+                        } => Value::Numeric(sum),
+                        Acc::SumI { sum, .. } => match i64::try_from(sum) {
+                            Ok(v) => Value::Int64(v),
+                            Err(_) => Value::Float64(sum as f64), // beyond i64
+                        },
+                        Acc::SumF(f) => Value::Float64(f),
+                        Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+                        Acc::Avg { n: 0, .. } => Value::Null, // AVG of no rows
+                        Acc::Avg { sum, n } => Value::Float64(sum / n as f64),
+                    })
+                    .collect();
+                (gval, vals)
+            })
+            .collect())
+    }
+}

@@ -1,0 +1,321 @@
+//! Filter expressions and the derivation of pruning predicates.
+//!
+//! §7.2: "when a query is received, BigQuery uses the filters specified
+//! in the query to construct derivative expressions on the column
+//! properties. The stored column properties are used to evaluate these
+//! expressions for each Fragment and Streamlet ... to determine whether
+//! it is relevant to the query." [`Expr::may_match_stats`] is that
+//! derivative evaluation: `false` means the fragment provably holds no
+//! matching row and is eliminated.
+
+use std::cmp::Ordering;
+
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::row::{Row, Value};
+use vortex_common::schema::Schema;
+use vortex_common::stats::ColumnStats;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// A boolean filter expression over one table's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Always true.
+    True,
+    /// `column <op> literal`.
+    Cmp {
+        /// Column name (top level).
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `column IS NULL`.
+    IsNull(String),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `column = value`.
+    pub fn eq(column: &str, value: Value) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value,
+        }
+    }
+
+    /// `column < value`.
+    pub fn lt(column: &str, value: Value) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Lt,
+            value,
+        }
+    }
+
+    /// `column <= value`.
+    pub fn le(column: &str, value: Value) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Le,
+            value,
+        }
+    }
+
+    /// `column > value`.
+    pub fn gt(column: &str, value: Value) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Gt,
+            value,
+        }
+    }
+
+    /// `column >= value`.
+    pub fn ge(column: &str, value: Value) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op: CmpOp::Ge,
+            value,
+        }
+    }
+
+    /// `a AND b`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT a`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluates against a row (SQL three-valued logic collapsed to
+    /// boolean: NULL comparisons are false).
+    pub fn eval(&self, schema: &Schema, row: &Row) -> VortexResult<bool> {
+        Ok(match self {
+            Expr::True => true,
+            Expr::Cmp { column, op, value } => {
+                let idx = schema.column_index(column).ok_or_else(|| {
+                    VortexError::InvalidArgument(format!("unknown column {column}"))
+                })?;
+                // Rows written before an additive schema change are short
+                // of the new columns; those columns read as NULL.
+                let v = row.values.get(idx).unwrap_or(&Value::Null);
+                if v.is_null() || value.is_null() {
+                    false
+                } else {
+                    let ord = v.total_cmp(value);
+                    match op {
+                        CmpOp::Eq => ord == Ordering::Equal,
+                        CmpOp::Ne => ord != Ordering::Equal,
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::Le => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::Ge => ord != Ordering::Less,
+                    }
+                }
+            }
+            Expr::IsNull(column) => {
+                let idx = schema.column_index(column).ok_or_else(|| {
+                    VortexError::InvalidArgument(format!("unknown column {column}"))
+                })?;
+                row.values.get(idx).map(|v| v.is_null()).unwrap_or(true)
+            }
+            Expr::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Expr::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Expr::Not(a) => !a.eval(schema, row)?,
+        })
+    }
+
+    /// The §7.2 derivative expression over column properties: returns
+    /// `false` only if NO row summarized by `stats` can satisfy the
+    /// filter. `stats_of` maps a column name to its properties (absent =
+    /// unknown = cannot prune).
+    pub fn may_match_stats(&self, stats_of: &dyn Fn(&str) -> Option<ColumnStats>) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::Cmp { column, op, value } => {
+                let Some(s) = stats_of(column) else {
+                    return true; // unknown column properties: keep
+                };
+                match op {
+                    CmpOp::Eq => s.may_contain_point(value),
+                    CmpOp::Ne => true, // pruning != needs distinct counts; keep
+                    // Strict inequalities reuse the inclusive overlap
+                    // check: conservative (a fragment whose min==max==v
+                    // is kept for `< v`), never incorrect.
+                    CmpOp::Lt | CmpOp::Le => s.may_overlap_range(None, Some(value)),
+                    CmpOp::Gt | CmpOp::Ge => s.may_overlap_range(Some(value), None),
+                }
+            }
+            Expr::IsNull(column) => stats_of(column).map(|s| s.has_null).unwrap_or(true),
+            Expr::And(a, b) => a.may_match_stats(stats_of) && b.may_match_stats(stats_of),
+            Expr::Or(a, b) => a.may_match_stats(stats_of) || b.may_match_stats(stats_of),
+            // NOT cannot be pruned from min/max alone without interval
+            // complements; stay safe.
+            Expr::Not(_) => true,
+        }
+    }
+
+    /// Point-equality values per column, used for bloom-filter pruning:
+    /// returns `Some(value)` when the expression *requires* `column ==
+    /// value` for every matching row.
+    pub fn required_point(&self, column: &str) -> Option<&Value> {
+        match self {
+            Expr::Cmp {
+                column: c,
+                op: CmpOp::Eq,
+                value,
+            } if c == column => Some(value),
+            Expr::And(a, b) => a.required_point(column).or_else(|| b.required_point(column)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_common::schema::{Field, FieldType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", FieldType::Int64),
+            Field::nullable("b", FieldType::String),
+        ])
+    }
+
+    fn row(a: i64, b: Option<&str>) -> Row {
+        Row::insert(vec![
+            Value::Int64(a),
+            b.map(|s| Value::String(s.into())).unwrap_or(Value::Null),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        assert!(Expr::eq("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
+        assert!(!Expr::eq("a", Value::Int64(5)).eval(&s, &row(6, None)).unwrap());
+        assert!(Expr::lt("a", Value::Int64(5)).eval(&s, &row(4, None)).unwrap());
+        assert!(Expr::le("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
+        assert!(Expr::gt("a", Value::Int64(5)).eval(&s, &row(6, None)).unwrap());
+        assert!(Expr::ge("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
+        assert!(Expr::True.eval(&s, &row(0, None)).unwrap());
+    }
+
+    #[test]
+    fn null_semantics() {
+        let s = schema();
+        // NULL compares false under every operator.
+        assert!(!Expr::eq("b", Value::String("x".into()))
+            .eval(&s, &row(1, None))
+            .unwrap());
+        assert!(Expr::IsNull("b".into()).eval(&s, &row(1, None)).unwrap());
+        assert!(!Expr::IsNull("b".into()).eval(&s, &row(1, Some("x"))).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let e = Expr::ge("a", Value::Int64(0)).and(Expr::lt("a", Value::Int64(10)));
+        assert!(e.eval(&s, &row(5, None)).unwrap());
+        assert!(!e.eval(&s, &row(10, None)).unwrap());
+        let o = Expr::eq("a", Value::Int64(1)).or(Expr::eq("a", Value::Int64(2)));
+        assert!(o.eval(&s, &row(2, None)).unwrap());
+        assert!(!o.eval(&s, &row(3, None)).unwrap());
+        assert!(Expr::eq("a", Value::Int64(1))
+            .not()
+            .eval(&s, &row(3, None))
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        assert!(Expr::eq("zzz", Value::Int64(1)).eval(&s, &row(1, None)).is_err());
+    }
+
+    fn stats(min: i64, max: i64) -> ColumnStats {
+        let mut s = ColumnStats::new();
+        s.observe(&Value::Int64(min));
+        s.observe(&Value::Int64(max));
+        s
+    }
+
+    #[test]
+    fn stats_pruning() {
+        let lookup = |c: &str| (c == "a").then(|| stats(10, 20));
+        assert!(Expr::eq("a", Value::Int64(15)).may_match_stats(&lookup));
+        assert!(!Expr::eq("a", Value::Int64(25)).may_match_stats(&lookup));
+        // Strict bounds at the edge are kept (conservative, documented).
+        assert!(Expr::lt("a", Value::Int64(10)).may_match_stats(&lookup));
+        assert!(Expr::gt("a", Value::Int64(20)).may_match_stats(&lookup));
+        // But clearly-out-of-range strict bounds do prune.
+        assert!(!Expr::lt("a", Value::Int64(9)).may_match_stats(&lookup));
+        assert!(!Expr::gt("a", Value::Int64(21)).may_match_stats(&lookup));
+        assert!(Expr::ge("a", Value::Int64(20)).may_match_stats(&lookup));
+        assert!(!Expr::ge("a", Value::Int64(21)).may_match_stats(&lookup));
+        assert!(Expr::le("a", Value::Int64(10)).may_match_stats(&lookup));
+        assert!(!Expr::le("a", Value::Int64(9)).may_match_stats(&lookup));
+        // Unknown column: keep.
+        assert!(Expr::eq("other", Value::Int64(1)).may_match_stats(&lookup));
+    }
+
+    #[test]
+    fn stats_pruning_through_combinators() {
+        let lookup = |c: &str| (c == "a").then(|| stats(10, 20));
+        // AND prunes if either side prunes.
+        let e = Expr::eq("a", Value::Int64(25)).and(Expr::True);
+        assert!(!e.may_match_stats(&lookup));
+        // OR keeps if either side may match.
+        let e = Expr::eq("a", Value::Int64(25)).or(Expr::eq("a", Value::Int64(15)));
+        assert!(e.may_match_stats(&lookup));
+        let e = Expr::eq("a", Value::Int64(25)).or(Expr::eq("a", Value::Int64(26)));
+        assert!(!e.may_match_stats(&lookup));
+        // NOT is conservatively kept.
+        assert!(Expr::eq("a", Value::Int64(25)).not().may_match_stats(&lookup));
+    }
+
+    #[test]
+    fn required_point_extraction() {
+        let e = Expr::eq("cust", Value::String("c9".into())).and(Expr::gt("a", Value::Int64(0)));
+        assert_eq!(
+            e.required_point("cust"),
+            Some(&Value::String("c9".into()))
+        );
+        assert_eq!(e.required_point("a"), None, "inequality is not a point");
+        // OR does not *require* the point.
+        let o = Expr::eq("cust", Value::String("c9".into())).or(Expr::True);
+        assert_eq!(o.required_point("cust"), None);
+    }
+}

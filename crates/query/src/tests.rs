@@ -1,0 +1,1036 @@
+//! Query-engine tests: pruning, aggregation, CDC resolution, and DML.
+
+use std::sync::Arc;
+
+use vortex_client::VortexClient;
+use vortex_colossus::StorageFleet;
+use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
+use vortex_common::latency::WriteProfile;
+use vortex_common::row::{Row, RowSet, Value};
+use vortex_common::schema::{
+    ChangeType, Field, FieldType, PartitionTransform, Schema,
+};
+use vortex_common::truetime::{SimClock, TrueTime};
+use vortex_metastore::MetaStore;
+use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
+use vortex_server::{ServerConfig, StreamServer};
+use vortex_sms::sms::{SmsConfig, SmsTask};
+
+use crate::dml::DmlExecutor;
+use crate::engine::{AggKind, QueryEngine, ScanOptions};
+use crate::expr::Expr;
+
+struct Rig {
+    sms: Arc<SmsTask>,
+    client: VortexClient,
+    engine: QueryEngine,
+    opt: StorageOptimizer,
+    dml: DmlExecutor,
+    clock: SimClock,
+}
+
+fn rig() -> Rig {
+    let clock = SimClock::new(1_000_000);
+    let tt = TrueTime::simulated(clock.clone(), 100, 0);
+    let fleet = StorageFleet::with_mem_clusters(2, WriteProfile::instant(), 23);
+    let store = MetaStore::new(tt.clone());
+    let ids = Arc::new(IdGen::new(1));
+    let sms = SmsTask::new(
+        SmsConfig::new(SmsTaskId::from_raw(0), ClusterId::from_raw(0)),
+        store,
+        fleet.clone(),
+        tt.clone(),
+        Arc::clone(&ids),
+        None,
+    );
+    for i in 0..2u64 {
+        let server = StreamServer::new(
+            ServerConfig::new(ServerId::from_raw(100 + i), ClusterId::from_raw(i % 2)),
+            fleet.clone(),
+            tt.clone(),
+            Arc::clone(&ids),
+        )
+        .unwrap();
+        sms.register_server(server);
+    }
+    let client = VortexClient::new(Arc::clone(&sms), fleet.clone(), tt.clone());
+    let engine = QueryEngine::new(Arc::clone(&sms), fleet.clone());
+    let opt = StorageOptimizer::new(
+        Arc::clone(&sms),
+        fleet.clone(),
+        tt,
+        ids,
+        OptimizerConfig {
+            target_block_rows: 128,
+            merge_trigger: 0.5,
+        },
+    );
+    let dml = DmlExecutor::new(client.clone());
+    Rig {
+        sms,
+        client,
+        engine,
+        opt,
+        dml,
+        clock,
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::required("day", FieldType::Int64),
+        Field::required("customer", FieldType::String),
+        Field::required("amount", FieldType::Int64),
+    ])
+    .with_partition("day", PartitionTransform::Identity)
+    .with_clustering(&["customer"])
+}
+
+fn rows(start: i64, n: usize) -> RowSet {
+    RowSet::new(
+        (0..n)
+            .map(|i| {
+                let k = start + i as i64;
+                Row::insert(vec![
+                    Value::Int64(k / 100), // day changes every 100 rows
+                    Value::String(format!("cust-{:04}", k % 50)),
+                    Value::Int64(k),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Ingest, finalize, convert: everything lands in partition-split ROS.
+fn load_converted(r: &Rig, n: usize) -> TableId {
+    let t = r.sms.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, n)).unwrap();
+    let s = w.stream_id();
+    r.sms.finalize_stream(t.table, s).unwrap();
+    r.opt.convert_wos(t.table).unwrap();
+    t.table
+}
+
+fn amounts(rows: &[(vortex_ros::RowMeta, Row)]) -> Vec<i64> {
+    let mut v: Vec<i64> = rows
+        .iter()
+        .map(|(_, r)| r.values[2].as_i64().unwrap())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn full_scan_returns_everything() {
+    let r = rig();
+    let t = load_converted(&r, 300);
+    let res = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(res.rows.len(), 300);
+    assert_eq!(res.stats.rows_matched, 300);
+    assert_eq!(res.stats.pruned_by_stats, 0);
+}
+
+#[test]
+fn partition_elimination_by_stats() {
+    let r = rig();
+    let t = load_converted(&r, 300); // days 0,1,2
+    let opts = ScanOptions {
+        predicate: Expr::eq("day", Value::Int64(1)),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t, r.sms.read_snapshot(), &opts).unwrap();
+    assert_eq!(res.rows.len(), 100);
+    assert!(
+        res.stats.pruned_by_stats >= 2,
+        "other partitions pruned: {:?}",
+        res.stats
+    );
+    // Scanned rows ≈ one partition, not the whole table.
+    assert!(res.stats.rows_scanned <= 110, "{:?}", res.stats);
+    assert_eq!(amounts(&res.rows), (100..200).collect::<Vec<_>>());
+}
+
+#[test]
+fn range_predicates_prune() {
+    let r = rig();
+    let t = load_converted(&r, 300);
+    let opts = ScanOptions {
+        predicate: Expr::ge("amount", Value::Int64(250)),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t, r.sms.read_snapshot(), &opts).unwrap();
+    assert_eq!(res.rows.len(), 50);
+    assert!(res.stats.pruned_by_stats >= 1);
+}
+
+#[test]
+fn bloom_pruning_on_wos_fragments() {
+    let r = rig();
+    let t = r.sms.create_table("t", schema()).unwrap();
+    // Several finalized WOS streams with disjoint customer sets.
+    for part in 0..4i64 {
+        let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+        let rs = RowSet::new(
+            (0..50)
+                .map(|i| {
+                    Row::insert(vec![
+                        Value::Int64(part),
+                        Value::String(format!("part{part}-cust{i}")),
+                        Value::Int64(part * 100 + i),
+                    ])
+                })
+                .collect(),
+        );
+        w.append(rs).unwrap();
+        let s = w.stream_id();
+        r.sms.finalize_stream(t.table, s).unwrap();
+    }
+    // Point predicate on the clustering column: stats min/max overlap is
+    // wide (strings interleave), but blooms nail the one fragment.
+    let opts = ScanOptions {
+        predicate: Expr::eq("customer", Value::String("part2-cust7".into())),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    assert_eq!(res.rows.len(), 1);
+    assert!(
+        res.stats.pruned_by_bloom + res.stats.pruned_by_stats >= 3,
+        "{:?}",
+        res.stats
+    );
+    // With bloom disabled, more fragments get scanned.
+    let opts_nb = ScanOptions {
+        predicate: Expr::eq("customer", Value::String("part2-cust7".into())),
+        use_bloom: false,
+        ..ScanOptions::default()
+    };
+    let res_nb = r.engine.scan(t.table, r.sms.read_snapshot(), &opts_nb).unwrap();
+    assert_eq!(res_nb.rows.len(), 1);
+    assert!(res_nb.stats.rows_scanned >= res.stats.rows_scanned);
+}
+
+#[test]
+fn scan_includes_fresh_tail_data() {
+    let r = rig();
+    let t = load_converted(&r, 100);
+    // New unconverted writes land in a tail.
+    let mut w = r.client.create_unbuffered_writer(t).unwrap();
+    w.append(rows(100, 50)).unwrap();
+    let res = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(res.rows.len(), 150);
+    assert!(res.stats.tails_scanned >= 1);
+}
+
+#[test]
+fn aggregate_count_sum_min_max() {
+    let r = rig();
+    let t = load_converted(&r, 200);
+    let groups = r
+        .engine
+        .aggregate(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions::default(),
+            Some("day"),
+            &[
+                (AggKind::Count, None),
+                (AggKind::Sum, Some("amount")),
+                (AggKind::Min, Some("amount")),
+                (AggKind::Max, Some("amount")),
+            ],
+        )
+        .unwrap();
+    assert_eq!(groups.len(), 2); // days 0 and 1
+    for (g, vals) in &groups {
+        let day = match g {
+            Some(Value::Int64(d)) => *d,
+            other => panic!("bad group {other:?}"),
+        };
+        assert_eq!(vals[0], Value::Int64(100));
+        let lo = day * 100;
+        let hi = lo + 99;
+        let expect_sum: i64 = (lo..=hi).sum();
+        assert_eq!(vals[1], Value::Int64(expect_sum));
+        assert_eq!(vals[2], Value::Int64(lo));
+        assert_eq!(vals[3], Value::Int64(hi));
+    }
+    // Global aggregate.
+    let global = r
+        .engine
+        .aggregate(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions::default(),
+            None,
+            &[(AggKind::Count, None)],
+        )
+        .unwrap();
+    assert_eq!(global.len(), 1);
+    assert_eq!(global[0].1[0], Value::Int64(200));
+}
+
+#[test]
+fn aggregate_avg() {
+    let r = rig();
+    let t = load_converted(&r, 200);
+    // Grouped: day 0 holds amounts 0..=99 (mean 49.5), day 1 holds
+    // 100..=199 (mean 149.5). AVG(INT64) is FLOAT64, BigQuery-style.
+    let groups = r
+        .engine
+        .aggregate(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions::default(),
+            Some("day"),
+            &[(AggKind::Avg, Some("amount"))],
+        )
+        .unwrap();
+    assert_eq!(groups.len(), 2);
+    for (g, vals) in &groups {
+        let day = match g {
+            Some(Value::Int64(d)) => *d,
+            other => panic!("bad group {other:?}"),
+        };
+        assert_eq!(vals[0], Value::Float64(day as f64 * 100.0 + 49.5));
+    }
+    // Global.
+    let global = r
+        .engine
+        .aggregate(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions::default(),
+            None,
+            &[(AggKind::Avg, Some("amount")), (AggKind::Count, None)],
+        )
+        .unwrap();
+    assert_eq!(global[0].1[0], Value::Float64(99.5));
+    assert_eq!(global[0].1[1], Value::Int64(200));
+    // AVG over zero rows is NULL (COUNT stays 0).
+    let empty = r
+        .engine
+        .aggregate(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions {
+                predicate: Expr::lt("amount", Value::Int64(0)),
+                ..ScanOptions::default()
+            },
+            None,
+            &[(AggKind::Avg, Some("amount"))],
+        )
+        .unwrap();
+    assert_eq!(empty[0].1[0], Value::Null);
+}
+
+#[test]
+fn delete_where_on_fragments_masks_rows() {
+    let r = rig();
+    let t = load_converted(&r, 200);
+    let report = r
+        .dml
+        .delete_where(t, &Expr::lt("amount", Value::Int64(50)))
+        .unwrap();
+    assert_eq!(report.rows_matched, 50);
+    assert!(report.fragments_masked >= 1);
+    assert_eq!(report.tails_masked, 0);
+    let res = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(amounts(&res.rows), (50..200).collect::<Vec<_>>());
+    // Snapshot before the DML still sees everything (masks are
+    // versioned, §7.3).
+}
+
+#[test]
+fn delete_snapshot_isolation() {
+    let r = rig();
+    let t = load_converted(&r, 100);
+    let before = r.sms.read_snapshot();
+    r.dml
+        .delete_where(t, &Expr::ge("amount", Value::Int64(90)))
+        .unwrap();
+    let old = r.engine.scan(t, before, &ScanOptions::default()).unwrap();
+    assert_eq!(old.rows.len(), 100, "pre-DML snapshot unaffected");
+    let new = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(new.rows.len(), 90);
+}
+
+#[test]
+fn delete_in_tail_masks_whole_tail_and_reinserts() {
+    let r = rig();
+    let t = r.sms.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 40)).unwrap(); // all in the tail (no heartbeat)
+    let report = r
+        .dml
+        .delete_where(t.table, &Expr::eq("amount", Value::Int64(7)))
+        .unwrap();
+    assert_eq!(report.rows_matched, 1);
+    assert_eq!(report.tails_masked, 1);
+    assert_eq!(report.rows_reinserted_unaffected, 39, "tail copies");
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    let got = amounts(&res.rows);
+    assert_eq!(got.len(), 39);
+    assert!(!got.contains(&7));
+}
+
+#[test]
+fn update_where_rewrites_rows() {
+    let r = rig();
+    let t = load_converted(&r, 100);
+    let report = r
+        .dml
+        .update_where(
+            t,
+            &Expr::eq("customer", Value::String("cust-0003".into())),
+            &[("amount", Value::Int64(-1))],
+        )
+        .unwrap();
+    assert_eq!(report.rows_matched, 2); // rows 3 and 53
+    assert_eq!(report.rows_updated, 2);
+    let res = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(res.rows.len(), 100, "row count preserved by UPDATE");
+    let negs = res
+        .rows
+        .iter()
+        .filter(|(_, row)| row.values[2].as_i64() == Some(-1))
+        .count();
+    assert_eq!(negs, 2);
+    let got = amounts(&res.rows);
+    assert!(!got.contains(&3) && !got.contains(&53));
+}
+
+#[test]
+fn dml_then_conversion_then_read() {
+    // Masks survive WOS→ROS conversion (merged mode drops masked rows).
+    let r = rig();
+    let t = r.sms.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 80)).unwrap();
+    let s = w.stream_id();
+    r.sms.finalize_stream(t.table, s).unwrap();
+    r.dml
+        .delete_where(t.table, &Expr::lt("amount", Value::Int64(10)))
+        .unwrap();
+    r.opt.convert_wos(t.table).unwrap();
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(amounts(&res.rows), (10..80).collect::<Vec<_>>());
+}
+
+#[test]
+fn upsert_delete_resolution_end_to_end() {
+    let r = rig();
+    let cdc_schema = Schema::new(vec![
+        Field::required("id", FieldType::String),
+        Field::required("state", FieldType::String),
+    ])
+    .with_primary_key(&["id"]);
+    let t = r.sms.create_table("cdc", cdc_schema).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    let mk = |id: &str, state: &str, ct: ChangeType| {
+        Row::with_change(
+            vec![Value::String(id.into()), Value::String(state.into())],
+            ct,
+        )
+    };
+    w.append(RowSet::new(vec![
+        mk("order-1", "created", ChangeType::Upsert),
+        mk("order-2", "created", ChangeType::Upsert),
+    ]))
+    .unwrap();
+    w.append(RowSet::new(vec![
+        mk("order-1", "shipped", ChangeType::Upsert),
+        mk("order-2", "", ChangeType::Delete),
+        mk("order-3", "created", ChangeType::Upsert),
+    ]))
+    .unwrap();
+    let opts = ScanOptions {
+        resolve_changes: true,
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    let mut got: Vec<(String, String)> = res
+        .rows
+        .iter()
+        .map(|(_, row)| {
+            (
+                row.values[0].as_str().unwrap().into(),
+                row.values[1].as_str().unwrap().into(),
+            )
+        })
+        .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            ("order-1".into(), "shipped".into()),
+            ("order-3".into(), "created".into())
+        ]
+    );
+    // Raw scan (no resolution) sees all 5 change records.
+    let raw = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(raw.rows.len(), 5);
+}
+
+#[test]
+fn cdc_resolution_survives_conversion() {
+    let r = rig();
+    let cdc_schema = Schema::new(vec![
+        Field::required("id", FieldType::String),
+        Field::required("v", FieldType::Int64),
+    ])
+    .with_primary_key(&["id"]);
+    let t = r.sms.create_table("cdc2", cdc_schema).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    let mk = |id: &str, v: i64, ct: ChangeType| {
+        Row::with_change(vec![Value::String(id.into()), Value::Int64(v)], ct)
+    };
+    w.append(RowSet::new(
+        (0..20).map(|i| mk(&format!("k{i}"), i, ChangeType::Upsert)).collect(),
+    ))
+    .unwrap();
+    w.append(RowSet::new(
+        (0..10).map(|i| mk(&format!("k{i}"), 100 + i, ChangeType::Upsert)).collect(),
+    ))
+    .unwrap();
+    let s = w.stream_id();
+    r.sms.finalize_stream(t.table, s).unwrap();
+    r.opt.convert_wos(t.table).unwrap();
+    let opts = ScanOptions {
+        resolve_changes: true,
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    assert_eq!(res.rows.len(), 20);
+    let sum: i64 = res
+        .rows
+        .iter()
+        .map(|(_, row)| row.values[1].as_i64().unwrap())
+        .sum();
+    // k0..k9 → 100..109, k10..19 → 10..19.
+    let expect: i64 = (100..110).sum::<i64>() + (10..20).sum::<i64>();
+    assert_eq!(sum, expect);
+}
+
+#[test]
+fn count_with_predicate() {
+    let r = rig();
+    let t = load_converted(&r, 150);
+    let n = r
+        .engine
+        .count(
+            t,
+            r.sms.read_snapshot(),
+            &ScanOptions {
+                predicate: Expr::lt("amount", Value::Int64(30)),
+                ..ScanOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(n, 30);
+}
+
+#[test]
+fn delete_nothing_is_a_noop() {
+    let r = rig();
+    let t = load_converted(&r, 50);
+    let report = r
+        .dml
+        .delete_where(t, &Expr::eq("amount", Value::Int64(9999)))
+        .unwrap();
+    assert_eq!(report.rows_matched, 0);
+    assert_eq!(report.fragments_masked, 0);
+    assert_eq!(
+        r.engine
+            .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+            .unwrap()
+            .rows
+            .len(),
+        50
+    );
+}
+
+#[test]
+fn repeated_deletes_layer_masks() {
+    let r = rig();
+    let t = load_converted(&r, 100);
+    r.dml
+        .delete_where(t, &Expr::lt("amount", Value::Int64(10)))
+        .unwrap();
+    r.dml
+        .delete_where(t, &Expr::ge("amount", Value::Int64(90)))
+        .unwrap();
+    let res = r
+        .engine
+        .scan(t, r.sms.read_snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(amounts(&res.rows), (10..90).collect::<Vec<_>>());
+}
+
+// ---------------------------------------------------------------------
+// SQL front-end.
+// ---------------------------------------------------------------------
+
+use crate::sql::{SqlResult, SqlSession};
+
+fn sql_rig() -> (Rig, SqlSession) {
+    let r = rig();
+    let session = SqlSession::new(r.client.clone());
+    (r, session)
+}
+
+fn rows_of(res: &SqlResult) -> &Vec<Vec<Value>> {
+    match res {
+        SqlResult::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn sql_select_where_order_limit() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 120)).unwrap();
+
+    let res = sql
+        .execute("SELECT amount, customer FROM sales WHERE amount >= 100 AND amount < 110 ORDER BY amount DESC LIMIT 3;")
+        .unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0][0], Value::Int64(109));
+    assert_eq!(got[1][0], Value::Int64(108));
+    assert_eq!(got[2][0], Value::Int64(107));
+    match &res {
+        SqlResult::Rows { columns, .. } => assert_eq!(columns, &vec!["amount".to_string(), "customer".to_string()]),
+        _ => unreachable!(),
+    }
+    // Star projection.
+    let res = sql.execute("SELECT * FROM sales LIMIT 5").unwrap();
+    assert_eq!(rows_of(&res).len(), 5);
+    assert_eq!(rows_of(&res)[0].len(), 3);
+}
+
+#[test]
+fn sql_aggregates_and_group_by() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 200)).unwrap();
+
+    let res = sql
+        .execute("SELECT day, COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM sales GROUP BY day ORDER BY day")
+        .unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got.len(), 2); // days 0 and 1
+    assert_eq!(got[0][0], Value::Int64(0));
+    assert_eq!(got[0][1], Value::Int64(100));
+    assert_eq!(got[0][3], Value::Int64(0));
+    assert_eq!(got[0][4], Value::Int64(99));
+    // Global aggregate.
+    let res = sql.execute("SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(200));
+    // SUM over a filter.
+    let res = sql
+        .execute("SELECT SUM(amount) FROM sales WHERE amount < 3")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(3)); // 0+1+2
+    // AVG: grouped and filtered.
+    let res = sql
+        .execute("SELECT day, AVG(amount) FROM sales GROUP BY day ORDER BY day")
+        .unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got[0][1], Value::Float64(49.5));
+    assert_eq!(got[1][1], Value::Float64(149.5));
+    let res = sql
+        .execute("SELECT AVG(amount) FROM sales WHERE amount < 4")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Float64(1.5)); // mean of 0..=3
+    // AVG over an empty selection is NULL.
+    let res = sql
+        .execute("SELECT AVG(amount) FROM sales WHERE amount < 0")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Null);
+}
+
+#[test]
+fn sql_delete_and_update() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 50)).unwrap();
+
+    let res = sql
+        .execute("DELETE FROM sales WHERE amount < 10")
+        .unwrap();
+    match res {
+        SqlResult::Dml(rep) => assert_eq!(rep.rows_matched, 10),
+        other => panic!("{other:?}"),
+    }
+    let res = sql.execute("SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(40));
+
+    sql.execute("UPDATE sales SET customer = 'vip' WHERE amount = 42")
+        .unwrap();
+    let res = sql
+        .execute("SELECT customer FROM sales WHERE amount = 42")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::String("vip".into()));
+}
+
+#[test]
+fn sql_time_travel_as_of() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 10)).unwrap();
+    r.clock.advance(1_000);
+    let snap = r.sms.read_snapshot().micros();
+    r.clock.advance(1_000);
+    w.append(rows(10, 10)).unwrap();
+
+    let res = sql
+        .execute(&format!(
+            "SELECT COUNT(*) FROM sales FOR SYSTEM_TIME AS OF {snap}"
+        ))
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(10));
+    let res = sql.execute("SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(20));
+}
+
+#[test]
+fn sql_predicates_full_grammar() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 100)).unwrap();
+
+    let count = |q: &str| -> i64 {
+        match sql.execute(q).unwrap() {
+            SqlResult::Rows { rows, .. } => match rows[0][0] {
+                Value::Int64(n) => n,
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    };
+    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE amount != 5"), 99);
+    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE amount <> 5"), 99);
+    assert_eq!(
+        count("SELECT COUNT(*) FROM sales WHERE (amount < 10 OR amount >= 90) AND NOT amount = 0"),
+        19
+    );
+    // k=3 and k=53 both map to cust-0003 on day 0.
+    assert_eq!(
+        count("SELECT COUNT(*) FROM sales WHERE customer = 'cust-0003' AND day = 0"),
+        2
+    );
+    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE day IS NULL"), 0);
+    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE day IS NOT NULL"), 100);
+    // Numeric coercion: float literal vs INT64 column.
+    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE amount > 97.5"), 2);
+}
+
+#[test]
+fn sql_cdc_tables_resolve_changes() {
+    let (r, sql) = sql_rig();
+    let cdc_schema = Schema::new(vec![
+        Field::required("id", FieldType::String),
+        Field::required("v", FieldType::Int64),
+    ])
+    .with_primary_key(&["id"]);
+    let t = r.sms.create_table("kv", cdc_schema).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    let up = |id: &str, v: i64| {
+        Row::with_change(
+            vec![Value::String(id.into()), Value::Int64(v)],
+            ChangeType::Upsert,
+        )
+    };
+    w.append(RowSet::new(vec![up("a", 1), up("b", 2)])).unwrap();
+    w.append(RowSet::new(vec![up("a", 10)])).unwrap();
+    // SQL over a primary-keyed table sees resolved state.
+    let res = sql.execute("SELECT id, v FROM kv ORDER BY id").unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0][1], Value::Int64(10));
+    assert_eq!(got[1][1], Value::Int64(2));
+}
+
+#[test]
+fn sql_errors_are_reported() {
+    let (r, sql) = sql_rig();
+    r.sms.create_table("sales", schema()).unwrap();
+    for bad in [
+        "SELEC * FROM sales",
+        "SELECT * FROM nonexistent",
+        "SELECT bogus FROM sales",
+        "SELECT * FROM sales WHERE amount >",
+        "SELECT amount FROM sales GROUP BY day", // non-grouped column
+        "SELECT * FROM sales LIMIT 'x'",
+        "DELETE FROM sales", // DELETE requires WHERE in this dialect
+        "SELECT COUNT(* FROM sales",
+        "SELECT * FROM sales WHERE name = 'unterminated",
+    ] {
+        assert!(sql.execute(bad).is_err(), "should fail: {bad}");
+    }
+}
+
+#[test]
+fn sql_result_renders_as_table() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 3)).unwrap();
+    let res = sql.execute("SELECT amount, customer FROM sales ORDER BY amount").unwrap();
+    let table = res.to_table();
+    assert!(table.contains("amount"), "{table}");
+    assert!(table.contains("(3 row(s))"), "{table}");
+    let res = sql.execute("DELETE FROM sales WHERE amount = 0").unwrap();
+    assert!(res.to_table().contains("1 row(s) affected"));
+}
+
+#[test]
+fn sql_views_define_expand_and_drop() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 100)).unwrap();
+
+    // Define a filtered, projected view.
+    sql.execute("CREATE VIEW big_sales AS SELECT customer, amount FROM sales WHERE amount >= 90")
+        .unwrap();
+    // Duplicate rejected.
+    assert!(sql
+        .execute("CREATE VIEW big_sales AS SELECT * FROM sales")
+        .is_err());
+
+    // Query through the view: outer predicate composes with the view's.
+    let res = sql
+        .execute("SELECT customer, amount FROM big_sales WHERE amount < 95 ORDER BY amount")
+        .unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got.len(), 5); // 90..94
+    assert_eq!(got[0][1], Value::Int64(90));
+
+    // `SELECT *` through the view exposes only the view's projection.
+    let res = sql.execute("SELECT * FROM big_sales").unwrap();
+    match &res {
+        SqlResult::Rows { columns, rows } => {
+            assert_eq!(columns, &vec!["customer".to_string(), "amount".to_string()]);
+            assert_eq!(rows.len(), 10);
+        }
+        _ => unreachable!(),
+    }
+
+    // Columns outside the projection are rejected.
+    assert!(sql.execute("SELECT day FROM big_sales").is_err());
+
+    // Aggregates over the view work.
+    let res = sql.execute("SELECT COUNT(*) FROM big_sales").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(10));
+
+    // DROP removes it; subsequent queries fail to resolve.
+    sql.execute("DROP VIEW big_sales").unwrap();
+    assert!(sql.execute("SELECT * FROM big_sales").is_err());
+    assert!(sql.execute("DROP VIEW big_sales").is_err());
+
+    // Complex view bodies are rejected up front.
+    assert!(sql
+        .execute("CREATE VIEW v AS SELECT COUNT(*) FROM sales")
+        .is_err());
+    assert!(sql
+        .execute("CREATE VIEW v AS SELECT day FROM sales GROUP BY day")
+        .is_err());
+}
+
+#[test]
+fn sql_view_definitions_roundtrip_render() {
+    // The stored canonical text must itself parse (render → parse fixpoint).
+    let (r, sql) = sql_rig();
+    r.sms.create_table("sales", schema()).unwrap();
+    sql.execute(
+        "CREATE VIEW v AS SELECT customer FROM sales WHERE (day = 1 OR day = 2) AND NOT customer = 'x''y'",
+    )
+    .unwrap();
+    let res = sql.execute("SELECT COUNT(*) FROM v").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(0));
+}
+
+#[test]
+fn sql_insert_values() {
+    let (r, sql) = sql_rig();
+    r.sms.create_table("sales", schema()).unwrap();
+    let res = sql
+        .execute("INSERT INTO sales VALUES (0, 'walk-in', 500), (1, 'walk-in', 750);")
+        .unwrap();
+    match res {
+        SqlResult::Dml(rep) => assert_eq!(rep.rows_matched, 2),
+        other => panic!("{other:?}"),
+    }
+    // Read-after-write through SQL.
+    let res = sql
+        .execute("SELECT amount FROM sales WHERE customer = 'walk-in' ORDER BY amount")
+        .unwrap();
+    let got = rows_of(&res);
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0][0], Value::Int64(500));
+    // A second INSERT reuses the session's stream (exactly-once offsets).
+    sql.execute("INSERT INTO sales VALUES (2, 'walk-in', 900)").unwrap();
+    let res = sql.execute("SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(3));
+    // Arity mismatch rejected.
+    assert!(sql.execute("INSERT INTO sales VALUES (1, 'x')").is_err());
+    assert!(sql.execute("INSERT INTO nope VALUES (1, 'x', 2)").is_err());
+}
+
+// ---------------------------------------------------------------------
+// SQL round-trip properties: rendering a parsed expression and parsing
+// it back reaches a fixpoint after one normalization pass. Views are
+// stored as rendered text (canonical form), so render/parse stability is
+// what keeps a view's meaning constant across save/load cycles.
+// ---------------------------------------------------------------------
+
+mod sql_roundtrip {
+    use proptest::prelude::*;
+
+    use crate::expr::{CmpOp, Expr};
+    use crate::sql::{parse, render_expr, Statement};
+    use vortex_common::row::Value;
+
+    fn arb_literal() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int64),
+            "[a-z '0-9]{0,10}".prop_map(Value::String),
+            any::<bool>().prop_map(Value::Bool),
+            Just(Value::Null),
+        ]
+    }
+
+    fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+        ]
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            ("[a-z][a-z_0-9]{0,7}", arb_cmp_op(), arb_literal()).prop_map(
+                |(column, op, value)| Expr::Cmp { column, op, value }
+            ),
+            "[a-z][a-z_0-9]{0,7}".prop_map(Expr::IsNull),
+        ];
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| Expr::Not(Box::new(a))),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        // parse(render(e)) succeeds, and render is a fixpoint after one
+        // pass: render(parse(render(e))) == render(e) textually, and the
+        // parsed tree is stable thereafter.
+        #[test]
+        fn expr_render_parse_fixpoint(e in arb_expr()) {
+            let sql = format!("SELECT * FROM t WHERE {}", render_expr(&e));
+            let stmt = parse(&sql).unwrap();
+            let Statement::Select { predicate, .. } = &stmt else {
+                panic!("expected SELECT, got {stmt:?}");
+            };
+            let rendered = render_expr(predicate);
+            let again = parse(&format!("SELECT * FROM t WHERE {rendered}")).unwrap();
+            let Statement::Select { predicate: p2, .. } = &again else {
+                panic!("expected SELECT");
+            };
+            prop_assert_eq!(predicate, p2);
+            prop_assert_eq!(render_expr(p2), rendered);
+        }
+
+        // Keyword case-insensitivity: upper/lower spellings of the
+        // connective keywords parse to the same tree.
+        #[test]
+        fn keyword_case_insensitive(e in arb_expr()) {
+            let base = format!("SELECT * FROM t WHERE {}", render_expr(&e));
+            let lower = base
+                .replace(" AND ", " and ")
+                .replace(" OR ", " or ")
+                .replace("NOT (", "not (")
+                .replace(" IS NULL", " is null");
+            let a = parse(&base).unwrap();
+            let b = parse(&lower).unwrap();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}
+
+#[test]
+fn sql_across_schema_evolution() {
+    let (r, sql) = sql_rig();
+    let t = r.sms.create_table("sales", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 10)).unwrap();
+
+    // Additive evolution: a nullable `region` column (§5.4.1).
+    let mut evolved = t.schema.clone();
+    evolved.fields.push(vortex_common::schema::Field::nullable(
+        "region",
+        FieldType::String,
+    ));
+    r.sms.update_schema(t.table, evolved).unwrap();
+
+    // Old rows are padded with NULL for the new column.
+    let res = sql
+        .execute("SELECT region FROM sales WHERE amount = 5")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Null);
+    let res = sql
+        .execute("SELECT COUNT(*) FROM sales WHERE region IS NULL")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::Int64(10));
+
+    // New INSERTs must supply the new arity, and read back.
+    sql.execute("INSERT INTO sales VALUES (9, 'acme', 777, 'emea')")
+        .unwrap();
+    let res = sql
+        .execute("SELECT region FROM sales WHERE amount = 777")
+        .unwrap();
+    assert_eq!(rows_of(&res)[0][0], Value::String("emea".into()));
+    // Old-arity INSERT is rejected post-evolution.
+    assert!(sql.execute("INSERT INTO sales VALUES (9, 'x', 1)").is_err());
+}

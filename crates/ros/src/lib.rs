@@ -1,0 +1,28 @@
+//! Read-Optimized Storage (ROS): the columnar block format.
+//!
+//! "The read-optimized storage format ... is the format in which data is
+//! optimized for data processing. Typically, this is a columnar format"
+//! (§5.1). BigQuery managed tables use Capacitor, BigLake tables use
+//! Parquet; this crate is the from-scratch stand-in for both: a columnar
+//! block with per-column adaptive encodings (plain / dictionary /
+//! run-length), per-column min/max properties, a bloom filter over the
+//! partitioning and clustering keys, whole-block compression and
+//! encryption, and an end-of-file CRC.
+//!
+//! Each row carries its provenance ([`RowMeta`]): the source stream, the
+//! streamlet row offset, the server-assigned TrueTime timestamp, and the
+//! `_CHANGE_TYPE`. Provenance gives the Storage Optimizer its
+//! exactly-once conversion audit trail (§6.3) and gives merge-on-read
+//! UPSERT/DELETE resolution a total order (§4.2.6).
+//!
+//! Column data decodes lazily: scanning one column of a wide table only
+//! pays for that column — the property the WOS→ROS conversion exists to
+//! buy (bench C5).
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod encoding;
+
+pub use block::{RosBlock, RosBlockBuilder, RowMeta};
+pub use encoding::Encoding;

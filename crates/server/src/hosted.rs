@@ -1,0 +1,748 @@
+//! Per-streamlet write state: the heart of the data plane.
+//!
+//! A [`HostedStreamlet`] owns the current fragment's [`FragmentWriter`],
+//! performs the dual-cluster synchronous writes, accumulates column
+//! properties and bloom keys, and runs the paper's error path: failed
+//! replica write → close fragment → retry on the next fragment → on
+//! repeated failure, finalize the streamlet (§5.3, §5.6).
+
+use std::collections::HashSet;
+
+use vortex_colossus::StorageFleet;
+use vortex_common::bloom::BloomFilter;
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::{FragmentId, IdGen};
+use vortex_common::row::RowSet;
+use vortex_common::schema::FieldMode;
+use vortex_common::stats::ColumnStats;
+use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_sms::heartbeat::{FragmentDelta, StreamletDelta};
+use vortex_sms::meta::wos_path;
+use vortex_sms::server_ctl::StreamletSpec;
+use vortex_wos::{FileMapEntry, FragmentConfig, FragmentWriter};
+
+/// Acknowledgement of a successful append.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendAck {
+    /// Stream-level row offset of the first appended row.
+    pub first_stream_row: u64,
+    /// Rows appended.
+    pub row_count: u64,
+    /// Virtual completion time (max over both replica writes, queued on
+    /// the log file).
+    pub completion: Timestamp,
+    /// Total sampled service time in microseconds.
+    pub service_us: u64,
+}
+
+/// State of one fragment currently being written.
+struct CurrentFragment {
+    writer: FragmentWriter,
+    fragment: FragmentId,
+    ordinal: u32,
+    path: String,
+    stats: Vec<(usize, String, ColumnStats)>,
+    bloom_keys: HashSet<Vec<u8>>,
+    ts_range: Option<(Timestamp, Timestamp)>,
+    dirty: bool,
+    /// Expected log-file length per replica cluster. The server assumes
+    /// it is the sole writer; a length mismatch after an append means a
+    /// foreign record (a reconciliation sentinel, §5.6) landed in the
+    /// file — ownership is relinquished immediately.
+    expected_lens: [u64; 2],
+}
+
+/// A fragment this streamlet finished writing.
+#[derive(Debug, Clone)]
+pub struct DoneFragment {
+    /// Fragment id.
+    pub fragment: FragmentId,
+    /// Ordinal within the streamlet.
+    pub ordinal: u32,
+    /// Streamlet-relative first row.
+    pub first_row: u64,
+    /// Committed rows.
+    pub row_count: u64,
+    /// Committed (logical) byte size.
+    pub committed_size: u64,
+    /// Column properties at finalization.
+    pub stats: Vec<(String, ColumnStats)>,
+    /// Record timestamp range.
+    pub ts_range: Option<(Timestamp, Timestamp)>,
+    /// Whether this fragment still needs to appear in a heartbeat.
+    pub dirty: bool,
+}
+
+/// Tunables shared with the server.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteTuning {
+    /// Max bytes of rows per data block (§5.4.4's 2 MB buffer).
+    pub block_buffer_bytes: usize,
+    /// Max logical fragment size before rotation (§5.3).
+    pub fragment_max_bytes: u64,
+}
+
+/// One streamlet hosted by a Stream Server.
+pub struct HostedStreamlet {
+    /// The creation spec (table, stream, clusters, schema, key, epoch).
+    pub spec: StreamletSpec,
+    current: Option<CurrentFragment>,
+    done: Vec<DoneFragment>,
+    rows_acked: u64,
+    finalized: bool,
+    revoked: bool,
+    max_flush_row: Option<u64>,
+    flush_dirty: bool,
+    rows_dirty: bool,
+    /// True when the last log record is a data block (commit piggyback
+    /// pending, §7.1).
+    uncommitted_tail: bool,
+    last_append_at: Timestamp,
+}
+
+impl HostedStreamlet {
+    /// Opens the streamlet: creates fragment 0 by writing its header to
+    /// both replica clusters.
+    pub fn open(
+        spec: StreamletSpec,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<Self> {
+        let mut sl = Self {
+            spec,
+            current: None,
+            done: vec![],
+            rows_acked: 0,
+            finalized: false,
+            revoked: false,
+            max_flush_row: None,
+            flush_dirty: false,
+            rows_dirty: false,
+            uncommitted_tail: false,
+            last_append_at: Timestamp::MIN,
+        };
+        sl.open_fragment(0, ids, fleet, tt)?;
+        Ok(sl)
+    }
+
+    fn tracked_columns(&self) -> Vec<(usize, String)> {
+        self.spec
+            .schema
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                !matches!(f.ftype, vortex_common::schema::FieldType::Struct(_))
+                    && f.mode != FieldMode::Repeated
+            })
+            .map(|(i, f)| (i, f.name.clone()))
+            .collect()
+    }
+
+    fn key_columns(&self) -> Vec<usize> {
+        let schema = &self.spec.schema;
+        let mut cols = Vec::new();
+        if let Some(p) = &schema.partition {
+            if let Some(i) = schema.column_index(&p.column) {
+                cols.push(i);
+            }
+        }
+        for c in &schema.clustering {
+            if let Some(i) = schema.column_index(c) {
+                if !cols.contains(&i) {
+                    cols.push(i);
+                }
+            }
+        }
+        cols
+    }
+
+    fn open_fragment(
+        &mut self,
+        ordinal: u32,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<()> {
+        let fragment = ids.next_fragment();
+        let cfg = FragmentConfig {
+            streamlet: self.spec.streamlet,
+            fragment,
+            ordinal,
+            schema_version: self.spec.schema.version,
+            key: self.spec.key.clone(),
+        };
+        let file_map: Vec<FileMapEntry> = self
+            .done
+            .iter()
+            .map(|d| FileMapEntry {
+                ordinal: d.ordinal,
+                fragment: d.fragment,
+                committed_size: d.committed_size,
+                first_row: d.first_row,
+                row_count: d.row_count,
+            })
+            .collect();
+        let (writer, header) =
+            FragmentWriter::new(cfg, self.rows_acked, file_map, tt.record_timestamp());
+        let path = wos_path(self.spec.table, self.spec.streamlet, ordinal);
+        let header_len = header.len() as u64;
+        let (_, _, lens) = self.write_both(fleet, &path, &header, Timestamp::MIN)?;
+        // A fresh fragment file must contain exactly our header; anything
+        // else means a previous incarnation (or a zombie) owns the path.
+        if lens != [header_len, header_len] {
+            return Err(VortexError::LeaseLost(format!(
+                "fragment file {path} not empty at open: {lens:?}"
+            )));
+        }
+        let stats = self
+            .tracked_columns()
+            .into_iter()
+            .map(|(i, n)| (i, n, ColumnStats::new()))
+            .collect();
+        self.current = Some(CurrentFragment {
+            writer,
+            fragment,
+            ordinal,
+            path,
+            stats,
+            bloom_keys: HashSet::new(),
+            ts_range: None,
+            dirty: true,
+            expected_lens: [header_len, header_len],
+        });
+        Ok(())
+    }
+
+    /// Appends `bytes` to the same path in both replica clusters —
+    /// physical replication (§5.6). Returns (service_us, completion).
+    fn write_both(
+        &self,
+        fleet: &StorageFleet,
+        path: &str,
+        bytes: &[u8],
+        start: Timestamp,
+    ) -> VortexResult<(u64, Timestamp, [u64; 2])> {
+        let mut completion = Timestamp::MIN;
+        // The two replica writes happen in parallel in production; the
+        // latency is their max, which is what the virtual clock records.
+        let mut max_service = 0u64;
+        let mut lens = [0u64; 2];
+        for (i, c) in self.spec.clusters.into_iter().enumerate() {
+            let cluster = fleet.get(c)?;
+            let out = cluster.append(path, bytes, start)?;
+            max_service = max_service.max(out.service_us);
+            completion = completion.max(out.completion);
+            lens[i] = out.new_len;
+        }
+        Ok((max_service, completion, lens))
+    }
+
+    /// Dual write with the sole-writer check: the append only counts if
+    /// BOTH files grew by exactly our bytes from the expected lengths —
+    /// otherwise a sentinel (or any foreign writer) got in and ownership
+    /// is gone (§5.6: the sentinel "causes it to relinquish ownership").
+    fn write_owned(
+        &mut self,
+        fleet: &StorageFleet,
+        bytes: &[u8],
+        start: Timestamp,
+    ) -> VortexResult<(u64, Timestamp)> {
+        let (path, expected) = {
+            let cur = self
+                .current
+                .as_ref()
+                .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
+            (cur.path.clone(), cur.expected_lens)
+        };
+        let (svc, done, lens) = self.write_both(fleet, &path, bytes, start)?;
+        let want = [
+            expected[0] + bytes.len() as u64,
+            expected[1] + bytes.len() as u64,
+        ];
+        if lens != want {
+            return Err(VortexError::LeaseLost(format!(
+                "foreign bytes in {path}: expected lens {want:?}, observed {lens:?}"
+            )));
+        }
+        if let Some(cur) = self.current.as_mut() {
+            cur.expected_lens = want;
+        }
+        Ok((svc, done))
+    }
+
+    /// Rotates to the next fragment: records the current one as done
+    /// (optionally writing bloom + footer) and opens the next with a File
+    /// Map covering all previous fragments.
+    fn rotate(
+        &mut self,
+        write_footer: bool,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<()> {
+        let cur = self
+            .current
+            .take()
+            .ok_or_else(|| VortexError::Internal("rotate without current fragment".into()))?;
+        let done = self.seal_fragment(cur, write_footer, fleet, tt);
+        let next_ordinal = done.ordinal + 1;
+        self.done.push(done);
+        self.open_fragment(next_ordinal, ids, fleet, tt)
+    }
+
+    /// Seals a fragment: writes bloom + footer when asked (and possible),
+    /// and produces its [`DoneFragment`] record.
+    fn seal_fragment(
+        &mut self,
+        mut cur: CurrentFragment,
+        write_footer: bool,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> DoneFragment {
+        let first_row = cur.writer.first_row();
+        let row_count = cur.writer.rows_written();
+        let mut committed_size = cur.writer.logical_size();
+        if write_footer {
+            let mut bloom = BloomFilter::with_capacity(cur.bloom_keys.len().max(16), 0.01);
+            for k in &cur.bloom_keys {
+                bloom.insert(k);
+            }
+            if let Ok(chunk) = cur.writer.finalize(&bloom, tt.record_timestamp()) {
+                // Best-effort, but still length-checked: a poisoned file
+                // must not have its committed size extended.
+                let want = [
+                    cur.expected_lens[0] + chunk.len() as u64,
+                    cur.expected_lens[1] + chunk.len() as u64,
+                ];
+                if let Ok((_, _, lens)) =
+                    self.write_both(fleet, &cur.path, &chunk, Timestamp::MIN)
+                {
+                    if lens == want {
+                        cur.expected_lens = want;
+                        committed_size = cur.writer.logical_size();
+                        self.uncommitted_tail = false;
+                    }
+                }
+            }
+        }
+        DoneFragment {
+            fragment: cur.fragment,
+            ordinal: cur.ordinal,
+            first_row,
+            row_count,
+            committed_size,
+            stats: cur.stats.drain(..).map(|(_, n, s)| (n, s)).collect(),
+            ts_range: cur.ts_range,
+            dirty: true,
+        }
+    }
+
+    /// The append path. `expected_stream_offset` implements the offset
+    /// idempotency check of §4.2.2; `declared_schema_version` implements
+    /// the schema relay of §5.4.1 (`latest_version` is the server's most
+    /// recent knowledge for the table).
+    #[allow(clippy::too_many_arguments)]
+    pub fn append(
+        &mut self,
+        rows: &RowSet,
+        declared_schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+        latest_version: u32,
+        tuning: WriteTuning,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<AppendAck> {
+        if self.revoked || self.finalized {
+            return Err(VortexError::StreamletFinalized(self.spec.streamlet));
+        }
+        if rows.is_empty() {
+            return Err(VortexError::InvalidArgument("empty append".into()));
+        }
+        if declared_schema_version < latest_version {
+            return Err(VortexError::SchemaVersionMismatch {
+                table: self.spec.table,
+                writer_version: declared_schema_version,
+                current_version: latest_version,
+            });
+        }
+        let next_offset = self.spec.first_stream_row + self.rows_acked;
+        if let Some(expected) = expected_stream_offset {
+            if expected != next_offset {
+                return Err(VortexError::OffsetMismatch {
+                    stream: self.spec.stream,
+                    provided: expected,
+                    expected: next_offset,
+                });
+            }
+        }
+        // Row validation against the schema the server holds (when the
+        // writer speaks the same version).
+        if declared_schema_version == self.spec.schema.version {
+            for r in &rows.rows {
+                self.spec.schema.validate_row(r)?;
+            }
+        }
+
+        // Chunk into ≤ block_buffer_bytes blocks (§5.4.4).
+        let mut chunks: Vec<RowSet> = Vec::new();
+        let mut acc = RowSet::default();
+        let mut acc_bytes = 0usize;
+        for r in &rows.rows {
+            let rb = r.approx_bytes();
+            if acc_bytes + rb > tuning.block_buffer_bytes && !acc.is_empty() {
+                chunks.push(std::mem::take(&mut acc));
+                acc_bytes = 0;
+            }
+            acc_bytes += rb;
+            acc.rows.push(r.clone());
+        }
+        if !acc.is_empty() {
+            chunks.push(acc);
+        }
+
+        let first_stream_row = next_offset;
+        let mut total_service = 0u64;
+        let mut completion = start;
+        for chunk in &chunks {
+            let ts = tt.record_timestamp();
+            let (svc, done_at) = self.write_chunk(chunk, ts, completion, tuning, ids, fleet, tt)?;
+            total_service += svc;
+            completion = done_at;
+            // Account the chunk only after both replicas acked.
+            self.rows_acked += chunk.len() as u64;
+            self.rows_dirty = true;
+            self.uncommitted_tail = true;
+            self.last_append_at = ts;
+            self.record_properties(chunk, ts);
+            // Rotate when the fragment hits its max size.
+            let needs_rotate = self
+                .current
+                .as_ref()
+                .map(|c| c.writer.logical_size() >= tuning.fragment_max_bytes)
+                .unwrap_or(false);
+            if needs_rotate {
+                self.rotate(true, ids, fleet, tt)?;
+            }
+        }
+        Ok(AppendAck {
+            first_stream_row,
+            row_count: rows.len() as u64,
+            completion,
+            service_us: total_service,
+        })
+    }
+
+    /// Writes one data block, running the §5.3 error path on failure:
+    /// close the fragment, retry on the next one, finalize the streamlet
+    /// if the retry fails too.
+    #[allow(clippy::too_many_arguments)]
+    fn write_chunk(
+        &mut self,
+        chunk: &RowSet,
+        ts: Timestamp,
+        start: Timestamp,
+        _tuning: WriteTuning,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<(u64, Timestamp)> {
+        for attempt in 0..2 {
+            let cur = self
+                .current
+                .as_mut()
+                .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
+            // Snapshot the acked extent BEFORE encoding: a failed block
+            // must not count toward the fragment's committed size or rows.
+            let pre_size = cur.writer.logical_size();
+            let pre_rows = cur.writer.rows_written();
+            let block = cur.writer.data_block(chunk, ts)?;
+            match self.write_owned(fleet, &block, start) {
+                Ok(out) => return Ok(out),
+                Err(e @ VortexError::LeaseLost(_)) => {
+                    // A reconciler poisoned the log (§5.6): relinquish
+                    // ownership immediately — never retry on a new
+                    // fragment, the SMS owns this streamlet's fate now.
+                    self.finalized = true;
+                    self.revoked = true;
+                    return Err(VortexError::Unavailable(format!(
+                        "streamlet {} relinquished: {e}",
+                        self.spec.streamlet
+                    )));
+                }
+                Err(e) if attempt == 0 => {
+                    // First failure: the block may be torn in one replica.
+                    // Close this fragment at its pre-failure extent and
+                    // retry on the next one (§5.3); the new fragment's
+                    // File Map records the committed size of this one.
+                    let _ = e;
+                    self.force_close_current(fleet, tt, pre_size, pre_rows);
+                    self.open_fragment_after_failure(ids, fleet, tt)?;
+                }
+                Err(e) => {
+                    // Second failure: finalize the streamlet; the client
+                    // reconciles with the SMS and writes elsewhere (§5.3).
+                    self.finalized = true;
+                    return Err(VortexError::Unavailable(format!(
+                        "streamlet {} finalized after repeated write failures: {e}",
+                        self.spec.streamlet
+                    )));
+                }
+            }
+        }
+        unreachable!("loop returns or errors");
+    }
+
+    fn force_close_current(
+        &mut self,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+        acked_size: u64,
+        acked_rows: u64,
+    ) {
+        if let Some(cur) = self.current.take() {
+            // The fragment is closed at its last *acked* extent; no footer
+            // (a replica is failing). The next fragment's File Map records
+            // the committed size (§5.6).
+            let mut done = self.seal_fragment(cur, false, fleet, tt);
+            done.committed_size = acked_size;
+            done.row_count = acked_rows; // fragment-relative acked rows
+            self.done.push(done);
+        }
+    }
+
+    fn open_fragment_after_failure(
+        &mut self,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<()> {
+        let next = self.done.last().map(|d| d.ordinal + 1).unwrap_or(0);
+        match self.open_fragment(next, ids, fleet, tt) {
+            Err(e @ VortexError::LeaseLost(_)) => {
+                // A reconciler fenced the next ordinal with a poison file
+                // (§5.6): ownership is gone; relinquish instead of
+                // retrying.
+                self.finalized = true;
+                self.revoked = true;
+                Err(VortexError::Unavailable(format!(
+                    "streamlet {} relinquished at rotation: {e}",
+                    self.spec.streamlet
+                )))
+            }
+            other => other,
+        }
+    }
+
+    fn record_properties(&mut self, chunk: &RowSet, ts: Timestamp) {
+        let key_cols = self.key_columns();
+        let Some(cur) = self.current.as_mut() else {
+            return;
+        };
+        for r in &chunk.rows {
+            for (idx, _, s) in cur.stats.iter_mut() {
+                if let Some(v) = r.values.get(*idx) {
+                    s.observe(v);
+                }
+            }
+            for k in &key_cols {
+                if let Some(v) = r.values.get(*k) {
+                    cur.bloom_keys.insert(v.encode_key());
+                }
+            }
+        }
+        cur.ts_range = Some(match cur.ts_range {
+            None => (ts, ts),
+            Some((lo, hi)) => (lo.min(ts), hi.max(ts)),
+        });
+        cur.dirty = true;
+    }
+
+    /// Writes one metadata record (commit/flush) with the same error
+    /// path data blocks use: a failed replica write closes the fragment
+    /// at its pre-record extent and retries once on the next fragment; a
+    /// second failure finalizes the streamlet (§5.3). Without this, the
+    /// writer's logical offsets would drift ahead of the file and later
+    /// committed-size reports would point past real bytes.
+    fn write_meta_record(
+        &mut self,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+        encode: impl Fn(&mut FragmentWriter, Timestamp) -> VortexResult<Vec<u8>>,
+    ) -> VortexResult<()> {
+        for attempt in 0..2 {
+            let cur = self
+                .current
+                .as_mut()
+                .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
+            let pre_size = cur.writer.logical_size();
+            let pre_rows = cur.writer.rows_written();
+            let rec = encode(&mut cur.writer, tt.record_timestamp())?;
+            match self.write_owned(fleet, &rec, Timestamp::MIN) {
+                Ok(_) => return Ok(()),
+                Err(e @ VortexError::LeaseLost(_)) => {
+                    self.finalized = true;
+                    self.revoked = true;
+                    return Err(VortexError::Unavailable(format!(
+                        "streamlet {} relinquished: {e}",
+                        self.spec.streamlet
+                    )));
+                }
+                Err(e) if attempt == 0 => {
+                    let _ = e;
+                    self.force_close_current(fleet, tt, pre_size, pre_rows);
+                    self.open_fragment_after_failure(ids, fleet, tt)?;
+                }
+                Err(e) => {
+                    self.finalized = true;
+                    return Err(VortexError::Unavailable(format!(
+                        "streamlet {} finalized after repeated write failures: {e}",
+                        self.spec.streamlet
+                    )));
+                }
+            }
+        }
+        unreachable!("loop returns or errors");
+    }
+
+    /// Writes a commit record if the tail is uncommitted and the streamlet
+    /// has been idle since `idle_after` (§7.1: "written after a small
+    /// period of inactivity").
+    pub fn commit_if_idle(
+        &mut self,
+        now: Timestamp,
+        idle_micros: u64,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<bool> {
+        if !self.uncommitted_tail || self.finalized || self.revoked {
+            return Ok(false);
+        }
+        if now.micros().saturating_sub(self.last_append_at.micros()) < idle_micros {
+            return Ok(false);
+        }
+        if self.current.is_none() {
+            return Ok(false);
+        }
+        self.write_meta_record(ids, fleet, tt, |w, ts| w.commit_record(ts))?;
+        self.uncommitted_tail = false;
+        Ok(true)
+    }
+
+    /// Persists a `FlushStream` watermark (streamlet-relative rows) as a
+    /// flush record in the log (§5.4.4).
+    pub fn flush(
+        &mut self,
+        flush_row: u64,
+        ids: &IdGen,
+        fleet: &StorageFleet,
+        tt: &TrueTime,
+    ) -> VortexResult<()> {
+        if self.revoked {
+            return Err(VortexError::StreamletFinalized(self.spec.streamlet));
+        }
+        if flush_row > self.rows_acked {
+            return Err(VortexError::InvalidArgument(format!(
+                "flush row {flush_row} exceeds streamlet length {}",
+                self.rows_acked
+            )));
+        }
+        if self.current.is_none() {
+            return Err(VortexError::StreamletFinalized(self.spec.streamlet));
+        }
+        self.write_meta_record(ids, fleet, tt, |w, ts| w.flush_record(flush_row, ts))?;
+        self.uncommitted_tail = false;
+        self.max_flush_row = Some(self.max_flush_row.unwrap_or(0).max(flush_row));
+        self.flush_dirty = true;
+        Ok(())
+    }
+
+    /// Finalizes the streamlet: seals the current fragment with bloom +
+    /// footer; no further appends are accepted.
+    pub fn finalize(&mut self, fleet: &StorageFleet, tt: &TrueTime) -> VortexResult<()> {
+        if self.finalized {
+            return Ok(());
+        }
+        if let Some(cur) = self.current.take() {
+            let done = self.seal_fragment(cur, true, fleet, tt);
+            self.done.push(done);
+        }
+        self.finalized = true;
+        self.rows_dirty = true;
+        Ok(())
+    }
+
+    /// Marks the streamlet revoked (SMS reconciliation took ownership).
+    pub fn revoke(&mut self) {
+        self.revoked = true;
+    }
+
+    /// Whether the streamlet still accepts appends.
+    pub fn is_writable(&self) -> bool {
+        !self.finalized && !self.revoked
+    }
+
+    /// Committed streamlet-relative row count.
+    pub fn rows(&self) -> u64 {
+        self.rows_acked
+    }
+
+    /// Completed fragments (metadata view).
+    pub fn done_fragments(&self) -> &[DoneFragment] {
+        &self.done
+    }
+
+    /// Builds this streamlet's heartbeat delta. With `full`, reports all
+    /// fragments; otherwise only dirty ones. Clears dirty flags.
+    pub fn heartbeat_delta(&mut self, full: bool) -> Option<StreamletDelta> {
+        let mut fragments = Vec::new();
+        for d in self.done.iter_mut() {
+            if full || d.dirty {
+                fragments.push(FragmentDelta {
+                    fragment: d.fragment,
+                    ordinal: d.ordinal,
+                    first_row: d.first_row,
+                    row_count: d.row_count,
+                    committed_size: d.committed_size,
+                    finalized: true,
+                    stats: d.stats.clone(),
+                    ts_range: d.ts_range,
+                });
+                d.dirty = false;
+            }
+        }
+        if let Some(cur) = self.current.as_mut() {
+            if full || cur.dirty {
+                fragments.push(FragmentDelta {
+                    fragment: cur.fragment,
+                    ordinal: cur.ordinal,
+                    first_row: cur.writer.first_row(),
+                    row_count: cur.writer.rows_written(),
+                    committed_size: cur.writer.logical_size(),
+                    finalized: false,
+                    stats: cur.stats.iter().map(|(_, n, s)| (n.clone(), s.clone())).collect(),
+                    ts_range: cur.ts_range,
+                });
+                cur.dirty = false;
+            }
+        }
+        let rows_changed = std::mem::take(&mut self.rows_dirty);
+        let flush_changed = std::mem::take(&mut self.flush_dirty);
+        if fragments.is_empty() && !rows_changed && !flush_changed && !full {
+            return None;
+        }
+        Some(StreamletDelta {
+            table: self.spec.table,
+            streamlet: self.spec.streamlet,
+            fragments,
+            row_count: self.rows_acked,
+            max_flush_row: self.max_flush_row,
+            finalized: self.finalized,
+        })
+    }
+}

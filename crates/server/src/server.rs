@@ -1,0 +1,506 @@
+//! The Stream Server task: hosts streamlets, serves appends/flushes,
+//! produces heartbeats, and persists its metadata (§5.3, §5.5).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use vortex_colossus::StorageFleet;
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::{ClusterId, IdGen, ServerId, StreamletId, TableId};
+use vortex_common::row::RowSet;
+use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_sms::heartbeat::{HeartbeatReport, HeartbeatResponse};
+use vortex_sms::meta::wos_path;
+use vortex_sms::server_ctl::{LoadReport, StreamServerCtl, StreamletSpec};
+
+use crate::hosted::{HostedStreamlet, WriteTuning};
+use crate::wal::{ServerLog, WalEvent};
+
+pub use crate::hosted::AppendAck;
+
+/// Stream Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server's id.
+    pub server: ServerId,
+    /// Home cluster (metadata log lives here; placement prefers servers
+    /// in a table's primary cluster).
+    pub cluster: ClusterId,
+    /// Max bytes per data block (§5.4.4's 2 MB write buffer).
+    pub block_buffer_bytes: usize,
+    /// Max logical fragment size before rotation (§5.3).
+    pub fragment_max_bytes: u64,
+    /// Idle period after which a lone commit record is written (§7.1).
+    pub commit_idle_micros: u64,
+    /// Flow-control cap on in-flight (admitted, unacked) bytes (§5.4.2).
+    pub flow_control_bytes: u64,
+}
+
+impl ServerConfig {
+    /// Paper-shaped defaults.
+    pub fn new(server: ServerId, cluster: ClusterId) -> Self {
+        ServerConfig {
+            server,
+            cluster,
+            block_buffer_bytes: vortex_wos::DEFAULT_BLOCK_BUFFER_BYTES,
+            fragment_max_bytes: vortex_wos::DEFAULT_FRAGMENT_MAX_BYTES,
+            commit_idle_micros: 100_000, // 100ms of virtual inactivity
+            flow_control_bytes: 256 << 20,
+        }
+    }
+}
+
+/// A running Stream Server.
+pub struct StreamServer {
+    cfg: ServerConfig,
+    fleet: StorageFleet,
+    tt: TrueTime,
+    ids: Arc<IdGen>,
+    streamlets: RwLock<HashMap<StreamletId, Arc<Mutex<HostedStreamlet>>>>,
+    latest_schema: RwLock<HashMap<TableId, u32>>,
+    quarantined: AtomicBool,
+    in_flight_bytes: AtomicU64,
+    bytes_since_heartbeat: AtomicU64,
+    last_heartbeat_at: AtomicU64,
+    log: Mutex<ServerLog>,
+}
+
+impl StreamServer {
+    /// Starts a server (opening a fresh metadata-log epoch).
+    pub fn new(
+        cfg: ServerConfig,
+        fleet: StorageFleet,
+        tt: TrueTime,
+        ids: Arc<IdGen>,
+    ) -> VortexResult<Arc<Self>> {
+        let home = fleet.get(cfg.cluster)?;
+        let log = ServerLog::open(cfg.server, home)?;
+        Ok(Arc::new(Self {
+            last_heartbeat_at: AtomicU64::new(tt.record_timestamp().0),
+            cfg,
+            fleet,
+            tt,
+            ids,
+            streamlets: RwLock::new(HashMap::new()),
+            latest_schema: RwLock::new(HashMap::new()),
+            quarantined: AtomicBool::new(false),
+            in_flight_bytes: AtomicU64::new(0),
+            bytes_since_heartbeat: AtomicU64::new(0),
+            log: Mutex::new(log),
+        }))
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Marks the server quarantined (rollouts / scale-down, §5.5): it
+    /// keeps serving existing streamlets but receives no new ones.
+    pub fn set_quarantined(&self, v: bool) {
+        self.quarantined.store(v, Ordering::SeqCst);
+    }
+
+    fn tuning(&self) -> WriteTuning {
+        WriteTuning {
+            block_buffer_bytes: self.cfg.block_buffer_bytes,
+            fragment_max_bytes: self.cfg.fragment_max_bytes,
+        }
+    }
+
+    fn hosted(&self, streamlet: StreamletId) -> VortexResult<Arc<Mutex<HostedStreamlet>>> {
+        self.streamlets
+            .read()
+            .get(&streamlet)
+            .cloned()
+            .ok_or_else(|| VortexError::NotFound(format!("streamlet {streamlet} not hosted")))
+    }
+
+    /// Admits `bytes` under flow control, erroring with
+    /// [`VortexError::Throttled`] when the in-flight cap is exceeded
+    /// (§5.4.2: "flow control protects the Stream Server from running out
+    /// of memory"). The returned guard releases on drop.
+    pub fn admit(&self, bytes: u64) -> VortexResult<FlowGuard<'_>> {
+        let prev = self.in_flight_bytes.fetch_add(bytes, Ordering::SeqCst);
+        if prev + bytes > self.cfg.flow_control_bytes {
+            self.in_flight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            return Err(VortexError::Throttled {
+                in_flight_bytes: prev + bytes,
+                limit_bytes: self.cfg.flow_control_bytes,
+            });
+        }
+        Ok(FlowGuard {
+            server: self,
+            bytes,
+        })
+    }
+
+    /// Appends a row batch to a hosted streamlet.
+    ///
+    /// `expected_stream_offset` is the optional `row_offset` of §4.2.2;
+    /// `declared_schema_version` is the writer's schema version;
+    /// `start` is the request's virtual send time (for latency
+    /// accounting; pass `Timestamp::MIN` when not simulating time).
+    pub fn append(
+        &self,
+        streamlet: StreamletId,
+        rows: &RowSet,
+        declared_schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<AppendAck> {
+        let bytes = rows.approx_bytes() as u64;
+        let _guard = self.admit(bytes)?;
+        let hosted = self.hosted(streamlet)?;
+        let mut sl = hosted.lock();
+        let latest = self
+            .latest_schema
+            .read()
+            .get(&sl.spec.table)
+            .copied()
+            .unwrap_or(sl.spec.schema.version);
+        let ack = sl.append(
+            rows,
+            declared_schema_version,
+            expected_stream_offset,
+            start,
+            latest,
+            self.tuning(),
+            &self.ids,
+            &self.fleet,
+            &self.tt,
+        )?;
+        self.bytes_since_heartbeat.fetch_add(bytes, Ordering::Relaxed);
+        Ok(ack)
+    }
+
+    /// Persists a flush watermark (streamlet-relative) to the log
+    /// (§5.4.4). The SMS-side stream watermark is updated separately by
+    /// the client library.
+    pub fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
+        let hosted = self.hosted(streamlet)?;
+        let mut sl = hosted.lock();
+        sl.flush(flush_row, &self.ids, &self.fleet, &self.tt)
+    }
+
+    /// Finalizes a hosted streamlet (bloom + footer on the last
+    /// fragment).
+    pub fn finalize_streamlet(&self, streamlet: StreamletId) -> VortexResult<()> {
+        let hosted = self.hosted(streamlet)?;
+        let mut sl = hosted.lock();
+        sl.finalize(&self.fleet, &self.tt)?;
+        self.log_event(&WalEvent::StreamletFinalized { streamlet });
+        Ok(())
+    }
+
+    /// Idle tick: writes standalone commit records for streamlets whose
+    /// tail has been quiet (§7.1).
+    pub fn tick(&self) -> usize {
+        let now = self.tt.record_timestamp();
+        let mut committed = 0;
+        let all: Vec<_> = self.streamlets.read().values().cloned().collect();
+        for h in all {
+            let mut sl = h.lock();
+            if sl
+                .commit_if_idle(now, self.cfg.commit_idle_micros, &self.ids, &self.fleet, &self.tt)
+                .unwrap_or(false)
+            {
+                committed += 1;
+            }
+        }
+        committed
+    }
+
+    /// Builds the heartbeat report (§5.5): per-streamlet deltas (or full
+    /// state) + load.
+    pub fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
+        let mut deltas = Vec::new();
+        let all: Vec<_> = self.streamlets.read().values().cloned().collect();
+        for h in all {
+            let mut sl = h.lock();
+            if let Some(d) = sl.heartbeat_delta(full_state) {
+                deltas.push(d);
+            }
+        }
+        deltas.sort_by_key(|d| d.streamlet);
+        HeartbeatReport {
+            server: self.cfg.server,
+            load: self.load(),
+            streamlets: deltas,
+            full_state,
+        }
+    }
+
+    /// Applies the SMS's heartbeat response: schema updates, GC orders,
+    /// and unknown-streamlet deletions (age-guarded, §5.4.3). Returns the
+    /// GC acknowledgements to send back via
+    /// [`vortex_sms::SmsTask::ack_gc`].
+    pub fn apply_heartbeat_response(
+        &self,
+        resp: &HeartbeatResponse,
+        min_orphan_age_micros: u64,
+    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+        for (table, version) in &resp.schema_updates {
+            self.notify_schema_version(*table, *version);
+        }
+        let mut acks = Vec::new();
+        for (table, streamlet, ordinals) in &resp.gc {
+            if let Ok(done) = self.gc_fragments(*table, *streamlet, ordinals.clone()) {
+                acks.push((*table, *streamlet, done));
+            }
+        }
+        // Unknown streamlets: delete only if sufficiently old ("this
+        // avoids any in-flight races", §5.4.3).
+        let now = self.tt.record_timestamp();
+        for slid in &resp.unknown_streamlets {
+            let Ok(h) = self.hosted(*slid) else { continue };
+            let age_ok = {
+                let sl = h.lock();
+                now.micros().saturating_sub(sl.spec_created_micros()) >= min_orphan_age_micros
+            };
+            if age_ok {
+                let table = h.lock().spec.table;
+                let ordinals: Vec<u32> = {
+                    let sl = h.lock();
+                    sl.done_fragments().iter().map(|d| d.ordinal).collect()
+                };
+                let _ = self.gc_fragments(table, *slid, ordinals);
+                self.streamlets.write().remove(slid);
+            }
+        }
+        acks
+    }
+
+    /// Writes a metadata checkpoint and truncates the WAL (§5.3).
+    pub fn checkpoint(&self) -> VortexResult<()> {
+        let snapshot = self.snapshot_bytes();
+        let home = self.fleet.get(self.cfg.cluster)?;
+        self.log.lock().checkpoint(home, &snapshot)
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        use vortex_common::codec::put_uvarint;
+        let mut out = Vec::new();
+        let map = self.streamlets.read();
+        put_uvarint(&mut out, map.len() as u64);
+        for (slid, h) in map.iter() {
+            let sl = h.lock();
+            put_uvarint(&mut out, slid.raw());
+            put_uvarint(&mut out, sl.spec.table.raw());
+            put_uvarint(&mut out, sl.rows());
+            put_uvarint(&mut out, sl.done_fragments().len() as u64);
+            out.push(sl.is_writable() as u8);
+        }
+        out
+    }
+
+    /// Recovers hosted-streamlet *identity* from the metadata log of a
+    /// crashed instance: the returned streamlets are known (table, id,
+    /// rows) pairs that the restarted server can heartbeat and GC, but
+    /// never writes to again (the SMS reconciles and re-places them).
+    pub fn recover_summary(
+        cfg: &ServerConfig,
+        fleet: &StorageFleet,
+    ) -> VortexResult<Vec<(TableId, StreamletId, u64)>> {
+        let home = fleet.get(cfg.cluster)?;
+        let (snapshot, events) = ServerLog::recover(cfg.server, home)?;
+        let mut known: HashMap<StreamletId, (TableId, u64)> = HashMap::new();
+        if let Some(snap) = snapshot {
+            use vortex_common::codec::get_uvarint;
+            let mut pos = 0usize;
+            let n = get_uvarint(&snap, &mut pos)? as usize;
+            for _ in 0..n {
+                let slid = StreamletId::from_raw(get_uvarint(&snap, &mut pos)?);
+                let table = TableId::from_raw(get_uvarint(&snap, &mut pos)?);
+                let rows = get_uvarint(&snap, &mut pos)?;
+                let _nfrags = get_uvarint(&snap, &mut pos)?;
+                let _writable = snap.get(pos).copied().unwrap_or(0);
+                pos += 1;
+                known.insert(slid, (table, rows));
+            }
+        }
+        for e in events {
+            match e {
+                WalEvent::StreamletOpened {
+                    table, streamlet, ..
+                } => {
+                    known.entry(streamlet).or_insert((table, 0));
+                }
+                WalEvent::FragmentSealed {
+                    streamlet,
+                    rows,
+                    ordinal,
+                    ..
+                } => {
+                    if let Some((_, r)) = known.get_mut(&streamlet) {
+                        let _ = ordinal;
+                        *r = (*r).max(rows);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(known
+            .into_iter()
+            .map(|(slid, (t, rows))| (t, slid, rows))
+            .collect())
+    }
+}
+
+/// RAII guard for flow-control admission.
+pub struct FlowGuard<'a> {
+    server: &'a StreamServer,
+    bytes: u64,
+}
+
+impl Drop for FlowGuard<'_> {
+    fn drop(&mut self) {
+        self.server
+            .in_flight_bytes
+            .fetch_sub(self.bytes, Ordering::SeqCst);
+    }
+}
+
+impl HostedStreamlet {
+    /// Creation time proxy used for the orphan age guard.
+    fn spec_created_micros(&self) -> u64 {
+        // The epoch in the spec is a counter, not a time; hosted
+        // streamlets track no absolute creation instant, so treat epoch 0
+        // as "old". For simulation purposes the age guard only needs to
+        // distinguish "just created" from "long-lived": long-lived ones
+        // have produced fragments.
+        if self.done_fragments().is_empty() && self.rows() == 0 {
+            u64::MAX // brand new: never old enough to delete
+        } else {
+            0
+        }
+    }
+}
+
+impl StreamServerCtl for StreamServer {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn server_id(&self) -> ServerId {
+        self.cfg.server
+    }
+
+    fn cluster(&self) -> ClusterId {
+        self.cfg.cluster
+    }
+
+    fn create_streamlet(&self, spec: StreamletSpec) -> VortexResult<()> {
+        let slid = spec.streamlet;
+        let table = spec.table;
+        let first = spec.first_stream_row;
+        let hosted = HostedStreamlet::open(spec, &self.ids, &self.fleet, &self.tt)?;
+        self.streamlets
+            .write()
+            .insert(slid, Arc::new(Mutex::new(hosted)));
+        self.log_event(&WalEvent::StreamletOpened {
+            table,
+            streamlet: slid,
+            first_stream_row: first,
+        });
+        Ok(())
+    }
+
+    fn load(&self) -> LoadReport {
+        let now = self.tt.record_timestamp().0;
+        let last = self.last_heartbeat_at.load(Ordering::Relaxed);
+        let dt = (now.saturating_sub(last)).max(1) as f64 / 1e6;
+        LoadReport {
+            streamlets: self
+                .streamlets
+                .read()
+                .values()
+                .filter(|h| h.lock().is_writable())
+                .count() as u64,
+            append_bytes_per_sec: self.bytes_since_heartbeat.load(Ordering::Relaxed) as f64 / dt,
+            in_flight_bytes: self.in_flight_bytes.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+        }
+    }
+
+    fn streamlet_rows(&self, streamlet: StreamletId) -> Option<u64> {
+        self.streamlets
+            .read()
+            .get(&streamlet)
+            .map(|h| h.lock().rows())
+    }
+
+    fn notify_schema_version(&self, table: TableId, version: u32) {
+        let mut map = self.latest_schema.write();
+        let e = map.entry(table).or_insert(version);
+        *e = (*e).max(version);
+    }
+
+    fn gc_fragments(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: Vec<u32>,
+    ) -> VortexResult<Vec<u32>> {
+        let mut deleted = Vec::new();
+        for ord in ordinals {
+            let path = wos_path(table, streamlet, ord);
+            let mut ok = true;
+            for c in self.fleet.cluster_ids() {
+                if let Ok(cluster) = self.fleet.get(c) {
+                    if cluster.exists(&path) && cluster.delete(&path).is_err() {
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                deleted.push(ord);
+            }
+        }
+        if !deleted.is_empty() {
+            self.log_event(&WalEvent::FragmentsDeleted {
+                streamlet,
+                ordinals: deleted.clone(),
+            });
+        }
+        Ok(deleted)
+    }
+
+    fn revoke_streamlet(&self, streamlet: StreamletId) {
+        if let Some(h) = self.streamlets.read().get(&streamlet) {
+            h.lock().revoke();
+        }
+    }
+
+    fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()> {
+        self.finalize_streamlet(streamlet)
+    }
+}
+
+impl StreamServer {
+    fn log_event(&self, event: &WalEvent) {
+        if let Ok(home) = self.fleet.get(self.cfg.cluster) {
+            let _ = self.log.lock().log(home, event);
+        }
+    }
+
+    /// Resets the heartbeat throughput window (call after each heartbeat).
+    pub fn reset_heartbeat_window(&self) {
+        self.bytes_since_heartbeat.store(0, Ordering::Relaxed);
+        self.last_heartbeat_at
+            .store(self.tt.record_timestamp().0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for StreamServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamServer")
+            .field("server", &self.cfg.server)
+            .field("cluster", &self.cfg.cluster)
+            .field("streamlets", &self.streamlets.read().len())
+            .finish()
+    }
+}

@@ -1,0 +1,374 @@
+//! Stream Server metadata durability: transaction log + checkpoints.
+//!
+//! "The Stream Server has its own in memory metadata about its Streamlets
+//! and Fragments, and persists this by writing to a transaction log and
+//! periodically writing checkpoints. After writing a checkpoint, old
+//! transaction logs and checkpoints are garbage collected. Fragments,
+//! checkpoints, and transaction logs are all stored in Colossus." (§5.3)
+//!
+//! The log records streamlet lifecycle events; a checkpoint snapshots the
+//! full hosted-streamlet map. Recovery replays checkpoint + newer log
+//! records. Recovered streamlets come back *revoked* — a restarted server
+//! never resumes writing to old log files (the SMS reconciles and places
+//! a fresh streamlet instead, §5.2), but it can still serve metadata,
+//! heartbeat, and GC for them.
+
+use vortex_colossus::Colossus;
+use vortex_common::codec::{get_uvarint, put_uvarint};
+use vortex_common::crc::crc32c;
+use vortex_common::error::{VortexError, VortexResult};
+use vortex_common::ids::{ServerId, StreamletId, TableId};
+use vortex_common::truetime::Timestamp;
+
+/// One durable metadata event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEvent {
+    /// A streamlet was created on this server.
+    StreamletOpened {
+        /// Owning table.
+        table: TableId,
+        /// The streamlet.
+        streamlet: StreamletId,
+        /// Stream-level first row.
+        first_stream_row: u64,
+    },
+    /// A fragment was sealed (rotation or finalize).
+    FragmentSealed {
+        /// The streamlet.
+        streamlet: StreamletId,
+        /// Sealed fragment's ordinal.
+        ordinal: u32,
+        /// Committed size in bytes.
+        committed_size: u64,
+        /// Committed rows.
+        rows: u64,
+    },
+    /// The streamlet stopped accepting appends.
+    StreamletFinalized {
+        /// The streamlet.
+        streamlet: StreamletId,
+    },
+    /// Fragment log files were garbage collected.
+    FragmentsDeleted {
+        /// The streamlet.
+        streamlet: StreamletId,
+        /// Deleted ordinals.
+        ordinals: Vec<u32>,
+    },
+}
+
+impl WalEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalEvent::StreamletOpened {
+                table,
+                streamlet,
+                first_stream_row,
+            } => {
+                out.push(1);
+                put_uvarint(out, table.raw());
+                put_uvarint(out, streamlet.raw());
+                put_uvarint(out, *first_stream_row);
+            }
+            WalEvent::FragmentSealed {
+                streamlet,
+                ordinal,
+                committed_size,
+                rows,
+            } => {
+                out.push(2);
+                put_uvarint(out, streamlet.raw());
+                put_uvarint(out, *ordinal as u64);
+                put_uvarint(out, *committed_size);
+                put_uvarint(out, *rows);
+            }
+            WalEvent::StreamletFinalized { streamlet } => {
+                out.push(3);
+                put_uvarint(out, streamlet.raw());
+            }
+            WalEvent::FragmentsDeleted {
+                streamlet,
+                ordinals,
+            } => {
+                out.push(4);
+                put_uvarint(out, streamlet.raw());
+                put_uvarint(out, ordinals.len() as u64);
+                for o in ordinals {
+                    put_uvarint(out, *o as u64);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> VortexResult<Self> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| VortexError::Decode("wal event tag".into()))?;
+        *pos += 1;
+        Ok(match tag {
+            1 => WalEvent::StreamletOpened {
+                table: TableId::from_raw(get_uvarint(buf, pos)?),
+                streamlet: StreamletId::from_raw(get_uvarint(buf, pos)?),
+                first_stream_row: get_uvarint(buf, pos)?,
+            },
+            2 => WalEvent::FragmentSealed {
+                streamlet: StreamletId::from_raw(get_uvarint(buf, pos)?),
+                ordinal: get_uvarint(buf, pos)? as u32,
+                committed_size: get_uvarint(buf, pos)?,
+                rows: get_uvarint(buf, pos)?,
+            },
+            3 => WalEvent::StreamletFinalized {
+                streamlet: StreamletId::from_raw(get_uvarint(buf, pos)?),
+            },
+            4 => {
+                let streamlet = StreamletId::from_raw(get_uvarint(buf, pos)?);
+                let n = get_uvarint(buf, pos)? as usize;
+                if n > buf.len() {
+                    return Err(VortexError::Decode("wal ordinals count".into()));
+                }
+                let mut ordinals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ordinals.push(get_uvarint(buf, pos)? as u32);
+                }
+                WalEvent::FragmentsDeleted {
+                    streamlet,
+                    ordinals,
+                }
+            }
+            other => return Err(VortexError::Decode(format!("bad wal tag {other}"))),
+        })
+    }
+}
+
+fn wal_path(server: ServerId, epoch: u64) -> String {
+    format!("srv/{:016x}/wal.{:08x}", server.raw(), epoch)
+}
+
+fn checkpoint_path(server: ServerId, epoch: u64) -> String {
+    format!("srv/{:016x}/ckpt.{:08x}", server.raw(), epoch)
+}
+
+fn srv_prefix(server: ServerId) -> String {
+    format!("srv/{:016x}/", server.raw())
+}
+
+/// The server's metadata log, bound to the server's home cluster.
+pub struct ServerLog {
+    server: ServerId,
+    epoch: u64,
+}
+
+impl ServerLog {
+    /// Opens the log for a server, starting a fresh epoch after any
+    /// existing ones.
+    pub fn open(server: ServerId, cluster: &Colossus) -> VortexResult<Self> {
+        let existing = cluster.list(&srv_prefix(server))?;
+        let epoch = existing
+            .iter()
+            .filter_map(|p| p.rsplit('.').next())
+            .filter_map(|s| u64::from_str_radix(s, 16).ok())
+            .max()
+            .map(|e| e + 1)
+            .unwrap_or(0);
+        Ok(Self { server, epoch })
+    }
+
+    /// Appends one event (length- and CRC-framed).
+    pub fn log(&self, cluster: &Colossus, event: &WalEvent) -> VortexResult<()> {
+        let mut body = Vec::new();
+        event.encode(&mut body);
+        let mut rec = Vec::with_capacity(body.len() + 8);
+        put_uvarint(&mut rec, body.len() as u64);
+        rec.extend_from_slice(&body);
+        rec.extend_from_slice(&crc32c(&body).to_le_bytes());
+        cluster.append(&wal_path(self.server, self.epoch), &rec, Timestamp::MIN)?;
+        Ok(())
+    }
+
+    /// Writes a checkpoint of opaque snapshot bytes and garbage-collects
+    /// all older WAL/checkpoint files (§5.3).
+    pub fn checkpoint(&mut self, cluster: &Colossus, snapshot: &[u8]) -> VortexResult<()> {
+        self.epoch += 1;
+        let mut framed = Vec::with_capacity(snapshot.len() + 8);
+        put_uvarint(&mut framed, snapshot.len() as u64);
+        framed.extend_from_slice(snapshot);
+        framed.extend_from_slice(&crc32c(snapshot).to_le_bytes());
+        cluster.append(&checkpoint_path(self.server, self.epoch), &framed, Timestamp::MIN)?;
+        // GC older logs and checkpoints.
+        for p in cluster.list(&srv_prefix(self.server))? {
+            let keep_wal = p == wal_path(self.server, self.epoch);
+            let keep_ckpt = p == checkpoint_path(self.server, self.epoch);
+            if !keep_wal && !keep_ckpt {
+                let _ = cluster.delete(&p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovers the latest checkpoint (if any) and all events logged
+    /// after it.
+    pub fn recover(
+        server: ServerId,
+        cluster: &Colossus,
+    ) -> VortexResult<(Option<Vec<u8>>, Vec<WalEvent>)> {
+        let files = cluster.list(&srv_prefix(server))?;
+        let latest_ckpt_epoch = files
+            .iter()
+            .filter(|p| p.contains("/ckpt."))
+            .filter_map(|p| p.rsplit('.').next())
+            .filter_map(|s| u64::from_str_radix(s, 16).ok())
+            .max();
+        let snapshot = match latest_ckpt_epoch {
+            Some(e) => {
+                let data = cluster.read_all(&checkpoint_path(server, e))?.data;
+                let mut pos = 0usize;
+                let n = get_uvarint(&data, &mut pos)? as usize;
+                if pos + n + 4 > data.len() {
+                    return Err(VortexError::CorruptData("checkpoint truncated".into()));
+                }
+                let body = &data[pos..pos + n];
+                let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
+                if crc32c(body) != crc {
+                    return Err(VortexError::CorruptData("checkpoint crc".into()));
+                }
+                Some(body.to_vec())
+            }
+            None => None,
+        };
+        // Replay WAL files with epoch > checkpoint epoch (those written
+        // after), in epoch order.
+        let min_epoch = latest_ckpt_epoch.unwrap_or(0);
+        let mut wal_epochs: Vec<u64> = files
+            .iter()
+            .filter(|p| p.contains("/wal."))
+            .filter_map(|p| p.rsplit('.').next())
+            .filter_map(|s| u64::from_str_radix(s, 16).ok())
+            .filter(|e| *e >= min_epoch)
+            .collect();
+        wal_epochs.sort_unstable();
+        let mut events = Vec::new();
+        for e in wal_epochs {
+            let data = cluster.read_all(&wal_path(server, e))?.data;
+            let mut pos = 0usize;
+            while pos < data.len() {
+                let Ok(n) = get_uvarint(&data, &mut pos) else {
+                    break; // torn tail
+                };
+                let n = n as usize;
+                if pos + n + 4 > data.len() {
+                    break; // torn tail
+                }
+                let body = &data[pos..pos + n];
+                let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
+                if crc32c(body) != crc {
+                    break; // torn tail
+                }
+                let mut bp = 0usize;
+                events.push(WalEvent::decode(body, &mut bp)?);
+                pos += n + 4;
+            }
+        }
+        Ok((snapshot, events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_common::ids::ClusterId;
+    use vortex_common::latency::WriteProfile;
+
+    fn cluster() -> std::sync::Arc<Colossus> {
+        Colossus::new_mem(ClusterId::from_raw(0), WriteProfile::instant(), 3)
+    }
+
+    fn ev(i: u64) -> WalEvent {
+        WalEvent::FragmentSealed {
+            streamlet: StreamletId::from_raw(i),
+            ordinal: i as u32,
+            committed_size: i * 100,
+            rows: i * 10,
+        }
+    }
+
+    #[test]
+    fn log_and_recover_events() {
+        let c = cluster();
+        let srv = ServerId::from_raw(5);
+        let log = ServerLog::open(srv, &c).unwrap();
+        let events = vec![
+            WalEvent::StreamletOpened {
+                table: TableId::from_raw(1),
+                streamlet: StreamletId::from_raw(2),
+                first_stream_row: 0,
+            },
+            ev(1),
+            WalEvent::StreamletFinalized {
+                streamlet: StreamletId::from_raw(2),
+            },
+            WalEvent::FragmentsDeleted {
+                streamlet: StreamletId::from_raw(2),
+                ordinals: vec![0, 1, 2],
+            },
+        ];
+        for e in &events {
+            log.log(&c, e).unwrap();
+        }
+        let (snap, recovered) = ServerLog::recover(srv, &c).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(recovered, events);
+    }
+
+    #[test]
+    fn checkpoint_truncates_history() {
+        let c = cluster();
+        let srv = ServerId::from_raw(6);
+        let mut log = ServerLog::open(srv, &c).unwrap();
+        log.log(&c, &ev(1)).unwrap();
+        log.log(&c, &ev(2)).unwrap();
+        log.checkpoint(&c, b"SNAPSHOT-STATE").unwrap();
+        log.log(&c, &ev(3)).unwrap();
+        let (snap, events) = ServerLog::recover(srv, &c).unwrap();
+        assert_eq!(snap.as_deref(), Some(&b"SNAPSHOT-STATE"[..]));
+        assert_eq!(events, vec![ev(3)], "pre-checkpoint events dropped");
+        // Old files physically gone.
+        let files = c.list(&srv_prefix(srv)).unwrap();
+        assert_eq!(files.len(), 2, "one ckpt + one wal: {files:?}");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_ignored() {
+        let c = cluster();
+        let srv = ServerId::from_raw(7);
+        let log = ServerLog::open(srv, &c).unwrap();
+        log.log(&c, &ev(1)).unwrap();
+        // Simulate a torn record: append garbage.
+        c.append(&wal_path(srv, 0), &[9, 1, 2], Timestamp::MIN).unwrap();
+        let (_, events) = ServerLog::recover(srv, &c).unwrap();
+        assert_eq!(events, vec![ev(1)]);
+    }
+
+    #[test]
+    fn reopen_starts_new_epoch() {
+        let c = cluster();
+        let srv = ServerId::from_raw(8);
+        let log1 = ServerLog::open(srv, &c).unwrap();
+        log1.log(&c, &ev(1)).unwrap();
+        let log2 = ServerLog::open(srv, &c).unwrap();
+        log2.log(&c, &ev(2)).unwrap();
+        let (_, events) = ServerLog::recover(srv, &c).unwrap();
+        assert_eq!(events, vec![ev(1), ev(2)]);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_detected() {
+        let c = cluster();
+        let srv = ServerId::from_raw(9);
+        let mut log = ServerLog::open(srv, &c).unwrap();
+        log.checkpoint(&c, b"GOOD").unwrap();
+        // Corrupt it in place by appending a newer bogus checkpoint.
+        let bogus_path = checkpoint_path(srv, 99);
+        c.append(&bogus_path, &[0xFF; 10], Timestamp::MIN).unwrap();
+        assert!(ServerLog::recover(srv, &c).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Heartbeat messages: the Stream Server → SMS reporting channel (§5.5).
+//!
+//! "The Stream Server sends a heartbeat to each SMS every few seconds to
+//! inform it about changes to Streamlet metadata as a result of new
+//! appends ... Along with per-Streamlet metadata, the Stream Server also
+//! sends its current load information." The typical heartbeat carries
+//! deltas since the previous one; periodically a **full state snapshot**
+//! is sent instead, which lets the SMS detect orphaned streamlets
+//! (§5.4.3).
+
+use vortex_common::ids::{FragmentId, ServerId, StreamletId, TableId};
+use vortex_common::stats::ColumnStats;
+use vortex_common::truetime::Timestamp;
+
+use crate::server_ctl::LoadReport;
+
+/// New-or-updated fragment state carried in a heartbeat.
+#[derive(Debug, Clone)]
+pub struct FragmentDelta {
+    /// The fragment.
+    pub fragment: FragmentId,
+    /// Ordinal within the streamlet.
+    pub ordinal: u32,
+    /// Streamlet-relative row offset of the fragment's first row.
+    pub first_row: u64,
+    /// Committed rows in the fragment.
+    pub row_count: u64,
+    /// Committed byte size of the log file.
+    pub committed_size: u64,
+    /// Whether the fragment is finalized (immutable).
+    pub finalized: bool,
+    /// Column properties accumulated so far (§7.2: communicated to the
+    /// SMS for caching once finalized; the tail's properties stay on the
+    /// server).
+    pub stats: Vec<(String, ColumnStats)>,
+    /// Min/max record timestamps (§5.3: the server knows these per
+    /// fragment).
+    pub ts_range: Option<(Timestamp, Timestamp)>,
+}
+
+/// Per-streamlet delta in a heartbeat.
+#[derive(Debug, Clone)]
+pub struct StreamletDelta {
+    /// Owning table (routes the delta to the right metadata).
+    pub table: TableId,
+    /// The streamlet.
+    pub streamlet: StreamletId,
+    /// New or updated fragments since the last heartbeat.
+    pub fragments: Vec<FragmentDelta>,
+    /// Total committed rows in the streamlet.
+    pub row_count: u64,
+    /// Highest flushed row offset (BUFFERED streams) seen by the server.
+    pub max_flush_row: Option<u64>,
+    /// Whether the server has finalized the streamlet (irrecoverable
+    /// write error or revocation, §5.3).
+    pub finalized: bool,
+}
+
+/// One heartbeat message.
+#[derive(Debug, Clone)]
+pub struct HeartbeatReport {
+    /// Reporting server.
+    pub server: ServerId,
+    /// Load for placement (§5.5).
+    pub load: LoadReport,
+    /// Per-streamlet deltas (or the full state when `full_state`).
+    pub streamlets: Vec<StreamletDelta>,
+    /// True when this is a periodic full-state snapshot of *all*
+    /// streamlets the server owns (§5.4.3's orphan guard).
+    pub full_state: bool,
+}
+
+/// The SMS's reply to a heartbeat.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatResponse {
+    /// Tables whose schema version moved; the server relays to clients
+    /// on their next append (§5.4.1).
+    pub schema_updates: Vec<(TableId, u32)>,
+    /// Fragments (by streamlet + ordinal) the server should GC (§5.4.3).
+    pub gc: Vec<(TableId, StreamletId, Vec<u32>)>,
+    /// Streamlets the SMS does not recognize: if sufficiently old, the
+    /// server deletes them (§5.4.3: "the system ensures that the
+    /// Streamlet is sufficiently old" before deletion).
+    pub unknown_streamlets: Vec<StreamletId>,
+}

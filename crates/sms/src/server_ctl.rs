@@ -1,0 +1,148 @@
+//! The control interface the SMS uses to drive Stream Servers.
+//!
+//! The SMS "picks a Stream Server based on load and health characteristics
+//! and instructs it to create the Streamlet" (§5.2). The data plane lives
+//! in the `vortex-server` crate (which depends on this one), so the
+//! control direction is expressed as a trait implemented there and
+//! registered with each [`crate::SmsTask`].
+
+use std::sync::Arc;
+
+use vortex_common::crypt::Key;
+use vortex_common::error::VortexResult;
+use vortex_common::ids::{ClusterId, ServerId, StreamId, StreamletId, TableId};
+use vortex_common::schema::Schema;
+
+/// Everything a Stream Server needs to host a new streamlet.
+#[derive(Debug, Clone)]
+pub struct StreamletSpec {
+    /// Owning table.
+    pub table: TableId,
+    /// Owning stream.
+    pub stream: StreamId,
+    /// The streamlet to create.
+    pub streamlet: StreamletId,
+    /// Replica clusters to write log files to.
+    pub clusters: [ClusterId; 2],
+    /// Schema (for validation and column properties).
+    pub schema: Schema,
+    /// Stream-level row offset where the streamlet begins.
+    pub first_stream_row: u64,
+    /// Table encryption key.
+    pub key: Key,
+    /// Ownership epoch (monotone per streamlet; zombies hold stale
+    /// epochs).
+    pub epoch: u64,
+}
+
+/// Load characteristics a Stream Server reports alongside each heartbeat
+/// (§5.5: "CPU, memory and append throughput" + quarantine status).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Writable streamlets currently hosted.
+    pub streamlets: u64,
+    /// Append throughput, bytes/sec (moving average).
+    pub append_bytes_per_sec: f64,
+    /// In-flight (uncommitted) bytes held in memory.
+    pub in_flight_bytes: u64,
+    /// Quarantined servers receive no new streamlets (rollouts, scale
+    /// downs).
+    pub quarantined: bool,
+}
+
+impl Default for LoadReport {
+    fn default() -> Self {
+        LoadReport {
+            streamlets: 0,
+            append_bytes_per_sec: 0.0,
+            in_flight_bytes: 0,
+            quarantined: false,
+        }
+    }
+}
+
+impl LoadReport {
+    /// Scalar load score for placement: fewer streamlets and less traffic
+    /// rank first; quarantined servers rank last.
+    pub fn score(&self) -> f64 {
+        if self.quarantined {
+            return f64::INFINITY;
+        }
+        self.streamlets as f64 * 1_000.0
+            + self.append_bytes_per_sec / 1024.0
+            + self.in_flight_bytes as f64 / (1 << 20) as f64
+    }
+}
+
+/// The SMS→Stream-Server control surface.
+pub trait StreamServerCtl: Send + Sync {
+    /// Downcast hook: the thick client reaches the data-plane surface
+    /// (append/flush) of the concrete server through this (an in-process
+    /// stand-in for "the address of the Stream Server", §5.2).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// This server's id.
+    fn server_id(&self) -> ServerId;
+
+    /// The cluster this server task runs in (placement prefers servers in
+    /// the table's primary cluster, §5.2.1).
+    fn cluster(&self) -> ClusterId;
+
+    /// Creates (and persists) a streamlet so it can accept appends.
+    fn create_streamlet(&self, spec: StreamletSpec) -> VortexResult<()>;
+
+    /// Current load for placement decisions.
+    fn load(&self) -> LoadReport;
+
+    /// Live committed length (rows) of a hosted streamlet, if hosted.
+    /// Used by FlushStream validation where the heartbeat cache may lag.
+    fn streamlet_rows(&self, streamlet: StreamletId) -> Option<u64>;
+
+    /// Tells the server the table's schema changed; it relays the new
+    /// version to writing clients on their next append (§5.4.1).
+    fn notify_schema_version(&self, table: TableId, version: u32);
+
+    /// Tells the server to garbage-collect fragment log files it owns
+    /// (§5.4.3). Returns the fragments actually deleted.
+    fn gc_fragments(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: Vec<u32>,
+    ) -> VortexResult<Vec<u32>>;
+
+    /// Tells the server it no longer owns a streamlet (reconciliation
+    /// moved it, or a full-state snapshot revealed it orphaned).
+    fn revoke_streamlet(&self, streamlet: StreamletId);
+
+    /// Asks the server to gracefully finalize a hosted streamlet (bloom
+    /// filter + footer on the last fragment) before the SMS reconciles
+    /// it. Best effort — a dead server simply doesn't answer.
+    fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()>;
+}
+
+/// A shareable handle to a Stream Server control endpoint.
+pub type ServerHandle = Arc<dyn StreamServerCtl>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_score_orders_sensibly() {
+        let idle = LoadReport::default();
+        let busy = LoadReport {
+            streamlets: 10,
+            append_bytes_per_sec: 1e6,
+            in_flight_bytes: 50 << 20,
+            quarantined: false,
+        };
+        let quarantined = LoadReport {
+            quarantined: true,
+            ..LoadReport::default()
+        };
+        assert!(idle.score() < busy.score());
+        assert!(busy.score() < quarantined.score());
+        assert_eq!(quarantined.score(), f64::INFINITY);
+    }
+}

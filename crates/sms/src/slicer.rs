@@ -1,0 +1,208 @@
+//! Slicer-style assignment of tables to SMS tasks (§5.2.1).
+//!
+//! "Assignment of tables to SMS tasks is done by Slicer and is eventually
+//! consistent — this means that there can be rare times when two SMS
+//! tasks think that they both manage the table's metadata. Vortex is
+//! resilient to such inconsistency ... achieved by the ACID semantics
+//! offered by the Spanner transactions."
+//!
+//! This module reproduces exactly that hazard: assignment is a consistent
+//! hash over the live task set, each task consults its own possibly-stale
+//! *view* of the assignment map, and tests can freeze a task's view to
+//! create double-ownership windows. Nothing here is a correctness
+//! boundary — SMS operations stay correct because every mutation runs as
+//! a serializable metastore transaction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use vortex_common::ids::{SmsTaskId, TableId};
+
+/// The authoritative (but asynchronously propagated) assignment map.
+#[derive(Debug, Default)]
+pub struct Slicer {
+    inner: RwLock<SlicerState>,
+}
+
+#[derive(Debug, Default)]
+struct SlicerState {
+    tasks: Vec<SmsTaskId>,
+    generation: u64,
+    /// Explicit overrides (load-based moves).
+    overrides: HashMap<TableId, SmsTaskId>,
+}
+
+impl Slicer {
+    /// A slicer over the given task set.
+    pub fn new(tasks: Vec<SmsTaskId>) -> Arc<Self> {
+        Arc::new(Self {
+            inner: RwLock::new(SlicerState {
+                tasks,
+                generation: 1,
+                overrides: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Current assignment of a table.
+    pub fn assignment(&self, table: TableId) -> Option<SmsTaskId> {
+        let st = self.inner.read();
+        if let Some(t) = st.overrides.get(&table) {
+            return Some(*t);
+        }
+        if st.tasks.is_empty() {
+            return None;
+        }
+        // Multiplicative hash keeps assignment stable across lookups.
+        let h = table.raw().wrapping_mul(0x9E3779B97F4A7C15);
+        Some(st.tasks[(h % st.tasks.len() as u64) as usize])
+    }
+
+    /// Moves a table to a specific task (load redistribution: "Slicer
+    /// redistributes the load by assigning the table to a new SMS task").
+    pub fn reassign(&self, table: TableId, to: SmsTaskId) {
+        let mut st = self.inner.write();
+        st.overrides.insert(table, to);
+        st.generation += 1;
+    }
+
+    /// Replaces the task set (tasks joining/leaving the pool).
+    pub fn set_tasks(&self, tasks: Vec<SmsTaskId>) {
+        let mut st = self.inner.write();
+        st.tasks = tasks;
+        st.generation += 1;
+    }
+
+    /// Monotone generation counter: views compare against it to detect
+    /// staleness.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+}
+
+/// One SMS task's (possibly stale) view of the assignment map.
+///
+/// A refreshed view answers from the live slicer; a frozen view answers
+/// from the snapshot it captured — that is the eventual-consistency
+/// window in which two tasks both claim a table.
+#[derive(Debug)]
+pub struct SlicerView {
+    slicer: Arc<Slicer>,
+    me: SmsTaskId,
+    frozen: RwLock<Option<HashMap<TableId, Option<SmsTaskId>>>>,
+}
+
+impl SlicerView {
+    /// A live view for task `me`.
+    pub fn new(slicer: Arc<Slicer>, me: SmsTaskId) -> Self {
+        Self {
+            slicer,
+            me,
+            frozen: RwLock::new(None),
+        }
+    }
+
+    /// Whether this task believes it owns `table`.
+    pub fn owns(&self, table: TableId) -> bool {
+        if let Some(snapshot) = self.frozen.read().as_ref() {
+            if let Some(owner) = snapshot.get(&table) {
+                return *owner == Some(self.me);
+            }
+            // Not in the snapshot: a frozen view claims nothing new.
+            return false;
+        }
+        self.slicer.assignment(table) == Some(self.me)
+    }
+
+    /// Freezes the view at the current assignment of the given tables —
+    /// simulates a task that stopped receiving Slicer updates.
+    pub fn freeze(&self, tables: &[TableId]) {
+        let snapshot = tables
+            .iter()
+            .map(|t| (*t, self.slicer.assignment(*t)))
+            .collect();
+        *self.frozen.write() = Some(snapshot);
+    }
+
+    /// Unfreezes: resumes answering from the live slicer.
+    pub fn refresh(&self) {
+        *self.frozen.write() = None;
+    }
+
+    /// The task this view belongs to.
+    pub fn task_id(&self) -> SmsTaskId {
+        self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: u64) -> Vec<SmsTaskId> {
+        (0..n).map(SmsTaskId::from_raw).collect()
+    }
+
+    #[test]
+    fn assignment_is_stable_and_covers_all_tasks() {
+        let s = Slicer::new(tasks(4));
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..100 {
+            let a = s.assignment(TableId::from_raw(t)).unwrap();
+            assert_eq!(s.assignment(TableId::from_raw(t)), Some(a));
+            seen.insert(a);
+        }
+        assert_eq!(seen.len(), 4, "hash should spread tables over tasks");
+    }
+
+    #[test]
+    fn empty_slicer_assigns_nothing() {
+        let s = Slicer::new(vec![]);
+        assert_eq!(s.assignment(TableId::from_raw(1)), None);
+    }
+
+    #[test]
+    fn reassign_overrides_hash() {
+        let s = Slicer::new(tasks(4));
+        let t = TableId::from_raw(7);
+        let target = SmsTaskId::from_raw(2);
+        let gen_before = s.generation();
+        s.reassign(t, target);
+        assert_eq!(s.assignment(t), Some(target));
+        assert!(s.generation() > gen_before);
+    }
+
+    #[test]
+    fn frozen_view_creates_double_ownership_window() {
+        let s = Slicer::new(tasks(2));
+        let t = TableId::from_raw(3);
+        let owner = s.assignment(t).unwrap();
+        let other = if owner.raw() == 0 {
+            SmsTaskId::from_raw(1)
+        } else {
+            SmsTaskId::from_raw(0)
+        };
+        let owner_view = SlicerView::new(Arc::clone(&s), owner);
+        let other_view = SlicerView::new(Arc::clone(&s), other);
+        assert!(owner_view.owns(t));
+        assert!(!other_view.owns(t));
+        // Old owner freezes its view, slicer moves the table: both claim it.
+        owner_view.freeze(&[t]);
+        s.reassign(t, other);
+        assert!(owner_view.owns(t), "stale view still claims the table");
+        assert!(other_view.owns(t), "new owner claims the table");
+        // Refresh ends the window.
+        owner_view.refresh();
+        assert!(!owner_view.owns(t));
+    }
+
+    #[test]
+    fn task_set_change_bumps_generation() {
+        let s = Slicer::new(tasks(2));
+        let g = s.generation();
+        s.set_tasks(tasks(3));
+        assert!(s.generation() > g);
+    }
+}

@@ -1,0 +1,130 @@
+//! Change-data-capture ingestion with `_CHANGE_TYPE` (§4.2.6) plus SQL
+//! DML (§7.3): UPSERT/DELETE rows against an unenforced primary key,
+//! resolved at read time; then an UPDATE statement via deletion masks and
+//! reinserted rows.
+//!
+//! ```sh
+//! cargo run --example cdc_upserts
+//! ```
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{ChangeType, Field, FieldType, Schema};
+use vortex::{Expr, Region, RegionConfig, ScanOptions};
+
+fn main() -> vortex::VortexResult<()> {
+    let region = Region::create(RegionConfig::default())?;
+    let client = region.client();
+    // An orders table with an (unenforced) primary key.
+    let schema = Schema::new(vec![
+        Field::required("order_id", FieldType::String),
+        Field::required("status", FieldType::String),
+        Field::required("total_cents", FieldType::Int64),
+    ])
+    .with_primary_key(&["order_id"]);
+    let table = client.create_table("orders", schema)?.table;
+
+    let mut writer = client.create_unbuffered_writer(table)?;
+    let change = |id: &str, status: &str, total: i64, ct: ChangeType| {
+        Row::with_change(
+            vec![
+                Value::String(id.into()),
+                Value::String(status.into()),
+                Value::Int64(total),
+            ],
+            ct,
+        )
+    };
+
+    // Day 1: orders created.
+    writer.append(RowSet::new(vec![
+        change("o-1", "created", 1500, ChangeType::Upsert),
+        change("o-2", "created", 2300, ChangeType::Upsert),
+        change("o-3", "created", 800, ChangeType::Upsert),
+    ]))?;
+    // Day 2: o-1 ships, o-2 is cancelled, o-4 appears.
+    writer.append(RowSet::new(vec![
+        change("o-1", "shipped", 1500, ChangeType::Upsert),
+        change("o-2", "", 0, ChangeType::Delete),
+        change("o-4", "created", 9900, ChangeType::Upsert),
+    ]))?;
+
+    // Merge-on-read resolution: the latest change per key wins.
+    let engine = region.engine();
+    let resolved = engine.scan(
+        table,
+        client.snapshot(),
+        &ScanOptions {
+            resolve_changes: true,
+            ..ScanOptions::default()
+        },
+    )?;
+    println!("current state ({} orders):", resolved.rows.len());
+    for (_, row) in &resolved.rows {
+        println!(
+            "  {} {} {}c",
+            row.values[0].as_str().unwrap(),
+            row.values[1].as_str().unwrap(),
+            row.values[2].as_i64().unwrap()
+        );
+    }
+    assert_eq!(resolved.rows.len(), 3); // o-1, o-3, o-4
+
+    // The raw change log is still there (6 change records).
+    let raw = engine.scan(table, client.snapshot(), &ScanOptions::default())?;
+    println!("raw change log: {} records", raw.rows.len());
+    assert_eq!(raw.rows.len(), 6);
+
+    // SQL DML on top of the change log: a GDPR-style hard erasure. A CDC
+    // DELETE change record is a *tombstone* — the history remains in the
+    // log. `DELETE WHERE order_id = 'o-3'` physically masks every change
+    // record for that key (§7.3), so not even the history survives.
+    let dml = region.dml();
+    let report = dml.delete_where(
+        table,
+        &Expr::eq("order_id", Value::String("o-3".into())),
+    )?;
+    println!(
+        "hard-erased {} change records for o-3 ({} fragments masked, {} tails masked)",
+        report.rows_matched, report.fragments_masked, report.tails_masked
+    );
+    let raw = engine.scan(table, client.snapshot(), &ScanOptions::default())?;
+    assert!(
+        raw.rows
+            .iter()
+            .all(|(_, r)| r.values[0].as_str() != Some("o-3")),
+        "no trace of o-3 remains in the raw log"
+    );
+    let resolved = engine.scan(
+        table,
+        client.snapshot(),
+        &ScanOptions {
+            resolve_changes: true,
+            ..ScanOptions::default()
+        },
+    )?;
+    println!("after erasure: {} orders remain", resolved.rows.len());
+    assert_eq!(resolved.rows.len(), 2); // o-1, o-4
+
+    // And a plain UPDATE on a physical column: reprice o-4 in place.
+    dml.update_where(
+        table,
+        &Expr::eq("order_id", Value::String("o-4".into())),
+        &[("total_cents", Value::Int64(4950))],
+    )?;
+    let resolved = engine.scan(
+        table,
+        client.snapshot(),
+        &ScanOptions {
+            resolve_changes: true,
+            ..ScanOptions::default()
+        },
+    )?;
+    let o4 = resolved
+        .rows
+        .iter()
+        .find(|(_, r)| r.values[0].as_str() == Some("o-4"))
+        .expect("o-4 still current");
+    assert_eq!(o4.1.values[2].as_i64(), Some(4950));
+    println!("o-4 repriced to 4950c — done");
+    Ok(())
+}

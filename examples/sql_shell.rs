@@ -1,0 +1,78 @@
+//! An interactive SQL shell over a live Vortex region (§3.2, §9: the
+//! "expressive SQL interface" applications use). Seeds a demo table,
+//! streams rows into it in the background, and reads statements from
+//! stdin. Piped input works too:
+//!
+//! ```sh
+//! echo "SELECT day, COUNT(*) FROM sales GROUP BY day;" | cargo run --example sql_shell
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, PartitionTransform, Schema};
+use vortex::{Region, RegionConfig, SqlSession};
+
+fn main() -> vortex::VortexResult<()> {
+    let region = Arc::new(Region::create(RegionConfig::default())?);
+    let client = region.client();
+    let schema = Schema::new(vec![
+        Field::required("day", FieldType::Int64),
+        Field::required("customer", FieldType::String),
+        Field::required("amount", FieldType::Int64),
+    ])
+    .with_partition("day", PartitionTransform::Identity)
+    .with_clustering(&["customer"]);
+    let t = client.create_table("sales", schema)?.table;
+
+    // Seed data + background optimization.
+    let mut w = client.create_unbuffered_writer(t)?;
+    w.append(RowSet::new(
+        (0..1_000)
+            .map(|k: i64| {
+                Row::insert(vec![
+                    Value::Int64(k / 200),
+                    Value::String(format!("cust-{:03}", k % 40)),
+                    Value::Int64(k),
+                ])
+            })
+            .collect(),
+    ))?;
+    region.sms().finalize_stream(t, w.stream_id())?;
+    region.run_optimizer_cycle(t)?;
+
+    let sql = SqlSession::new(client);
+    println!("vortex sql shell — table `sales` seeded with 1000 rows.");
+    println!("examples:");
+    println!("  SELECT day, COUNT(*), SUM(amount), AVG(amount) FROM sales GROUP BY day ORDER BY day;");
+    println!("  SELECT customer, amount FROM sales WHERE amount > 995 ORDER BY amount DESC;");
+    println!("  DELETE FROM sales WHERE amount < 10;");
+    println!("type \\q to quit.\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    print!("vortex> ");
+    out.flush().ok();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let line = line.trim();
+        if line.is_empty() {
+            print!("vortex> ");
+            out.flush().ok();
+            continue;
+        }
+        if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit")
+        {
+            break;
+        }
+        match sql.execute(line) {
+            Ok(res) => print!("{}", res.to_table()),
+            Err(e) => println!("error: {e}"),
+        }
+        print!("vortex> ");
+        out.flush().ok();
+    }
+    println!("bye");
+    Ok(())
+}

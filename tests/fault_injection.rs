@@ -1,0 +1,363 @@
+//! Failure-injection integration tests: the paper's resilience machinery
+//! under cluster outages, write errors, zombies, and restarts.
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, Schema};
+use vortex::{Expr, Region, RegionConfig, ScanOptions};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::required("k", FieldType::Int64),
+        Field::required("v", FieldType::String),
+    ])
+}
+
+fn rows(start: i64, n: usize) -> RowSet {
+    RowSet::new(
+        (0..n)
+            .map(|i| {
+                Row::insert(vec![
+                    Value::Int64(start + i as i64),
+                    Value::String(format!("v{}", start + i as i64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn keys(rows: &[(vortex_ros::RowMeta, Row)]) -> Vec<i64> {
+    let mut ks: Vec<i64> = rows
+        .iter()
+        .map(|(_, r)| r.values[0].as_i64().unwrap())
+        .collect();
+    ks.sort_unstable();
+    ks
+}
+
+/// Repeated transient write errors on one cluster: the engine rotates
+/// fragments and streamlets as designed and loses nothing.
+#[test]
+fn flaky_cluster_never_loses_acked_rows() {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let t = client.create_table("flaky", schema()).unwrap().table;
+    let mut w = client.create_unbuffered_writer(t).unwrap();
+
+    let flaky = region.fleet().get(t_cluster(&region, t, 1)).unwrap();
+    let mut written = 0i64;
+    for round in 0..10 {
+        if round % 3 == 1 {
+            flaky.faults().fail_next_appends(2);
+        }
+        w.append(rows(written, 20)).unwrap();
+        written += 20;
+    }
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(keys(&got.rows), (0..written).collect::<Vec<_>>());
+    // Exactly-once offsets.
+    let mut offsets: Vec<u64> = got.rows.iter().map(|(m, _)| m.offset).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    assert_eq!(offsets.len() as i64, written);
+}
+
+fn t_cluster(
+    region: &Region,
+    table: vortex::ids::TableId,
+    which: usize,
+) -> vortex::ids::ClusterId {
+    let tm = region.sms().get_table(table).unwrap();
+    if which == 0 {
+        tm.primary
+    } else {
+        tm.secondary
+    }
+}
+
+/// A full cluster outage mid-ingest: writes fail over to a healthy
+/// replica pair; reads fail over to the surviving replica.
+#[test]
+fn cluster_outage_with_failover() {
+    let region = Region::create(RegionConfig {
+        clusters: 3,
+        ..RegionConfig::default()
+    })
+    .unwrap();
+    let client = region.client();
+    let t = client.create_table("outage", schema()).unwrap().table;
+    let mut w = client.create_unbuffered_writer(t).unwrap();
+    w.append(rows(0, 50)).unwrap();
+
+    // Primary cluster dies.
+    let dead = t_cluster(&region, t, 0);
+    region.fleet().get(dead).unwrap().faults().set_unavailable(true);
+    region.sms().fail_over_table(t).unwrap();
+
+    // Writes continue on a healthy pair.
+    w.append(rows(50, 50)).unwrap();
+    // Reads reconcile + fail over.
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(keys(&got.rows), (0..100).collect::<Vec<_>>());
+
+    // The cluster comes back: everything still consistent.
+    region.fleet().get(dead).unwrap().faults().set_unavailable(false);
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(got.rows.len(), 100);
+}
+
+/// Optimizer + DML racing under churn: run conversions and deletes in
+/// alternation with flaky storage; final state must match the ledger.
+#[test]
+fn optimizer_dml_interleaving_under_faults() {
+    let region = Region::create(RegionConfig {
+        fragment_max_bytes: 8 * 1024,
+        ..RegionConfig::default()
+    })
+    .unwrap();
+    let client = region.client();
+    let engine = region.engine();
+    let dml = region.dml();
+    let t = client.create_table("churn", schema()).unwrap().table;
+
+    let mut expected: std::collections::BTreeSet<i64> = Default::default();
+    let mut next = 0i64;
+    for round in 0..6 {
+        // Ingest.
+        let mut w = client.create_unbuffered_writer(t).unwrap();
+        w.append(rows(next, 100)).unwrap();
+        for k in next..next + 100 {
+            expected.insert(k);
+        }
+        next += 100;
+        let s = w.stream_id();
+        region.sms().finalize_stream(t, s).unwrap();
+        // Fault burst on alternating rounds.
+        if round % 2 == 0 {
+            region
+                .fleet()
+                .get(t_cluster(&region, t, 1))
+                .unwrap()
+                .faults()
+                .fail_next_appends(1);
+        }
+        // Delete a band.
+        let lo = round * 40;
+        let hi = lo + 20;
+        dml.delete_where(
+            t,
+            &Expr::ge("k", Value::Int64(lo)).and(Expr::lt("k", Value::Int64(hi))),
+        )
+        .unwrap();
+        for k in lo..hi {
+            expected.remove(&k);
+        }
+        // Optimize (may yield or convert).
+        region.run_optimizer_cycle(t).unwrap();
+    }
+    let got = engine
+        .scan(t, client.snapshot(), &ScanOptions::default())
+        .unwrap();
+    assert_eq!(
+        keys(&got.rows),
+        expected.into_iter().collect::<Vec<_>>(),
+        "ledger matches after churn"
+    );
+}
+
+/// Stream Server metadata-log recovery: a restarted server can identify
+/// the streamlets a dead instance hosted.
+#[test]
+fn stream_server_crash_recovery_summary() {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let t = client.create_table("crash", schema()).unwrap().table;
+    let mut w = client.create_unbuffered_writer(t).unwrap();
+    w.append(rows(0, 30)).unwrap();
+    // Checkpoint whichever server hosts the streamlet.
+    for server in region.servers() {
+        server.checkpoint().unwrap();
+    }
+    // Recover summaries from the metadata logs.
+    let mut recovered = 0;
+    for server in region.servers() {
+        let summary =
+            vortex_server::StreamServer::recover_summary(server.config(), region.fleet())
+                .unwrap();
+        recovered += summary.len();
+    }
+    assert!(recovered >= 1, "hosted streamlet identity recoverable");
+    // Data remains durable and readable regardless.
+    assert_eq!(client.read_rows(t).unwrap().rows.len(), 30);
+}
+
+/// Double ownership at the SMS layer (the Slicer hazard): two tasks over
+/// one metastore serve the same table concurrently without corruption.
+#[test]
+fn sms_double_ownership_interleaved_operations() {
+    let region = Region::create(RegionConfig {
+        sms_tasks: 2,
+        ..RegionConfig::default()
+    })
+    .unwrap();
+    // Both tasks will act on the SAME table regardless of assignment —
+    // the metastore transactions keep this safe (§5.2.1).
+    let bootstrap = region.client();
+    let t = bootstrap.create_table("shared", schema()).unwrap().table;
+    // Force a double-ownership window: both tasks believe they own it.
+    let client_a = vortex::VortexClient::new(
+        std::sync::Arc::clone(&region.sms_tasks()[0]),
+        region.fleet().clone(),
+        region.truetime().clone(),
+    );
+    let client_b = vortex::VortexClient::new(
+        std::sync::Arc::clone(&region.sms_tasks()[1]),
+        region.fleet().clone(),
+        region.truetime().clone(),
+    );
+    // Tasks use SlicerViews; make both claim the table.
+    region.slicer().reassign(t, region.sms_tasks()[0].task_id());
+    let (ca, cb) = (client_a.clone(), client_b.clone());
+    // Writer A through task 0's view of the world; B bypasses ownership
+    // via direct streams (simulating the stale-assignment window).
+    let mut wa = ca.create_unbuffered_writer(t).unwrap();
+    wa.append(rows(0, 25)).unwrap();
+    region.slicer().reassign(t, region.sms_tasks()[1].task_id());
+    let mut wb = cb.create_unbuffered_writer(t).unwrap();
+    wb.append(rows(1000, 25)).unwrap();
+    // Both streams' rows are present exactly once.
+    let got = bootstrap.read_rows(t).unwrap();
+    assert_eq!(got.rows.len(), 50);
+    let ks = keys(&got.rows);
+    assert_eq!(ks[0..25], (0..25).collect::<Vec<_>>()[..]);
+    assert_eq!(ks[25..50], (1000..1025).collect::<Vec<_>>()[..]);
+}
+
+/// Regression (found by the chaos soak): reconciliation of a streamlet
+/// whose replicas are being actively faulted must count every
+/// acknowledged row. A replica that is unreachable or mid-fault at
+/// poison time cannot silently shrink the record-aligned common prefix.
+#[test]
+fn reconcile_under_faults_counts_all_acked_rows() {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let t = client.create_table("recon", schema()).unwrap().table;
+    let mut w = client.create_unbuffered_writer(t).unwrap();
+
+    // Interleave acked appends with fault bursts on alternating replicas.
+    let c0 = region.fleet().get(t_cluster(&region, t, 0)).unwrap();
+    let c1 = region.fleet().get(t_cluster(&region, t, 1)).unwrap();
+    let mut acked = 0i64;
+    for round in 0..12 {
+        match round % 4 {
+            1 => c0.faults().fail_next_appends(1),
+            3 => c1.faults().fail_next_appends(2),
+            _ => {}
+        }
+        w.append(rows(acked, 15)).unwrap();
+        acked += 15;
+    }
+
+    // Reconcile every live streamlet while more fault tokens are armed —
+    // the poison/copy phase itself must tolerate them.
+    c0.faults().fail_next_appends(1);
+    c1.faults().fail_next_appends(1);
+    let sms = region.sms();
+    let mut counted = 0u64;
+    for sl in sms.list_streamlets(t) {
+        let m = sms.reconcile_streamlet(t, sl.streamlet).unwrap();
+        counted += m.row_count;
+    }
+    assert_eq!(counted as i64, acked, "reconcile lost or invented rows");
+
+    // Every acked row is visible exactly once after reconciliation.
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(keys(&got.rows), (0..acked).collect::<Vec<_>>());
+    let mut offsets: Vec<u64> = got.rows.iter().map(|(m, _)| m.offset).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    assert_eq!(offsets.len() as i64, acked);
+}
+
+/// Regression (found by the chaos soak): a reconcile racing a live
+/// writer must fence it — either an append is fully acknowledged and
+/// counted, or it fails and the writer re-drives it onto a fresh
+/// streamlet. No row may be acked-but-lost or double-applied.
+#[test]
+fn reconcile_racing_live_writer_is_exact() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    let region = std::sync::Arc::new(Region::create(RegionConfig::default()).unwrap());
+    let client = region.client();
+    let t = client.create_table("race", schema()).unwrap().table;
+
+    let acked = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        let region2 = std::sync::Arc::clone(&region);
+        let client2 = region2.client();
+        let acked = &acked;
+        let h = s.spawn(move || {
+            let mut w = client2.create_unbuffered_writer(t).unwrap();
+            for i in 0..40i64 {
+                w.append(rows(i * 10, 10)).unwrap();
+                acked.store((i + 1) * 10, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        });
+        // Reconcile whatever is live, repeatedly, while the writer runs.
+        let sms = region.sms();
+        for _ in 0..6 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            for sl in sms.list_streamlets(t) {
+                if sl.state != vortex::StreamletState::Finalized {
+                    let _ = sms.reconcile_streamlet(t, sl.streamlet);
+                }
+            }
+        }
+        h.join().unwrap();
+    });
+
+    let n = acked.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(n, 400, "writer must survive reconciliation storms");
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(keys(&got.rows), (0..n).collect::<Vec<_>>());
+}
+
+/// `CreateStream` opens the first fragment on the data plane, so it is
+/// exposed to transient storage faults; the client must absorb a burst
+/// rather than surface it to the application.
+#[test]
+fn create_writer_retries_transient_faults() {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let t = client.create_table("cw", schema()).unwrap().table;
+    for c in region.fleet().cluster_ids() {
+        region.fleet().get(c).unwrap().faults().fail_next_appends(1);
+    }
+    let mut w = client.create_unbuffered_writer(t).unwrap();
+    w.append(rows(0, 10)).unwrap();
+    assert_eq!(client.read_rows(t).unwrap().rows.len(), 10);
+}
+
+/// `FlushStream` writes a durable flush record; a transient fault must
+/// rotate + retry without losing the visibility watermark, exactly like
+/// a failed append (the SMS watermark gates visibility either way).
+#[test]
+fn flush_retries_transient_faults() {
+    let region = Region::create(RegionConfig::default()).unwrap();
+    let client = region.client();
+    let t = client.create_table("fl", schema()).unwrap().table;
+    let mut w = client.create_buffered_writer(t).unwrap();
+    w.append(rows(0, 30)).unwrap();
+    // Unflushed rows are invisible.
+    assert_eq!(client.read_rows(t).unwrap().rows.len(), 0);
+    // Fault both clusters right before the flush record lands.
+    for c in region.fleet().cluster_ids() {
+        region.fleet().get(c).unwrap().faults().fail_next_appends(1);
+    }
+    w.flush(20).unwrap();
+    let got = client.read_rows(t).unwrap();
+    assert_eq!(keys(&got.rows), (0..20).collect::<Vec<_>>());
+    // The writer still works after the rotation the flush forced.
+    w.append(rows(30, 10)).unwrap();
+    w.flush(40).unwrap();
+    assert_eq!(client.read_rows(t).unwrap().rows.len(), 40);
+}

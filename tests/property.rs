@@ -1,0 +1,650 @@
+//! Property-based tests (proptest) over the core data structures and
+//! end-to-end invariants.
+
+use proptest::prelude::*;
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, Schema};
+use vortex::DeletionMask;
+use vortex_common::codec::{decode_rowset, encode_rowset};
+use vortex_common::compress::{compress, decompress};
+use vortex_common::crypt::{decrypt, encrypt, Key, Nonce};
+use vortex_common::stats::ColumnStats;
+
+// ---------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int64),
+        any::<f64>().prop_map(Value::Float64),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::String),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        (0u64..u64::MAX / 2).prop_map(|t| Value::Timestamp(vortex::Timestamp(t))),
+        any::<i32>().prop_map(Value::Date),
+        any::<i128>().prop_map(Value::Numeric),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Struct),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::Array),
+        ]
+    })
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(arb_value(), 0..6).prop_map(Row::insert)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------------------------
+    // Wire codec: arbitrary rows round-trip bit-exactly.
+    // ------------------------------------------------------------------
+    #[test]
+    fn rowset_codec_roundtrip(rows in proptest::collection::vec(arb_row(), 0..8)) {
+        let rs = RowSet::new(rows);
+        let bytes = encode_rowset(&rs);
+        let back = decode_rowset(&bytes).unwrap();
+        // NaN-safe comparison via re-encoding.
+        prop_assert_eq!(encode_rowset(&back), bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // vsnap compression: arbitrary bytes round-trip; framing is safe.
+    // ------------------------------------------------------------------
+    #[test]
+    fn vsnap_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn vsnap_truncation_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in 0usize..512,
+    ) {
+        let c = compress(&data);
+        let cut = cut.min(c.len());
+        let _ = decompress(&c[..cut]); // must not panic
+    }
+
+    // ------------------------------------------------------------------
+    // ChaCha20: encryption is invertible and nonce-sensitive.
+    // ------------------------------------------------------------------
+    #[test]
+    fn chacha_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                        pass in "[a-z]{1,12}", frag in any::<u64>(), block in any::<u32>()) {
+        let key = Key::derive_from_passphrase(&pass);
+        let nonce = Nonce::for_block(frag, block);
+        let ct = encrypt(&key, &nonce, &data);
+        prop_assert_eq!(decrypt(&key, &nonce, &ct), data);
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion masks: equivalent to a reference set under arbitrary ops.
+    // ------------------------------------------------------------------
+    #[test]
+    fn deletion_mask_matches_reference(
+        ops in proptest::collection::vec((0u64..500, 1u64..40), 0..40)
+    ) {
+        let mut mask = DeletionMask::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for (start, len) in &ops {
+            mask.delete_range(*start, start + len);
+            for r in *start..start + len {
+                reference.insert(r);
+            }
+        }
+        prop_assert_eq!(mask.deleted_count() as usize, reference.len());
+        for r in 0..600 {
+            prop_assert_eq!(mask.contains(r), reference.contains(&r), "row {}", r);
+        }
+        // Serialization round-trips.
+        let back = DeletionMask::from_bytes(&mask.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &mask);
+        // Ranges stay sorted, disjoint, non-adjacent.
+        for w in mask.ranges().windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Column stats: pruning is conservative (never prunes a fragment
+    // that contains a matching value).
+    // ------------------------------------------------------------------
+    #[test]
+    fn stats_pruning_is_conservative(values in proptest::collection::vec(any::<i64>(), 1..60),
+                                     probe in any::<i64>()) {
+        let mut s = ColumnStats::new();
+        for v in &values {
+            s.observe(&Value::Int64(*v));
+        }
+        if values.contains(&probe) {
+            prop_assert!(s.may_contain_point(&Value::Int64(probe)));
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert!(s.may_overlap_range(Some(&Value::Int64(lo)), Some(&Value::Int64(hi))));
+    }
+
+    // ------------------------------------------------------------------
+    // WOS fragment format: arbitrary batches of rows written through the
+    // fragment writer parse back identically, under any batch split.
+    // ------------------------------------------------------------------
+    #[test]
+    fn wos_fragment_roundtrip(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<i64>(), "[a-z]{0,12}"), 1..20),
+            1..6,
+        )
+    ) {
+        use vortex_wos::{FragmentConfig, FragmentWriter, parse_fragment};
+        let key = Key::derive_from_passphrase("prop");
+        let cfg = FragmentConfig {
+            streamlet: vortex::ids::StreamletId::from_raw(1),
+            fragment: vortex::ids::FragmentId::from_raw(2),
+            ordinal: 0,
+            schema_version: 1,
+            key: key.clone(),
+        };
+        let (mut w, mut file) =
+            FragmentWriter::new(cfg, 0, vec![], vortex::Timestamp(1));
+        let mut all: Vec<(i64, String)> = vec![];
+        for (i, batch) in batches.iter().enumerate() {
+            let rs = RowSet::new(
+                batch
+                    .iter()
+                    .map(|(k, s)| Row::insert(vec![Value::Int64(*k), Value::String(s.clone())]))
+                    .collect(),
+            );
+            all.extend(batch.iter().cloned());
+            file.extend(w.data_block(&rs, vortex::Timestamp(10 + i as u64)).unwrap());
+        }
+        file.extend(w.commit_record(vortex::Timestamp(999)).unwrap());
+        let parsed = parse_fragment(&file, &key, None).unwrap();
+        prop_assert_eq!(parsed.total_rows() as usize, all.len());
+        prop_assert_eq!(parsed.committed_rows() as usize, all.len());
+        let mut got = vec![];
+        for b in &parsed.blocks {
+            for r in &b.rows.rows {
+                got.push((
+                    r.values[0].as_i64().unwrap(),
+                    r.values[1].as_str().unwrap().to_string(),
+                ));
+            }
+        }
+        prop_assert_eq!(got, all);
+    }
+
+    // ------------------------------------------------------------------
+    // ROS block: arbitrary rows survive the columnar round trip with
+    // provenance, in order.
+    // ------------------------------------------------------------------
+    #[test]
+    fn ros_block_roundtrip(rows in proptest::collection::vec((any::<i64>(), "[a-z]{0,10}"), 1..64)) {
+        use vortex_ros::{RosBlock, RosBlockBuilder, RowMeta};
+        let schema = Schema::new(vec![
+            Field::required("k", FieldType::Int64),
+            Field::nullable("s", FieldType::String),
+        ]);
+        let mut b = RosBlockBuilder::new(&schema);
+        for (i, (k, s)) in rows.iter().enumerate() {
+            b.push(
+                RowMeta {
+                    change_type: vortex::schema::ChangeType::Insert,
+                    ts: vortex::Timestamp(100 + i as u64),
+                    stream: 7,
+                    offset: i as u64,
+                },
+                Row::insert(vec![Value::Int64(*k), Value::String(s.clone())]),
+            )
+            .unwrap();
+        }
+        let block = b.build(false).unwrap();
+        let key = Key::derive_from_passphrase("ros-prop");
+        let bytes = block.to_bytes(&key, 99);
+        let back = RosBlock::from_bytes(&bytes, &key, 99).unwrap();
+        prop_assert_eq!(back.row_count(), rows.len());
+        for (i, (meta, row)) in back.rows().unwrap().into_iter().enumerate() {
+            prop_assert_eq!(meta.offset, i as u64);
+            prop_assert_eq!(row.values[0].as_i64().unwrap(), rows[i].0);
+            prop_assert_eq!(row.values[1].as_str().unwrap(), rows[i].1.as_str());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end property: arbitrary batch splits of the same logical input
+// produce identical visible tables.
+// ---------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_split_does_not_affect_visible_table(
+        splits in proptest::collection::vec(1usize..40, 1..8)
+    ) {
+        use vortex::{Region, RegionConfig};
+        let region = Region::create(RegionConfig::default()).unwrap();
+        let client = region.client();
+        let schema = Schema::new(vec![Field::required("k", FieldType::Int64)]);
+        let t = client.create_table("prop", schema).unwrap().table;
+        let mut w = client.create_unbuffered_writer(t).unwrap();
+        let mut next = 0i64;
+        for n in &splits {
+            let rs = RowSet::new(
+                (0..*n).map(|i| Row::insert(vec![Value::Int64(next + i as i64)])).collect(),
+            );
+            w.append(rs).unwrap();
+            next += *n as i64;
+        }
+        let rows = client.read_rows(t).unwrap();
+        let mut ks: Vec<i64> = rows
+            .rows
+            .iter()
+            .map(|(_, r)| r.values[0].as_i64().unwrap())
+            .collect();
+        ks.sort_unstable();
+        prop_assert_eq!(ks, (0..next).collect::<Vec<_>>());
+        // Offsets are exactly 0..next with no gaps or duplicates.
+        let mut offs: Vec<u64> = rows.rows.iter().map(|(m, _)| m.offset).collect();
+        offs.sort_unstable();
+        prop_assert_eq!(offs, (0..next as u64).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Torn-tail and reconciliation invariants. These encode exactly the
+// guarantees the reconciler (§5.6) depends on: lenient parsing of any
+// byte-truncation of a valid fragment yields a clean record-aligned
+// prefix, never an error, and the record-aligned common prefix of two
+// diverged replicas re-parses strictly.
+// ---------------------------------------------------------------------
+
+/// Builds a valid fragment file from `batches` and returns
+/// `(bytes, flat rows)`.
+fn build_fragment(batches: &[Vec<(i64, String)>], key: &Key) -> (Vec<u8>, Vec<(i64, String)>) {
+    use vortex_wos::{FragmentConfig, FragmentWriter};
+    let cfg = FragmentConfig {
+        streamlet: vortex::ids::StreamletId::from_raw(7),
+        fragment: vortex::ids::FragmentId::from_raw(9),
+        ordinal: 0,
+        schema_version: 1,
+        key: key.clone(),
+    };
+    let (mut w, mut file) = FragmentWriter::new(cfg, 0, vec![], vortex::Timestamp(1));
+    let mut all = vec![];
+    for (i, batch) in batches.iter().enumerate() {
+        let rs = RowSet::new(
+            batch
+                .iter()
+                .map(|(k, s)| Row::insert(vec![Value::Int64(*k), Value::String(s.clone())]))
+                .collect(),
+        );
+        all.extend(batch.iter().cloned());
+        file.extend(w.data_block(&rs, vortex::Timestamp(10 + i as u64)).unwrap());
+    }
+    file.extend(w.commit_record(vortex::Timestamp(999)).unwrap());
+    (file, all)
+}
+
+fn parsed_keys(p: &vortex_wos::ParsedFragment) -> Vec<i64> {
+    p.blocks
+        .iter()
+        .flat_map(|b| b.rows.rows.iter().map(|r| r.values[0].as_i64().unwrap()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Any truncation of a valid fragment parses leniently to a record
+    // prefix: no error, `valid_len <= cut`, and the recovered rows are a
+    // prefix of the full row sequence.
+    #[test]
+    fn fragment_truncation_parses_as_record_prefix(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<i64>(), "[a-z]{0,10}"), 1..12),
+            1..5,
+        ),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        use vortex_wos::parse_fragment;
+        let key = Key::derive_from_passphrase("torn");
+        let (file, all) = build_fragment(&batches, &key);
+        let full_keys: Vec<i64> = all.iter().map(|(k, _)| *k).collect();
+        let cut = ((file.len() as f64) * cut_frac) as usize;
+        // Byte length of the header record (offset of the first block).
+        let full = parse_fragment(&file, &key, None).unwrap();
+        let header_len = full.blocks.first().map(|b| b.offset).unwrap_or(full.valid_len) as usize;
+        match parse_fragment(&file[..cut], &key, None) {
+            Ok(p) => {
+                prop_assert!(p.valid_len as usize <= cut);
+                let got = parsed_keys(&p);
+                prop_assert_eq!(&full_keys[..got.len()], &got[..]);
+                // The valid prefix re-parses *strictly* (File-Map style).
+                let strict =
+                    parse_fragment(&file[..p.valid_len as usize], &key, Some(p.valid_len));
+                prop_assert!(strict.is_ok(), "strict reparse failed: {:?}", strict.err());
+            }
+            // Only a cut inside the header record itself may fail; then
+            // there is no parseable header at all.
+            Err(_) => prop_assert!(
+                cut < header_len,
+                "parse failed at cut {} of {} (header {})", cut, file.len(), header_len
+            ),
+        }
+    }
+
+    // The reconciler's record-aligned common prefix of two diverged
+    // replica copies (one truncated and padded with garbage) strictly
+    // re-parses and is a row-prefix of the survivor.
+    #[test]
+    fn record_aligned_common_prefix_reparses(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<i64>(), "[a-z]{0,8}"), 1..10),
+            1..4,
+        ),
+        cut_frac in 0.1f64..=1.0,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use vortex_wos::parse_fragment;
+        let key = Key::derive_from_passphrase("diverge");
+        let (file, all) = build_fragment(&batches, &key);
+        let full_keys: Vec<i64> = all.iter().map(|(k, _)| *k).collect();
+        let cut = ((file.len() as f64) * cut_frac) as usize;
+        let mut other = file[..cut].to_vec();
+        other.extend_from_slice(&garbage);
+        // Byte-wise longest common prefix, as reconcile computes it.
+        let lcp = file.iter().zip(other.iter()).take_while(|(a, b)| a == b).count();
+        if let Ok(p) = parse_fragment(&file[..lcp], &key, None) {
+            let v = p.valid_len as usize;
+            if v > 0 {
+                let strict = parse_fragment(&file[..v], &key, Some(v as u64)).unwrap();
+                let got = parsed_keys(&strict);
+                prop_assert_eq!(&full_keys[..got.len()], &got[..]);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Value::total_cmp is a total order: reflexive, antisymmetric,
+    // transitive — required for clustering sort stability and stats.
+    // ------------------------------------------------------------------
+    #[test]
+    fn value_total_cmp_is_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity: a <= b and b <= c implies a <= c.
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bloom filters: inserted keys are NEVER reported absent, including
+    // after a serialization round trip (finalize writes the filter to
+    // the fragment; readers deserialize it for pruning, §7.1).
+    // ------------------------------------------------------------------
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..200),
+    ) {
+        use vortex_common::bloom::BloomFilter;
+        let mut f = BloomFilter::with_capacity(keys.len().max(8), 0.01);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+        let back = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        for k in &keys {
+            prop_assert!(back.may_contain(k));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion-mask algebra: union and slice_rebased agree with a
+    // reference set model (conversion maps WOS masks onto ROS buckets
+    // through exactly these two operations).
+    // ------------------------------------------------------------------
+    #[test]
+    fn mask_union_and_slice_match_reference(
+        ops_a in proptest::collection::vec((0u64..300, 1u64..30), 0..20),
+        ops_b in proptest::collection::vec((0u64..300, 1u64..30), 0..20),
+        window in (0u64..250, 1u64..120),
+    ) {
+        let mut a = DeletionMask::new();
+        let mut b = DeletionMask::new();
+        let mut ref_a = std::collections::BTreeSet::new();
+        let mut ref_b = std::collections::BTreeSet::new();
+        for (s, l) in &ops_a {
+            a.delete_range(*s, s + l);
+            ref_a.extend(*s..s + l);
+        }
+        for (s, l) in &ops_b {
+            b.delete_range(*s, s + l);
+            ref_b.extend(*s..s + l);
+        }
+        // union
+        let mut u = a.clone();
+        u.union(&b);
+        let ref_u: std::collections::BTreeSet<u64> = ref_a.union(&ref_b).copied().collect();
+        prop_assert_eq!(u.deleted_count() as usize, ref_u.len());
+        for r in 0..400 {
+            prop_assert_eq!(u.contains(r), ref_u.contains(&r));
+        }
+        // slice_rebased: rows [start, end) shifted to 0-based
+        let (start, len) = window;
+        let end = start + len;
+        let s = u.slice_rebased(start, end);
+        for r in start..end {
+            prop_assert_eq!(s.contains(r - start), ref_u.contains(&r), "row {}", r);
+        }
+        prop_assert_eq!(
+            s.deleted_count() as usize,
+            ref_u.iter().filter(|r| **r >= start && **r < end).count()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model-based DML: a random interleaving of appends, range deletes, and
+// updates applied to both a live region and a BTreeMap model must agree
+// exactly on the visible table at every step boundary.
+// ---------------------------------------------------------------------
+
+/// One randomized table operation for [`dml_random_ops_match_model`].
+#[derive(Debug, Clone)]
+enum TableOp {
+    /// Append `n` fresh sequential keys.
+    Append(usize),
+    /// Delete keys in `[lo, lo+len)`.
+    Delete(u64, u64),
+    /// Set `v = marker` for keys in `[lo, lo+len)`.
+    Update(u64, u64),
+}
+
+fn arb_table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        3 => (1usize..60).prop_map(TableOp::Append),
+        2 => (0u64..200, 1u64..25).prop_map(|(a, b)| TableOp::Delete(a, b)),
+        2 => (0u64..200, 1u64..25).prop_map(|(a, b)| TableOp::Update(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn dml_random_ops_match_model(ops in proptest::collection::vec(arb_table_op(), 1..14)) {
+        use vortex::{Expr, Region, RegionConfig, ScanOptions};
+        let region = Region::create(RegionConfig::default()).unwrap();
+        let client = region.client();
+        let schema = Schema::new(vec![
+            Field::required("k", FieldType::Int64),
+            Field::required("v", FieldType::Int64),
+        ]);
+        let t = client.create_table("model", schema).unwrap().table;
+        let mut w = client.create_unbuffered_writer(t).unwrap();
+        let dml = region.dml();
+        let mut model: std::collections::BTreeMap<i64, i64> = Default::default();
+        let mut next = 0i64;
+        let mut marker = 1_000_000i64;
+        for op in &ops {
+            match op {
+                TableOp::Append(n) => {
+                    let rs = RowSet::new(
+                        (0..*n as i64)
+                            .map(|i| Row::insert(vec![
+                                Value::Int64(next + i),
+                                Value::Int64(-(next + i)),
+                            ]))
+                            .collect(),
+                    );
+                    w.append(rs).unwrap();
+                    for i in 0..*n as i64 {
+                        model.insert(next + i, -(next + i));
+                    }
+                    next += *n as i64;
+                }
+                TableOp::Delete(lo, len) => {
+                    let (lo, hi) = (*lo as i64, (*lo + *len) as i64);
+                    dml.delete_where(
+                        t,
+                        &Expr::ge("k", Value::Int64(lo)).and(Expr::lt("k", Value::Int64(hi))),
+                    )
+                    .unwrap();
+                    model.retain(|k, _| *k < lo || *k >= hi);
+                }
+                TableOp::Update(lo, len) => {
+                    let (lo, hi) = (*lo as i64, (*lo + *len) as i64);
+                    marker += 1;
+                    dml.update_where(
+                        t,
+                        &Expr::ge("k", Value::Int64(lo)).and(Expr::lt("k", Value::Int64(hi))),
+                        &[("v", Value::Int64(marker))],
+                    )
+                    .unwrap();
+                    for (k, v) in model.iter_mut() {
+                        if *k >= lo && *k < hi {
+                            *v = marker;
+                        }
+                    }
+                }
+            }
+        }
+        let engine = region.engine();
+        let res = engine.scan(t, client.snapshot(), &ScanOptions::default()).unwrap();
+        let mut got: Vec<(i64, i64)> = res
+            .rows
+            .iter()
+            .map(|(_, r)| (r.values[0].as_i64().unwrap(), r.values[1].as_i64().unwrap()))
+            .collect();
+        got.sort_unstable();
+        let want: Vec<(i64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metastore MVCC: a snapshot read is frozen — commits that land after a
+// snapshot was taken never change what `scan_prefix_at` returns for it,
+// including deletes (tombstones are versioned, not destructive). This is
+// the property every atomic metadata swap (conversion, reconciliation,
+// batch commit) builds on.
+// ---------------------------------------------------------------------
+
+/// One randomized metastore mutation for [`metastore_snapshots_are_frozen`].
+#[derive(Debug, Clone)]
+enum MetaOp {
+    /// Upsert key `k` (of a small keyspace) with a payload tag.
+    Put(u8, u8),
+    /// Delete key `k`.
+    Del(u8),
+}
+
+fn arb_meta_op() -> impl Strategy<Value = MetaOp> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| MetaOp::Put(k % 24, v)),
+        1 => any::<u8>().prop_map(|k| MetaOp::Del(k % 24)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metastore_snapshots_are_frozen(
+        ops in proptest::collection::vec(arb_meta_op(), 1..60),
+        cut in 0usize..60,
+    ) {
+        use vortex_metastore::MetaStore;
+        use vortex_common::truetime::{SimClock, TrueTime};
+        let clock = SimClock::new(1_000);
+        let tt = TrueTime::simulated(clock.clone(), 100, 0);
+        let store = MetaStore::new(tt);
+        let cut = cut.min(ops.len());
+        // Apply the first `cut` ops, snapshot, then apply the rest.
+        let apply = |op: &MetaOp| {
+            store
+                .with_txn(8, |txn| {
+                    match op {
+                        MetaOp::Put(k, v) => txn.put(&format!("mvcc/{k:03}"), vec![*v]),
+                        MetaOp::Del(k) => txn.delete(&format!("mvcc/{k:03}")),
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            clock.advance(3);
+        };
+        for op in &ops[..cut] {
+            apply(op);
+        }
+        let snap = store.now();
+        let frozen = store.scan_prefix_at("mvcc/", snap);
+        // Reference state from replaying the prefix.
+        let mut reference: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
+        for op in &ops[..cut] {
+            match op {
+                MetaOp::Put(k, v) => {
+                    reference.insert(format!("mvcc/{k:03}"), vec![*v]);
+                }
+                MetaOp::Del(k) => {
+                    reference.remove(&format!("mvcc/{k:03}"));
+                }
+            }
+        }
+        let want: Vec<(String, Vec<u8>)> = reference.clone().into_iter().collect();
+        prop_assert_eq!(&frozen, &want);
+        // Later commits must not disturb the frozen view.
+        for op in &ops[cut..] {
+            apply(op);
+        }
+        let again = store.scan_prefix_at("mvcc/", snap);
+        prop_assert_eq!(&again, &want);
+    }
+
+    // ------------------------------------------------------------------
+    // Key encoding: distinct values encode to distinct keys within a
+    // type (grouping and bloom probes rely on injectivity), and equal
+    // values encode identically.
+    // ------------------------------------------------------------------
+    #[test]
+    fn value_key_encoding_is_injective(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        let (ka, kb) = (a.encode_key(), b.encode_key());
+        if a.total_cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(&ka, &kb);
+        } else {
+            prop_assert_ne!(&ka, &kb);
+        }
+    }
+}
