@@ -5,6 +5,7 @@
 //! avoids sending a large number of small writes to the file system."
 //! This sweep varies the block buffer size and reports on-disk bytes
 //! (compression efficiency) and the number of file-system writes.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::{Region, RegionConfig};
@@ -37,15 +38,17 @@ fn run_config(block_buffer: usize) -> (u64, u64, usize) {
     for f in cluster.list("wos/").unwrap() {
         let bytes = cluster.read_all(&f).unwrap().data;
         disk += bytes.len() as u64;
-        let parsed =
-            vortex_wos::parse_fragment(&bytes, &tm.encryption_key(), None).unwrap();
+        let parsed = vortex_wos::parse_fragment(&bytes, &tm.encryption_key(), None).unwrap();
         blocks += parsed.blocks.len();
     }
     (logical, disk, blocks)
 }
 
 fn reproduce_table() {
-    println!("\n=== A1: write-buffer size ablation ({} MiB of rows) ===", INPUT_BYTES >> 20);
+    println!(
+        "\n=== A1: write-buffer size ablation ({} MiB of rows) ===",
+        INPUT_BYTES >> 20
+    );
     println!(
         "{:>10} | {:>11} | {:>11} | {:>7} | {:>9}",
         "buffer", "rows bytes", "disk bytes", "ratio", "fs writes"
@@ -84,7 +87,10 @@ fn bench(c: &mut Criterion) {
             || {
                 let region = Region::create(RegionConfig::default()).unwrap();
                 let client = region.client();
-                let table = client.create_table("a1-crit", bench_schema()).unwrap().table;
+                let table = client
+                    .create_table("a1-crit", bench_schema())
+                    .unwrap()
+                    .table;
                 let writer = client.create_unbuffered_writer(table).unwrap();
                 (region, writer)
             },

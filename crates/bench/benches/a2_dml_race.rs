@@ -8,6 +8,7 @@
 //! conversion". This bench runs a continuous DML stream and compares the
 //! optimizer backlog with merged (yielding) vs 1:1 (non-yielding)
 //! conversion.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::row::Value;
@@ -29,9 +30,15 @@ fn run_mode(one_to_one: bool) -> (usize, usize) {
         // "continuous stream of DML" regime.
         region.sms().begin_dml(table).unwrap();
         let result = if one_to_one {
-            region.optimizer().convert_one_to_one(table).map(|r| r.blocks_written)
+            region
+                .optimizer()
+                .convert_one_to_one(table)
+                .map(|r| r.blocks_written)
         } else {
-            region.optimizer().convert_wos(table).map(|r| r.blocks_written)
+            region
+                .optimizer()
+                .convert_wos(table)
+                .map(|r| r.blocks_written)
         };
         if let Ok(n) = result {
             committed += n;
@@ -77,7 +84,10 @@ fn bench(c: &mut Criterion) {
             || {
                 let region = Region::create(RegionConfig::default()).unwrap();
                 let client = region.client();
-                let table = client.create_table("a2-crit", bench_schema()).unwrap().table;
+                let table = client
+                    .create_table("a2-crit", bench_schema())
+                    .unwrap()
+                    .table;
                 ingest_finalized(&region, table, 1_000, 0xA22);
                 (region, table)
             },

@@ -6,6 +6,7 @@
 //! created in the metadata." This sweep varies the rotation threshold
 //! and reports fragment counts (metadata volume / Big Metadata tail) vs
 //! how much data each conversion wave can pick up mid-stream.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::{Region, RegionConfig};
@@ -92,16 +93,17 @@ fn bench(c: &mut Criterion) {
                 })
                 .unwrap();
                 let client = region.client();
-                let table = client.create_table("a3-crit", bench_schema()).unwrap().table;
+                let table = client
+                    .create_table("a3-crit", bench_schema())
+                    .unwrap()
+                    .table;
                 let writer = client.create_unbuffered_writer(table).unwrap();
                 (region, writer)
             },
             |(region, mut writer)| {
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
                 for _ in 0..4 {
-                    writer
-                        .append(batch_of_bytes(&mut rng, 32 << 10))
-                        .unwrap();
+                    writer.append(batch_of_bytes(&mut rng, 32 << 10)).unwrap();
                 }
                 drop(region);
             },

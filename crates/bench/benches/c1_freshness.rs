@@ -5,6 +5,7 @@
 //! append submission until a snapshot read returns the row: the append's
 //! own durability latency (the data is readable the moment it is acked —
 //! read-after-write, §7.1), plus zero visibility delay.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 fn main() {
     use vortex_bench::{bench_schema, paper_region, percentiles, print_percentile_row};

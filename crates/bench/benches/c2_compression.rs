@@ -3,6 +3,7 @@
 //! Paper claims: "the typical compression ratio is 4:1 but can be 10:1 if
 //! values of string fields are common between many rows", with
 //! "negligible CPU impact", and better ratios for larger batched appends.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -79,12 +80,11 @@ fn reproduce_table() {
         let data = typical_payload(rows, 3);
         let c = compress(&data);
         let r = data.len() as f64 / c.len() as f64;
-        println!(
-            "{:>18} rows | {:>9} B | ratio {r:>5.2}:1",
-            rows,
-            data.len()
+        println!("{:>18} rows | {:>9} B | ratio {r:>5.2}:1", rows, data.len());
+        assert!(
+            r >= prev * 0.95,
+            "ratio should grow (or hold) with batch size"
         );
-        assert!(r >= prev * 0.95, "ratio should grow (or hold) with batch size");
         prev = r;
     }
     println!(

@@ -7,6 +7,7 @@
 //! RPCs, but has a higher memory overhead"). This bench drives a
 //! Zipf-like fleet of streams through all three policies and prints the
 //! CPU/memory ledger.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex_client::transport::{

@@ -5,6 +5,7 @@
 //! condition", using min/max column properties and bloom filters. This
 //! bench measures how many fragments point and range predicates
 //! eliminate, and the resulting scan-work reduction.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::row::Value;
@@ -72,7 +73,10 @@ fn reproduce_table() {
             );
         }
         if label.contains("empty") {
-            assert_eq!(res.stats.rows_scanned, 0, "impossible predicate scans nothing");
+            assert_eq!(
+                res.stats.rows_scanned, 0,
+                "impossible predicate scans nothing"
+            );
         }
     }
     println!("paper: pruned partitions are neither scanned nor dispatched");
@@ -82,7 +86,10 @@ fn bench(c: &mut Criterion) {
     reproduce_table();
     let region = fast_region();
     let client = region.client();
-    let table = client.create_table("c4-crit", bench_schema()).unwrap().table;
+    let table = client
+        .create_table("c4-crit", bench_schema())
+        .unwrap()
+        .table;
     for i in 0..4 {
         ingest_finalized(&region, table, 2_000, 0xC40 + i);
     }

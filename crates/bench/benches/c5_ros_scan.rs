@@ -5,6 +5,7 @@
 //! the same analytical scan against (a) raw WOS log fragments, (b)
 //! freshly converted level-0 ROS, and (c) the reclustered baseline —
 //! plus the columnar fast path of decoding a single column.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::row::Value;

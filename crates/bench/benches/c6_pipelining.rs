@@ -5,6 +5,7 @@
 //! previous one completes, as long as offsets are issued in order. This
 //! bench compares the virtual completion time of a burst of appends sent
 //! serially (wait for each ack) vs pipelined (send immediately).
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex::WriterOptions;
@@ -33,7 +34,9 @@ fn run_mode(pipelined: bool) -> u64 {
     let mut t = region.truetime().record_timestamp();
     for _ in 0..20 {
         t = t.plus_micros(1_000);
-        writer.append_at(batch_of_bytes(&mut rng, 8 * 1024), t).unwrap();
+        writer
+            .append_at(batch_of_bytes(&mut rng, 8 * 1024), t)
+            .unwrap();
     }
     // The measured burst: all submitted at (virtually) the same instant.
     let start = t.plus_micros(10_000);
@@ -51,8 +54,14 @@ fn reproduce_table() {
     println!("\n=== C6: serial vs pipelined appends ({BURST}-append burst) ===");
     let serial = run_mode(false);
     let pipelined = run_mode(true);
-    println!("   serial: {:>10.1} ms to drain the burst", serial as f64 / 1000.0);
-    println!("pipelined: {:>10.1} ms to drain the burst", pipelined as f64 / 1000.0);
+    println!(
+        "   serial: {:>10.1} ms to drain the burst",
+        serial as f64 / 1000.0
+    );
+    println!(
+        "pipelined: {:>10.1} ms to drain the burst",
+        pipelined as f64 / 1000.0
+    );
     println!(
         "paper: pipelining removes the per-append round-trip wait — measured {:.2}x",
         serial as f64 / pipelined as f64
@@ -73,15 +82,14 @@ fn bench(c: &mut Criterion) {
     // (the validation that makes ordered pipelining safe).
     let region = vortex_bench::fast_region();
     let client = region.client();
-    let table = client.create_table("c6-crit", bench_schema()).unwrap().table;
+    let table = client
+        .create_table("c6-crit", bench_schema())
+        .unwrap()
+        .table;
     let mut writer = client.create_unbuffered_writer(table).unwrap();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xC66);
     c.bench_function("append_with_offset_validation", |b| {
-        b.iter(|| {
-            writer
-                .append(batch_of_bytes(&mut rng, 2 * 1024))
-                .unwrap()
-        })
+        b.iter(|| writer.append(batch_of_bytes(&mut rng, 2 * 1024)).unwrap())
     });
 }
 

@@ -5,6 +5,7 @@
 //! durably but are never flushed. This bench verifies correctness under
 //! escalating fault levels and measures the overhead vs a naive
 //! at-least-once sink (which visibly duplicates).
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::collections::HashMap;
 

@@ -6,6 +6,7 @@
 //! and reports aggregate virtual throughput: it should scale near-
 //! linearly (streams land on different log files and servers, so they
 //! do not queue on each other).
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex_bench::{bench_schema, open_loop_append_latencies, paper_region, percentiles};
@@ -44,10 +45,7 @@ fn reproduce_table() {
     let mut first_per_stream = 0.0;
     for &streams in &[1usize, 4, 16, 64] {
         let (gbps, p99) = run_scale(streams);
-        println!(
-            "{streams:>9} | {gbps:>12.3} | {:>9.1}",
-            p99 as f64 / 1000.0
-        );
+        println!("{streams:>9} | {gbps:>12.3} | {:>9.1}", p99 as f64 / 1000.0);
         if streams == 1 {
             first_per_stream = gbps;
         }
@@ -72,15 +70,17 @@ fn bench(c: &mut Criterion) {
     // appending concurrently to one table.
     let region = vortex_bench::fast_region();
     let client = region.client();
-    let table = client.create_table("c8-crit", bench_schema()).unwrap().table;
+    let table = client
+        .create_table("c8-crit", bench_schema())
+        .unwrap()
+        .table;
     c.bench_function("concurrent_appends_8_streams", |b| {
         b.iter(|| {
             std::thread::scope(|s| {
                 for w in 0..8u64 {
                     let client = client.clone();
                     s.spawn(move || {
-                        let mut rng =
-                            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(w);
+                        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(w);
                         let mut writer = client.create_unbuffered_writer(table).unwrap();
                         writer
                             .append(vortex_bench::batch_of_bytes(&mut rng, 16 * 1024))

@@ -5,6 +5,7 @@
 //! latency model (dual-cluster synchronous writes = max of two lognormal
 //! samples): flat percentile series across time buckets with p50 ≈ 10 ms
 //! and p99 ≲ 30 ms. Virtual time: two weeks of traffic run in seconds.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex_bench::{
@@ -64,7 +65,10 @@ fn bench(c: &mut Criterion) {
     // through the full client→server→dual-replica path.
     let region = vortex_bench::fast_region();
     let client = region.client();
-    let table = client.create_table("fig7-crit", bench_schema()).unwrap().table;
+    let table = client
+        .create_table("fig7-crit", bench_schema())
+        .unwrap()
+        .table;
     let mut writer = client.create_unbuffered_writer(table).unwrap();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
     c.bench_function("append_4kib_batch_dual_replica", |b| {

@@ -6,6 +6,7 @@
 //! size while "the p99 latency is under 30 milliseconds" across the whole
 //! range. Higher-rate tables use larger batches and more parallel
 //! streams, exactly how high-throughput producers drive the Write API.
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vortex_bench::{
@@ -22,12 +23,48 @@ struct Bucket {
 
 /// streams × batch / interarrival ≈ the bucket's aggregate rate.
 const BUCKETS: &[Bucket] = &[
-    Bucket { label: "<1MB/s",   streams: 1,  appends_per_stream: 400, batch_bytes: 4 << 10,   mean_interarrival_us: 100_000.0 }, // ~40 KB/s
-    Bucket { label: "<2MB/s",   streams: 2,  appends_per_stream: 300, batch_bytes: 16 << 10,  mean_interarrival_us: 50_000.0 },  // ~0.6 MB/s
-    Bucket { label: "<10MB/s",  streams: 4,  appends_per_stream: 200, batch_bytes: 64 << 10,  mean_interarrival_us: 50_000.0 },  // ~5 MB/s
-    Bucket { label: "<100MB/s", streams: 8,  appends_per_stream: 100, batch_bytes: 256 << 10, mean_interarrival_us: 40_000.0 },  // ~52 MB/s
-    Bucket { label: "<1GB/s",   streams: 16, appends_per_stream: 40,  batch_bytes: 1 << 20,   mean_interarrival_us: 40_000.0 },  // ~420 MB/s
-    Bucket { label: ">=1GB/s",  streams: 48, appends_per_stream: 20,  batch_bytes: 1 << 20,   mean_interarrival_us: 40_000.0 },  // ~1.2 GB/s
+    Bucket {
+        label: "<1MB/s",
+        streams: 1,
+        appends_per_stream: 400,
+        batch_bytes: 4 << 10,
+        mean_interarrival_us: 100_000.0,
+    }, // ~40 KB/s
+    Bucket {
+        label: "<2MB/s",
+        streams: 2,
+        appends_per_stream: 300,
+        batch_bytes: 16 << 10,
+        mean_interarrival_us: 50_000.0,
+    }, // ~0.6 MB/s
+    Bucket {
+        label: "<10MB/s",
+        streams: 4,
+        appends_per_stream: 200,
+        batch_bytes: 64 << 10,
+        mean_interarrival_us: 50_000.0,
+    }, // ~5 MB/s
+    Bucket {
+        label: "<100MB/s",
+        streams: 8,
+        appends_per_stream: 100,
+        batch_bytes: 256 << 10,
+        mean_interarrival_us: 40_000.0,
+    }, // ~52 MB/s
+    Bucket {
+        label: "<1GB/s",
+        streams: 16,
+        appends_per_stream: 40,
+        batch_bytes: 1 << 20,
+        mean_interarrival_us: 40_000.0,
+    }, // ~420 MB/s
+    Bucket {
+        label: ">=1GB/s",
+        streams: 48,
+        appends_per_stream: 20,
+        batch_bytes: 1 << 20,
+        mean_interarrival_us: 40_000.0,
+    }, // ~1.2 GB/s
 ];
 
 fn reproduce_figure() {
@@ -66,7 +103,10 @@ fn bench(c: &mut Criterion) {
     // p50 rise at high rates).
     let region = vortex_bench::fast_region();
     let client = region.client();
-    let table = client.create_table("fig8-crit", bench_schema()).unwrap().table;
+    let table = client
+        .create_table("fig8-crit", bench_schema())
+        .unwrap()
+        .table;
     let mut writer = client.create_unbuffered_writer(table).unwrap();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
     c.bench_function("append_256kib_batch_dual_replica", |b| {

@@ -6,7 +6,7 @@
 //! paper-style series/rows it regenerates, then registers a Criterion
 //! measurement of the representative hot operation so `cargo bench`
 //! tracks regressions.
-
+#![allow(clippy::print_stdout)] // prints results/tables by design
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

@@ -89,11 +89,7 @@ impl VortexClient {
 
     /// `CreateStream` + writer (§4.2.1). The default options give an
     /// UNBUFFERED stream with exactly-once offsets.
-    pub fn create_writer(
-        &self,
-        table: TableId,
-        opts: WriterOptions,
-    ) -> VortexResult<StreamWriter> {
+    pub fn create_writer(&self, table: TableId, opts: WriterOptions) -> VortexResult<StreamWriter> {
         StreamWriter::create(Arc::clone(&self.sms), self.tt.clone(), table, opts)
     }
 

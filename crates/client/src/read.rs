@@ -107,10 +107,8 @@ pub fn read_table(
     opts: &ReadOptions,
 ) -> VortexResult<TableRows> {
     let key = sms.get_table(table)?.encryption_key();
-    let mut reconciled: std::collections::HashMap<
-        vortex_common::ids::StreamletId,
-        Timestamp,
-    > = Default::default();
+    let mut reconciled: std::collections::HashMap<vortex_common::ids::StreamletId, Timestamp> =
+        Default::default();
     for _round in 0..=opts.rounds() {
         let rs = sms.list_read_fragments(table, snapshot)?;
         let mut rows: Vec<(RowMeta, Row)> = Vec::new();
@@ -199,22 +197,18 @@ pub fn read_reconciled_tail(
     // them — which would silently drop their rows from this snapshot.
     let mut out = Vec::new();
     let from_offset = tail.first_stream_row + tail.from_row;
-    for meta in sms
-        .list_fragments(table, list_at)
-        .into_iter()
-        .filter(|f| {
-            // Include Deleted fragments still visible at the snapshot:
-            // the optimizer may convert the reconciled fragments before
-            // this read runs, and skipping them would silently drop rows
-            // (their ROS replacements are invisible at this snapshot).
-            // If the file is already collected, read_fragment fails with
-            // NotFound — "snapshot too old" — which is honest.
-            f.streamlet == tail.streamlet
-                && f.kind == vortex_sms::meta::FragmentKind::Wos
-                && f.state != vortex_sms::meta::FragmentState::Active
-                && f.visible_at(snapshot)
-        })
-    {
+    for meta in sms.list_fragments(table, list_at).into_iter().filter(|f| {
+        // Include Deleted fragments still visible at the snapshot:
+        // the optimizer may convert the reconciled fragments before
+        // this read runs, and skipping them would silently drop rows
+        // (their ROS replacements are invisible at this snapshot).
+        // If the file is already collected, read_fragment fails with
+        // NotFound — "snapshot too old" — which is honest.
+        f.streamlet == tail.streamlet
+            && f.kind == vortex_sms::meta::FragmentKind::Wos
+            && f.state != vortex_sms::meta::FragmentState::Active
+            && f.visible_at(snapshot)
+    }) {
         let spec = FragmentReadSpec {
             mask: meta.mask_at(snapshot),
             visibility: tail.visibility.clone(),
@@ -424,6 +418,7 @@ pub fn read_tail(
     // Headers are written before any divergence can occur, so any copy
     // serves. ----
     let file_map: std::collections::HashMap<u32, u64> = {
+        // lint:allow(L002, the empty-frags case returned TailOutcome::Rows above, so last() is Some by control flow)
         let (_, copies) = frags.last().expect("non-empty");
         let mut map = std::collections::HashMap::new();
         if let Ok(p) = parse_fragment(&copies[0], key, None) {
@@ -443,40 +438,39 @@ pub fn read_tail(
                 all_committed: bool,
                 out: &mut Vec<(RowMeta, Row)>,
                 recovered_end: &mut u64| {
-            for block in &p.blocks {
-                if block.timestamp > snapshot {
-                    break;
+        for block in &p.blocks {
+            if block.timestamp > snapshot {
+                break;
+            }
+            if !(block.committed || all_committed) {
+                break;
+            }
+            *recovered_end = (*recovered_end).max(block.first_row + block.rows.rows.len() as u64);
+            for (i, row) in block.rows.rows.iter().enumerate() {
+                let streamlet_row = block.first_row + i as u64;
+                if streamlet_row < tail.from_row {
+                    continue; // covered by fragment read specs
                 }
-                if !(block.committed || all_committed) {
-                    break;
-                }
-                *recovered_end =
-                    (*recovered_end).max(block.first_row + block.rows.rows.len() as u64);
-                for (i, row) in block.rows.rows.iter().enumerate() {
-                    let streamlet_row = block.first_row + i as u64;
-                    if streamlet_row < tail.from_row {
-                        continue; // covered by fragment read specs
-                    }
-                    if let Some(limit) = tail.visibility.flush_limit {
-                        if streamlet_row >= limit {
-                            continue;
-                        }
-                    }
-                    if tail.mask.contains(streamlet_row) {
+                if let Some(limit) = tail.visibility.flush_limit {
+                    if streamlet_row >= limit {
                         continue;
                     }
-                    out.push((
-                        RowMeta {
-                            change_type: row.change_type,
-                            ts: block.timestamp,
-                            stream: tail.stream.raw(),
-                            offset: tail.first_stream_row + streamlet_row,
-                        },
-                        row.clone(),
-                    ));
                 }
+                if tail.mask.contains(streamlet_row) {
+                    continue;
+                }
+                out.push((
+                    RowMeta {
+                        change_type: row.change_type,
+                        ts: block.timestamp,
+                        stream: tail.stream.raw(),
+                        offset: tail.first_stream_row + streamlet_row,
+                    },
+                    row.clone(),
+                ));
             }
-        };
+        }
+    };
 
     for (ord, copies) in &frags {
         if *ord != last_ordinal {
@@ -488,8 +482,7 @@ pub fn read_tail(
             // settling this one).
             let limit = file_map.get(ord).copied();
             let mut parsed_ok = None;
-            let mut last_err =
-                VortexError::Unavailable(format!("fragment {ord} unreadable"));
+            let mut last_err = VortexError::Unavailable(format!("fragment {ord} unreadable"));
             for c in copies {
                 match parse_fragment(c, key, limit) {
                     Ok(p) => {
@@ -499,7 +492,9 @@ pub fn read_tail(
                     Err(e) => last_err = e,
                 }
             }
-            let Some(p) = parsed_ok else { return Err(last_err) };
+            let Some(p) = parsed_ok else {
+                return Err(last_err);
+            };
             emit(&p, true, &mut out, &mut recovered_end);
             continue;
         }
@@ -543,9 +538,7 @@ pub fn read_tail(
             let p = &parsed[0];
             let (count, _) = snapshot_extent(p);
             let last_relevant_is_final = count > 0 && count == p.blocks.len();
-            if last_relevant_is_final
-                && p.blocks.last().map(|b| !b.committed).unwrap_or(false)
-            {
+            if last_relevant_is_final && p.blocks.last().map(|b| !b.committed).unwrap_or(false) {
                 return Ok(TailOutcome::NeedsReconcile);
             }
             true // every snapshot-relevant block has a successor record

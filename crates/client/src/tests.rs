@@ -411,9 +411,18 @@ fn duplicate_offset_append_rejected() {
     let handle = r.sms.list_streamlets(t.table)[0].clone();
     let server = &r.servers[handle.server.raw() as usize - 100];
     let err = server
-        .append(handle.streamlet, &rows(0, 5), 1, Some(0), vortex_common::truetime::Timestamp::MIN)
+        .append(
+            handle.streamlet,
+            &rows(0, 5),
+            1,
+            Some(0),
+            vortex_common::truetime::Timestamp::MIN,
+        )
         .unwrap_err();
-    assert!(matches!(err, VortexError::OffsetMismatch { expected: 5, .. }));
+    assert!(matches!(
+        err,
+        VortexError::OffsetMismatch { expected: 5, .. }
+    ));
 }
 
 #[test]

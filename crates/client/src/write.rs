@@ -172,12 +172,9 @@ impl StreamWriter {
         let mut rotations = 0usize;
         loop {
             let expected = self.opts.exactly_once.then_some(self.next_offset);
-            let outcome = self.handle.server_append(
-                &padded,
-                self.schema.version,
-                expected,
-                start,
-            );
+            let outcome = self
+                .handle
+                .server_append(&padded, self.schema.version, expected, start);
             match outcome {
                 Ok(ack) => {
                     self.transport.on_response();
@@ -258,8 +255,7 @@ impl StreamWriter {
         let mut rotations = 0usize;
         loop {
             // Persist the flush record in the current streamlet's log.
-            let streamlet_rel =
-                row_offset.saturating_sub(self.handle.streamlet.first_stream_row);
+            let streamlet_rel = row_offset.saturating_sub(self.handle.streamlet.first_stream_row);
             match self.handle.server_flush(streamlet_rel) {
                 Ok(()) => break,
                 Err(e) if e.is_retryable() && rotations < self.max_rotate_retries => {

@@ -158,8 +158,8 @@ impl Backend for DiskBackend {
 
     fn read(&self, path: &str, offset: u64, len: usize) -> VortexResult<Vec<u8>> {
         let p = self.fs_path(path);
-        let mut f = fs::File::open(&p)
-            .map_err(|_| VortexError::NotFound(format!("file {path}")))?;
+        let mut f =
+            fs::File::open(&p).map_err(|_| VortexError::NotFound(format!("file {path}")))?;
         f.seek(SeekFrom::Start(offset))
             .map_err(|e| VortexError::Io(format!("seek {path}: {e}")))?;
         let mut buf = vec![0u8; len];

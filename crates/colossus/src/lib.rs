@@ -337,7 +337,10 @@ mod tests {
     #[test]
     fn read_missing_file_fails() {
         let c = mem();
-        assert!(matches!(c.read("nope", 0, 1), Err(VortexError::NotFound(_))));
+        assert!(matches!(
+            c.read("nope", 0, 1),
+            Err(VortexError::NotFound(_))
+        ));
         assert!(matches!(c.len("nope"), Err(VortexError::NotFound(_))));
         assert!(!c.exists("nope"));
     }
@@ -371,7 +374,10 @@ mod tests {
             c.append("f", b"x", Timestamp(0)),
             Err(VortexError::Unavailable(_))
         ));
-        assert!(matches!(c.read("f", 0, 1), Err(VortexError::Unavailable(_))));
+        assert!(matches!(
+            c.read("f", 0, 1),
+            Err(VortexError::Unavailable(_))
+        ));
         assert!(!c.exists("f"));
         c.faults().set_unavailable(false);
         c.append("f", b"x", Timestamp(0)).unwrap();
@@ -456,8 +462,7 @@ mod tests {
 
     #[test]
     fn disk_backend_roundtrip() {
-        let dir =
-            std::env::temp_dir().join(format!("vortex-colossus-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("vortex-colossus-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let c =
             Colossus::new_disk(ClusterId::from_raw(0), &dir, WriteProfile::instant(), 1).unwrap();

@@ -289,7 +289,10 @@ mod tests {
         let data = b"customerKey=alice;".repeat(1000);
         let c = roundtrip(&data);
         let ratio = data.len() as f64 / c.len() as f64;
-        assert!(ratio > 10.0, "expected >10:1 on repeated strings, got {ratio:.1}");
+        assert!(
+            ratio > 10.0,
+            "expected >10:1 on repeated strings, got {ratio:.1}"
+        );
     }
 
     #[test]
@@ -328,7 +331,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let data: Vec<u8> = (0..100_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();

@@ -176,9 +176,7 @@ mod tests {
             current_version: 2
         }
         .needs_metadata_refresh());
-        assert!(
-            VortexError::StreamletFinalized(StreamletId::from_raw(9)).needs_metadata_refresh()
-        );
+        assert!(VortexError::StreamletFinalized(StreamletId::from_raw(9)).needs_metadata_refresh());
         assert!(!VortexError::Unavailable("x".into()).needs_metadata_refresh());
     }
 

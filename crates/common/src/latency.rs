@@ -34,7 +34,10 @@ impl LogNormal {
     /// Builds the distribution whose median and 99th percentile are the
     /// given values (both in microseconds, p99 must exceed median).
     pub fn from_median_p99(median_us: f64, p99_us: f64) -> Self {
-        assert!(median_us > 0.0 && p99_us > median_us, "need p99 > median > 0");
+        assert!(
+            median_us > 0.0 && p99_us > median_us,
+            "need p99 > median > 0"
+        );
         let mu = median_us.ln();
         let sigma = (p99_us / median_us).ln() / Z99;
         LogNormal { mu, sigma }
@@ -211,7 +214,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let prof = WriteProfile::paper_colossus();
         let mut samples: Vec<u64> = (0..100_000)
-            .map(|_| prof.sample_us(4096, &mut rng).max(prof.sample_us(4096, &mut rng)))
+            .map(|_| {
+                prof.sample_us(4096, &mut rng)
+                    .max(prof.sample_us(4096, &mut rng))
+            })
             .collect();
         let p = Percentiles::compute(&mut samples);
         assert!(

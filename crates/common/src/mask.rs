@@ -256,10 +256,7 @@ mod tests {
         let bytes = m.to_bytes();
         assert_eq!(DeletionMask::from_bytes(&bytes).unwrap(), m);
         let empty = DeletionMask::new();
-        assert_eq!(
-            DeletionMask::from_bytes(&empty.to_bytes()).unwrap(),
-            empty
-        );
+        assert_eq!(DeletionMask::from_bytes(&empty.to_bytes()).unwrap(), empty);
     }
 
     #[test]

@@ -264,10 +264,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_within_types() {
-        assert_eq!(
-            Value::Int64(1).total_cmp(&Value::Int64(2)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int64(1).total_cmp(&Value::Int64(2)), Ordering::Less);
         assert_eq!(
             Value::String("b".into()).total_cmp(&Value::String("a".into())),
             Ordering::Greater
@@ -305,7 +302,10 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        assert_eq!(Value::Null.total_cmp(&Value::Int64(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Int64(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
     }
 
@@ -334,14 +334,8 @@ mod tests {
     #[test]
     fn encode_key_nested_lengths_prevent_ambiguity() {
         // ["ab","c"] must not collide with ["a","bc"].
-        let a = Value::Array(vec![
-            Value::String("ab".into()),
-            Value::String("c".into()),
-        ]);
-        let b = Value::Array(vec![
-            Value::String("a".into()),
-            Value::String("bc".into()),
-        ]);
+        let a = Value::Array(vec![Value::String("ab".into()), Value::String("c".into())]);
+        let b = Value::Array(vec![Value::String("a".into()), Value::String("bc".into())]);
         assert_ne!(a.encode_key(), b.encode_key());
     }
 

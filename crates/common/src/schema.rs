@@ -236,10 +236,7 @@ impl Schema {
     /// the common additive case in §5.4.1.
     pub fn evolve_add_column(&self, field: Field) -> VortexResult<Schema> {
         if self.column_index(&field.name).is_some() {
-            return Err(VortexError::AlreadyExists(format!(
-                "column {}",
-                field.name
-            )));
+            return Err(VortexError::AlreadyExists(format!("column {}", field.name)));
         }
         if field.mode == FieldMode::Required {
             return Err(VortexError::InvalidArgument(
@@ -491,7 +488,9 @@ mod tests {
             transform: PartitionTransform::Date,
         };
         // 2023-10-01T12:00:00Z = day 19631.
-        let ts = Value::Timestamp(Timestamp::from_micros(19_631 * 86_400_000_000 + 12 * 3_600_000_000));
+        let ts = Value::Timestamp(Timestamp::from_micros(
+            19_631 * 86_400_000_000 + 12 * 3_600_000_000,
+        ));
         assert_eq!(spec.partition_key(&ts), Some(19_631));
         assert_eq!(spec.partition_key(&Value::Null), None);
     }

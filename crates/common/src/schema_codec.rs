@@ -164,9 +164,7 @@ pub fn schema_from_bytes(buf: &[u8]) -> VortexResult<Schema> {
             let transform = match buf.get(pos) {
                 Some(0) => PartitionTransform::Identity,
                 Some(1) => PartitionTransform::Date,
-                other => {
-                    return Err(VortexError::Decode(format!("bad transform {other:?}")))
-                }
+                other => return Err(VortexError::Decode(format!("bad transform {other:?}"))),
             };
             pos += 1;
             Some(PartitionSpec { column, transform })

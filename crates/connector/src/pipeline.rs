@@ -69,7 +69,9 @@ impl BeamSink {
     /// how many duplicate deliveries or zombie workers the run injects.
     pub fn run(&self, input: Vec<Row>, cfg: &SinkConfig) -> VortexResult<SinkReport> {
         if cfg.workers == 0 {
-            return Err(VortexError::InvalidArgument("need at least 1 worker".into()));
+            return Err(VortexError::InvalidArgument(
+                "need at least 1 worker".into(),
+            ));
         }
         let bundles = partition_rows(input, cfg.workers, cfg.bundle_size);
         let state = Arc::new(PipelineState::new());
@@ -108,7 +110,9 @@ impl BeamSink {
                 let table = self.table;
                 let zombie_id = (cfg.workers + zi) as u64;
                 handles.push(s.spawn(move || {
-                    run_worker(client, table, zombie_id, my_bundles, false, &state, &shuffle)
+                    run_worker(
+                        client, table, zombie_id, my_bundles, false, &state, &shuffle,
+                    )
                 }));
             }
             for h in handles {

@@ -156,12 +156,7 @@ fn sequential_runs_accumulate() {
     sink.run(input(100), &SinkConfig::default()).unwrap();
     // Second run delivers a disjoint set of events.
     let more: Vec<Row> = (100..200)
-        .map(|i| {
-            Row::insert(vec![
-                Value::Int64(i),
-                Value::String(format!("event-{i}")),
-            ])
-        })
+        .map(|i| Row::insert(vec![Value::Int64(i), Value::String(format!("event-{i}"))]))
         .collect();
     sink.run(more, &SinkConfig::default()).unwrap();
     assert_exactly_once(&r, t, 200);

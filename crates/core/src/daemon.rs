@@ -8,15 +8,57 @@
 //! loops on real threads against a [`Region`], with clean shutdown.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use vortex_common::ids::TableId;
 
 use crate::region::Region;
+
+/// A shutdown-aware pacing primitive for service loops.
+///
+/// Loops block on [`ShutdownSignal::sleep_or_stop`] between rounds
+/// instead of `thread::sleep`, so a shutdown wakes every loop
+/// immediately rather than after up to one full period. This is why
+/// the repo-wide L003 lint can ban bare sleeps outside the latency
+/// substrate with no daemon carve-out.
+#[derive(Debug, Default)]
+pub struct ShutdownSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShutdownSignal {
+    /// Creates a signal in the running state.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_stopped(&self) -> bool {
+        *self.stopped.lock()
+    }
+
+    /// Blocks for up to `period`, returning early on shutdown.
+    /// Returns `true` when the caller's loop should exit.
+    pub fn sleep_or_stop(&self, period: Duration) -> bool {
+        let mut stopped = self.stopped.lock();
+        if *stopped {
+            return true;
+        }
+        let _ = self.cv.wait_for(&mut stopped, period);
+        *stopped
+    }
+
+    /// Requests shutdown and wakes every blocked loop.
+    pub fn trigger(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+}
 
 /// How often each loop fires (wall-clock; the engine's own virtual clock
 /// is independent).
@@ -65,7 +107,7 @@ pub struct DaemonStats {
 /// Handle to the running background loops; dropping it (or calling
 /// [`RegionDaemon::shutdown`]) stops them.
 pub struct RegionDaemon {
-    stop: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
     stats: Arc<DaemonStats>,
     tables: Arc<Mutex<HashSet<TableId>>>,
     threads: Vec<std::thread::JoinHandle<()>>,
@@ -74,73 +116,91 @@ pub struct RegionDaemon {
 impl RegionDaemon {
     /// Starts the loops over a shared region.
     pub fn start(region: Arc<Region>, cfg: DaemonConfig) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown = ShutdownSignal::new();
         let stats = Arc::new(DaemonStats::default());
         let tables: Arc<Mutex<HashSet<TableId>>> = Arc::new(Mutex::new(HashSet::new()));
         let mut threads = Vec::new();
 
         // Heartbeat loop (§5.5).
         {
-            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            let (region, shutdown, stats) = (
+                Arc::clone(&region),
+                Arc::clone(&shutdown),
+                Arc::clone(&stats),
+            );
             threads.push(std::thread::spawn(move || {
                 let mut round = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                loop {
                     round += 1;
                     let full = round % cfg.full_state_every == 0;
                     if let Ok(n) = region.run_heartbeats(full) {
                         stats.heartbeats.fetch_add(1, Ordering::Relaxed);
                         stats.deltas.fetch_add(n as u64, Ordering::Relaxed);
                     }
-                    std::thread::sleep(cfg.heartbeat_every);
+                    if shutdown.sleep_or_stop(cfg.heartbeat_every) {
+                        break;
+                    }
                 }
             }));
         }
         // Idle-commit tick loop (§7.1).
         {
-            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
-            threads.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let n = region.run_ticks();
-                    stats.idle_commits.fetch_add(n as u64, Ordering::Relaxed);
-                    std::thread::sleep(cfg.tick_every);
+            let (region, shutdown, stats) = (
+                Arc::clone(&region),
+                Arc::clone(&shutdown),
+                Arc::clone(&stats),
+            );
+            threads.push(std::thread::spawn(move || loop {
+                let n = region.run_ticks();
+                stats.idle_commits.fetch_add(n as u64, Ordering::Relaxed);
+                if shutdown.sleep_or_stop(cfg.tick_every) {
+                    break;
                 }
             }));
         }
         // Optimizer loop (§6.1: "continuously optimizes").
         {
-            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            let (region, shutdown, stats) = (
+                Arc::clone(&region),
+                Arc::clone(&shutdown),
+                Arc::clone(&stats),
+            );
             let tables = Arc::clone(&tables);
-            threads.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let current: Vec<TableId> = tables.lock().iter().copied().collect();
-                    for t in current {
-                        if region.run_optimizer_cycle(t).is_ok() {
-                            stats.optimizer_cycles.fetch_add(1, Ordering::Relaxed);
-                        }
+            threads.push(std::thread::spawn(move || loop {
+                let current: Vec<TableId> = tables.lock().iter().copied().collect();
+                for t in current {
+                    if region.run_optimizer_cycle(t).is_ok() {
+                        stats.optimizer_cycles.fetch_add(1, Ordering::Relaxed);
                     }
-                    std::thread::sleep(cfg.optimize_every);
+                }
+                if shutdown.sleep_or_stop(cfg.optimize_every) {
+                    break;
                 }
             }));
         }
         // GC + groomer loop (§5.4.3).
         {
-            let (region, stop, stats) = (Arc::clone(&region), Arc::clone(&stop), Arc::clone(&stats));
+            let (region, shutdown, stats) = (
+                Arc::clone(&region),
+                Arc::clone(&shutdown),
+                Arc::clone(&stats),
+            );
             let tables = Arc::clone(&tables);
-            threads.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let current: Vec<TableId> = tables.lock().iter().copied().collect();
-                    for t in current {
-                        let _ = region.run_gc(t);
-                    }
-                    let _ = region.sms().run_groomer();
-                    stats.gc_sweeps.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(cfg.gc_every);
+            threads.push(std::thread::spawn(move || loop {
+                let current: Vec<TableId> = tables.lock().iter().copied().collect();
+                for t in current {
+                    let _ = region.run_gc(t);
+                }
+                let _ = region.sms().run_groomer();
+                stats.gc_sweeps.fetch_add(1, Ordering::Relaxed);
+                if shutdown.sleep_or_stop(cfg.gc_every) {
+                    break;
                 }
             }));
         }
 
         Self {
-            stop,
+            shutdown,
             stats,
             tables,
             threads,
@@ -162,9 +222,11 @@ impl RegionDaemon {
         &self.stats
     }
 
-    /// Stops every loop and joins the threads.
+    /// Stops every loop and joins the threads. Loops parked between
+    /// rounds wake immediately; shutdown cost is bounded by in-flight
+    /// work, not by the longest configured period.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shutdown.trigger();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -173,7 +235,7 @@ impl RegionDaemon {
 
 impl Drop for RegionDaemon {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shutdown.trigger();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

@@ -102,7 +102,6 @@ pub use vortex_query::{
     ScanStats, SqlResult, SqlSession,
 };
 pub use vortex_sms::meta::{
-    FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletMeta, StreamletState,
-    TableMeta,
+    FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletMeta, StreamletState, TableMeta,
 };
 pub use vortex_verify::{AuditLog, VerificationReport, Verifier};

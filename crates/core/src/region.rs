@@ -182,8 +182,7 @@ impl Region {
             } else {
                 None
             };
-            let mut sms_cfg =
-                SmsConfig::new(*task, ClusterId::from_raw((i % cfg.clusters) as u64));
+            let mut sms_cfg = SmsConfig::new(*task, ClusterId::from_raw((i % cfg.clusters) as u64));
             if let Some(g) = cfg.gc_grace_micros {
                 sms_cfg.gc_grace_micros = g;
             }
@@ -306,12 +305,20 @@ impl Region {
 
     /// A client bound to the region (single-task: task 0).
     pub fn client(&self) -> VortexClient {
-        VortexClient::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone(), self.tt.clone())
+        VortexClient::new(
+            Arc::clone(&self.sms_tasks[0]),
+            self.fleet.clone(),
+            self.tt.clone(),
+        )
     }
 
     /// A client routed to the SMS task owning `table`.
     pub fn client_for(&self, table: TableId) -> VortexClient {
-        VortexClient::new(Arc::clone(self.sms_for(table)), self.fleet.clone(), self.tt.clone())
+        VortexClient::new(
+            Arc::clone(self.sms_for(table)),
+            self.fleet.clone(),
+            self.tt.clone(),
+        )
     }
 
     /// The query engine.
@@ -450,12 +457,7 @@ impl Region {
     pub fn run_gc(&self, table: TableId) -> VortexResult<usize> {
         let n = self.sms_tasks[0].run_gc(table)?;
         // Metastore MVCC garbage below a conservative watermark.
-        let wm = Timestamp(
-            self.store
-                .now()
-                .micros()
-                .saturating_sub(60_000_000),
-        );
+        let wm = Timestamp(self.store.now().micros().saturating_sub(60_000_000));
         self.store.gc_versions(wm);
         Ok(n)
     }

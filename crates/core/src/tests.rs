@@ -94,7 +94,10 @@ fn full_lifecycle_ingest_optimize_query_dml_gc_verify() {
 
     // 7. Verification pipelines: uniqueness holds (the audit check only
     // covers still-visible rows, so run the location-uniqueness part).
-    let report = region.verifier().verify_appends(t, &crate::AuditLog::new()).unwrap();
+    let report = region
+        .verifier()
+        .verify_appends(t, &crate::AuditLog::new())
+        .unwrap();
     assert!(report.is_clean(), "{:?}", report.violations);
 }
 
@@ -257,7 +260,9 @@ fn on_disk_region_persists_bytes() {
     assert_eq!(client.read_rows(t).unwrap().rows.len(), 25);
     // Real files exist under both cluster roots.
     for c in 0..2 {
-        let files = std::fs::read_dir(dir.join(format!("cluster-{c}"))).unwrap().count();
+        let files = std::fs::read_dir(dir.join(format!("cluster-{c}")))
+            .unwrap()
+            .count();
         assert!(files > 0, "cluster {c} wrote files");
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,255 @@
+//! Workspace walking, file classification and `#[cfg(test)]` region
+//! detection.
+//!
+//! Classification decides which crate a file is charged to in the
+//! baseline and whether the file as a whole is test code. Region
+//! detection finds `#[cfg(test)]` (and `#[test]`) items inside
+//! otherwise-production files so rules that exempt test code can skip
+//! exactly those lines.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One Rust source file, classified and ready for scanning.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across hosts).
+    pub rel_path: String,
+    /// Package name of the owning crate (e.g. `vortex-colossus`).
+    pub crate_name: String,
+    /// Whole file is test code (integration tests, `tests.rs`, …).
+    pub is_test_file: bool,
+}
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Reads the `[package] name` out of a crate manifest.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                return Some(v.to_string());
+            }
+        }
+        // Stop at the first section after [package] to avoid picking up
+        // [[bin]]/[[bench]] names.
+        if line.starts_with("[[") {
+            break;
+        }
+    }
+    None
+}
+
+/// Walks the workspace and returns every Rust file the linter scans.
+///
+/// Scanned: `crates/*/**/*.rs` plus the root `tests/` and `examples/`
+/// directories (which are targets of `vortex-core` but live at the
+/// repo root). Excluded: `shims/` (vendored stand-ins for external
+/// crates — not Vortex code), `target/`, and hidden directories.
+pub fn collect_sources(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+
+    // Map crates/<dir> -> package name, once.
+    let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let dir = e.path();
+            if let Some(name) = package_name(&dir.join("Cargo.toml")) {
+                if let Some(d) = dir.file_name().and_then(|s| s.to_str()) {
+                    crate_names.insert(d.to_string(), name);
+                }
+            }
+        }
+    }
+
+    for (dir_name, crate_name) in &crate_names {
+        let dir = root.join("crates").join(dir_name);
+        walk_rs(&dir, &mut |path| {
+            let rel = rel_path(root, path);
+            out.push(SourceFile {
+                is_test_file: is_test_path(&rel),
+                rel_path: rel,
+                crate_name: crate_name.clone(),
+            });
+        });
+    }
+
+    // Root-level tests/ and examples/ are declared as vortex-core
+    // targets in crates/core/Cargo.toml.
+    let core_name = crate_names
+        .get("core")
+        .cloned()
+        .unwrap_or_else(|| "vortex".to_string());
+    for (sub, test) in [("tests", true), ("examples", false)] {
+        walk_rs(&root.join(sub), &mut |path| {
+            let rel = rel_path(root, path);
+            out.push(SourceFile {
+                rel_path: rel,
+                crate_name: core_name.clone(),
+                is_test_file: test,
+            });
+        });
+    }
+
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path)) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if p.is_dir() {
+            walk_rs(&p, f);
+        } else if name.ends_with(".rs") {
+            f(&p);
+        }
+    }
+}
+
+/// Whether a repo-relative path is test code by construction.
+fn is_test_path(rel: &str) -> bool {
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    file == "tests.rs" || rel.split('/').any(|seg| seg == "tests") || file.ends_with("_test.rs")
+}
+
+/// Returns the set of 1-based lines inside `#[cfg(test)]` / `#[test]`
+/// items, given masked source (comments/strings already blanked).
+///
+/// An attribute covers the item that follows it: either a braced item
+/// (the region runs to the matching close brace) or a `mod name;`
+/// declaration (the region runs to the semicolon).
+pub fn test_line_spans(masked_code: &str) -> Vec<(usize, usize)> {
+    let bytes = masked_code.as_bytes();
+    let mut spans = Vec::new();
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(off) = masked_code[from..].find(pat) {
+            let start = from + off;
+            let after = start + pat.len();
+            if let Some(end) = item_end(bytes, after) {
+                let start_line = line_of(bytes, start);
+                let end_line = line_of(bytes, end);
+                spans.push((start_line, end_line));
+            }
+            from = after;
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+/// True if `line` (1-based) falls inside any span.
+pub fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Byte offset of the end of the item starting at/after `pos`:
+/// the matching `}` of its first brace, or a top-level `;`.
+fn item_end(bytes: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos;
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b';' if depth == 0 && paren == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// 1-based line number of byte offset `pos`.
+pub fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes[..pos.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_spanned() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let spans = test_line_spans(src);
+        assert_eq!(spans.len(), 1);
+        assert!(in_spans(&spans, 3));
+        assert!(in_spans(&spans, 4));
+        assert!(!in_spans(&spans, 1));
+        assert!(!in_spans(&spans, 6));
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn real() {}\n";
+        let spans = test_line_spans(src);
+        assert!(in_spans(&spans, 2));
+        assert!(!in_spans(&spans, 3));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_spanned() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn prod() {}\n";
+        let spans = test_line_spans(src);
+        assert!(in_spans(&spans, 3));
+        assert!(!in_spans(&spans, 5));
+    }
+
+    #[test]
+    fn test_paths() {
+        assert!(is_test_path("crates/colossus/src/tests.rs"));
+        assert!(is_test_path("tests/chaos.rs"));
+        assert!(is_test_path("crates/query/tests/sql.rs"));
+        assert!(!is_test_path("crates/colossus/src/lib.rs"));
+        assert!(!is_test_path("examples/monitoring.rs"));
+        assert!(!is_test_path("crates/bench/benches/fig7.rs"));
+    }
+}

@@ -1,0 +1,318 @@
+//! A minimal Rust lexer for lint scanning: masks out everything that is
+//! not code (comments, string/char literal *contents*) so rule patterns
+//! cannot fire inside a doc comment or a test fixture string, while
+//! preserving byte offsets and line structure exactly.
+//!
+//! The masked text has the same length and the same newline positions as
+//! the input; stripped bytes become spaces. Comments are additionally
+//! collected verbatim (with their line numbers) because the suppression
+//! syntax (`// lint:allow(...)`) lives in comments.
+
+/// A comment extracted during masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// The comment text including its delimiters.
+    pub text: String,
+}
+
+/// The result of masking one source file.
+#[derive(Debug, Clone)]
+pub struct MaskedSource {
+    /// Source text with comments and literal contents blanked to spaces.
+    /// Same byte length and newline positions as the input.
+    pub code: String,
+    /// All comments, in file order.
+    pub comments: Vec<Comment>,
+}
+
+/// Strips comments and literal contents from Rust source.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw (and byte/raw-byte) strings with arbitrary `#` counts,
+/// and char literals — including telling a char literal apart from a
+/// lifetime. String literal *delimiters* stay in place (so the masked
+/// text still parses visually); only their contents are blanked.
+pub fn mask_source(src: &str) -> MaskedSource {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a byte through to the output, tracking line numbers.
+    macro_rules! emit {
+        ($b:expr) => {{
+            let b = $b;
+            if b == b'\n' {
+                line += 1;
+            }
+            out.push(b);
+        }};
+    }
+    // Consumes a source byte, emitting `\n` verbatim and a space
+    // otherwise (used inside stripped regions).
+    macro_rules! blank {
+        () => {{
+            if bytes[i] == b'\n' {
+                emit!(b'\n');
+            } else {
+                out.push(b' ');
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        // Line comment (also covers `///` and `//!`).
+        if b == b'/' && next == Some(b'/') {
+            let start_line = line;
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: src[start..i].to_string(),
+            });
+            out.resize(out.len() + (i - start), b' ');
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if b == b'/' && next == Some(b'*') {
+            let start_line = line;
+            let start = i;
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    blank!();
+                    blank!();
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    blank!();
+                    blank!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank!();
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: src[start..i.min(bytes.len())].to_string(),
+            });
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# / br#"..."# etc.
+        let raw_prefix_len = raw_string_prefix(bytes, i);
+        if let Some((prefix_len, hashes)) = raw_prefix_len {
+            for _ in 0..prefix_len {
+                emit!(bytes[i]);
+                i += 1;
+            }
+            // Contents until `"` followed by `hashes` hash marks.
+            loop {
+                if i >= bytes.len() {
+                    break;
+                }
+                if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
+                    emit!(b'"');
+                    i += 1;
+                    for _ in 0..hashes {
+                        emit!(b'#');
+                        i += 1;
+                    }
+                    break;
+                }
+                blank!();
+            }
+            continue;
+        }
+
+        // Regular string literal (also byte strings `b"..."`; the `b`
+        // was already emitted as code, which is fine).
+        if b == b'"' {
+            emit!(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    blank!();
+                    blank!();
+                } else if bytes[i] == b'"' {
+                    emit!(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    blank!();
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            let is_char_literal = match next {
+                Some(b'\\') => true,
+                Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char_literal {
+                emit!(b'\'');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        blank!();
+                        blank!();
+                    } else if bytes[i] == b'\'' {
+                        emit!(b'\'');
+                        i += 1;
+                        break;
+                    } else {
+                        blank!();
+                    }
+                }
+                continue;
+            }
+            // Lifetime: emit the quote, let the identifier pass as code.
+            emit!(b'\'');
+            i += 1;
+            continue;
+        }
+
+        emit!(b);
+        i += 1;
+    }
+
+    MaskedSource {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+/// If position `i` starts a raw-string prefix (`r`, `br`, `rb` are not
+/// a thing — `br` only), returns `(prefix_len_including_quote, hashes)`.
+fn raw_string_prefix(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let after_letters = if bytes.get(i) == Some(&b'r') {
+        i + 1
+    } else if bytes.get(i) == Some(&b'b') && bytes.get(i + 1) == Some(&b'r') {
+        i + 2
+    } else {
+        return None;
+    };
+    // `r` must be a token start, not the tail of an identifier like `for`.
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let mut hashes = 0usize;
+    let mut j = after_letters;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at position `i` closes a raw string with `hashes` #s.
+fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let src = "let x = 1; // Instant::now() here\nlet y = 2;\n";
+        let m = mask_source(src);
+        assert!(!m.code.contains("Instant::now"));
+        assert_eq!(m.code.len(), src.len());
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(m.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner .unwrap() */ still */ b";
+        let m = mask_source(src);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.starts_with('a'));
+        assert!(m.code.ends_with('b'));
+    }
+
+    #[test]
+    fn string_contents_blanked_delimiters_kept() {
+        let src = r#"let s = "thread::sleep(inside)"; s.len();"#;
+        let m = mask_source(src);
+        assert!(!m.code.contains("thread::sleep"));
+        let blanked = format!("\"{}\"", " ".repeat("thread::sleep(inside)".len()));
+        assert!(m.code.contains(&blanked));
+        assert!(m.code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"panic!("x") .unwrap()"#; code();"####;
+        let m = mask_source(src);
+        assert!(!m.code.contains("panic!"));
+        assert!(!m.code.contains(".unwrap()"));
+        assert!(m.code.contains("code()"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let src = r#"let s = "he said \".unwrap()\" loudly"; after();"#;
+        let m = mask_source(src);
+        assert!(!m.code.contains(".unwrap()"));
+        assert!(m.code.contains("after()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\"'; let q = '\\''; c }";
+        let m = mask_source(src);
+        // Lifetimes survive as code; char-literal contents are blanked.
+        assert!(m.code.contains("<'a>"));
+        assert!(m.code.contains("&'a str"));
+        assert!(!m.code.contains('"'), "quote char literal must be masked");
+        assert_eq!(m.code.len(), src.len());
+    }
+
+    #[test]
+    fn newlines_inside_literals_preserve_line_numbers() {
+        let src = "let a = \"line1\nline2\";\n// after\nx();";
+        let m = mask_source(src);
+        assert_eq!(
+            m.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline structure must survive masking"
+        );
+        assert_eq!(m.comments[0].line, 3);
+    }
+
+    #[test]
+    fn b_prefix_and_r_identifier_tail() {
+        // `for` ends in 'r' and is followed by a string — must not be
+        // treated as a raw-string prefix.
+        let src = "for x in 0..1 { s.push_str(\"hi\") } let b = br#\"bytes .expect( \"#;";
+        let m = mask_source(src);
+        assert!(m.code.contains("for x in"));
+        assert!(!m.code.contains(".expect("));
+    }
+}

@@ -1,0 +1,170 @@
+//! vortex-devtools: the repo-wide invariant linter (`vortex-lint`).
+//!
+//! Vortex's correctness story leans on a handful of cross-cutting
+//! invariants that the Rust compiler cannot see: wall-clock time may
+//! only enter through the TrueTime/latency substrate (otherwise
+//! simulated-time tests quietly read the host clock), the storage path
+//! must not panic, daemons must not ad-hoc sleep, public storage-path
+//! errors must be `VortexResult`, and streamlet locks must not be held
+//! across durable appends. This crate enforces those invariants with a
+//! from-scratch static-analysis pass — a comment/string-stripping lexer
+//! plus per-rule pattern engines — and a one-way ratchet baseline so
+//! existing debt is frozen while new debt is rejected.
+//!
+//! Three enforcement points share this library:
+//! - the `vortex-lint` binary (CI and local runs),
+//! - a `#[test]` in this crate, so plain `cargo test` enforces the
+//!   ratchet,
+//! - `.github/workflows/ci.yml`.
+//!
+//! Rule catalogue and suppression syntax are documented in
+//! CONTRIBUTING.md ("Static analysis & invariants").
+
+pub mod baseline;
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Counts;
+use rules::Violation;
+
+/// Repo-relative path of the committed ratchet baseline.
+pub const BASELINE_PATH: &str = "crates/devtools/baseline.toml";
+
+/// Result of scanning the whole workspace.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All post-suppression violations, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// Aggregates violations into per-(rule, crate) counts.
+    pub fn counts(&self) -> Counts {
+        let mut counts = Counts::new();
+        for v in &self.violations {
+            *counts
+                .entry((v.rule.to_string(), v.crate_name.clone()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Scans every Rust source in the workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let sources = context::collect_sources(root);
+    if sources.is_empty() {
+        return Err(format!(
+            "no sources found under {} — is this the workspace root?",
+            root.display()
+        ));
+    }
+    let mut report = ScanReport::default();
+    for src in &sources {
+        let abs = root.join(&src.rel_path);
+        let text = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        report.violations.extend(scan_str(
+            &text,
+            &src.rel_path,
+            &src.crate_name,
+            src.is_test_file,
+        ));
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Scans a single source text — the unit the fixture tests drive.
+pub fn scan_str(
+    text: &str,
+    rel_path: &str,
+    crate_name: &str,
+    is_test_file: bool,
+) -> Vec<Violation> {
+    let masked = lexer::mask_source(text);
+    rules::check_file(&rules::FileInput {
+        rel_path,
+        crate_name,
+        is_test_file,
+        masked: &masked,
+    })
+}
+
+/// Loads the committed baseline, or an empty one if the file does not
+/// exist yet (first run).
+pub fn load_baseline(root: &Path) -> Result<Counts, String> {
+    let path = root.join(BASELINE_PATH);
+    match fs::read_to_string(&path) {
+        Ok(text) => baseline::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
+        Err(e) => Err(format!("read {}: {e}", path.display())),
+    }
+}
+
+/// Resolves the workspace root for in-repo callers (the ratchet test
+/// and the binary when invoked via `cargo run`).
+pub fn workspace_root_from_manifest() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    context::find_workspace_root(&manifest).unwrap_or_else(|| manifest.join("../.."))
+}
+
+/// The ratchet check used by both the test and the binary: scan,
+/// compare, and describe any regressions.
+///
+/// Returns `Ok(report)` when the tree is at or below baseline, and
+/// `Err(message)` with full diagnostics when it is not.
+pub fn enforce_ratchet(root: &Path) -> Result<ScanReport, String> {
+    let report = scan_workspace(root)?;
+    let base = load_baseline(root)?;
+    let (regressions, _improvements) = baseline::compare(&report.counts(), &base);
+    if regressions.is_empty() {
+        return Ok(report);
+    }
+    let mut msg = String::from("vortex-lint: new invariant violations above baseline:\n");
+    for r in &regressions {
+        msg.push_str(&format!(
+            "  {} in {}: {} violation(s), baseline allows {}\n",
+            r.rule, r.crate_name, r.actual, r.baseline
+        ));
+        for v in report
+            .violations
+            .iter()
+            .filter(|v| v.rule == r.rule && v.crate_name == r.crate_name)
+        {
+            msg.push_str(&format!("    {}\n", v.render()));
+        }
+    }
+    msg.push_str(
+        "fix the violation, or suppress with `// lint:allow(RULE, reason)` \
+         if it is genuinely exempt (see CONTRIBUTING.md)\n",
+    );
+    Err(msg)
+}
+
+#[cfg(test)]
+mod ratchet_test {
+    //! The enforcement point for plain `cargo test`: the committed
+    //! tree must never exceed the committed baseline.
+
+    use super::*;
+
+    #[test]
+    fn workspace_is_at_or_below_baseline() {
+        let root = workspace_root_from_manifest();
+        match enforce_ratchet(&root) {
+            Ok(report) => {
+                assert!(report.files_scanned > 50, "suspiciously few files scanned");
+            }
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+}

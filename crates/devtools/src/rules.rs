@@ -1,0 +1,420 @@
+//! The rule engines and the suppression syntax.
+//!
+//! Every rule operates on masked source (see [`crate::lexer`]), so
+//! occurrences inside comments and string literals never fire. Rules
+//! report [`Violation`]s; suppressions (`// lint:allow(L00X, reason)`)
+//! are applied afterwards, and a malformed suppression is itself
+//! reported under the pseudo-rule `L000`.
+
+use crate::context::{in_spans, line_of, test_line_spans};
+use crate::lexer::MaskedSource;
+
+/// Rules enforced by vortex-lint, in catalogue order.
+pub const RULES: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005"];
+
+/// Crates on the storage path: a panic here can take down an ingest
+/// server or corrupt a commit sequence, so L002/L004/L005 apply.
+pub const STORAGE_PATH_CRATES: &[&str] = &[
+    "vortex-colossus",
+    "vortex-metastore",
+    "vortex-wos",
+    "vortex-ros",
+    "vortex-server",
+    "vortex-sms",
+    "vortex-client",
+];
+
+/// Files allowed to read the real clock and the real sleep: the
+/// TrueTime/latency substrate is the single place wall-clock time may
+/// enter the system (everything else must go through `Clock`).
+pub const CLOCK_ALLOWED_FILES: &[&str] = &[
+    "crates/common/src/truetime.rs",
+    "crates/common/src/latency.rs",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id, e.g. `L002`.
+    pub rule: &'static str,
+    /// Crate charged in the baseline, e.g. `vortex-colossus`.
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Violation {
+    /// Renders as `path:line: [RULE] message (crate)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} ({})",
+            self.path, self.line, self.rule, self.message, self.crate_name
+        )
+    }
+}
+
+/// A parsed `// lint:allow(RULE, reason)` comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    /// The line the suppression covers.
+    target_line: usize,
+}
+
+/// Per-file input to the rule engines.
+pub struct FileInput<'a> {
+    pub rel_path: &'a str,
+    pub crate_name: &'a str,
+    pub is_test_file: bool,
+    pub masked: &'a MaskedSource,
+}
+
+/// Runs every rule over one file and applies suppressions.
+pub fn check_file(input: &FileInput<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (suppressions, malformed) = parse_suppressions(input);
+    violations.extend(malformed);
+
+    let spans = if input.is_test_file {
+        Vec::new() // whole file is test context; rules check the flag
+    } else {
+        test_line_spans(&input.masked.code)
+    };
+    let is_test_line = |line: usize| input.is_test_file || in_spans(&spans, line);
+
+    rule_l001(input, &is_test_line, &mut violations);
+    rule_l002(input, &is_test_line, &mut violations);
+    rule_l003(input, &is_test_line, &mut violations);
+    rule_l004(input, &is_test_line, &mut violations);
+    rule_l005(input, &is_test_line, &mut violations);
+
+    violations.retain(|v| {
+        v.rule == "L000"
+            || !suppressions
+                .iter()
+                .any(|s| s.rule == v.rule && s.target_line == v.line)
+    });
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Parses `// lint:allow(RULE, reason)` comments.
+///
+/// A suppression must be a plain `//` comment (not a `///`/`//!` doc
+/// comment, which merely *documents*) whose content starts with
+/// `lint:allow(`. A trailing suppression covers its own line; a
+/// standalone comment line covers the next line (attribute style).
+/// The reason is mandatory — a suppression without one is reported as
+/// `L000` so debt can never be waved through silently.
+fn parse_suppressions(input: &FileInput<'_>) -> (Vec<Suppression>, Vec<Violation>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    let code_lines: Vec<&str> = input.masked.code.lines().collect();
+
+    for c in &input.masked.comments {
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue; // block comments cannot carry suppressions
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comments talk *about* the syntax, never invoke it
+        }
+        let body = body.trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let parsed = parse_allow_args(rest);
+        match parsed {
+            Some((rule, reason)) if !reason.is_empty() && RULES.contains(&rule.as_str()) => {
+                // Standalone comment (no code on its line) covers the
+                // next line; trailing comment covers its own line.
+                let own = code_lines
+                    .get(c.line - 1)
+                    .map(|l| l.trim().is_empty())
+                    .unwrap_or(true);
+                let target_line = if own { c.line + 1 } else { c.line };
+                sups.push(Suppression { rule, target_line });
+            }
+            _ => bad.push(Violation {
+                rule: "L000",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line: c.line,
+                message: format!(
+                    "malformed suppression `{}`: expected `lint:allow(L00X, reason)` \
+                     with a known rule and a non-empty reason",
+                    c.text.trim()
+                ),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Parses `(RULE, reason...)` from the text following `lint:allow`.
+fn parse_allow_args(rest: &str) -> Option<(String, String)> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = inner.split_once(',')?;
+    Some((rule.trim().to_string(), reason.trim().to_string()))
+}
+
+/// Finds every occurrence of `pat` in the masked code, yielding
+/// 1-based line numbers, filtered by the per-line predicate.
+fn occurrences<'a>(code: &'a str, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        let off = code[from..].find(pat)?;
+        let at = from + off;
+        from = at + pat.len();
+        Some(line_of(bytes, at))
+    })
+}
+
+/// L001 clock-discipline: `Instant::now` / `SystemTime::now` only in
+/// the TrueTime/latency substrate. Everything else must take a
+/// `Clock`, or fault-injection and simulated-time tests silently read
+/// the host clock.
+fn rule_l001(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if CLOCK_ALLOWED_FILES.contains(&input.rel_path) {
+        return;
+    }
+    for pat in ["Instant::now", "SystemTime::now"] {
+        for line in occurrences(&input.masked.code, pat) {
+            if is_test_line(line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "L001",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: format!(
+                    "`{pat}` outside the TrueTime/latency substrate; \
+                     thread a `Clock` through instead"
+                ),
+            });
+        }
+    }
+}
+
+/// L002 panic-discipline: no `.unwrap()` / `.expect(` / `panic!` in
+/// non-test code of storage-path crates. A panic on the ingest path
+/// drops a streamlet mid-commit; return `VortexResult` instead.
+fn rule_l002(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if !STORAGE_PATH_CRATES.contains(&input.crate_name) {
+        return;
+    }
+    for pat in [".unwrap()", ".expect(", "panic!("] {
+        for line in occurrences(&input.masked.code, pat) {
+            if is_test_line(line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "L002",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: format!(
+                    "`{pat}` on the storage path; propagate a `VortexResult` \
+                     (or suppress with a reason if provably infallible)"
+                ),
+            });
+        }
+    }
+}
+
+/// L003 sleep-discipline: `thread::sleep` only in the latency/TrueTime
+/// substrate. Ad-hoc sleeps make simulated-time tests wall-clock-slow
+/// and flaky; daemons must block on a shutdown-aware condvar.
+fn rule_l003(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if CLOCK_ALLOWED_FILES.contains(&input.rel_path) {
+        return;
+    }
+    for line in occurrences(&input.masked.code, "thread::sleep(") {
+        if is_test_line(line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "L003",
+            crate_name: input.crate_name.to_string(),
+            path: input.rel_path.to_string(),
+            line,
+            message: "`thread::sleep` outside the latency substrate; use a \
+                      shutdown-aware condvar wait or the simulated clock"
+                .to_string(),
+        });
+    }
+}
+
+/// L004 error-type-discipline: public functions on the storage path
+/// returning `Result` must use `VortexResult`/`VortexError` so errors
+/// compose across crate boundaries without ad-hoc conversions.
+fn rule_l004(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if !STORAGE_PATH_CRATES.contains(&input.crate_name) {
+        return;
+    }
+    let code = &input.masked.code;
+    let bytes = code.as_bytes();
+    for start in occurrences_at(code, "pub fn ") {
+        let line = line_of(bytes, start);
+        if is_test_line(line) {
+            continue;
+        }
+        // Signature = from `pub fn` to the body brace or a `;`.
+        let sig_end = code[start..]
+            .find(['{', ';'])
+            .map(|o| start + o)
+            .unwrap_or(code.len());
+        let sig = &code[start..sig_end];
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        let ret = &sig[arrow..];
+        let flagged = ret.contains("Result<")
+            && !ret.contains("VortexResult")
+            && !ret.contains("VortexError");
+        if flagged {
+            out.push(Violation {
+                rule: "L004",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: "public storage-path fn returns a non-`VortexResult` \
+                          `Result`; unify on `vortex_common::VortexResult`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L005 lock-hold heuristic: a `let guard = ….lock();` (or `.read()` /
+/// `.write()`) binding whose lexical scope reaches a Colossus append
+/// or Metastore transaction call without an intervening `drop(guard)`.
+/// Holding a streamlet lock across a (simulated) multi-millisecond
+/// durable append serialises the ingest path.
+fn rule_l005(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if !STORAGE_PATH_CRATES.contains(&input.crate_name) && input.crate_name != "vortex-core" {
+        return;
+    }
+    const DANGER: &[&str] = &[".append(", ".with_txn", ".commit("];
+    let code = &input.masked.code;
+    let bytes = code.as_bytes();
+
+    for pat in [".lock();", ".read();", ".write();"] {
+        for at in occurrences_at(code, pat) {
+            let line = line_of(bytes, at);
+            if is_test_line(line) {
+                continue;
+            }
+            // Must be a guard *binding*: the statement starts with `let`.
+            let stmt_start = code[..at]
+                .rfind(['\n', ';', '{', '}'])
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let stmt = code[stmt_start..at].trim_start();
+            let Some(guard_name) = binding_name(stmt) else {
+                continue;
+            };
+            // `let _ = …` drops immediately; `let _guard` holds.
+            if guard_name == "_" {
+                continue;
+            }
+            // Scan the rest of the enclosing block.
+            let scope_end = enclosing_scope_end(bytes, at + pat.len());
+            let body = &code[at + pat.len()..scope_end];
+            let dropped_at = body
+                .find(&format!("drop({guard_name})"))
+                .unwrap_or(usize::MAX);
+            for danger in DANGER {
+                if let Some(d) = body.find(danger) {
+                    if d < dropped_at {
+                        out.push(Violation {
+                            rule: "L005",
+                            crate_name: input.crate_name.to_string(),
+                            path: input.rel_path.to_string(),
+                            line,
+                            message: format!(
+                                "guard `{guard_name}` is held across a `{danger}…)` \
+                                 call; drop it before the durable append/commit"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Byte offsets of every occurrence of `pat`.
+fn occurrences_at<'a>(code: &'a str, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        let off = code[from..].find(pat)?;
+        let at = from + off;
+        from = at + pat.len();
+        Some(at)
+    })
+}
+
+/// Extracts `name` from a statement prefix `let [mut] name = …`.
+fn binding_name(stmt: &str) -> Option<String> {
+    let rest = stmt.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Byte offset where the innermost scope enclosing `pos` closes.
+fn enclosing_scope_end(bytes: &[u8], pos: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}

@@ -1,0 +1,314 @@
+//! Fixture tests for the vortex-lint rule engines: each rule must fire
+//! on a minimal positive snippet and stay silent in comment, string,
+//! `#[cfg(test)]`, and suppressed contexts — plus end-to-end ratchet
+//! behaviour against a synthetic on-disk workspace.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use vortex_devtools::{baseline, enforce_ratchet, scan_str};
+
+/// Shorthand: rule ids reported for a snippet scanned as the given
+/// crate/path.
+fn rules_for(text: &str, path: &str, krate: &str) -> Vec<&'static str> {
+    scan_str(text, path, krate, false)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_fires_on_instant_now() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(
+        rules_for(src, "crates/wos/src/x.rs", "vortex-wos"),
+        ["L001"]
+    );
+}
+
+#[test]
+fn l001_fires_on_system_time_now() {
+    let src = "fn f() { let _ = std::time::SystemTime::now(); }\n";
+    assert_eq!(rules_for(src, "crates/core/src/x.rs", "vortex"), ["L001"]);
+}
+
+#[test]
+fn l001_exempts_the_truetime_substrate() {
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    assert!(rules_for(src, "crates/common/src/truetime.rs", "vortex-common").is_empty());
+    assert!(rules_for(src, "crates/common/src/latency.rs", "vortex-common").is_empty());
+}
+
+#[test]
+fn l001_silent_in_comment_and_string() {
+    let src = "// Instant::now() is banned\nfn f() { let s = \"Instant::now()\"; let _ = s; }\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l001_silent_inside_cfg_test() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l001_silent_in_test_file() {
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert!(scan_str(src, "tests/chaos.rs", "vortex", true).is_empty());
+}
+
+// ---------------------------------------------------------------- L002
+
+#[test]
+fn l002_fires_on_unwrap_expect_panic_in_storage_crates() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\
+               fn h() { panic!(\"boom\"); }\n";
+    assert_eq!(
+        rules_for(src, "crates/colossus/src/x.rs", "vortex-colossus"),
+        ["L002", "L002", "L002"]
+    );
+}
+
+#[test]
+fn l002_does_not_apply_outside_storage_path_crates() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(rules_for(src, "crates/bench/src/x.rs", "vortex-bench").is_empty());
+    assert!(rules_for(src, "crates/query/src/x.rs", "vortex-query").is_empty());
+}
+
+#[test]
+fn l002_does_not_match_unwrap_or_family() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+               fn g(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n\
+               fn h(r: Result<u8, u8>) -> u8 { r.unwrap_or_else(|_| 0) }\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l002_silent_inside_cfg_test_module() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(rules_for(src, "crates/sms/src/x.rs", "vortex-sms").is_empty());
+}
+
+// -------------------------------------------------------- suppressions
+
+#[test]
+fn trailing_suppression_silences_its_line() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(L002, provably Some here)\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn standalone_suppression_silences_next_line() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(L002, checked by caller)\n    x.unwrap()\n}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn suppression_is_rule_specific() {
+    // An L003 allow must not silence an L002 violation.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(L003, wrong rule)\n";
+    assert_eq!(
+        rules_for(src, "crates/wos/src/x.rs", "vortex-wos"),
+        ["L002"]
+    );
+}
+
+#[test]
+fn suppression_without_reason_reports_l000() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(L002)\n";
+    let got = rules_for(src, "crates/wos/src/x.rs", "vortex-wos");
+    assert!(
+        got.contains(&"L000"),
+        "missing reason must be flagged: {got:?}"
+    );
+    assert!(
+        got.contains(&"L002"),
+        "malformed suppression must not suppress"
+    );
+}
+
+#[test]
+fn suppression_with_unknown_rule_reports_l000() {
+    let src = "fn f() {} // lint:allow(L999, no such rule)\n";
+    assert_eq!(
+        rules_for(src, "crates/wos/src/x.rs", "vortex-wos"),
+        ["L000"]
+    );
+}
+
+#[test]
+fn doc_comments_mentioning_the_syntax_are_not_suppressions() {
+    let src = "/// Use `// lint:allow(L002, reason)` to suppress.\nfn f() {}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+// ---------------------------------------------------------------- L003
+
+#[test]
+fn l003_fires_on_thread_sleep_anywhere_in_prod_code() {
+    let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(5)); }\n";
+    assert_eq!(
+        rules_for(src, "crates/core/src/daemon.rs", "vortex"),
+        ["L003"]
+    );
+    assert_eq!(
+        rules_for(src, "crates/query/src/x.rs", "vortex-query"),
+        ["L003"]
+    );
+}
+
+#[test]
+fn l003_exempts_latency_substrate_and_tests() {
+    let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(5)); }\n";
+    assert!(rules_for(src, "crates/common/src/latency.rs", "vortex-common").is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(std::time::Duration::ZERO); }\n}\n";
+    assert!(rules_for(in_test, "crates/core/src/x.rs", "vortex").is_empty());
+}
+
+// ---------------------------------------------------------------- L004
+
+#[test]
+fn l004_fires_on_non_vortex_result_in_public_storage_api() {
+    let src = "pub fn open(p: &str) -> Result<u8, String> { let _ = p; Ok(0) }\n";
+    assert_eq!(
+        rules_for(src, "crates/wos/src/x.rs", "vortex-wos"),
+        ["L004"]
+    );
+    let io = "pub fn read_all(p: &str) -> std::io::Result<Vec<u8>> { std::fs::read(p) }\n";
+    assert_eq!(rules_for(io, "crates/ros/src/x.rs", "vortex-ros"), ["L004"]);
+}
+
+#[test]
+fn l004_accepts_vortex_result_and_vortex_error() {
+    let src = "pub fn open(p: &str) -> VortexResult<u8> { let _ = p; Ok(0) }\n\
+               pub fn raw(p: &str) -> Result<u8, VortexError> { let _ = p; Ok(0) }\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l004_ignores_private_fns_and_non_storage_crates() {
+    let private = "fn helper() -> Result<u8, String> { Ok(0) }\n";
+    assert!(rules_for(private, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+    let other = "pub fn open() -> Result<u8, String> { Ok(0) }\n";
+    assert!(rules_for(other, "crates/optimizer/src/x.rs", "vortex-optimizer").is_empty());
+}
+
+#[test]
+fn l004_ignores_fns_without_result_or_with_fmt_result() {
+    let src = "pub fn name(&self) -> &str { \"x\" }\n\
+               pub fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+// ---------------------------------------------------------------- L005
+
+#[test]
+fn l005_fires_when_guard_spans_an_append() {
+    let src = "fn f(&self) {\n    let mut files = self.files.lock();\n    files.push(1);\n    self.colossus.append(\"p\", &[], ts);\n}\n";
+    assert_eq!(
+        rules_for(src, "crates/wos/src/x.rs", "vortex-wos"),
+        ["L005"]
+    );
+}
+
+#[test]
+fn l005_silent_when_guard_dropped_first() {
+    let src = "fn f(&self) {\n    let mut files = self.files.lock();\n    files.push(1);\n    drop(files);\n    self.colossus.append(\"p\", &[], ts);\n}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l005_silent_when_scope_closes_before_append() {
+    let src = "fn f(&self) {\n    {\n        let mut files = self.files.lock();\n        files.push(1);\n    }\n    self.colossus.append(\"p\", &[], ts);\n}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+#[test]
+fn l005_ignores_temporary_guards() {
+    // A lock in a larger expression is released at the semicolon.
+    let src = "fn f(&self) {\n    let n: Vec<u64> = self.tables.lock().iter().copied().collect();\n    self.colossus.append(\"p\", &[], ts);\n    let _ = n;\n}\n";
+    assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
+}
+
+// ------------------------------------------------------------- ratchet
+
+/// Builds a miniature workspace on disk so `enforce_ratchet` can be
+/// exercised end to end.
+struct MiniRepo {
+    root: PathBuf,
+}
+
+impl MiniRepo {
+    fn new(tag: &str, lib_rs: &str, baseline: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("vortex-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/wos/src")).unwrap();
+        fs::create_dir_all(root.join("crates/devtools")).unwrap();
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(
+            root.join("crates/wos/Cargo.toml"),
+            "[package]\nname = \"vortex-wos\"\n",
+        )
+        .unwrap();
+        fs::write(root.join("crates/wos/src/lib.rs"), lib_rs).unwrap();
+        fs::write(root.join("crates/devtools/baseline.toml"), baseline).unwrap();
+        MiniRepo { root }
+    }
+}
+
+impl Drop for MiniRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const ONE_UNWRAP: &str = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+
+#[test]
+fn ratchet_fails_when_count_exceeds_baseline() {
+    let repo = MiniRepo::new("exceed", ONE_UNWRAP, "");
+    let err = enforce_ratchet(&repo.root).unwrap_err();
+    assert!(err.contains("L002"), "diagnostic names the rule: {err}");
+    assert!(
+        err.contains("crates/wos/src/lib.rs:1"),
+        "diagnostic carries file:line: {err}"
+    );
+}
+
+#[test]
+fn ratchet_passes_at_baseline() {
+    let repo = MiniRepo::new("at", ONE_UNWRAP, "[L002]\nvortex-wos = 1\n");
+    let report = enforce_ratchet(&repo.root).unwrap();
+    assert_eq!(report.violations.len(), 1);
+}
+
+#[test]
+fn ratchet_passes_below_baseline_and_update_locks_it_in() {
+    // Baseline says 3, tree has 1: passes, and the improvement is
+    // visible to `compare` for --update-baseline to lock in.
+    let repo = MiniRepo::new("below", ONE_UNWRAP, "[L002]\nvortex-wos = 3\n");
+    let report = enforce_ratchet(&repo.root).unwrap();
+    let base = vortex_devtools::load_baseline(&repo.root).unwrap();
+    let (regressions, improvements) = baseline::compare(&report.counts(), &base);
+    assert!(regressions.is_empty());
+    assert_eq!(improvements.len(), 1);
+    assert_eq!(improvements[0].actual, 1);
+
+    let rewritten = baseline::serialize(&report.counts());
+    let reparsed = baseline::parse(&rewritten).unwrap();
+    let mut expect = BTreeMap::new();
+    expect.insert(("L002".to_string(), "vortex-wos".to_string()), 1);
+    assert_eq!(reparsed, expect);
+}
+
+#[test]
+fn ratchet_rejects_a_malformed_baseline() {
+    let repo = MiniRepo::new("badbase", ONE_UNWRAP, "[L002]\nvortex-wos = lots\n");
+    assert!(enforce_ratchet(&repo.root).is_err());
+}

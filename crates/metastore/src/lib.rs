@@ -203,6 +203,7 @@ impl MetaStore {
             return Err(VortexError::Decode("not a metastore snapshot".into()));
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        // lint:allow(L002, split_at(len - 4) yields exactly 4 bytes; the length was checked above)
         let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
         if vortex_common::crc::crc32c(body) != stored {
             return Err(VortexError::CorruptData("metastore snapshot crc".into()));
@@ -245,9 +246,7 @@ impl MetaStore {
                         pos += n;
                         Some(v)
                     }
-                    o => {
-                        return Err(VortexError::Decode(format!("bad snapshot flag {o}")))
-                    }
+                    o => return Err(VortexError::Decode(format!("bad snapshot flag {o}"))),
                 };
                 versions.push(Version { ts, value });
             }
@@ -359,7 +358,11 @@ impl Txn {
                 match fp {
                     ReadFootprint::Key(k) => {
                         if let Some(versions) = data.get(k) {
-                            if versions.last().map(|v| v.ts > self.read_ts).unwrap_or(false) {
+                            if versions
+                                .last()
+                                .map(|v| v.ts > self.read_ts)
+                                .unwrap_or(false)
+                            {
                                 return Err(VortexError::TxnConflict(format!(
                                     "key {k} modified after snapshot {}",
                                     self.read_ts
@@ -372,7 +375,10 @@ impl Txn {
                             .range::<String, _>((Bound::Included(p.clone()), Bound::Unbounded))
                             .take_while(|(k, _)| k.starts_with(p.as_str()))
                             .any(|(_, versions)| {
-                                versions.last().map(|v| v.ts > self.read_ts).unwrap_or(false)
+                                versions
+                                    .last()
+                                    .map(|v| v.ts > self.read_ts)
+                                    .unwrap_or(false)
                             });
                         if conflict {
                             return Err(VortexError::TxnConflict(format!(
@@ -386,7 +392,11 @@ impl Txn {
             // Write-write conflicts (first committer wins).
             for k in self.writes.keys() {
                 if let Some(versions) = data.get(k) {
-                    if versions.last().map(|v| v.ts > self.read_ts).unwrap_or(false) {
+                    if versions
+                        .last()
+                        .map(|v| v.ts > self.read_ts)
+                        .unwrap_or(false)
+                    {
                         return Err(VortexError::TxnConflict(format!(
                             "write-write conflict on {k}"
                         )));

@@ -400,12 +400,8 @@ impl StorageOptimizer {
             report.rows += meta.row_count;
             report.blocks_written += 1;
             report.fragments_converted += 1;
-            self.sms.commit_conversion(
-                table,
-                &[(f.fragment, f.masks.len())],
-                vec![meta],
-                false,
-            )?;
+            self.sms
+                .commit_conversion(table, &[(f.fragment, f.masks.len())], vec![meta], false)?;
         }
         Ok(report)
     }
@@ -428,8 +424,16 @@ impl StorageOptimizer {
                     && f.deleted_at == Timestamp::MAX
             })
             .collect();
-        let baseline_rows: u64 = ros.iter().filter(|f| f.level > 0).map(|f| f.row_count).sum();
-        let delta_rows: u64 = ros.iter().filter(|f| f.level == 0).map(|f| f.row_count).sum();
+        let baseline_rows: u64 = ros
+            .iter()
+            .filter(|f| f.level > 0)
+            .map(|f| f.row_count)
+            .sum();
+        let delta_rows: u64 = ros
+            .iter()
+            .filter(|f| f.level == 0)
+            .map(|f| f.row_count)
+            .sum();
         let total = baseline_rows + delta_rows;
         let ratio_before = if total == 0 {
             1.0
@@ -437,7 +441,8 @@ impl StorageOptimizer {
             baseline_rows as f64 / total as f64
         };
         let should_merge = delta_rows > 0
-            && (baseline_rows == 0 || delta_rows as f64 >= self.cfg.merge_trigger * baseline_rows as f64);
+            && (baseline_rows == 0
+                || delta_rows as f64 >= self.cfg.merge_trigger * baseline_rows as f64);
         if !should_merge {
             return Ok(ReclusterReport {
                 merged: false,
@@ -524,7 +529,11 @@ impl StorageOptimizer {
                     && f.deleted_at == Timestamp::MAX
             })
             .collect();
-        let baseline: u64 = ros.iter().filter(|f| f.level > 0).map(|f| f.row_count).sum();
+        let baseline: u64 = ros
+            .iter()
+            .filter(|f| f.level > 0)
+            .map(|f| f.row_count)
+            .sum();
         let total: u64 = ros.iter().map(|f| f.row_count).sum();
         Ok(if total == 0 {
             1.0

@@ -135,10 +135,16 @@ fn conversion_preserves_rows_exactly_once() {
     let after = r.client.read_rows(t.table).unwrap();
     assert_eq!(amounts(&after), (0..300).collect::<Vec<_>>());
     // Provenance preserved: same (stream, offset) pairs as before.
-    let mut src_before: Vec<(u64, u64)> =
-        before.rows.iter().map(|(m, _)| (m.stream, m.offset)).collect();
-    let mut src_after: Vec<(u64, u64)> =
-        after.rows.iter().map(|(m, _)| (m.stream, m.offset)).collect();
+    let mut src_before: Vec<(u64, u64)> = before
+        .rows
+        .iter()
+        .map(|(m, _)| (m.stream, m.offset))
+        .collect();
+    let mut src_after: Vec<(u64, u64)> = after
+        .rows
+        .iter()
+        .map(|(m, _)| (m.stream, m.offset))
+        .collect();
     src_before.sort_unstable();
     src_after.sort_unstable();
     assert_eq!(src_before, src_after, "exactly-once conversion (§6.3)");
@@ -165,10 +171,7 @@ fn time_travel_across_conversion_boundary() {
     r.opt.convert_wos(t.table).unwrap();
     // Read at the pre-conversion snapshot: rows come from WOS, exactly
     // once.
-    let old = r
-        .client
-        .read_rows_at(t.table, pre_conv)
-        .unwrap();
+    let old = r.client.read_rows_at(t.table, pre_conv).unwrap();
     assert_eq!(amounts(&old), (0..50).collect::<Vec<_>>());
     // Post-conversion snapshot: same rows from ROS.
     let new = r.client.read_rows(t.table).unwrap();
@@ -223,7 +226,10 @@ fn masked_rows_dropped_during_merged_conversion() {
     let after = r.client.read_rows(t.table).unwrap();
     assert_eq!(after.rows.len(), 80);
     let got = amounts(&after);
-    assert!(!got.contains(&15), "deleted rows stay deleted post-conversion");
+    assert!(
+        !got.contains(&15),
+        "deleted rows stay deleted post-conversion"
+    );
 }
 
 #[test]
@@ -365,8 +371,7 @@ fn recluster_merges_deltas_into_sorted_baseline() {
     // Baseline blocks are non-overlapping in the clustering key within
     // each partition.
     let frags = r.sms.list_fragments(t.table, r.sms.read_snapshot());
-    let mut by_partition: std::collections::BTreeMap<i64, Vec<(Value, Value)>> =
-        Default::default();
+    let mut by_partition: std::collections::BTreeMap<i64, Vec<(Value, Value)>> = Default::default();
     for f in frags
         .iter()
         .filter(|f| f.kind == FragmentKind::Ros && f.deleted_at == Timestamp::MAX)
@@ -402,7 +407,7 @@ fn recluster_skips_when_deltas_small() {
     ingest(&r, t.table, 0, 300);
     r.opt.convert_wos(t.table).unwrap();
     r.opt.recluster(t.table).unwrap(); // first merge: baseline
-    // A small delta (< 50% of baseline) does not trigger a merge.
+                                       // A small delta (< 50% of baseline) does not trigger a merge.
     ingest(&r, t.table, 300, 50);
     r.opt.convert_wos(t.table).unwrap();
     let report = r.opt.recluster(t.table).unwrap();
@@ -463,7 +468,11 @@ fn gc_after_conversion_removes_wos_files() {
     r.clock.advance(20_000_000); // past the GC grace
     let n = r.sms.run_gc(t.table).unwrap();
     assert!(n >= 1);
-    assert!(!r.fleet.get(ClusterId::from_raw(0)).unwrap().exists(&wos_path));
+    assert!(!r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .exists(&wos_path));
     // Reads still work (from ROS).
     assert_eq!(r.client.read_rows(t.table).unwrap().rows.len(), 50);
     // But the pre-conversion snapshot is gone: reading at it can no
@@ -478,7 +487,10 @@ fn bigmeta_indexes_conversions_and_compacts() {
     ingest(&r, t.table, 0, 120);
     assert_eq!(r.sms.bigmeta().indexed_count(t.table), 0);
     let live = r.sms.list_fragments(t.table, r.sms.read_snapshot());
-    assert!(r.sms.bigmeta().tail_count(t.table, &live) > 0, "unindexed tail");
+    assert!(
+        r.sms.bigmeta().tail_count(t.table, &live) > 0,
+        "unindexed tail"
+    );
     r.opt.convert_wos(t.table).unwrap();
     assert!(r.sms.bigmeta().indexed_count(t.table) >= 3);
     let live = r.sms.list_fragments(t.table, r.sms.read_snapshot());
@@ -494,7 +506,7 @@ fn bigmeta_indexes_conversions_and_compacts() {
     );
     let compacted = r.opt.compact_metadata(t.table).unwrap();
     let _ = compacted; // nothing tombstoned yet; next conversion creates tombstones
-    // A reclustering creates tombstones for the old delta blocks.
+                       // A reclustering creates tombstones for the old delta blocks.
     ingest(&r, t.table, 120, 120);
     r.opt.convert_wos(t.table).unwrap();
     r.opt.recluster(t.table).unwrap();

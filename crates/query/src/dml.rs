@@ -131,8 +131,7 @@ impl DmlExecutor {
 
             // ---- Fragments: positional scan, mask matched rows ----
             for spec in &rs.fragments {
-                let positions =
-                    positional_scan(&fleet, &key, spec, schema, pred, snapshot)?;
+                let positions = positional_scan(&fleet, &key, spec, schema, pred, snapshot)?;
                 if positions.matched.is_empty() {
                     continue;
                 }

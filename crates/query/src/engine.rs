@@ -114,10 +114,8 @@ impl QueryEngine {
     ) -> VortexResult<ScanResult> {
         let tmeta = self.sms.get_table(table)?;
         let key = tmeta.encryption_key();
-        let mut reconciled: std::collections::HashMap<
-            vortex_common::ids::StreamletId,
-            Timestamp,
-        > = Default::default();
+        let mut reconciled: std::collections::HashMap<vortex_common::ids::StreamletId, Timestamp> =
+            Default::default();
         for _round in 0..8 {
             let rs = self.sms.list_read_fragments(table, snapshot)?;
             let mut stats = ScanStats {
@@ -302,11 +300,9 @@ impl QueryEngine {
                 return Ok(None);
             }
             let footer = Footer::from_bytes(&tail.data[RECORD_HEADER_LEN..])?;
-            let Ok(brec_head) = cluster.read(
-                &spec.meta.path,
-                footer.bloom_offset,
-                RECORD_HEADER_LEN,
-            ) else {
+            let Ok(brec_head) =
+                cluster.read(&spec.meta.path, footer.bloom_offset, RECORD_HEADER_LEN)
+            else {
                 continue;
             };
             let brec = RecordHeader::from_bytes(&brec_head.data)?;
@@ -331,7 +327,12 @@ impl QueryEngine {
     }
 
     /// COUNT(*) with a predicate.
-    pub fn count(&self, table: TableId, snapshot: Timestamp, opts: &ScanOptions) -> VortexResult<u64> {
+    pub fn count(
+        &self,
+        table: TableId,
+        snapshot: Timestamp,
+        opts: &ScanOptions,
+    ) -> VortexResult<u64> {
         Ok(self.scan(table, snapshot, opts)?.stats.rows_matched)
     }
 
@@ -379,7 +380,10 @@ impl QueryEngine {
             SumF(f64),
             Min(Option<Value>),
             Max(Option<Value>),
-            Avg { sum: f64, n: u64 },
+            Avg {
+                sum: f64,
+                n: u64,
+            },
         }
         let fresh = |kind: AggKind| match kind {
             AggKind::Count => Acc::Count(0),
@@ -396,10 +400,7 @@ impl QueryEngine {
             Default::default();
         for (_, row) in &result.rows {
             let gval = group_idx.map(|i| row.values[i].clone());
-            let gkey = gval
-                .as_ref()
-                .map(|v| v.encode_key())
-                .unwrap_or_default();
+            let gkey = gval.as_ref().map(|v| v.encode_key()).unwrap_or_default();
             let entry = groups
                 .entry(gkey)
                 .or_insert_with(|| (gval.clone(), aggs.iter().map(|(k, _)| fresh(*k)).collect()));
@@ -414,12 +415,7 @@ impl QueryEngine {
                     AggKind::Sum => {
                         let v = &row.values[idx.expect("SUM needs a column")];
                         match (acc, v) {
-                            (
-                                Acc::SumI {
-                                    sum, saw_any, ..
-                                },
-                                Value::Int64(i),
-                            ) => {
+                            (Acc::SumI { sum, saw_any, .. }, Value::Int64(i)) => {
                                 *sum += *i as i128;
                                 *saw_any = true;
                             }

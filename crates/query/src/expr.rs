@@ -196,7 +196,9 @@ impl Expr {
                 op: CmpOp::Eq,
                 value,
             } if c == column => Some(value),
-            Expr::And(a, b) => a.required_point(column).or_else(|| b.required_point(column)),
+            Expr::And(a, b) => a
+                .required_point(column)
+                .or_else(|| b.required_point(column)),
             _ => None,
         }
     }
@@ -224,12 +226,24 @@ mod tests {
     #[test]
     fn comparisons() {
         let s = schema();
-        assert!(Expr::eq("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
-        assert!(!Expr::eq("a", Value::Int64(5)).eval(&s, &row(6, None)).unwrap());
-        assert!(Expr::lt("a", Value::Int64(5)).eval(&s, &row(4, None)).unwrap());
-        assert!(Expr::le("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
-        assert!(Expr::gt("a", Value::Int64(5)).eval(&s, &row(6, None)).unwrap());
-        assert!(Expr::ge("a", Value::Int64(5)).eval(&s, &row(5, None)).unwrap());
+        assert!(Expr::eq("a", Value::Int64(5))
+            .eval(&s, &row(5, None))
+            .unwrap());
+        assert!(!Expr::eq("a", Value::Int64(5))
+            .eval(&s, &row(6, None))
+            .unwrap());
+        assert!(Expr::lt("a", Value::Int64(5))
+            .eval(&s, &row(4, None))
+            .unwrap());
+        assert!(Expr::le("a", Value::Int64(5))
+            .eval(&s, &row(5, None))
+            .unwrap());
+        assert!(Expr::gt("a", Value::Int64(5))
+            .eval(&s, &row(6, None))
+            .unwrap());
+        assert!(Expr::ge("a", Value::Int64(5))
+            .eval(&s, &row(5, None))
+            .unwrap());
         assert!(Expr::True.eval(&s, &row(0, None)).unwrap());
     }
 
@@ -241,7 +255,9 @@ mod tests {
             .eval(&s, &row(1, None))
             .unwrap());
         assert!(Expr::IsNull("b".into()).eval(&s, &row(1, None)).unwrap());
-        assert!(!Expr::IsNull("b".into()).eval(&s, &row(1, Some("x"))).unwrap());
+        assert!(!Expr::IsNull("b".into())
+            .eval(&s, &row(1, Some("x")))
+            .unwrap());
     }
 
     #[test]
@@ -262,7 +278,9 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let s = schema();
-        assert!(Expr::eq("zzz", Value::Int64(1)).eval(&s, &row(1, None)).is_err());
+        assert!(Expr::eq("zzz", Value::Int64(1))
+            .eval(&s, &row(1, None))
+            .is_err());
     }
 
     fn stats(min: i64, max: i64) -> ColumnStats {
@@ -303,16 +321,15 @@ mod tests {
         let e = Expr::eq("a", Value::Int64(25)).or(Expr::eq("a", Value::Int64(26)));
         assert!(!e.may_match_stats(&lookup));
         // NOT is conservatively kept.
-        assert!(Expr::eq("a", Value::Int64(25)).not().may_match_stats(&lookup));
+        assert!(Expr::eq("a", Value::Int64(25))
+            .not()
+            .may_match_stats(&lookup));
     }
 
     #[test]
     fn required_point_extraction() {
         let e = Expr::eq("cust", Value::String("c9".into())).and(Expr::gt("a", Value::Int64(0)));
-        assert_eq!(
-            e.required_point("cust"),
-            Some(&Value::String("c9".into()))
-        );
+        assert_eq!(e.required_point("cust"), Some(&Value::String("c9".into())));
         assert_eq!(e.required_point("a"), None, "inequality is not a point");
         // OR does not *require* the point.
         let o = Expr::eq("cust", Value::String("c9".into())).or(Expr::True);

@@ -85,7 +85,11 @@ fn lex(input: &str) -> VortexResult<Vec<Tok>> {
                 out.push(Tok::Str(s));
             }
             c if c.is_ascii_digit()
-                || (c == '-' && chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)) =>
+                || (c == '-'
+                    && chars
+                        .get(i + 1)
+                        .map(|d| d.is_ascii_digit())
+                        .unwrap_or(false)) =>
             {
                 let start = i;
                 i += 1;
@@ -535,9 +539,7 @@ impl Parser {
                     limit: None,
                     as_of: None,
                     ..
-                } if !items
-                    .iter()
-                    .any(|i| matches!(i, SelectItem::Agg(_, _))) => {}
+                } if !items.iter().any(|i| matches!(i, SelectItem::Agg(_, _))) => {}
                 _ => {
                     return Err(VortexError::InvalidArgument(
                         "CREATE VIEW supports simple SELECTs only (projection + WHERE)".into(),
@@ -725,9 +727,7 @@ pub struct SqlSession {
     dml: DmlExecutor,
     /// One UNBUFFERED writer per table this session INSERTed into (a
     /// session holds its own dedicated streams, §4.1).
-    writers: parking_lot::Mutex<
-        std::collections::HashMap<String, vortex_client::StreamWriter>,
-    >,
+    writers: parking_lot::Mutex<std::collections::HashMap<String, vortex_client::StreamWriter>>,
 }
 
 impl SqlSession {
@@ -769,9 +769,7 @@ impl SqlSession {
                 let n = batch.len() as u64;
                 let mut writers = self.writers.lock();
                 if !writers.contains_key(&table) {
-                    let w = self
-                        .client
-                        .create_unbuffered_writer(tmeta.table)?;
+                    let w = self.client.create_unbuffered_writer(tmeta.table)?;
                     writers.insert(table.clone(), w);
                 }
                 writers
@@ -846,22 +844,20 @@ impl SqlSession {
                         ));
                     }
                     // Outer projection must stay inside the view's.
-                    let allowed: Option<Vec<String>> = if v_items
-                        .iter()
-                        .any(|i| matches!(i, SelectItem::Star))
-                    {
-                        None // view exposes everything
-                    } else {
-                        Some(
-                            v_items
-                                .iter()
-                                .filter_map(|i| match i {
-                                    SelectItem::Column(c) => Some(c.clone()),
-                                    _ => None,
-                                })
-                                .collect(),
-                        )
-                    };
+                    let allowed: Option<Vec<String>> =
+                        if v_items.iter().any(|i| matches!(i, SelectItem::Star)) {
+                            None // view exposes everything
+                        } else {
+                            Some(
+                                v_items
+                                    .iter()
+                                    .filter_map(|i| match i {
+                                        SelectItem::Column(c) => Some(c.clone()),
+                                        _ => None,
+                                    })
+                                    .collect(),
+                            )
+                        };
                     let resolved_items: Vec<SelectItem> = match (&allowed, &items[..]) {
                         (Some(cols), [SelectItem::Star]) => {
                             cols.iter().cloned().map(SelectItem::Column).collect()
@@ -915,7 +911,9 @@ impl SqlSession {
                 let t = self.client.table(&table)?.table;
                 let set_ref: Vec<(&str, Value)> =
                     set.iter().map(|(c, v)| (c.as_str(), v.clone())).collect();
-                Ok(SqlResult::Dml(self.dml.update_where(t, &predicate, &set_ref)?))
+                Ok(SqlResult::Dml(
+                    self.dml.update_where(t, &predicate, &set_ref)?,
+                ))
             }
         }
     }
@@ -932,16 +930,16 @@ impl SqlSession {
         limit: Option<usize>,
     ) -> VortexResult<SqlResult> {
         let tmeta = self.client.table(table)?;
-        let snapshot = as_of.map(Timestamp).unwrap_or_else(|| self.client.snapshot());
+        let snapshot = as_of
+            .map(Timestamp)
+            .unwrap_or_else(|| self.client.snapshot());
         let opts = ScanOptions {
             predicate,
             // CDC tables resolve UPSERT/DELETE at read time (§4.2.6).
             resolve_changes: !tmeta.schema.primary_key.is_empty(),
             ..ScanOptions::default()
         };
-        let has_agg = items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Agg(_, _)));
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg(_, _)));
         let (columns, mut rows) = if has_agg || group_by.is_some() {
             // Aggregate path: every non-aggregate item must be the GROUP
             // BY column.
@@ -988,9 +986,7 @@ impl SqlSession {
                     let mut agg_iter = aggvals.into_iter();
                     for i in &items {
                         match i {
-                            SelectItem::Column(_) => {
-                                row.push(gval.clone().unwrap_or(Value::Null))
-                            }
+                            SelectItem::Column(_) => row.push(gval.clone().unwrap_or(Value::Null)),
                             SelectItem::Agg(_, _) => {
                                 row.push(agg_iter.next().unwrap_or(Value::Null))
                             }

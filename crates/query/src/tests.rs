@@ -7,9 +7,7 @@ use vortex_colossus::StorageFleet;
 use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
 use vortex_common::latency::WriteProfile;
 use vortex_common::row::{Row, RowSet, Value};
-use vortex_common::schema::{
-    ChangeType, Field, FieldType, PartitionTransform, Schema,
-};
+use vortex_common::schema::{ChangeType, Field, FieldType, PartitionTransform, Schema};
 use vortex_common::truetime::{SimClock, TrueTime};
 use vortex_metastore::MetaStore;
 use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
@@ -195,7 +193,10 @@ fn bloom_pruning_on_wos_fragments() {
         predicate: Expr::eq("customer", Value::String("part2-cust7".into())),
         ..ScanOptions::default()
     };
-    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &opts)
+        .unwrap();
     assert_eq!(res.rows.len(), 1);
     assert!(
         res.stats.pruned_by_bloom + res.stats.pruned_by_stats >= 3,
@@ -208,7 +209,10 @@ fn bloom_pruning_on_wos_fragments() {
         use_bloom: false,
         ..ScanOptions::default()
     };
-    let res_nb = r.engine.scan(t.table, r.sms.read_snapshot(), &opts_nb).unwrap();
+    let res_nb = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &opts_nb)
+        .unwrap();
     assert_eq!(res_nb.rows.len(), 1);
     assert!(res_nb.stats.rows_scanned >= res.stats.rows_scanned);
 }
@@ -469,7 +473,10 @@ fn upsert_delete_resolution_end_to_end() {
         resolve_changes: true,
         ..ScanOptions::default()
     };
-    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &opts)
+        .unwrap();
     let mut got: Vec<(String, String)> = res
         .rows
         .iter()
@@ -510,11 +517,15 @@ fn cdc_resolution_survives_conversion() {
         Row::with_change(vec![Value::String(id.into()), Value::Int64(v)], ct)
     };
     w.append(RowSet::new(
-        (0..20).map(|i| mk(&format!("k{i}"), i, ChangeType::Upsert)).collect(),
+        (0..20)
+            .map(|i| mk(&format!("k{i}"), i, ChangeType::Upsert))
+            .collect(),
     ))
     .unwrap();
     w.append(RowSet::new(
-        (0..10).map(|i| mk(&format!("k{i}"), 100 + i, ChangeType::Upsert)).collect(),
+        (0..10)
+            .map(|i| mk(&format!("k{i}"), 100 + i, ChangeType::Upsert))
+            .collect(),
     ))
     .unwrap();
     let s = w.stream_id();
@@ -524,7 +535,10 @@ fn cdc_resolution_survives_conversion() {
         resolve_changes: true,
         ..ScanOptions::default()
     };
-    let res = r.engine.scan(t.table, r.sms.read_snapshot(), &opts).unwrap();
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &opts)
+        .unwrap();
     assert_eq!(res.rows.len(), 20);
     let sum: i64 = res
         .rows
@@ -626,7 +640,9 @@ fn sql_select_where_order_limit() {
     assert_eq!(got[1][0], Value::Int64(108));
     assert_eq!(got[2][0], Value::Int64(107));
     match &res {
-        SqlResult::Rows { columns, .. } => assert_eq!(columns, &vec!["amount".to_string(), "customer".to_string()]),
+        SqlResult::Rows { columns, .. } => {
+            assert_eq!(columns, &vec!["amount".to_string(), "customer".to_string()])
+        }
         _ => unreachable!(),
     }
     // Star projection.
@@ -659,7 +675,7 @@ fn sql_aggregates_and_group_by() {
         .execute("SELECT SUM(amount) FROM sales WHERE amount < 3")
         .unwrap();
     assert_eq!(rows_of(&res)[0][0], Value::Int64(3)); // 0+1+2
-    // AVG: grouped and filtered.
+                                                      // AVG: grouped and filtered.
     let res = sql
         .execute("SELECT day, AVG(amount) FROM sales GROUP BY day ORDER BY day")
         .unwrap();
@@ -670,7 +686,7 @@ fn sql_aggregates_and_group_by() {
         .execute("SELECT AVG(amount) FROM sales WHERE amount < 4")
         .unwrap();
     assert_eq!(rows_of(&res)[0][0], Value::Float64(1.5)); // mean of 0..=3
-    // AVG over an empty selection is NULL.
+                                                          // AVG over an empty selection is NULL.
     let res = sql
         .execute("SELECT AVG(amount) FROM sales WHERE amount < 0")
         .unwrap();
@@ -684,9 +700,7 @@ fn sql_delete_and_update() {
     let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
     w.append(rows(0, 50)).unwrap();
 
-    let res = sql
-        .execute("DELETE FROM sales WHERE amount < 10")
-        .unwrap();
+    let res = sql.execute("DELETE FROM sales WHERE amount < 10").unwrap();
     match res {
         SqlResult::Dml(rep) => assert_eq!(rep.rows_matched, 10),
         other => panic!("{other:?}"),
@@ -751,7 +765,10 @@ fn sql_predicates_full_grammar() {
         2
     );
     assert_eq!(count("SELECT COUNT(*) FROM sales WHERE day IS NULL"), 0);
-    assert_eq!(count("SELECT COUNT(*) FROM sales WHERE day IS NOT NULL"), 100);
+    assert_eq!(
+        count("SELECT COUNT(*) FROM sales WHERE day IS NOT NULL"),
+        100
+    );
     // Numeric coercion: float literal vs INT64 column.
     assert_eq!(count("SELECT COUNT(*) FROM sales WHERE amount > 97.5"), 2);
 }
@@ -807,7 +824,9 @@ fn sql_result_renders_as_table() {
     let t = r.sms.create_table("sales", schema()).unwrap();
     let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
     w.append(rows(0, 3)).unwrap();
-    let res = sql.execute("SELECT amount, customer FROM sales ORDER BY amount").unwrap();
+    let res = sql
+        .execute("SELECT amount, customer FROM sales ORDER BY amount")
+        .unwrap();
     let table = res.to_table();
     assert!(table.contains("amount"), "{table}");
     assert!(table.contains("(3 row(s))"), "{table}");
@@ -901,7 +920,8 @@ fn sql_insert_values() {
     assert_eq!(got.len(), 2);
     assert_eq!(got[0][0], Value::Int64(500));
     // A second INSERT reuses the session's stream (exactly-once offsets).
-    sql.execute("INSERT INTO sales VALUES (2, 'walk-in', 900)").unwrap();
+    sql.execute("INSERT INTO sales VALUES (2, 'walk-in', 900)")
+        .unwrap();
     let res = sql.execute("SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(rows_of(&res)[0][0], Value::Int64(3));
     // Arity mismatch rejected.
@@ -944,9 +964,8 @@ mod sql_roundtrip {
 
     fn arb_expr() -> impl Strategy<Value = Expr> {
         let leaf = prop_oneof![
-            ("[a-z][a-z_0-9]{0,7}", arb_cmp_op(), arb_literal()).prop_map(
-                |(column, op, value)| Expr::Cmp { column, op, value }
-            ),
+            ("[a-z][a-z_0-9]{0,7}", arb_cmp_op(), arb_literal())
+                .prop_map(|(column, op, value)| Expr::Cmp { column, op, value }),
             "[a-z][a-z_0-9]{0,7}".prop_map(Expr::IsNull),
         ];
         leaf.prop_recursive(3, 12, 2, |inner| {
@@ -1006,12 +1025,16 @@ fn sql_across_schema_evolution() {
     let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
     w.append(rows(0, 10)).unwrap();
 
-    // Additive evolution: a nullable `region` column (§5.4.1).
-    let mut evolved = t.schema.clone();
-    evolved.fields.push(vortex_common::schema::Field::nullable(
-        "region",
-        FieldType::String,
-    ));
+    // Additive evolution: a nullable `region` column (§5.4.1). Use the
+    // schema's evolution API so the version bumps; `update_schema`
+    // rejects same-version schemas.
+    let evolved = t
+        .schema
+        .evolve_add_column(vortex_common::schema::Field::nullable(
+            "region",
+            FieldType::String,
+        ))
+        .unwrap();
     r.sms.update_schema(t.table, evolved).unwrap();
 
     // Old rows are padded with NULL for the new column.

@@ -205,10 +205,7 @@ impl RosBlock {
 
     /// Column properties for a column name, if tracked.
     pub fn stats_for(&self, name: &str) -> Option<&ColumnStats> {
-        self.stats
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.stats.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
     /// All tracked column properties.
@@ -396,8 +393,8 @@ impl RosBlock {
         let blen = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
         need(pos, blen)?;
-        let bloom = BloomFilter::from_bytes(&b[pos..pos + blen])
-            .map_err(VortexError::CorruptData)?;
+        let bloom =
+            BloomFilter::from_bytes(&b[pos..pos + blen]).map_err(VortexError::CorruptData)?;
         pos += blen;
         // Column directory.
         let mut dir = Vec::with_capacity(ncols);
@@ -597,7 +594,10 @@ mod tests {
         .unwrap();
         let block = b.build(false).unwrap();
         assert!(block.stats_for("customerKey").is_some());
-        assert!(block.stats_for("salesOrderLines").is_none(), "repeated col untracked");
+        assert!(
+            block.stats_for("salesOrderLines").is_none(),
+            "repeated col untracked"
+        );
         assert!(block.stats_for("nonexistent").is_none());
     }
 
@@ -614,7 +614,11 @@ mod tests {
             b.push(
                 m,
                 Row::with_change(
-                    vec![Value::Int64(i as i64), Value::String("x".into()), Value::Null],
+                    vec![
+                        Value::Int64(i as i64),
+                        Value::String("x".into()),
+                        Value::Null,
+                    ],
                     *ct,
                 ),
             )
@@ -637,9 +641,7 @@ mod tests {
         assert!(b.is_empty());
         assert!(b.build(false).is_err());
         let mut b = RosBlockBuilder::new(&schema);
-        assert!(b
-            .push(meta(0), Row::insert(vec![Value::Int64(1)]))
-            .is_err());
+        assert!(b.push(meta(0), Row::insert(vec![Value::Int64(1)])).is_err());
         assert_eq!(b.len(), 0);
     }
 }

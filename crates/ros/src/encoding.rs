@@ -132,6 +132,7 @@ fn encode_dict(values: &[Value], ids: &HashMap<Vec<u8>, u32>) -> Vec<u8> {
     let mut out = Vec::new();
     put_uvarint(&mut out, dict.len() as u64);
     for entry in &dict {
+        // lint:allow(L002, every id in 0..dict.len() was assigned a value in the loop above)
         encode_value(&mut out, entry.expect("dictionary id without value"));
     }
     for v in values {
@@ -241,7 +242,12 @@ mod tests {
             .collect();
         let dict = encode_column_with(&vals, Encoding::Dict);
         let plain = encode_column_with(&vals, Encoding::Plain);
-        assert!(dict.len() * 5 < plain.len(), "{} vs {}", dict.len(), plain.len());
+        assert!(
+            dict.len() * 5 < plain.len(),
+            "{} vs {}",
+            dict.len(),
+            plain.len()
+        );
     }
 
     #[test]

@@ -316,8 +316,7 @@ impl HostedStreamlet {
                     cur.expected_lens[0] + chunk.len() as u64,
                     cur.expected_lens[1] + chunk.len() as u64,
                 ];
-                if let Ok((_, _, lens)) =
-                    self.write_both(fleet, &cur.path, &chunk, Timestamp::MIN)
+                if let Ok((_, _, lens)) = self.write_both(fleet, &cur.path, &chunk, Timestamp::MIN)
                 {
                     if lens == want {
                         cur.expected_lens = want;
@@ -725,7 +724,11 @@ impl HostedStreamlet {
                     row_count: cur.writer.rows_written(),
                     committed_size: cur.writer.logical_size(),
                     finalized: false,
-                    stats: cur.stats.iter().map(|(_, n, s)| (n.clone(), s.clone())).collect(),
+                    stats: cur
+                        .stats
+                        .iter()
+                        .map(|(_, n, s)| (n.clone(), s.clone()))
+                        .collect(),
                     ts_range: cur.ts_range,
                 });
                 cur.dirty = false;

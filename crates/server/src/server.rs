@@ -155,6 +155,7 @@ impl StreamServer {
         let bytes = rows.approx_bytes() as u64;
         let _guard = self.admit(bytes)?;
         let hosted = self.hosted(streamlet)?;
+        // lint:allow(L005, the per-streamlet lock is what serializes appends to one streamlet (§4.2.2); only this streamlet's writers wait, never the server map)
         let mut sl = hosted.lock();
         let latest = self
             .latest_schema
@@ -173,7 +174,8 @@ impl StreamServer {
             &self.fleet,
             &self.tt,
         )?;
-        self.bytes_since_heartbeat.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes_since_heartbeat
+            .fetch_add(bytes, Ordering::Relaxed);
         Ok(ack)
     }
 
@@ -205,7 +207,13 @@ impl StreamServer {
         for h in all {
             let mut sl = h.lock();
             if sl
-                .commit_if_idle(now, self.cfg.commit_idle_micros, &self.ids, &self.fleet, &self.tt)
+                .commit_if_idle(
+                    now,
+                    self.cfg.commit_idle_micros,
+                    &self.ids,
+                    &self.fleet,
+                    &self.tt,
+                )
                 .unwrap_or(false)
             {
                 committed += 1;

@@ -87,13 +87,31 @@ fn append_replicates_to_both_clusters() {
     r.server.create_streamlet(spec(&r, 10, 0)).unwrap();
     let ack = r
         .server
-        .append(StreamletId::from_raw(10), &rows(0, 5), 1, Some(0), Timestamp::MIN)
+        .append(
+            StreamletId::from_raw(10),
+            &rows(0, 5),
+            1,
+            Some(0),
+            Timestamp::MIN,
+        )
         .unwrap();
     assert_eq!(ack.first_stream_row, 0);
     assert_eq!(ack.row_count, 5);
     let path = wos_path(TableId::from_raw(1), StreamletId::from_raw(10), 0);
-    let a = r.fleet.get(ClusterId::from_raw(0)).unwrap().read_all(&path).unwrap().data;
-    let b = r.fleet.get(ClusterId::from_raw(1)).unwrap().read_all(&path).unwrap().data;
+    let a = r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
+    let b = r
+        .fleet
+        .get(ClusterId::from_raw(1))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
     assert_eq!(a, b, "physical replication: byte-identical log files");
     let parsed = parse_fragment(&a, &r.key, None).unwrap();
     assert_eq!(parsed.total_rows(), 5);
@@ -105,10 +123,15 @@ fn offset_validation_enforces_exactly_once() {
     r.server.create_streamlet(spec(&r, 11, 100)).unwrap();
     let sl = StreamletId::from_raw(11);
     // First append at stream offset 100 (the streamlet's start).
-    r.server.append(sl, &rows(0, 4), 1, Some(100), Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 4), 1, Some(100), Timestamp::MIN)
+        .unwrap();
     // Retry with the same offset (duplicate): rejected with the expected
     // offset in the error.
-    match r.server.append(sl, &rows(0, 4), 1, Some(100), Timestamp::MIN) {
+    match r
+        .server
+        .append(sl, &rows(0, 4), 1, Some(100), Timestamp::MIN)
+    {
         Err(VortexError::OffsetMismatch {
             provided, expected, ..
         }) => {
@@ -118,11 +141,19 @@ fn offset_validation_enforces_exactly_once() {
         other => panic!("expected OffsetMismatch, got {other:?}"),
     }
     // Out-of-order pipelined offset (too far ahead): also rejected.
-    assert!(r.server.append(sl, &rows(0, 1), 1, Some(110), Timestamp::MIN).is_err());
+    assert!(r
+        .server
+        .append(sl, &rows(0, 1), 1, Some(110), Timestamp::MIN)
+        .is_err());
     // Correct next offset succeeds.
-    r.server.append(sl, &rows(4, 2), 1, Some(104), Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(4, 2), 1, Some(104), Timestamp::MIN)
+        .unwrap();
     // Omitting the offset = at-least-once append at current end.
-    let ack = r.server.append(sl, &rows(6, 3), 1, None, Timestamp::MIN).unwrap();
+    let ack = r
+        .server
+        .append(sl, &rows(6, 3), 1, None, Timestamp::MIN)
+        .unwrap();
     assert_eq!(ack.first_stream_row, 106);
     assert_eq!(r.server.streamlet_rows(sl), Some(9));
 }
@@ -146,7 +177,9 @@ fn schema_version_mismatch_surfaces() {
     }
     // A writer that already knows v3 is admitted (row validation skipped
     // since the server's spec still holds v1).
-    r.server.append(sl, &rows(0, 1), 3, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 1), 3, None, Timestamp::MIN)
+        .unwrap();
 }
 
 #[test]
@@ -172,14 +205,29 @@ fn large_batch_splits_into_blocks() {
     r.server.create_streamlet(spec(&r, 14, 0)).unwrap();
     let sl = StreamletId::from_raw(14);
     // ~50 bytes/row × 1000 rows ≈ 50 KB → should split into many blocks.
-    r.server.append(sl, &rows(0, 1000), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 1000), 1, None, Timestamp::MIN)
+        .unwrap();
     let path = wos_path(TableId::from_raw(1), sl, 0);
-    let data = r.fleet.get(ClusterId::from_raw(0)).unwrap().read_all(&path).unwrap().data;
+    let data = r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
     let parsed = parse_fragment(&data, &r.key, None).unwrap();
-    assert!(parsed.blocks.len() >= 4, "got {} blocks", parsed.blocks.len());
+    assert!(
+        parsed.blocks.len() >= 4,
+        "got {} blocks",
+        parsed.blocks.len()
+    );
     assert_eq!(parsed.total_rows(), 1000);
     // All but the final block are committed by succession.
-    assert_eq!(parsed.committed_rows(), 1000 - parsed.blocks.last().unwrap().rows.len() as u64);
+    assert_eq!(
+        parsed.committed_rows(),
+        1000 - parsed.blocks.last().unwrap().rows.len() as u64
+    );
 }
 
 #[test]
@@ -188,13 +236,18 @@ fn fragment_rotation_at_max_size_writes_file_map() {
     r.server.create_streamlet(spec(&r, 15, 0)).unwrap();
     let sl = StreamletId::from_raw(15);
     for i in 0..20 {
-        r.server.append(sl, &rows(i * 10, 10), 1, None, Timestamp::MIN).unwrap();
+        r.server
+            .append(sl, &rows(i * 10, 10), 1, None, Timestamp::MIN)
+            .unwrap();
     }
     let table = TableId::from_raw(1);
     let c0 = r.fleet.get(ClusterId::from_raw(0)).unwrap();
     // Multiple fragments exist.
     let files = c0.list(&format!("wos/t{:016x}/l{:016x}/", 1, 15)).unwrap();
-    assert!(files.len() >= 3, "rotation should create fragments: {files:?}");
+    assert!(
+        files.len() >= 3,
+        "rotation should create fragments: {files:?}"
+    );
     // A later fragment's File Map covers all previous ones with sizes.
     let last = files.last().unwrap();
     let parsed = parse_fragment(&c0.read_all(last).unwrap().data, &r.key, None).unwrap();
@@ -226,10 +279,19 @@ fn replica_failure_rotates_fragment_and_retries() {
     let r = rig();
     r.server.create_streamlet(spec(&r, 16, 0)).unwrap();
     let sl = StreamletId::from_raw(16);
-    r.server.append(sl, &rows(0, 5), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 5), 1, None, Timestamp::MIN)
+        .unwrap();
     // Fail the next append on cluster 1 only.
-    r.fleet.get(ClusterId::from_raw(1)).unwrap().faults().fail_next_appends(1);
-    let ack = r.server.append(sl, &rows(5, 3), 1, None, Timestamp::MIN).unwrap();
+    r.fleet
+        .get(ClusterId::from_raw(1))
+        .unwrap()
+        .faults()
+        .fail_next_appends(1);
+    let ack = r
+        .server
+        .append(sl, &rows(5, 3), 1, None, Timestamp::MIN)
+        .unwrap();
     assert_eq!(ack.first_stream_row, 5);
     assert_eq!(r.server.streamlet_rows(sl), Some(8));
     // Fragment 1 exists and holds the retried rows; its File Map records
@@ -264,12 +326,24 @@ fn repeated_failures_finalize_streamlet() {
     let r = rig();
     r.server.create_streamlet(spec(&r, 17, 0)).unwrap();
     let sl = StreamletId::from_raw(17);
-    r.server.append(sl, &rows(0, 2), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 2), 1, None, Timestamp::MIN)
+        .unwrap();
     // Fail everything on cluster 1 for a while (data write + rotation
     // header + retried data write).
-    r.fleet.get(ClusterId::from_raw(1)).unwrap().faults().fail_next_appends(10);
-    let err = r.server.append(sl, &rows(2, 2), 1, None, Timestamp::MIN).unwrap_err();
-    assert!(err.is_retryable(), "client should seek a new streamlet: {err}");
+    r.fleet
+        .get(ClusterId::from_raw(1))
+        .unwrap()
+        .faults()
+        .fail_next_appends(10);
+    let err = r
+        .server
+        .append(sl, &rows(2, 2), 1, None, Timestamp::MIN)
+        .unwrap_err();
+    assert!(
+        err.is_retryable(),
+        "client should seek a new streamlet: {err}"
+    );
     // Subsequent appends rejected.
     assert!(matches!(
         r.server.append(sl, &rows(2, 2), 1, None, Timestamp::MIN),
@@ -284,12 +358,20 @@ fn flush_record_persists_watermark() {
     let r = rig();
     r.server.create_streamlet(spec(&r, 18, 0)).unwrap();
     let sl = StreamletId::from_raw(18);
-    r.server.append(sl, &rows(0, 10), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 10), 1, None, Timestamp::MIN)
+        .unwrap();
     r.server.flush(sl, 7).unwrap();
     // Flush beyond length rejected.
     assert!(r.server.flush(sl, 11).is_err());
     let path = wos_path(TableId::from_raw(1), sl, 0);
-    let data = r.fleet.get(ClusterId::from_raw(0)).unwrap().read_all(&path).unwrap().data;
+    let data = r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
     let parsed = parse_fragment(&data, &r.key, None).unwrap();
     assert_eq!(parsed.max_flush_row(), Some(7));
     // The flush record also commits the preceding data.
@@ -301,7 +383,9 @@ fn idle_tick_writes_commit_record() {
     let r = rig_with(|c| c.commit_idle_micros = 1_000);
     r.server.create_streamlet(spec(&r, 19, 0)).unwrap();
     let sl = StreamletId::from_raw(19);
-    r.server.append(sl, &rows(0, 3), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 3), 1, None, Timestamp::MIN)
+        .unwrap();
     // Not idle yet.
     assert_eq!(r.server.tick(), 0);
     r.clock.advance(10_000);
@@ -309,7 +393,13 @@ fn idle_tick_writes_commit_record() {
     // Idempotent: already committed.
     assert_eq!(r.server.tick(), 0);
     let path = wos_path(TableId::from_raw(1), sl, 0);
-    let data = r.fleet.get(ClusterId::from_raw(0)).unwrap().read_all(&path).unwrap().data;
+    let data = r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
     let parsed = parse_fragment(&data, &r.key, None).unwrap();
     assert_eq!(parsed.committed_rows(), 3, "commit record seals the tail");
 }
@@ -319,7 +409,9 @@ fn heartbeat_reports_deltas_then_goes_quiet() {
     let r = rig();
     r.server.create_streamlet(spec(&r, 20, 0)).unwrap();
     let sl = StreamletId::from_raw(20);
-    r.server.append(sl, &rows(0, 4), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 4), 1, None, Timestamp::MIN)
+        .unwrap();
     let hb = r.server.build_heartbeat(false);
     assert_eq!(hb.streamlets.len(), 1);
     let d = &hb.streamlets[0];
@@ -341,14 +433,22 @@ fn finalize_streamlet_writes_footer_and_blocks_appends() {
     let r = rig();
     r.server.create_streamlet(spec(&r, 21, 0)).unwrap();
     let sl = StreamletId::from_raw(21);
-    r.server.append(sl, &rows(0, 6), 1, None, Timestamp::MIN).unwrap();
+    r.server
+        .append(sl, &rows(0, 6), 1, None, Timestamp::MIN)
+        .unwrap();
     r.server.finalize_streamlet(sl).unwrap();
     assert!(matches!(
         r.server.append(sl, &rows(6, 1), 1, None, Timestamp::MIN),
         Err(VortexError::StreamletFinalized(_))
     ));
     let path = wos_path(TableId::from_raw(1), sl, 0);
-    let data = r.fleet.get(ClusterId::from_raw(0)).unwrap().read_all(&path).unwrap().data;
+    let data = r
+        .fleet
+        .get(ClusterId::from_raw(0))
+        .unwrap()
+        .read_all(&path)
+        .unwrap()
+        .data;
     let parsed = parse_fragment(&data, &r.key, None).unwrap();
     assert!(parsed.is_finalized());
     // Bloom covers clustering keys that were written.
@@ -397,7 +497,9 @@ fn load_reflects_streamlets_and_quarantine() {
     r.server.create_streamlet(spec(&r, 24, 0)).unwrap();
     r.server.create_streamlet(spec(&r, 25, 0)).unwrap();
     assert_eq!(r.server.load().streamlets, 2);
-    r.server.finalize_streamlet(StreamletId::from_raw(24)).unwrap();
+    r.server
+        .finalize_streamlet(StreamletId::from_raw(24))
+        .unwrap();
     assert_eq!(r.server.load().streamlets, 1, "finalized not writable");
     r.server.set_quarantined(true);
     assert!(r.server.load().quarantined);
@@ -409,7 +511,9 @@ fn gc_fragments_deletes_files_from_all_clusters() {
     r.server.create_streamlet(spec(&r, 26, 0)).unwrap();
     let sl = StreamletId::from_raw(26);
     for i in 0..10 {
-        r.server.append(sl, &rows(i * 10, 10), 1, None, Timestamp::MIN).unwrap();
+        r.server
+            .append(sl, &rows(i * 10, 10), 1, None, Timestamp::MIN)
+            .unwrap();
     }
     let table = TableId::from_raw(1);
     let deleted = r.server.gc_fragments(table, sl, vec![0, 1]).unwrap();
@@ -427,10 +531,18 @@ fn checkpoint_and_recovery_restore_streamlet_identities() {
     r.server.create_streamlet(spec(&r, 27, 0)).unwrap();
     r.server.create_streamlet(spec(&r, 28, 0)).unwrap();
     r.server
-        .append(StreamletId::from_raw(27), &rows(0, 5), 1, None, Timestamp::MIN)
+        .append(
+            StreamletId::from_raw(27),
+            &rows(0, 5),
+            1,
+            None,
+            Timestamp::MIN,
+        )
         .unwrap();
     r.server.checkpoint().unwrap();
-    r.server.finalize_streamlet(StreamletId::from_raw(28)).unwrap();
+    r.server
+        .finalize_streamlet(StreamletId::from_raw(28))
+        .unwrap();
     // "Crash" and recover from the metadata log.
     let cfg = r.server.config().clone();
     let summary = StreamServer::recover_summary(&cfg, &r.fleet).unwrap();

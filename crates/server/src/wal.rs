@@ -193,7 +193,11 @@ impl ServerLog {
         put_uvarint(&mut framed, snapshot.len() as u64);
         framed.extend_from_slice(snapshot);
         framed.extend_from_slice(&crc32c(snapshot).to_le_bytes());
-        cluster.append(&checkpoint_path(self.server, self.epoch), &framed, Timestamp::MIN)?;
+        cluster.append(
+            &checkpoint_path(self.server, self.epoch),
+            &framed,
+            Timestamp::MIN,
+        )?;
         // GC older logs and checkpoints.
         for p in cluster.list(&srv_prefix(self.server))? {
             let keep_wal = p == wal_path(self.server, self.epoch);
@@ -227,6 +231,7 @@ impl ServerLog {
                     return Err(VortexError::CorruptData("checkpoint truncated".into()));
                 }
                 let body = &data[pos..pos + n];
+                // lint:allow(L002, the slice is exactly 4 bytes; bounds were checked two lines up)
                 let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
                 if crc32c(body) != crc {
                     return Err(VortexError::CorruptData("checkpoint crc".into()));
@@ -259,6 +264,7 @@ impl ServerLog {
                     break; // torn tail
                 }
                 let body = &data[pos..pos + n];
+                // lint:allow(L002, the slice is exactly 4 bytes; the torn-tail bounds check is two lines up)
                 let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
                 if crc32c(body) != crc {
                     break; // torn tail
@@ -343,7 +349,8 @@ mod tests {
         let log = ServerLog::open(srv, &c).unwrap();
         log.log(&c, &ev(1)).unwrap();
         // Simulate a torn record: append garbage.
-        c.append(&wal_path(srv, 0), &[9, 1, 2], Timestamp::MIN).unwrap();
+        c.append(&wal_path(srv, 0), &[9, 1, 2], Timestamp::MIN)
+            .unwrap();
         let (_, events) = ServerLog::recover(srv, &c).unwrap();
         assert_eq!(events, vec![ev(1)]);
     }

@@ -151,12 +151,7 @@ impl BigMeta {
     /// Point-prune against the index: fragments whose stats could match
     /// `col == v`. Fragments without stats for the column are kept
     /// (cannot be pruned safely).
-    pub fn prune_point(
-        &self,
-        table: TableId,
-        col: &str,
-        v: &Value,
-    ) -> Option<Vec<FragmentId>> {
+    pub fn prune_point(&self, table: TableId, col: &str, v: &Value) -> Option<Vec<FragmentId>> {
         let tables = self.tables.read();
         let idx = tables.get(&table)?;
         Some(

@@ -85,7 +85,11 @@ pub fn ros_path(t: TableId, f: FragmentId) -> String {
 /// Path of a BLMT ROS block inside the customer bucket (§6.4): an
 /// open-layout object name a non-BigQuery engine could list and read.
 pub fn blmt_path(bucket: &str, t: TableId, f: FragmentId) -> String {
-    format!("bucket/{bucket}/table={:x}/block-{:016x}.vros", t.raw(), f.raw())
+    format!(
+        "bucket/{bucket}/table={:x}/block-{:016x}.vros",
+        t.raw(),
+        f.raw()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -840,7 +844,10 @@ mod tests {
         let m = sample_fragment();
         let bytes = m.to_bytes();
         for cut in 0..bytes.len() {
-            assert!(FragmentMeta::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                FragmentMeta::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

@@ -24,10 +24,9 @@ use vortex_wos::{parse_fragment, FragmentWriter};
 use crate::bigmeta::BigMeta;
 use crate::heartbeat::{HeartbeatReport, HeartbeatResponse};
 use crate::meta::{
-    self, dml_lock_key, fragment_key, fragment_prefix, stream_key, stream_prefix,
-    streamlet_key, streamlet_prefix, table_key, wos_path, wos_streamlet_prefix, FragmentKind,
-    FragmentMeta, FragmentState, StreamMeta, StreamType, StreamletMeta, StreamletState,
-    TableMeta,
+    self, dml_lock_key, fragment_key, fragment_prefix, stream_key, stream_prefix, streamlet_key,
+    streamlet_prefix, table_key, wos_path, wos_streamlet_prefix, FragmentKind, FragmentMeta,
+    FragmentState, StreamMeta, StreamType, StreamletMeta, StreamletState, TableMeta,
 };
 use crate::readset::{FragmentReadSpec, ReadSet, RowVisibility, TailReadSpec};
 use crate::server_ctl::{ServerHandle, StreamletSpec};
@@ -245,6 +244,7 @@ impl SmsTask {
             return Err(VortexError::Decode("table name index".into()));
         }
         self.get_table(TableId::from_raw(u64::from_le_bytes(
+            // lint:allow(L002, length == 8 was just checked, so the conversion cannot fail)
             bytes.try_into().unwrap(),
         )))
     }
@@ -681,8 +681,7 @@ impl SmsTask {
                         // Map streamlet tail masks onto the now-known
                         // fragment (§7.3).
                         for (mts, m) in &sl.masks {
-                            let local =
-                                m.slice_rebased(f.first_row, f.first_row + f.row_count);
+                            let local = m.slice_rebased(f.first_row, f.first_row + f.row_count);
                             if !local.is_empty() {
                                 fmeta.masks.push((*mts, local));
                             }
@@ -816,9 +815,7 @@ impl SmsTask {
                 StreamType::Unbuffered => Some(RowVisibility::unconstrained()),
                 StreamType::Buffered => Some(RowVisibility {
                     visible_from: Timestamp::MIN,
-                    flush_limit: Some(
-                        stream.flushed_row.saturating_sub(sl.first_stream_row),
-                    ),
+                    flush_limit: Some(stream.flushed_row.saturating_sub(sl.first_stream_row)),
                 }),
                 StreamType::Pending => {
                     let committed = stream.committed_at?;
@@ -834,10 +831,7 @@ impl SmsTask {
         };
 
         let mut fragments = Vec::new();
-        for (_, v) in self
-            .store
-            .scan_prefix_at(&fragment_prefix(table), snapshot)
-        {
+        for (_, v) in self.store.scan_prefix_at(&fragment_prefix(table), snapshot) {
             let f = FragmentMeta::from_bytes(&v)?;
             if !f.visible_at(snapshot) {
                 continue;
@@ -980,7 +974,13 @@ impl SmsTask {
             .filter_map(|c| self.fleet.get(*c).ok().cloned())
             .collect();
         // Per fragment: ordinal, committed size, first row, rows, stats.
-        type FragResult = (u32, u64, u64, u64, Vec<(String, vortex_common::stats::ColumnStats)>);
+        type FragResult = (
+            u32,
+            u64,
+            u64,
+            u64,
+            Vec<(String, vortex_common::stats::ColumnStats)>,
+        );
         let mut frag_results: Vec<FragResult> = Vec::new();
         let mut total_rows = 0u64;
         let mut ordinal = 0u32;
@@ -1267,7 +1267,8 @@ impl SmsTask {
             Ok(())
         })?;
         self.bigmeta.index_fragments(table, &replacements);
-        self.bigmeta.note_conversion(table, &sources.iter().map(|(f, _)| *f).collect::<Vec<_>>());
+        self.bigmeta
+            .note_conversion(table, &sources.iter().map(|(f, _)| *f).collect::<Vec<_>>());
         self.tt.commit_wait(commit_ts);
         Ok(commit_ts)
     }
@@ -1409,7 +1410,9 @@ impl SmsTask {
         let mut orphan_tables = std::collections::HashSet::new();
         for (k, _) in self.store.scan_prefix_at("t/", now) {
             // Keys look like t/{16-hex} or t/{16-hex}/...
-            let Some(rest) = k.strip_prefix("t/") else { continue };
+            let Some(rest) = k.strip_prefix("t/") else {
+                continue;
+            };
             let id_hex = &rest[..rest.find('/').unwrap_or(rest.len())];
             let Ok(raw) = u64::from_str_radix(id_hex, 16) else {
                 continue;

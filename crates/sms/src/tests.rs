@@ -20,8 +20,9 @@ use vortex_metastore::MetaStore;
 use vortex_wos::{FragmentConfig, FragmentWriter};
 
 use crate::heartbeat::{FragmentDelta, HeartbeatReport, StreamletDelta};
-use crate::meta::{wos_path, FragmentKind, FragmentMeta, FragmentState, StreamType,
-    StreamletState};
+use crate::meta::{
+    wos_path, FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletState,
+};
 use crate::server_ctl::{LoadReport, StreamServerCtl, StreamletSpec};
 use crate::sms::{SmsConfig, SmsTask};
 
@@ -126,7 +127,10 @@ fn rig_with_servers(n: usize) -> Rig {
     let store = MetaStore::new(tt.clone());
     let ids = Arc::new(IdGen::new(1));
     let sms = SmsTask::new(
-        SmsConfig::new(vortex_common::ids::SmsTaskId::from_raw(0), ClusterId::from_raw(0)),
+        SmsConfig::new(
+            vortex_common::ids::SmsTaskId::from_raw(0),
+            ClusterId::from_raw(0),
+        ),
         store,
         fleet.clone(),
         tt.clone(),
@@ -170,7 +174,10 @@ fn create_table_assigns_clusters_and_rejects_duplicates() {
 fn create_stream_hands_out_writable_streamlet() {
     let r = rig_with_servers(2);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     assert_eq!(h.streamlet.state, StreamletState::Writable);
     assert_eq!(h.streamlet.ordinal, 0);
     assert_eq!(h.streamlet.first_stream_row, 0);
@@ -187,7 +194,9 @@ fn placement_prefers_least_loaded_server() {
     // Bias server 0 to be busy.
     r.servers[0].load_streamlets.store(100, Ordering::SeqCst);
     for _ in 0..4 {
-        r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+        r.sms
+            .create_stream(t.table, StreamType::Unbuffered)
+            .unwrap();
     }
     assert!(r.servers[1].specs.lock().len() >= 3);
 }
@@ -198,7 +207,9 @@ fn quarantined_server_gets_no_streamlets() {
     let t = r.sms.create_table("t", simple_schema()).unwrap();
     r.servers[0].quarantined.store(true, Ordering::SeqCst);
     for _ in 0..3 {
-        r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+        r.sms
+            .create_stream(t.table, StreamType::Unbuffered)
+            .unwrap();
     }
     assert_eq!(r.servers[0].specs.lock().len(), 0);
     assert_eq!(r.servers[1].specs.lock().len(), 3);
@@ -210,7 +221,10 @@ fn failed_create_retries_on_another_server() {
     let t = r.sms.create_table("t", simple_schema()).unwrap();
     r.servers[0].fail_create.store(true, Ordering::SeqCst);
     r.servers[1].fail_create.store(false, Ordering::SeqCst);
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     assert_eq!(h.server.server_id(), r.servers[1].id);
 }
 
@@ -253,8 +267,7 @@ fn write_fragment(
         schema_version: 1,
         key: key.clone(),
     };
-    let (mut w, mut bytes) =
-        FragmentWriter::new(cfg, first_row, vec![], r.tt.record_timestamp());
+    let (mut w, mut bytes) = FragmentWriter::new(cfg, first_row, vec![], r.tt.record_timestamp());
     let rows = RowSet::new(
         (0..n)
             .map(|i| {
@@ -284,22 +297,54 @@ fn write_fragment(
 fn reconcile_determines_length_and_finalizes() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 10, &key, h.streamlet.clusters, true);
-    write_fragment(&r, t.table, h.streamlet.streamlet, 1, 10, 5, &key, h.streamlet.clusters, true);
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        10,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        1,
+        10,
+        5,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
 
-    let m = r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    let m = r
+        .sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     assert_eq!(m.state, StreamletState::Finalized);
     assert_eq!(m.row_count, 15);
     assert_eq!(m.known_fragments, 2);
     assert!(m.epoch > h.streamlet.epoch);
     // Idempotent.
-    let m2 = r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    let m2 = r
+        .sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     assert_eq!(m2.row_count, 15);
     // Fragments recorded with authoritative sizes.
     let frags = r.sms.list_fragments(t.table, r.sms.read_snapshot());
-    let wos: Vec<_> = frags.iter().filter(|f| f.kind == FragmentKind::Wos).collect();
+    let wos: Vec<_> = frags
+        .iter()
+        .filter(|f| f.kind == FragmentKind::Wos)
+        .collect();
     assert_eq!(wos.len(), 2);
     assert!(wos.iter().all(|f| f.state == FragmentState::Finalized));
     assert_eq!(wos.iter().map(|f| f.row_count).sum::<u64>(), 15);
@@ -309,7 +354,10 @@ fn reconcile_determines_length_and_finalizes() {
 fn reconcile_with_diverged_replicas_takes_common_prefix() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
     let slid = h.streamlet.streamlet;
     // Both replicas share 8 rows; replica 0 has an extra *unacked* block.
@@ -351,16 +399,32 @@ fn reconcile_with_diverged_replicas_takes_common_prefix() {
 fn reconcile_with_one_cluster_down_uses_surviving_replica() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 12, &key, h.streamlet.clusters, true);
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        12,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
     // Take down the second replica cluster.
     r.fleet
         .get(h.streamlet.clusters[1])
         .unwrap()
         .faults()
         .set_unavailable(true);
-    let m = r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    let m = r
+        .sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     assert_eq!(m.row_count, 12);
 }
 
@@ -368,9 +432,22 @@ fn reconcile_with_one_cluster_down_uses_surviving_replica() {
 fn rotate_streamlet_continues_stream_offsets() {
     let r = rig_with_servers(2);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 20, &key, h.streamlet.clusters, true);
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        20,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
     let h2 = r.sms.rotate_streamlet(t.table, h.stream.stream).unwrap();
     assert_eq!(h2.streamlet.ordinal, 1);
     assert_eq!(h2.streamlet.first_stream_row, 20);
@@ -384,7 +461,10 @@ fn rotate_streamlet_continues_stream_offsets() {
 fn finalized_stream_cannot_rotate() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     r.sms.finalize_stream(t.table, h.stream.stream).unwrap();
     assert!(matches!(
         r.sms.rotate_streamlet(t.table, h.stream.stream),
@@ -428,7 +508,10 @@ fn heartbeat_one_fragment(
 fn heartbeat_registers_fragments_and_updates_counts() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     heartbeat_one_fragment(&r, &h, FragmentId::from_raw(900), 7, false);
     let sl = r.sms.get_streamlet(t.table, h.streamlet.streamlet).unwrap();
     assert_eq!(sl.row_count, 7);
@@ -469,7 +552,10 @@ fn heartbeat_for_unknown_streamlet_flags_orphan() {
 fn read_set_includes_finalized_fragments_and_tail() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     heartbeat_one_fragment(&r, &h, FragmentId::from_raw(901), 5, true);
     let rs = r
         .sms
@@ -489,7 +575,17 @@ fn pending_stream_invisible_until_committed() {
     let t = r.sms.create_table("t", simple_schema()).unwrap();
     let h = r.sms.create_stream(t.table, StreamType::Pending).unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 4, &key, h.streamlet.clusters, true);
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        4,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
     heartbeat_one_fragment(&r, &h, FragmentId::from_raw(902), 4, true);
     let before = r
         .sms
@@ -527,7 +623,17 @@ fn batch_commit_is_atomic_across_streams() {
     let mut streams = vec![];
     for _ in 0..3 {
         let h = r.sms.create_stream(t.table, StreamType::Pending).unwrap();
-        write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 2, &key, h.streamlet.clusters, true);
+        write_fragment(
+            &r,
+            t.table,
+            h.streamlet.streamlet,
+            0,
+            0,
+            2,
+            &key,
+            h.streamlet.clusters,
+            true,
+        );
         streams.push(h.stream.stream);
     }
     r.sms.batch_commit_streams(t.table, &streams).unwrap();
@@ -541,7 +647,10 @@ fn batch_commit_is_atomic_across_streams() {
         "all streams commit at one timestamp"
     );
     // Committing a non-pending stream fails.
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     assert!(r
         .sms
         .batch_commit_streams(t.table, &[h.stream.stream])
@@ -567,7 +676,10 @@ fn flush_stream_validates_and_advances_watermark() {
     // Beyond the live length: error (§4.2.3).
     assert!(r.sms.flush_stream(t.table, h.stream.stream, 11).is_err());
     // Unbuffered streams cannot be flushed.
-    let h2 = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h2 = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     assert!(r.sms.flush_stream(t.table, h2.stream.stream, 0).is_err());
 }
 
@@ -617,10 +729,25 @@ fn make_ros_meta(_r: &Rig, table: TableId, id: u64, rows: u64) -> FragmentMeta {
 fn conversion_commit_swaps_visibility_atomically() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 10, &key, h.streamlet.clusters, true);
-    r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        10,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
+    r.sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     let wos_frag = r
         .sms
         .list_fragments(t.table, r.sms.read_snapshot())
@@ -632,7 +759,12 @@ fn conversion_commit_swaps_visibility_atomically() {
     let ros = make_ros_meta(&r, t.table, 7000, 10);
     let commit_ts = r
         .sms
-        .commit_conversion(t.table, &[(wos_frag.fragment, wos_frag.masks.len())], vec![ros], true)
+        .commit_conversion(
+            t.table,
+            &[(wos_frag.fragment, wos_frag.masks.len())],
+            vec![ros],
+            true,
+        )
         .unwrap();
 
     // At the old snapshot: WOS only.
@@ -651,7 +783,12 @@ fn conversion_commit_swaps_visibility_atomically() {
     let ros2 = make_ros_meta(&r, t.table, 7001, 10);
     assert!(r
         .sms
-        .commit_conversion(t.table, &[(wos_frag.fragment, wos_frag.masks.len())], vec![ros2], true)
+        .commit_conversion(
+            t.table,
+            &[(wos_frag.fragment, wos_frag.masks.len())],
+            vec![ros2],
+            true
+        )
         .is_err());
 }
 
@@ -659,10 +796,25 @@ fn conversion_commit_swaps_visibility_atomically() {
 fn optimizer_yields_to_dml() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 5, &key, h.streamlet.clusters, true);
-    r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        5,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
+    r.sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     let wos_frag = r
         .sms
         .list_fragments(t.table, r.sms.read_snapshot())
@@ -675,13 +827,22 @@ fn optimizer_yields_to_dml() {
     let ros = make_ros_meta(&r, t.table, 7100, 5);
     // Merged conversion yields.
     assert!(matches!(
-        r.sms
-            .commit_conversion(t.table, &[(wos_frag.fragment, wos_frag.masks.len())], vec![ros.clone()], true),
+        r.sms.commit_conversion(
+            t.table,
+            &[(wos_frag.fragment, wos_frag.masks.len())],
+            vec![ros.clone()],
+            true
+        ),
         Err(VortexError::Unavailable(_))
     ));
     // Stable 1:1 conversion does not (§7.3).
     r.sms
-        .commit_conversion(t.table, &[(wos_frag.fragment, wos_frag.masks.len())], vec![ros], false)
+        .commit_conversion(
+            t.table,
+            &[(wos_frag.fragment, wos_frag.masks.len())],
+            vec![ros],
+            false,
+        )
         .unwrap();
     r.sms.end_dml(t.table).unwrap();
     assert!(!r.sms.dml_active(t.table));
@@ -703,10 +864,25 @@ fn nested_dml_lock_counts() {
 fn dml_commit_applies_versioned_masks() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 10, &key, h.streamlet.clusters, true);
-    r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        10,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
+    r.sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     let frag = r
         .sms
         .list_fragments(t.table, r.sms.read_snapshot())
@@ -735,7 +911,10 @@ fn dml_commit_applies_versioned_masks() {
 fn tail_mask_maps_to_fragment_on_heartbeat() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     // DML deletes streamlet tail rows [3, 8) before any heartbeat.
     r.sms
         .commit_dml(
@@ -763,10 +942,25 @@ fn tail_mask_maps_to_fragment_on_heartbeat() {
 fn gc_deletes_files_after_grace() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    let h = r.sms.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = r
+        .sms
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
-    write_fragment(&r, t.table, h.streamlet.streamlet, 0, 0, 5, &key, h.streamlet.clusters, true);
-    r.sms.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    write_fragment(
+        &r,
+        t.table,
+        h.streamlet.streamlet,
+        0,
+        0,
+        5,
+        &key,
+        h.streamlet.clusters,
+        true,
+    );
+    r.sms
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     let wos_frag = r
         .sms
         .list_fragments(t.table, r.sms.read_snapshot())
@@ -775,7 +969,12 @@ fn gc_deletes_files_after_grace() {
         .unwrap();
     let ros = make_ros_meta(&r, t.table, 7200, 5);
     r.sms
-        .commit_conversion(t.table, &[(wos_frag.fragment, wos_frag.masks.len())], vec![ros], true)
+        .commit_conversion(
+            t.table,
+            &[(wos_frag.fragment, wos_frag.masks.len())],
+            vec![ros],
+            true,
+        )
         .unwrap();
     // Within grace: nothing GC'd.
     assert_eq!(r.sms.run_gc(t.table).unwrap(), 0);
@@ -836,7 +1035,9 @@ fn double_ownership_stays_correct_via_txns() {
     sms_b.register_server(server);
 
     let t = sms_a.create_table("t", simple_schema()).unwrap();
-    let h = sms_a.create_stream(t.table, StreamType::Unbuffered).unwrap();
+    let h = sms_a
+        .create_stream(t.table, StreamType::Unbuffered)
+        .unwrap();
     let key = t.encryption_key();
     // Write directly (mock server doesn't).
     let cfg = FragmentConfig {
@@ -855,9 +1056,15 @@ fn double_ownership_stays_correct_via_txns() {
     bytes.extend(w.commit_record(tt.record_timestamp()).unwrap());
     let path = wos_path(t.table, h.streamlet.streamlet, 0);
     for c in h.streamlet.clusters {
-        fleet.get(c).unwrap().append(&path, &bytes, Timestamp(0)).unwrap();
+        fleet
+            .get(c)
+            .unwrap()
+            .append(&path, &bytes, Timestamp(0))
+            .unwrap();
     }
-    sms_a.reconcile_streamlet(t.table, h.streamlet.streamlet).unwrap();
+    sms_a
+        .reconcile_streamlet(t.table, h.streamlet.streamlet)
+        .unwrap();
     let frag = sms_a
         .list_fragments(t.table, sms_a.read_snapshot())
         .into_iter()
@@ -873,8 +1080,18 @@ fn double_ownership_stays_correct_via_txns() {
         fragment: FragmentId::from_raw(81_001),
         ..make_meta_template(t.table)
     };
-    let ra = sms_a.commit_conversion(t.table, &[(frag.fragment, frag.masks.len())], vec![ros_a], true);
-    let rb = sms_b.commit_conversion(t.table, &[(frag.fragment, frag.masks.len())], vec![ros_b], true);
+    let ra = sms_a.commit_conversion(
+        t.table,
+        &[(frag.fragment, frag.masks.len())],
+        vec![ros_a],
+        true,
+    );
+    let rb = sms_b.commit_conversion(
+        t.table,
+        &[(frag.fragment, frag.masks.len())],
+        vec![ros_b],
+        true,
+    );
     assert!(
         ra.is_ok() ^ rb.is_ok(),
         "exactly one conversion must win: a={ra:?} b={rb:?}"

@@ -132,7 +132,13 @@ impl Verifier {
         audit: &AuditLog,
     ) -> VortexResult<VerificationReport> {
         let snapshot = self.sms.read_snapshot();
-        let tr = read_table(&self.sms, &self.fleet, table, snapshot, &ReadOptions::default())?;
+        let tr = read_table(
+            &self.sms,
+            &self.fleet,
+            table,
+            snapshot,
+            &ReadOptions::default(),
+        )?;
         let mut report = VerificationReport::default();
         // Index the table by (stream, offset).
         let mut by_loc: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
@@ -188,8 +194,20 @@ impl Verifier {
         before: Timestamp,
         after: Timestamp,
     ) -> VortexResult<VerificationReport> {
-        let a = read_table(&self.sms, &self.fleet, table, before, &ReadOptions::default())?;
-        let b = read_table(&self.sms, &self.fleet, table, after, &ReadOptions::default())?;
+        let a = read_table(
+            &self.sms,
+            &self.fleet,
+            table,
+            before,
+            &ReadOptions::default(),
+        )?;
+        let b = read_table(
+            &self.sms,
+            &self.fleet,
+            table,
+            after,
+            &ReadOptions::default(),
+        )?;
         let mut report = VerificationReport {
             rows_checked: (a.rows.len() + b.rows.len()) as u64,
             ..VerificationReport::default()
@@ -387,7 +405,10 @@ mod tests {
         );
         opt.convert_wos(t.table).unwrap();
         let after = r.sms.read_snapshot();
-        let report = r.verifier.verify_conversion(t.table, before, after).unwrap();
+        let report = r
+            .verifier
+            .verify_conversion(t.table, before, after)
+            .unwrap();
         assert!(report.is_clean(), "{:?}", report.violations);
         assert_eq!(report.rows_checked, 200);
     }
@@ -414,13 +435,19 @@ mod tests {
         r.sms
             .commit_dml(
                 t.table,
-                &[(frag.fragment, vortex_common::mask::DeletionMask::from_range(0, 5))],
+                &[(
+                    frag.fragment,
+                    vortex_common::mask::DeletionMask::from_range(0, 5),
+                )],
                 &[],
                 &[],
             )
             .unwrap();
         let after = r.sms.read_snapshot();
-        let report = r.verifier.verify_conversion(t.table, before, after).unwrap();
+        let report = r
+            .verifier
+            .verify_conversion(t.table, before, after)
+            .unwrap();
         assert_eq!(report.violations.len(), 5);
         assert!(report.violations[0].contains("lost"));
     }

@@ -132,7 +132,9 @@ impl RecordHeader {
         }
         let magic = u16::from_le_bytes([b[0], b[1]]);
         if magic != RECORD_MAGIC {
-            return Err(VortexError::Decode(format!("bad record magic {magic:#06x}")));
+            return Err(VortexError::Decode(format!(
+                "bad record magic {magic:#06x}"
+            )));
         }
         let stored_crc = u32::from_le_bytes(b[44..48].try_into().unwrap());
         let actual = crc32c(&b[0..44]);

@@ -101,7 +101,8 @@ impl ParsedFragment {
     /// fragment's first row if nothing is committed.
     pub fn committed_end_row(&self) -> u64 {
         self.blocks
-            .iter().rfind(|b| b.committed)
+            .iter()
+            .rfind(|b| b.committed)
             .map(|b| b.first_row + b.rows.len() as u64)
             .unwrap_or(self.header.first_row)
     }
@@ -135,11 +136,7 @@ impl ParsedFragment {
 /// partial writes at the end" (§7.1). Inside the limit, corruption is an
 /// error; past the limit (or past the last parseable record when no limit
 /// is given), bytes are counted in `torn_bytes` and ignored.
-pub fn parse_fragment(
-    bytes: &[u8],
-    key: &Key,
-    limit: Option<u64>,
-) -> VortexResult<ParsedFragment> {
+pub fn parse_fragment(bytes: &[u8], key: &Key, limit: Option<u64>) -> VortexResult<ParsedFragment> {
     let window: &[u8] = match limit {
         Some(l) if (l as usize) < bytes.len() => &bytes[..l as usize],
         _ => bytes,
@@ -268,10 +265,7 @@ pub fn parse_fragment(
                 });
             }
             RecordType::Bloom => {
-                bloom = Some(
-                    BloomFilter::from_bytes(payload)
-                        .map_err(VortexError::CorruptData)?,
-                );
+                bloom = Some(BloomFilter::from_bytes(payload).map_err(VortexError::CorruptData)?);
             }
             RecordType::Footer => {
                 footer = Some(Footer::from_bytes(payload)?);

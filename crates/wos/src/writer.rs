@@ -16,8 +16,7 @@ use vortex_common::row::RowSet;
 use vortex_common::truetime::Timestamp;
 
 use crate::format::{
-    FileMapEntry, Footer, FragmentConfig, FragmentHeader, RecordHeader, RecordType,
-    FORMAT_VERSION,
+    FileMapEntry, Footer, FragmentConfig, FragmentHeader, RecordHeader, RecordType, FORMAT_VERSION,
 };
 
 /// Writes one fragment's record stream.
@@ -177,11 +176,7 @@ impl FragmentWriter {
 
     /// Encodes a flush record advancing the streamlet's committed row
     /// offset to `flush_row` (BUFFERED streams, §5.4.4).
-    pub fn flush_record(
-        &mut self,
-        flush_row: u64,
-        timestamp: Timestamp,
-    ) -> VortexResult<Vec<u8>> {
+    pub fn flush_record(&mut self, flush_row: u64, timestamp: Timestamp) -> VortexResult<Vec<u8>> {
         self.check_writable()?;
         let payload = flush_row.to_le_bytes();
         let crc = crc32c(&payload);
@@ -230,11 +225,7 @@ impl FragmentWriter {
 
     /// Finalizes: emits the bloom filter record followed by the fixed
     /// footer. After this the writer refuses further records.
-    pub fn finalize(
-        &mut self,
-        bloom: &BloomFilter,
-        timestamp: Timestamp,
-    ) -> VortexResult<Vec<u8>> {
+    pub fn finalize(&mut self, bloom: &BloomFilter, timestamp: Timestamp) -> VortexResult<Vec<u8>> {
         self.check_writable()?;
         let bloom_offset = self.logical_size;
         let bloom_bytes = bloom.to_bytes();
@@ -253,8 +244,7 @@ impl FragmentWriter {
         };
         let mut chunk = self.frame(bloom_rec, &bloom_bytes);
 
-        let committed_size =
-            self.logical_size + crate::format::FOOTER_TOTAL_LEN as u64;
+        let committed_size = self.logical_size + crate::format::FOOTER_TOTAL_LEN as u64;
         let footer = Footer {
             bloom_offset,
             total_rows: self.rows_in_fragment,
@@ -382,7 +372,9 @@ mod tests {
         let marker = "VERYRECOGNIZABLESTRINGVALUE";
         let rs = RowSet::new(vec![Row::insert(vec![Value::String(marker.into())])]);
         let chunk = w.data_block(&rs, Timestamp(2)).unwrap();
-        let haystack = chunk.windows(marker.len()).any(|win| win == marker.as_bytes());
+        let haystack = chunk
+            .windows(marker.len())
+            .any(|win| win == marker.as_bytes());
         assert!(!haystack, "plaintext leaked into the on-disk payload");
     }
 

@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --example batch_etl
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::sync::Arc;
 
@@ -29,15 +30,13 @@ fn main() -> vortex::VortexResult<()> {
     let mut live = client.create_unbuffered_writer(table)?;
     live.append(RowSet::new(
         (0..100)
-            .map(|i| {
-                Row::insert(vec![
-                    Value::Int64(i),
-                    Value::String("stream".into()),
-                ])
-            })
+            .map(|i| Row::insert(vec![Value::Int64(i), Value::String("stream".into())]))
             .collect(),
     ))?;
-    println!("streaming rows visible: {}", client.read_rows(table)?.rows.len());
+    println!(
+        "streaming rows visible: {}",
+        client.read_rows(table)?.rows.len()
+    );
 
     // Batch workers run in parallel, each with its own PENDING stream.
     let streams = std::thread::scope(|s| {
@@ -76,7 +75,10 @@ fn main() -> vortex::VortexResult<()> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
     });
 
     // Nothing from the batch is visible yet — ACID across 3000 rows in 6
@@ -93,7 +95,10 @@ fn main() -> vortex::VortexResult<()> {
 
     // Time travel: a snapshot just before the commit still excludes the
     // whole batch (snapshot isolation).
-    let before = client.read_rows_at(table, commit_ts.minus_micros(1))?.rows.len();
+    let before = client
+        .read_rows_at(table, commit_ts.minus_micros(1))?
+        .rows
+        .len();
     println!("snapshot just before the commit: {before} rows");
     assert_eq!(before, 100);
 

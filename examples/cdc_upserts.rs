@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --example cdc_upserts
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use vortex::row::{Row, RowSet, Value};
 use vortex::schema::{ChangeType, Field, FieldType, Schema};
@@ -79,10 +80,7 @@ fn main() -> vortex::VortexResult<()> {
     // log. `DELETE WHERE order_id = 'o-3'` physically masks every change
     // record for that key (§7.3), so not even the history survives.
     let dml = region.dml();
-    let report = dml.delete_where(
-        table,
-        &Expr::eq("order_id", Value::String("o-3".into())),
-    )?;
+    let report = dml.delete_where(table, &Expr::eq("order_id", Value::String("o-3".into())))?;
     println!(
         "hard-erased {} change records for o-3 ({} fragments masked, {} tails masked)",
         report.rows_matched, report.fragments_masked, report.tails_masked

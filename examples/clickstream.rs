@@ -8,6 +8,7 @@
 //! ```sh
 //! cargo run --example clickstream
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::sync::Arc;
 
@@ -49,9 +50,7 @@ fn main() -> vortex::VortexResult<()> {
                             .map(|i| {
                                 let n = w * 10_000 + b * 100 + i;
                                 Row::insert(vec![
-                                    Value::Timestamp(Timestamp(
-                                        19_631 * day_us + n as u64,
-                                    )),
+                                    Value::Timestamp(Timestamp(19_631 * day_us + n as u64)),
                                     Value::String(format!("/page/{}", n % 23)),
                                     Value::String(format!("user-{}", n % 211)),
                                     if n % 3 == 0 {

@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --example exactly_once_pipeline
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::collections::HashMap;
 
@@ -24,12 +25,7 @@ fn main() -> vortex::VortexResult<()> {
     // wrong: every bundle delivered twice AND zombie workers replaying
     // two partitions in parallel.
     let input: Vec<Row> = (0..1_000)
-        .map(|i| {
-            Row::insert(vec![
-                Value::Int64(i),
-                Value::String(format!("event-{i}")),
-            ])
-        })
+        .map(|i| Row::insert(vec![Value::Int64(i), Value::String(format!("event-{i}"))]))
         .collect();
     let sink = BeamSink::new(client.clone(), table);
     let cfg = SinkConfig {

@@ -8,6 +8,7 @@
 //! ```sh
 //! cargo run --example monitoring
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,6 +73,7 @@ fn main() -> vortex::VortexResult<()> {
                 );
                 writer.append(rs).unwrap();
                 next += 64;
+                // lint:allow(L003, the example paces a demo writer against real time on purpose)
                 std::thread::sleep(Duration::from_millis(2));
             }
             next
@@ -81,6 +83,7 @@ fn main() -> vortex::VortexResult<()> {
     // The dashboard: poll and render a snapshot every 300ms.
     let engine = region.engine();
     for round in 1..=6u32 {
+        // lint:allow(L003, a dashboard polls on wall-clock cadence by definition)
         std::thread::sleep(Duration::from_millis(300));
         let now = client.snapshot();
         let frags = region.sms().list_fragments(table, now);

@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use vortex::row::{Row, RowSet, Value};
 use vortex::schema::{Field, FieldType, PartitionTransform, Schema};
@@ -73,7 +74,9 @@ fn main() -> vortex::VortexResult<()> {
 
     // Kick the background machinery once: heartbeats, then WOS→ROS.
     region.run_heartbeats(false)?;
-    region.sms().finalize_stream(table.table, writer.stream_id())?;
+    region
+        .sms()
+        .finalize_stream(table.table, writer.stream_id())?;
     region.run_optimizer_cycle(table.table)?;
     println!(
         "after optimization: clustering ratio {:.2}",

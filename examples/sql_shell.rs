@@ -6,6 +6,7 @@
 //! ```sh
 //! echo "SELECT day, COUNT(*) FROM sales GROUP BY day;" | cargo run --example sql_shell
 //! ```
+#![allow(clippy::print_stdout)] // prints results/tables by design
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -45,7 +46,9 @@ fn main() -> vortex::VortexResult<()> {
     let sql = SqlSession::new(client);
     println!("vortex sql shell — table `sales` seeded with 1000 rows.");
     println!("examples:");
-    println!("  SELECT day, COUNT(*), SUM(amount), AVG(amount) FROM sales GROUP BY day ORDER BY day;");
+    println!(
+        "  SELECT day, COUNT(*), SUM(amount), AVG(amount) FROM sales GROUP BY day ORDER BY day;"
+    );
     println!("  SELECT customer, amount FROM sales WHERE amount > 995 ORDER BY amount DESC;");
     println!("  DELETE FROM sales WHERE amount < 10;");
     println!("type \\q to quit.\n");
@@ -62,8 +65,7 @@ fn main() -> vortex::VortexResult<()> {
             out.flush().ok();
             continue;
         }
-        if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit")
-        {
+        if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
         }
         match sql.execute(line) {

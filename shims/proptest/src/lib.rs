@@ -1,0 +1,614 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! Implements the subset Vortex's property tests use: `Strategy` with
+//! `prop_map` / `prop_recursive` / `boxed`, `any::<T>()` for the
+//! primitive types, char-class regex string strategies
+//! (`"[a-z]{0,8}"`-style), tuple and range strategies,
+//! `collection::vec`, `Just`, `prop_oneof!`, and the `proptest!` test
+//! macro with `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, deliberately accepted for an offline
+//! build: no shrinking (a failing case panics with the generated inputs
+//! in the message instead of a minimized counterexample), no persistence
+//! of regressions, and a per-test deterministic RNG stream derived from
+//! the test body's case count rather than an external seed file.
+
+use std::rc::Rc;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG behind a `proptest!` test. Public so the
+/// macro expansion can reach it without requiring `rand` in the caller's
+/// namespace.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is
+/// just a sampler over a deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `f`
+    /// lifts a strategy for subtrees into a strategy for branches.
+    /// `depth` bounds recursion; the size-hint parameters are accepted
+    /// for upstream compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(cur).boxed();
+            // Mix leaves back in at every level so generated trees vary
+            // in depth instead of always bottoming out at `depth`.
+            cur = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        cur
+    }
+
+    /// Erases the strategy type. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn sample(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between several strategies for the same value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms (must be non-empty), equal weights.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// A union whose arms are chosen proportionally to their weights.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the sampled index")
+    }
+}
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (edge-case-biased for numbers).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_range(0..2u32) == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // ~12% edge cases, like upstream's bias toward extremes.
+                match rng.gen_range(0..16u32) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => {
+                        let mut bytes = [0u8; std::mem::size_of::<$t>()];
+                        rand::RngCore::fill_bytes(rng, &mut bytes);
+                        <$t>::from_le_bytes(bytes)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: the engine stores and round-trips floats,
+        // and NaN breaks equality-based roundtrip assertions the same
+        // way it would break them for real data.
+        match rng.gen_range(0..8u32) {
+            0 => 0.0,
+            1 => -1.5,
+            2 => f64::MAX,
+            3 => f64::MIN_POSITIVE,
+            _ => {
+                let magnitude = rng.gen_range(-300.0..300.0f64);
+                let mantissa = rng.gen_range(-1.0..1.0f64);
+                mantissa * magnitude.exp2()
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.gen_range(32..0xD800u32)).unwrap_or('?')
+    }
+}
+
+// --- Range strategies -------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// --- String pattern strategies ----------------------------------------
+
+/// `&str` strategies interpret the string as a restricted regex:
+/// a sequence of literal characters and `[class]` atoms, each optionally
+/// followed by `{m}`, `{m,n}`, `?`, `+`, or `*`. This covers the
+/// patterns the workspace uses; anything else panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a char class or a literal character.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unterminated [ in pattern {pattern:?}"));
+                let class = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '(' | ')' | '|' | '\\' | '.' => {
+                panic!("pattern {pattern:?} uses regex syntax the proptest shim does not support")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unterminated {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or(0),
+                        hi.trim().parse::<usize>().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty char class in pattern {pattern:?}");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).expect("class range within BMP"));
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+// --- Tuple strategies --------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Choice among several strategies producing the same type: uniform, or
+/// weighted with `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(
+            vec![$(($weight, $crate::Strategy::boxed($arm))),+],
+        )
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // Deterministic per-test stream: derived from the test
+                // name so unrelated tests do not share sequences.
+                let mut seed: u64 = 0xcbf29ce484222325;
+                for b in stringify!($name).bytes() {
+                    seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+                }
+                let mut rng = $crate::rng_from_seed(seed);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(e) = result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed (shim: no shrinking)",
+                            case + 1, config.cases, stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn pattern_strategy_respects_class_and_counts() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = "[a-z][a-z_0-9]{0,7}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 8, "{s:?}");
+            let first = s.chars().next().expect("non-empty");
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_varies() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 12, 2, |inner| {
+                collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = rng();
+        let depths: Vec<usize> = (0..300).map(|_| depth(&strat.sample(&mut rng))).collect();
+        assert!(depths.iter().all(|d| *d <= 4));
+        assert!(depths.contains(&1));
+        assert!(depths.iter().any(|d| *d > 1));
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let strat = collection::vec(any::<i64>(), 2..5);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0u64..100, s in "[a-z]{0,4}") {
+            prop_assert!(x < 100);
+            prop_assert!(s.len() <= 4);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

@@ -212,12 +212,24 @@ fn chaos_soak_exact_ledger() {
         let want_set: std::collections::BTreeSet<i64> = want.iter().copied().collect();
         let missing: Vec<i64> = want_set.difference(&got_set).copied().collect();
         let extra: Vec<i64> = got_set.difference(&want_set).copied().collect();
-        eprintln!("MISSING ({}): {:?}", missing.len(), &missing[..missing.len().min(30)]);
-        eprintln!("EXTRA   ({}): {:?}", extra.len(), &extra[..extra.len().min(30)]);
+        eprintln!(
+            "MISSING ({}): {:?}",
+            missing.len(),
+            &missing[..missing.len().min(30)]
+        );
+        eprintln!(
+            "EXTRA   ({}): {:?}",
+            extra.len(),
+            &extra[..extra.len().min(30)]
+        );
         for sl in region.sms().list_streamlets(table) {
             eprintln!(
                 "streamlet {} stream {} state {:?} first {} rows {} masks {}",
-                sl.streamlet, sl.stream, sl.state, sl.first_stream_row, sl.row_count,
+                sl.streamlet,
+                sl.stream,
+                sl.state,
+                sl.first_stream_row,
+                sl.row_count,
                 sl.masks.len()
             );
         }
@@ -226,7 +238,10 @@ fn chaos_soak_exact_ledger() {
             "ledger mismatch: got {} want {} (writers wrote {})",
             got.len(),
             want.len(),
-            watermarks.iter().map(|w| w.load(Ordering::SeqCst)).sum::<i64>()
+            watermarks
+                .iter()
+                .map(|w| w.load(Ordering::SeqCst))
+                .sum::<i64>()
         );
     }
 

@@ -182,7 +182,9 @@ fn chaos_mixed_stream_types_exact_ledger() {
                     let hi = au.load(Ordering::SeqCst)
                         + fb.load(Ordering::SeqCst)
                         + cp.load(Ordering::SeqCst)
-                        + 40 + 90 + 25;
+                        + 40
+                        + 90
+                        + 25;
                     if n < lo || n > hi {
                         // Confirm at the SAME snapshot before declaring a
                         // violation: the first scan may have raced an
@@ -191,9 +193,7 @@ fn chaos_mixed_stream_types_exact_ledger() {
                         // grow toward the snapshot's true contents). A
                         // rescan that also falls outside the window is a
                         // real failure.
-                        let res = engine
-                            .scan(table, snap, &ScanOptions::default())
-                            .unwrap();
+                        let res = engine.scan(table, snap, &ScanOptions::default()).unwrap();
                         let n2 = res.rows.len() as i64;
                         if n2 >= lo && n2 <= hi {
                             continue; // transient in-flight race, healed
@@ -205,7 +205,10 @@ fn chaos_mixed_stream_types_exact_ledger() {
                         for sl in region.sms().list_streamlets(table) {
                             eprintln!(
                                 "streamlet {} stream {} state {:?} first {} rows {}",
-                                sl.streamlet, sl.stream, sl.state, sl.first_stream_row,
+                                sl.streamlet,
+                                sl.stream,
+                                sl.state,
+                                sl.first_stream_row,
                                 sl.row_count
                             );
                         }
@@ -276,8 +279,16 @@ fn chaos_mixed_stream_types_exact_ledger() {
         let ws: std::collections::BTreeSet<i64> = expected.iter().copied().collect();
         let missing: Vec<i64> = ws.difference(&gs).copied().collect();
         let extra: Vec<i64> = gs.difference(&ws).copied().collect();
-        eprintln!("MISSING ({}): {:?}", missing.len(), &missing[..missing.len().min(30)]);
-        eprintln!("EXTRA   ({}): {:?}", extra.len(), &extra[..extra.len().min(30)]);
+        eprintln!(
+            "MISSING ({}): {:?}",
+            missing.len(),
+            &missing[..missing.len().min(30)]
+        );
+        eprintln!(
+            "EXTRA   ({}): {:?}",
+            extra.len(),
+            &extra[..extra.len().min(30)]
+        );
         panic!("ledger mismatch: got {} want {}", got.len(), expected.len());
     }
 

@@ -61,11 +61,7 @@ fn flaky_cluster_never_loses_acked_rows() {
     assert_eq!(offsets.len() as i64, written);
 }
 
-fn t_cluster(
-    region: &Region,
-    table: vortex::ids::TableId,
-    which: usize,
-) -> vortex::ids::ClusterId {
+fn t_cluster(region: &Region, table: vortex::ids::TableId, which: usize) -> vortex::ids::ClusterId {
     let tm = region.sms().get_table(table).unwrap();
     if which == 0 {
         tm.primary
@@ -90,7 +86,12 @@ fn cluster_outage_with_failover() {
 
     // Primary cluster dies.
     let dead = t_cluster(&region, t, 0);
-    region.fleet().get(dead).unwrap().faults().set_unavailable(true);
+    region
+        .fleet()
+        .get(dead)
+        .unwrap()
+        .faults()
+        .set_unavailable(true);
     region.sms().fail_over_table(t).unwrap();
 
     // Writes continue on a healthy pair.
@@ -100,7 +101,12 @@ fn cluster_outage_with_failover() {
     assert_eq!(keys(&got.rows), (0..100).collect::<Vec<_>>());
 
     // The cluster comes back: everything still consistent.
-    region.fleet().get(dead).unwrap().faults().set_unavailable(false);
+    region
+        .fleet()
+        .get(dead)
+        .unwrap()
+        .faults()
+        .set_unavailable(false);
     let got = client.read_rows(t).unwrap();
     assert_eq!(got.rows.len(), 100);
 }
@@ -181,8 +187,7 @@ fn stream_server_crash_recovery_summary() {
     let mut recovered = 0;
     for server in region.servers() {
         let summary =
-            vortex_server::StreamServer::recover_summary(server.config(), region.fleet())
-                .unwrap();
+            vortex_server::StreamServer::recover_summary(server.config(), region.fleet()).unwrap();
         recovered += summary.len();
     }
     assert!(recovered >= 1, "hosted streamlet identity recoverable");

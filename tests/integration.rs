@@ -4,8 +4,8 @@
 use vortex::row::{Row, RowSet, Value};
 use vortex::schema::{ChangeType, Field, FieldType, PartitionTransform, Schema};
 use vortex::{
-    AggKind, AuditLog, BeamSink, Expr, Region, RegionConfig, ScanOptions, SinkConfig,
-    StreamType, WriterOptions,
+    AggKind, AuditLog, BeamSink, Expr, Region, RegionConfig, ScanOptions, SinkConfig, StreamType,
+    WriterOptions,
 };
 
 fn sales_schema() -> Schema {
@@ -66,7 +66,10 @@ fn large_lifecycle_with_continuous_verification() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
     });
     let expected = 4 * 10 * 100;
 
@@ -121,7 +124,10 @@ fn large_lifecycle_with_continuous_verification() {
         .delete_where(t, &Expr::lt("amount", Value::Int64(100)))
         .unwrap();
     assert!(del.rows_matched > 0);
-    let report = region.verifier().verify_appends(t, &AuditLog::new()).unwrap();
+    let report = region
+        .verifier()
+        .verify_appends(t, &AuditLog::new())
+        .unwrap();
     assert!(report.is_clean(), "{:?}", report.violations);
 
     // Phase 5: GC everything converted away; reads unaffected.
@@ -140,12 +146,18 @@ fn mixed_workloads_share_a_region() {
     let client = region.client();
 
     // Table A: streaming.
-    let a = client.create_table("stream_t", sales_schema()).unwrap().table;
+    let a = client
+        .create_table("stream_t", sales_schema())
+        .unwrap()
+        .table;
     let mut wa = client.create_unbuffered_writer(a).unwrap();
     wa.append(sales_rows(0, 200)).unwrap();
 
     // Table B: batch ETL.
-    let b = client.create_table("batch_t", sales_schema()).unwrap().table;
+    let b = client
+        .create_table("batch_t", sales_schema())
+        .unwrap()
+        .table;
     let mut streams = vec![];
     for i in 0..3 {
         let mut w = client
@@ -518,7 +530,12 @@ fn daemon_converges_system_under_live_traffic() {
     assert_eq!(rows.rows.len(), 2_000);
     let stats = daemon.stats();
     assert!(stats.heartbeats.load(std::sync::atomic::Ordering::Relaxed) > 0);
-    assert!(stats.optimizer_cycles.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert!(
+        stats
+            .optimizer_cycles
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
     daemon.shutdown();
     // Post-shutdown the data is intact.
     assert_eq!(client.read_rows(t).unwrap().rows.len(), 2_000);
@@ -570,4 +587,31 @@ fn region_restart_from_disk_checkpoint() {
         assert_eq!(client.read_rows(t.table).unwrap().rows.len(), 150);
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_shutdown_is_prompt_even_with_long_periods() {
+    // The loops park on a shutdown-aware condvar between rounds, so
+    // stopping the daemon must not wait out the configured cadence.
+    let region = std::sync::Arc::new(Region::create(RegionConfig::default()).unwrap());
+    let long = std::time::Duration::from_secs(30);
+    let daemon = vortex::RegionDaemon::start(
+        std::sync::Arc::clone(&region),
+        vortex::DaemonConfig {
+            heartbeat_every: long,
+            tick_every: long,
+            optimize_every: long,
+            gc_every: long,
+            full_state_every: 10,
+        },
+    );
+    // Let every loop reach its first park.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    daemon.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown blocked on a sleeping loop: {:?}",
+        started.elapsed()
+    );
 }
