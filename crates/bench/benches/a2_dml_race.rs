@@ -28,7 +28,7 @@ fn run_mode(one_to_one: bool) -> (usize, usize) {
         ingest_finalized(&region, table, 1_000, 0xA2 + round as u64);
         // A DML statement is running while the optimizer wakes up — the
         // "continuous stream of DML" regime.
-        region.sms().begin_dml(table).unwrap();
+        let ticket = region.sms().begin_dml(table).unwrap();
         let result = if one_to_one {
             region
                 .optimizer()
@@ -49,7 +49,7 @@ fn run_mode(one_to_one: bool) -> (usize, usize) {
             table,
             &Expr::eq("amount", Value::Int64((round * 37) as i64)),
         );
-        region.sms().end_dml(table).unwrap();
+        region.sms().end_dml(table, ticket).unwrap();
     }
     (region.optimizer().backlog(table), committed)
 }

@@ -9,8 +9,8 @@ use vortex_common::error::VortexResult;
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_sms::api::SmsHandle;
 use vortex_sms::meta::{StreamType, TableMeta};
-use vortex_sms::sms::SmsTask;
 
 use crate::read::{read_table, ReadOptions, TableRows};
 use crate::write::{StreamWriter, WriterOptions};
@@ -22,7 +22,7 @@ use crate::write::{StreamWriter, WriterOptions};
 /// the handles the SMS gives out.
 #[derive(Clone)]
 pub struct VortexClient {
-    sms: Arc<SmsTask>,
+    sms: SmsHandle,
     fleet: StorageFleet,
     tt: TrueTime,
     cache: Option<Arc<crate::cache::ReadCache>>,
@@ -30,7 +30,7 @@ pub struct VortexClient {
 
 impl VortexClient {
     /// Creates a client over a region's control plane and storage fleet.
-    pub fn new(sms: Arc<SmsTask>, fleet: StorageFleet, tt: TrueTime) -> Self {
+    pub fn new(sms: SmsHandle, fleet: StorageFleet, tt: TrueTime) -> Self {
         Self {
             sms,
             fleet,
@@ -52,7 +52,7 @@ impl VortexClient {
     }
 
     /// The control plane this client talks to.
-    pub fn sms(&self) -> &Arc<SmsTask> {
+    pub fn sms(&self) -> &SmsHandle {
         &self.sms
     }
 

@@ -48,8 +48,8 @@ use vortex_common::row::Row;
 use vortex_common::schema::Schema;
 use vortex_common::truetime::Timestamp;
 use vortex_ros::{RosBlock, RowMeta};
+use vortex_sms::api::SmsHandle;
 use vortex_sms::readset::{FragmentReadSpec, TailReadSpec};
-use vortex_sms::sms::SmsTask;
 use vortex_wos::parse_fragment;
 
 /// Options for table reads.
@@ -100,7 +100,7 @@ pub enum TailOutcome {
 /// Reads a whole table at `snapshot`: union of ROS blocks, committed WOS
 /// fragments, and streamlet tails (§7).
 pub fn read_table(
-    sms: &Arc<SmsTask>,
+    sms: &SmsHandle,
     fleet: &StorageFleet,
     table: TableId,
     snapshot: Timestamp,
@@ -183,7 +183,7 @@ pub fn read_table(
 /// time) bound what is committed; block timestamps still gate row
 /// visibility at the old snapshot.
 pub fn read_reconciled_tail(
-    sms: &Arc<SmsTask>,
+    sms: &SmsHandle,
     fleet: &StorageFleet,
     key: &vortex_common::crypt::Key,
     table: TableId,

@@ -54,8 +54,9 @@ pub(crate) fn rig_with_profile(profile: WriteProfile) -> Rig {
         sms.register_server(server.clone());
         servers.push(server);
     }
+    let handle: vortex_sms::api::SmsHandle = sms.clone();
     Rig {
-        client: VortexClient::new(Arc::clone(&sms), fleet.clone(), tt),
+        client: VortexClient::new(handle, fleet.clone(), tt),
         fleet,
         clock,
         servers,

@@ -1,15 +1,14 @@
 //! The write side of the thick client: offset-tracked, retrying,
 //! schema-evolution-aware appends (§4.2, §5.4).
 
-use std::sync::Arc;
-
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::row::{Row, RowSet, Value};
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
+use vortex_sms::api::SmsHandle;
 use vortex_sms::meta::StreamType;
-use vortex_sms::sms::{SmsTask, StreamHandle};
+use vortex_sms::sms::StreamHandle;
 
 use crate::transport::{AdaptiveTransport, TransportLedger};
 
@@ -62,7 +61,7 @@ pub struct AppendResult {
 
 /// A writer bound to one Vortex stream.
 pub struct StreamWriter {
-    sms: Arc<SmsTask>,
+    sms: SmsHandle,
     tt: TrueTime,
     table: TableId,
     handle: StreamHandle,
@@ -78,7 +77,7 @@ impl StreamWriter {
     /// Creates a stream of the requested type on `table` and returns a
     /// writer for it.
     pub fn create(
-        sms: Arc<SmsTask>,
+        sms: SmsHandle,
         tt: TrueTime,
         table: TableId,
         opts: WriterOptions,
@@ -172,9 +171,13 @@ impl StreamWriter {
         let mut rotations = 0usize;
         loop {
             let expected = self.opts.exactly_once.then_some(self.next_offset);
-            let outcome = self
-                .handle
-                .server_append(&padded, self.schema.version, expected, start);
+            let outcome = self.handle.server.append(
+                self.handle.streamlet.streamlet,
+                &padded,
+                self.schema.version,
+                expected,
+                start,
+            );
             match outcome {
                 Ok(ack) => {
                     self.transport.on_response();
@@ -185,6 +188,25 @@ impl StreamWriter {
                         row_count: ack.row_count,
                         completion: ack.completion,
                         latency_us: ack.completion.micros().saturating_sub(now.micros()),
+                        transport_cpu_us: cpu,
+                    });
+                }
+                Err(VortexError::OffsetMismatch {
+                    provided, expected, ..
+                }) if self.opts.exactly_once && expected == provided + padded.len() as u64 => {
+                    // An earlier attempt executed but its acknowledgement
+                    // was lost (§4.2.2's ambiguous ack) and the retry came
+                    // back to the same streamlet: the server's
+                    // authoritative length shows exactly this batch
+                    // landed. Duplicate — report success at the original
+                    // offset.
+                    self.next_offset = expected;
+                    self.transport.on_response();
+                    return Ok(AppendResult {
+                        row_offset: provided,
+                        row_count: padded.len() as u64,
+                        completion: self.last_completion.max(now),
+                        latency_us: 0,
                         transport_cpu_us: cpu,
                     });
                 }
@@ -256,7 +278,11 @@ impl StreamWriter {
         loop {
             // Persist the flush record in the current streamlet's log.
             let streamlet_rel = row_offset.saturating_sub(self.handle.streamlet.first_stream_row);
-            match self.handle.server_flush(streamlet_rel) {
+            match self
+                .handle
+                .server
+                .flush(self.handle.streamlet.streamlet, streamlet_rel)
+            {
                 Ok(()) => break,
                 Err(e) if e.is_retryable() && rotations < self.max_rotate_retries => {
                     rotations += 1;
@@ -296,62 +322,5 @@ impl std::fmt::Debug for StreamWriter {
             .field("stream", &self.handle.stream.stream)
             .field("next_offset", &self.next_offset)
             .finish_non_exhaustive()
-    }
-}
-
-/// Small extension trait so the writer can talk to whatever hosts the
-/// streamlet. The `StreamHandle`'s server is a `dyn StreamServerCtl`
-/// (control surface); appends need the data surface, which in this
-/// in-process build is the concrete `StreamServer`. To keep the crates
-/// decoupled, the data surface is reached through downcasting-free
-/// dynamic dispatch: the handle's control object also implements the
-/// data-plane trait below (implemented by `vortex-server`).
-pub trait DataPlane {
-    /// Appends rows to the handle's streamlet.
-    fn server_append(
-        &self,
-        rows: &RowSet,
-        schema_version: u32,
-        expected_stream_offset: Option<u64>,
-        start: Timestamp,
-    ) -> VortexResult<vortex_server::AppendAck>;
-
-    /// Writes a flush record at the streamlet-relative row offset.
-    fn server_flush(&self, streamlet_relative_row: u64) -> VortexResult<()>;
-}
-
-impl DataPlane for StreamHandle {
-    fn server_append(
-        &self,
-        rows: &RowSet,
-        schema_version: u32,
-        expected_stream_offset: Option<u64>,
-        start: Timestamp,
-    ) -> VortexResult<vortex_server::AppendAck> {
-        let server = self
-            .server
-            .as_any()
-            .downcast_ref::<vortex_server::StreamServer>()
-            .ok_or_else(|| {
-                VortexError::Internal("stream handle's server is not a StreamServer".into())
-            })?;
-        server.append(
-            self.streamlet.streamlet,
-            rows,
-            schema_version,
-            expected_stream_offset,
-            start,
-        )
-    }
-
-    fn server_flush(&self, streamlet_relative_row: u64) -> VortexResult<()> {
-        let server = self
-            .server
-            .as_any()
-            .downcast_ref::<vortex_server::StreamServer>()
-            .ok_or_else(|| {
-                VortexError::Internal("stream handle's server is not a StreamServer".into())
-            })?;
-        server.flush(self.streamlet.streamlet, streamlet_relative_row)
     }
 }

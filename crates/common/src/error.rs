@@ -68,6 +68,16 @@ pub enum VortexError {
     FragmentNotVisible(FragmentId),
     /// A write lease was lost to another writer (zombie poisoning, §5.6).
     LeaseLost(String),
+    /// An RPC exhausted its per-call budget (injected latency plus retry
+    /// backoff) before completing. Retryable: the deadline says nothing
+    /// about whether the callee executed, exactly like a gRPC
+    /// `DEADLINE_EXCEEDED`.
+    DeadlineExceeded {
+        /// The RPC method that timed out.
+        method: String,
+        /// The call budget that was exhausted, in microseconds.
+        budget_us: u64,
+    },
     /// Catch-all internal invariant failure.
     Internal(String),
 }
@@ -83,6 +93,7 @@ impl VortexError {
                 | VortexError::TxnConflict(_)
                 | VortexError::Throttled { .. }
                 | VortexError::StreamletFinalized(_)
+                | VortexError::DeadlineExceeded { .. }
         )
     }
 
@@ -137,6 +148,10 @@ impl fmt::Display for VortexError {
                 write!(f, "fragment {id} not visible at snapshot")
             }
             VortexError::LeaseLost(s) => write!(f, "write lease lost: {s}"),
+            VortexError::DeadlineExceeded { method, budget_us } => write!(
+                f,
+                "rpc deadline exceeded on {method}: call budget {budget_us}us exhausted"
+            ),
             VortexError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -156,6 +171,11 @@ mod tests {
         assert!(VortexError::Throttled {
             in_flight_bytes: 10,
             limit_bytes: 5
+        }
+        .is_retryable());
+        assert!(VortexError::DeadlineExceeded {
+            method: "append".into(),
+            budget_us: 1_000
         }
         .is_retryable());
         assert!(!VortexError::NotFound("x".into()).is_retryable());

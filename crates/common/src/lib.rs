@@ -14,6 +14,10 @@
 //! - [`bloom`]: bloom filters for partition/cluster key pruning.
 //! - [`latency`]: the virtual-latency model used to reproduce the paper's
 //!   latency figures without sleeping for two weeks.
+//! - [`rpc`]: the in-process RPC layer — fault/latency-injecting call
+//!   channels with deadlines, retries, and per-method metrics.
+//! - [`transport`]: the unary/bi-di adaptive connection cost model
+//!   (§5.4.2) the channels and the thick client share.
 //!
 //! It also defines the data model shared by the whole engine: typed
 //! [`schema::Schema`]s with nested/repeated fields, [`row::Row`] values,
@@ -32,9 +36,11 @@ pub mod ids;
 pub mod latency;
 pub mod mask;
 pub mod row;
+pub mod rpc;
 pub mod schema;
 pub mod schema_codec;
 pub mod stats;
+pub mod transport;
 pub mod truetime;
 
 pub use error::{VortexError, VortexResult};

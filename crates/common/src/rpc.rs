@@ -1,0 +1,739 @@
+//! The in-process RPC layer: every cross-component "hop" (client→SMS,
+//! client→Stream Server, optimizer→SMS, query→SMS, …) is a direct call
+//! routed through an [`RpcChannel`], which supplies what a real gRPC stack
+//! would: per-call deadlines against a call budget, fault injection
+//! (unavailability, lost replies — the ambiguous-ack case where the server
+//! executed but the caller never heard), virtual latency drawn from the
+//! [`crate::latency`] models, a retry policy with exponential backoff +
+//! jitter honoring [`VortexError::is_retryable`], and per-method call
+//! counters / latency histograms drainable by tests and benches.
+//!
+//! The one semantic rule the whole engine leans on: a fault injected
+//! **before** the callee ran is always safe to retry, for any method; a
+//! reply lost **after** the callee ran is only safe to re-execute for
+//! [`CallKind::Idempotent`] methods. Non-idempotent methods (`append`,
+//! `create_table`, conversion commits) surface a retryable
+//! [`VortexError::Unavailable`] instead, so the caller's own
+//! reconciliation logic — the §5.4/§5.6 offset-based dedup — decides what
+//! actually happened. That is exactly the contract a lossy network gives
+//! a thick client, and it is what makes the §4.2.2 exactly-once claim
+//! testable in-process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::{VortexError, VortexResult};
+use crate::latency::{LogNormal, Percentiles};
+use crate::transport::AdaptiveTransport;
+use crate::truetime::{SimClock, Timestamp};
+
+/// Idempotency class of an RPC method, declared at each call site.
+///
+/// Governs what the channel may do when a reply is lost after the callee
+/// executed (the ambiguous ack): idempotent methods are transparently
+/// re-executed; non-idempotent methods surface a retryable
+/// [`VortexError::Unavailable`] so the caller's reconciliation path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// Safe to execute more than once; the channel may retry after an
+    /// ambiguous ack.
+    Idempotent,
+    /// Re-execution could duplicate effects; ambiguous acks are surfaced
+    /// to the caller as retryable unavailability.
+    NonIdempotent,
+}
+
+/// Shared, atomically-updated fault plan for one channel — the RPC
+/// counterpart of `colossus::faults::FaultPlan`. Tests flip these knobs
+/// while traffic is in flight.
+#[derive(Debug)]
+pub struct RpcFaultPlan {
+    /// Hard-down flag: every filtered call fails before execution.
+    unavailable: AtomicBool,
+    /// Probability (×1000) that a call attempt fails before execution.
+    unavailable_permille: AtomicU32,
+    /// Probability (×1000) that a successful call's reply is lost after
+    /// execution (error-after-execute / ambiguous ack).
+    reply_lost_permille: AtomicU32,
+    /// One-shot tokens: the next N attempts fail before execution.
+    fail_next: AtomicU32,
+    /// One-shot tokens: the next N successful executions lose their reply.
+    lose_next: AtomicU32,
+    /// When set, injection only applies to this method name.
+    method_filter: Mutex<Option<String>>,
+    /// xorshift* state for the permille rolls (deterministic per seed).
+    rng: AtomicU64,
+}
+
+impl RpcFaultPlan {
+    /// A quiescent plan (no injected faults) with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RpcFaultPlan {
+            unavailable: AtomicBool::new(false),
+            unavailable_permille: AtomicU32::new(0),
+            reply_lost_permille: AtomicU32::new(0),
+            fail_next: AtomicU32::new(0),
+            lose_next: AtomicU32::new(0),
+            method_filter: Mutex::new(None),
+            rng: AtomicU64::new(seed | 1),
+        }
+    }
+
+    /// Marks the endpoint hard-down (or back up).
+    pub fn set_unavailable(&self, down: bool) {
+        self.unavailable.store(down, Ordering::SeqCst);
+    }
+
+    /// Sets the per-attempt pre-execution failure probability (×1000).
+    pub fn set_unavailable_permille(&self, permille: u32) {
+        self.unavailable_permille.store(permille, Ordering::SeqCst);
+    }
+
+    /// Sets the reply-loss probability (×1000) applied after successful
+    /// execution — the ambiguous-ack axis.
+    pub fn set_reply_lost_permille(&self, permille: u32) {
+        self.reply_lost_permille.store(permille, Ordering::SeqCst);
+    }
+
+    /// The next `n` attempts fail before execution (token bucket; consumed
+    /// across threads with CAS, mirroring `fail_next_appends`).
+    pub fn fail_next_calls(&self, n: u32) {
+        self.fail_next.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// The next `n` successful executions lose their reply.
+    pub fn lose_next_replies(&self, n: u32) {
+        self.lose_next.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Restricts injection to one method name (`None` = all methods).
+    pub fn set_method_filter(&self, method: Option<&str>) {
+        *self.method_filter.lock() = method.map(|m| m.to_string());
+    }
+
+    /// Clears every injected fault.
+    pub fn clear(&self) {
+        self.unavailable.store(false, Ordering::SeqCst);
+        self.unavailable_permille.store(0, Ordering::SeqCst);
+        self.reply_lost_permille.store(0, Ordering::SeqCst);
+        self.fail_next.store(0, Ordering::SeqCst);
+        self.lose_next.store(0, Ordering::SeqCst);
+        *self.method_filter.lock() = None;
+    }
+
+    fn applies_to(&self, method: &str) -> bool {
+        match &*self.method_filter.lock() {
+            Some(f) => f == method,
+            None => true,
+        }
+    }
+
+    fn roll_permille(&self) -> u32 {
+        let mut cur = self.rng.load(Ordering::Relaxed);
+        loop {
+            let mut x = cur;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            match self
+                .rng
+                .compare_exchange_weak(cur, x, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return ((x.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % 1000) as u32,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    fn take_token(counter: &AtomicU32) -> bool {
+        let mut cur = counter.load(Ordering::SeqCst);
+        while cur > 0 {
+            match counter.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+        false
+    }
+
+    /// Whether this attempt should fail before the callee executes.
+    fn should_fail_call(&self, method: &str) -> bool {
+        if !self.applies_to(method) {
+            return false;
+        }
+        if self.unavailable.load(Ordering::SeqCst) {
+            return true;
+        }
+        if Self::take_token(&self.fail_next) {
+            return true;
+        }
+        let p = self.unavailable_permille.load(Ordering::SeqCst);
+        p > 0 && self.roll_permille() < p
+    }
+
+    /// Whether this successful execution's reply should be lost.
+    fn should_lose_reply(&self, method: &str) -> bool {
+        if !self.applies_to(method) {
+            return false;
+        }
+        if Self::take_token(&self.lose_next) {
+            return true;
+        }
+        let p = self.reply_lost_permille.load(Ordering::SeqCst);
+        p > 0 && self.roll_permille() < p
+    }
+}
+
+/// Exponential backoff with jitter, applied between attempts of a
+/// retryable call. Backoff is charged against the call budget in virtual
+/// time — nothing here sleeps (the repo's sleep discipline).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (first try included).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt, microseconds.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_us: 1_000,
+            max_backoff_us: 100_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged after failed attempt number `attempt` (1-based):
+    /// exponential, capped, with ±50% deterministic jitter from `roll`.
+    pub fn backoff_us(&self, attempt: usize, roll: u32) -> u64 {
+        let shift = attempt.min(16) as u32;
+        let exp = self
+            .base_backoff_us
+            .saturating_mul(1u64 << shift.saturating_sub(1))
+            .min(self.max_backoff_us);
+        // Half fixed, half jittered: [exp/2, exp].
+        exp / 2 + (u64::from(roll) % (exp / 2 + 1))
+    }
+}
+
+/// Per-method counters and latency samples. Latencies are the *virtual*
+/// per-call totals (injected attempt latencies + backoffs), so percentile
+/// assertions are deterministic under a seeded profile.
+#[derive(Debug, Clone, Default)]
+pub struct MethodStats {
+    /// Calls issued (one per `call()` invocation).
+    pub calls: u64,
+    /// Attempts across all calls (≥ `calls`; the excess is retries).
+    pub attempts: u64,
+    /// Calls that returned `Ok` to the caller.
+    pub ok: u64,
+    /// Calls that returned `Err` to the caller.
+    pub err: u64,
+    /// Attempts failed by injected pre-execution unavailability.
+    pub injected_unavailable: u64,
+    /// Successful executions whose reply was injected-lost.
+    pub injected_reply_lost: u64,
+    /// Calls that exhausted their budget.
+    pub deadline_exceeded: u64,
+    /// Virtual latency per completed call, microseconds (capped).
+    pub latency_us: Vec<u64>,
+}
+
+impl MethodStats {
+    /// Percentile summary of the recorded call latencies.
+    pub fn percentiles(&self) -> Percentiles {
+        let mut samples = self.latency_us.clone();
+        Percentiles::compute(&mut samples)
+    }
+}
+
+/// Latency samples kept per method; enough for stable p99s, bounded for
+/// long soaks.
+const MAX_LATENCY_SAMPLES: usize = 65_536;
+
+/// Per-method metrics for one channel, drainable by tests and benches.
+#[derive(Debug, Default)]
+pub struct RpcMetrics {
+    methods: Mutex<HashMap<String, MethodStats>>,
+}
+
+impl RpcMetrics {
+    fn with<R>(&self, method: &str, f: impl FnOnce(&mut MethodStats) -> R) -> R {
+        let mut map = self.methods.lock();
+        f(map.entry(method.to_string()).or_default())
+    }
+
+    /// Snapshot of every method's stats.
+    pub fn snapshot(&self) -> HashMap<String, MethodStats> {
+        self.methods.lock().clone()
+    }
+
+    /// One method's stats (zeros if never called).
+    pub fn method(&self, method: &str) -> MethodStats {
+        self.methods.lock().get(method).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot and reset.
+    pub fn drain(&self) -> HashMap<String, MethodStats> {
+        std::mem::take(&mut *self.methods.lock())
+    }
+
+    /// Total calls across all methods.
+    pub fn total_calls(&self) -> u64 {
+        self.methods.lock().values().map(|m| m.calls).sum()
+    }
+}
+
+/// Static configuration of one [`RpcChannel`].
+#[derive(Debug, Clone)]
+pub struct RpcChannelConfig {
+    /// Per-call budget in virtual microseconds: injected attempt latency
+    /// plus backoffs may not exceed it (the deadline).
+    pub call_budget_us: u64,
+    /// Retry policy for retryable failures.
+    pub retry: RetryPolicy,
+    /// Per-attempt injected latency distribution (`None` = zero latency).
+    pub latency: Option<LogNormal>,
+    /// Whether injected latency also advances the shared [`SimClock`].
+    /// Off by default: soaks already drive virtual time explicitly, and
+    /// double-advancing would skew TrueTime-dependent assertions.
+    pub advance_virtual_time: bool,
+    /// Seed for the channel's samplers and the fault plan.
+    pub seed: u64,
+}
+
+impl Default for RpcChannelConfig {
+    fn default() -> Self {
+        RpcChannelConfig {
+            call_budget_us: 30_000_000,
+            retry: RetryPolicy::default(),
+            latency: None,
+            advance_virtual_time: false,
+            seed: 0x5EED_1E55,
+        }
+    }
+}
+
+/// One logical connection to a service endpoint. Shared (`Arc`) by every
+/// consumer of that endpoint so the fault plan, metrics, and transport
+/// ledger see the union of real traffic.
+pub struct RpcChannel {
+    name: String,
+    cfg: RpcChannelConfig,
+    faults: Arc<RpcFaultPlan>,
+    metrics: RpcMetrics,
+    clock: Option<SimClock>,
+    transport: Mutex<AdaptiveTransport>,
+    latency_rng: Mutex<StdRng>,
+    /// Virtual "now" for channels with no shared clock: advances by each
+    /// call's injected latency so transport rate-windows stay meaningful.
+    fallback_now_us: AtomicU64,
+}
+
+impl std::fmt::Debug for RpcChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcChannel")
+            .field("name", &self.name)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RpcChannel {
+    /// Builds a channel. `clock` is the region's shared virtual clock, if
+    /// any; it timestamps transport traffic and (optionally) absorbs
+    /// injected latency.
+    pub fn new(name: &str, cfg: RpcChannelConfig, clock: Option<SimClock>) -> Arc<Self> {
+        let faults = Arc::new(RpcFaultPlan::new(cfg.seed ^ 0x9E37_79B9));
+        let latency_rng = Mutex::new(StdRng::seed_from_u64(cfg.seed));
+        Arc::new(RpcChannel {
+            name: name.to_string(),
+            cfg,
+            faults,
+            metrics: RpcMetrics::default(),
+            clock,
+            transport: Mutex::new(AdaptiveTransport::with_defaults()),
+            latency_rng,
+            fallback_now_us: AtomicU64::new(0),
+        })
+    }
+
+    /// The channel's display name (e.g. `"sms"`, `"server"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The channel's fault plan (shared; flip knobs while traffic flows).
+    pub fn faults(&self) -> &RpcFaultPlan {
+        &self.faults
+    }
+
+    /// Per-method call metrics.
+    pub fn metrics(&self) -> &RpcMetrics {
+        &self.metrics
+    }
+
+    /// The accumulated transport cost ledger (§5.4.2), fed by real calls.
+    pub fn ledger(&self) -> crate::transport::TransportLedger {
+        self.transport.lock().ledger()
+    }
+
+    /// Current transport mode of the channel's connection.
+    pub fn transport_kind(&self) -> crate::transport::TransportKind {
+        self.transport.lock().kind()
+    }
+
+    /// Whether the channel's connection currently allows pipelining.
+    pub fn supports_pipelining(&self) -> bool {
+        self.transport.lock().supports_pipelining()
+    }
+
+    fn now(&self) -> Timestamp {
+        match &self.clock {
+            Some(c) => c.now(),
+            None => Timestamp(self.fallback_now_us.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn sample_latency_us(&self) -> u64 {
+        match &self.cfg.latency {
+            Some(d) => d.sample(&mut *self.latency_rng.lock()),
+            None => 0,
+        }
+    }
+
+    fn absorb_latency(&self, us: u64) {
+        if us == 0 {
+            return;
+        }
+        match &self.clock {
+            Some(c) if self.cfg.advance_virtual_time => {
+                c.advance(us);
+            }
+            Some(_) => {}
+            None => {
+                self.fallback_now_us.fetch_add(us, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Issues one RPC: `f` is the in-process callee. Injected latency and
+    /// backoff accrue against the call budget; pre-execution faults are
+    /// retried for every method; ambiguous acks follow `kind` (see the
+    /// module docs). Returns the callee's result, an injected
+    /// [`VortexError::Unavailable`], or [`VortexError::DeadlineExceeded`].
+    pub fn call<T>(
+        &self,
+        method: &'static str,
+        kind: CallKind,
+        mut f: impl FnMut() -> VortexResult<T>,
+    ) -> VortexResult<T> {
+        self.metrics.with(method, |m| m.calls += 1);
+        let mut consumed_us = 0u64;
+        let mut attempt = 0usize;
+        let finish = |consumed_us: u64, ok: bool| {
+            self.metrics.with(method, |m| {
+                if ok {
+                    m.ok += 1;
+                } else {
+                    m.err += 1;
+                }
+                if m.latency_us.len() < MAX_LATENCY_SAMPLES {
+                    m.latency_us.push(consumed_us);
+                }
+            });
+        };
+        loop {
+            attempt += 1;
+            self.metrics.with(method, |m| m.attempts += 1);
+            let lat = self.sample_latency_us();
+            self.absorb_latency(lat);
+            consumed_us = consumed_us.saturating_add(lat);
+            if consumed_us > self.cfg.call_budget_us {
+                self.metrics.with(method, |m| m.deadline_exceeded += 1);
+                finish(consumed_us, false);
+                return Err(VortexError::DeadlineExceeded {
+                    method: method.to_string(),
+                    budget_us: self.cfg.call_budget_us,
+                });
+            }
+            self.transport.lock().on_request(self.now());
+            // Pre-execution fault: the callee never ran, so a retry is
+            // safe regardless of idempotency.
+            if self.faults.should_fail_call(method) {
+                self.transport.lock().on_response();
+                self.metrics.with(method, |m| m.injected_unavailable += 1);
+                if attempt < self.cfg.retry.max_attempts {
+                    consumed_us = consumed_us.saturating_add(
+                        self.cfg
+                            .retry
+                            .backoff_us(attempt, self.faults.roll_permille()),
+                    );
+                    continue;
+                }
+                finish(consumed_us, false);
+                return Err(VortexError::Unavailable(format!(
+                    "rpc {}.{method}: injected unavailability",
+                    self.name
+                )));
+            }
+            let result = f();
+            self.transport.lock().on_response();
+            // Post-execution reply loss: the callee DID run.
+            if result.is_ok() && self.faults.should_lose_reply(method) {
+                self.metrics.with(method, |m| m.injected_reply_lost += 1);
+                match kind {
+                    CallKind::Idempotent => {
+                        if attempt < self.cfg.retry.max_attempts {
+                            consumed_us = consumed_us.saturating_add(
+                                self.cfg
+                                    .retry
+                                    .backoff_us(attempt, self.faults.roll_permille()),
+                            );
+                            continue;
+                        }
+                        finish(consumed_us, false);
+                        return Err(VortexError::Unavailable(format!(
+                            "rpc {}.{method}: reply lost",
+                            self.name
+                        )));
+                    }
+                    CallKind::NonIdempotent => {
+                        finish(consumed_us, false);
+                        return Err(VortexError::Unavailable(format!(
+                            "rpc {}.{method}: reply lost after execute",
+                            self.name
+                        )));
+                    }
+                }
+            }
+            match result {
+                Ok(v) => {
+                    finish(consumed_us, true);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    if kind == CallKind::Idempotent
+                        && e.is_retryable()
+                        && attempt < self.cfg.retry.max_attempts
+                    {
+                        consumed_us = consumed_us.saturating_add(
+                            self.cfg
+                                .retry
+                                .backoff_us(attempt, self.faults.roll_permille()),
+                        );
+                        continue;
+                    }
+                    finish(consumed_us, false);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn channel(cfg: RpcChannelConfig) -> Arc<RpcChannel> {
+        RpcChannel::new("test", cfg, None)
+    }
+
+    #[test]
+    fn pre_execute_faults_retry_for_any_kind() {
+        for kind in [CallKind::Idempotent, CallKind::NonIdempotent] {
+            let ch = channel(RpcChannelConfig::default());
+            ch.faults().fail_next_calls(2);
+            let executed = AtomicUsize::new(0);
+            let out = ch.call("m", kind, || {
+                executed.fetch_add(1, Ordering::SeqCst);
+                Ok(7u32)
+            });
+            assert_eq!(out.unwrap(), 7);
+            assert_eq!(executed.load(Ordering::SeqCst), 1, "callee ran once");
+            let m = ch.metrics().method("m");
+            assert_eq!(m.attempts, 3);
+            assert_eq!(m.injected_unavailable, 2);
+            assert_eq!(m.ok, 1);
+        }
+    }
+
+    #[test]
+    fn reply_lost_reexecutes_only_idempotent() {
+        let ch = channel(RpcChannelConfig::default());
+        ch.faults().lose_next_replies(1);
+        let executed = AtomicUsize::new(0);
+        let out = ch.call("m", CallKind::Idempotent, || {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(out.is_ok());
+        assert_eq!(executed.load(Ordering::SeqCst), 2, "idempotent re-runs");
+
+        let ch = channel(RpcChannelConfig::default());
+        ch.faults().lose_next_replies(1);
+        let executed = AtomicUsize::new(0);
+        let out = ch.call("m", CallKind::NonIdempotent, || {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        match out {
+            Err(VortexError::Unavailable(msg)) => {
+                assert!(msg.contains("reply lost after execute"), "{msg}");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            1,
+            "non-idempotent must not re-run"
+        );
+        assert_eq!(ch.metrics().method("m").injected_reply_lost, 1);
+    }
+
+    #[test]
+    fn real_retryable_errors_retry_idempotent_only() {
+        let ch = channel(RpcChannelConfig::default());
+        let executed = AtomicUsize::new(0);
+        let out = ch.call("m", CallKind::Idempotent, || {
+            let n = executed.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                Err(VortexError::Unavailable("flaky".into()))
+            } else {
+                Ok(42u32)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(executed.load(Ordering::SeqCst), 3);
+
+        let executed = AtomicUsize::new(0);
+        let out: VortexResult<()> = ch.call("n", CallKind::NonIdempotent, || {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Err(VortexError::Unavailable("flaky".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(executed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through() {
+        let ch = channel(RpcChannelConfig::default());
+        let executed = AtomicUsize::new(0);
+        let out: VortexResult<()> = ch.call("m", CallKind::Idempotent, || {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Err(VortexError::NotFound("x".into()))
+        });
+        assert!(matches!(out, Err(VortexError::NotFound(_))));
+        assert_eq!(executed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deadline_exceeded_when_latency_exhausts_budget() {
+        let cfg = RpcChannelConfig {
+            call_budget_us: 10,
+            latency: Some(LogNormal::from_median_p99(1_000.0, 3_000.0)),
+            ..RpcChannelConfig::default()
+        };
+        let ch = channel(cfg);
+        let executed = AtomicUsize::new(0);
+        let out: VortexResult<()> = ch.call("m", CallKind::Idempotent, || {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        match out {
+            Err(VortexError::DeadlineExceeded { method, budget_us }) => {
+                assert_eq!(method, "m");
+                assert_eq!(budget_us, 10);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 0, "deadline fires first");
+        assert_eq!(ch.metrics().method("m").deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn method_filter_scopes_injection() {
+        let ch = channel(RpcChannelConfig::default());
+        ch.faults().set_method_filter(Some("append"));
+        ch.faults().set_unavailable(true);
+        assert!(ch
+            .call("get_table", CallKind::Idempotent, || Ok(()))
+            .is_ok());
+        assert!(ch.call("append", CallKind::Idempotent, || Ok(())).is_err());
+        ch.faults().clear();
+        assert!(ch.call("append", CallKind::Idempotent, || Ok(())).is_ok());
+    }
+
+    #[test]
+    fn hot_request_rate_switches_transport_to_bidi() {
+        // The §5.4.2 adaptive switch, now fired by real channel traffic:
+        // with no clock, virtual now stands still, so a burst of calls is
+        // "infinitely hot" and must upgrade to the bi-di connection.
+        let ch = channel(RpcChannelConfig::default());
+        for _ in 0..20 {
+            ch.call("append", CallKind::Idempotent, || Ok(())).unwrap();
+        }
+        assert!(ch.supports_pipelining(), "hot stream should be on bi-di");
+        let ledger = ch.ledger();
+        assert!(ledger.bidi_requests > 0, "{ledger:?}");
+        assert!(ledger.switches >= 1);
+    }
+
+    #[test]
+    fn latency_percentiles_track_injected_profile() {
+        let cfg = RpcChannelConfig {
+            latency: Some(LogNormal::from_median_p99(10_000.0, 30_000.0)),
+            ..RpcChannelConfig::default()
+        };
+        let ch = channel(cfg);
+        for _ in 0..4_000 {
+            ch.call("m", CallKind::Idempotent, || Ok(())).unwrap();
+        }
+        let stats = ch.metrics().method("m");
+        assert_eq!(stats.calls, 4_000);
+        let p = stats.percentiles();
+        assert!(
+            (7_000..14_000).contains(&p.p50),
+            "p50 {}us should be ~10ms",
+            p.p50
+        );
+        assert!(
+            (20_000..45_000).contains(&p.p99),
+            "p99 {}us should be ~30ms",
+            p.p99
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let r = RetryPolicy::default();
+        let b1 = r.backoff_us(1, 0);
+        let b4 = r.backoff_us(4, 0);
+        let b20 = r.backoff_us(20, 999);
+        assert!(b1 >= r.base_backoff_us / 2);
+        assert!(b4 > b1);
+        assert!(b20 <= r.max_backoff_us);
+    }
+
+    #[test]
+    fn metrics_drain_resets() {
+        let ch = channel(RpcChannelConfig::default());
+        ch.call("m", CallKind::Idempotent, || Ok(())).unwrap();
+        assert_eq!(ch.metrics().total_calls(), 1);
+        let drained = ch.metrics().drain();
+        assert_eq!(drained["m"].calls, 1);
+        assert_eq!(ch.metrics().total_calls(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Unary vs bi-directional connections (§5.4.2).
+//!
+//! "We observe that only 10% of the Streams hold 90% of the data ... the
+//! Vortex client library can adaptively switch between using a single
+//! directional (unary) short-lived connection and a bi-directional
+//! long-lived connection."
+//!
+//! In this in-process reproduction there is no real gRPC; what matters
+//! for the paper's claim (and bench C3) is the *cost model*:
+//!
+//! - **unary**: per-request connection-pool overhead (occasionally a
+//!   full connection setup on a pool miss), no pipelining, near-zero
+//!   standing memory;
+//! - **bi-di**: small per-request CPU cost, pipelining allowed, but a
+//!   standing memory footprint while the connection is open and
+//!   per-request tracking state.
+//!
+//! [`AdaptiveTransport`] watches the recent request rate and switches
+//! modes, accumulating the CPU/memory cost ledger the bench reports.
+
+use std::collections::VecDeque;
+
+use crate::truetime::Timestamp;
+
+/// Which connection type a request used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Short-lived request/response connection (pooled).
+    Unary,
+    /// Long-lived streaming connection with pipelining.
+    Bidi,
+}
+
+/// Cost constants of the transport model (microseconds / bytes). Values
+/// are representative of gRPC-style stacks; benches only depend on their
+/// *relative* magnitudes.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportCosts {
+    /// CPU cost of a unary request hitting a pooled connection.
+    pub unary_pooled_cpu_us: u64,
+    /// CPU cost of a unary request that must establish a connection.
+    pub unary_setup_cpu_us: u64,
+    /// Probability (×1000) that a unary request misses the pool.
+    pub unary_pool_miss_permille: u64,
+    /// CPU cost of a request on an established bi-di connection.
+    pub bidi_request_cpu_us: u64,
+    /// CPU cost of establishing the bi-di connection.
+    pub bidi_setup_cpu_us: u64,
+    /// Standing memory of an open bi-di connection.
+    pub bidi_standing_bytes: u64,
+    /// Per-in-flight-request tracking memory on a bi-di connection.
+    pub bidi_tracking_bytes: u64,
+}
+
+impl Default for TransportCosts {
+    fn default() -> Self {
+        TransportCosts {
+            unary_pooled_cpu_us: 25,
+            unary_setup_cpu_us: 400,
+            unary_pool_miss_permille: 100, // 10% pool misses
+            bidi_request_cpu_us: 5,
+            bidi_setup_cpu_us: 600,
+            bidi_standing_bytes: 512 * 1024,
+            bidi_tracking_bytes: 4 * 1024,
+        }
+    }
+}
+
+/// Switching policy for [`AdaptiveTransport`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePolicy {
+    /// Switch up to bi-di when at least this many requests landed within
+    /// [`AdaptivePolicy::window_micros`].
+    pub upgrade_requests: usize,
+    /// Drop back to unary after this much idle time.
+    pub idle_downgrade_micros: u64,
+    /// Rate-measurement window.
+    pub window_micros: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            upgrade_requests: 8,
+            idle_downgrade_micros: 5_000_000,
+            window_micros: 1_000_000,
+        }
+    }
+}
+
+/// Accumulated transport costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportLedger {
+    /// Total CPU microseconds spent on transport work.
+    pub cpu_us: u64,
+    /// Peak standing memory attributable to the connection.
+    pub peak_memory_bytes: u64,
+    /// Requests sent over a unary connection.
+    pub unary_requests: u64,
+    /// Requests sent over a bi-di connection.
+    pub bidi_requests: u64,
+    /// Number of mode switches.
+    pub switches: u64,
+}
+
+/// A connection that adaptively chooses between unary and bi-di modes.
+#[derive(Debug)]
+pub struct AdaptiveTransport {
+    costs: TransportCosts,
+    policy: AdaptivePolicy,
+    kind: TransportKind,
+    recent: VecDeque<Timestamp>,
+    last_request: Timestamp,
+    ledger: TransportLedger,
+    in_flight: u64,
+    rng_state: u64,
+}
+
+impl AdaptiveTransport {
+    /// A transport starting in unary mode.
+    pub fn new(costs: TransportCosts, policy: AdaptivePolicy) -> Self {
+        Self {
+            costs,
+            policy,
+            kind: TransportKind::Unary,
+            recent: VecDeque::new(),
+            last_request: Timestamp::MIN,
+            ledger: TransportLedger::default(),
+            in_flight: 0,
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// A transport with defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(TransportCosts::default(), AdaptivePolicy::default())
+    }
+
+    /// Current mode.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Accumulated cost ledger.
+    pub fn ledger(&self) -> TransportLedger {
+        self.ledger
+    }
+
+    /// Whether pipelined (no-wait) appends are possible right now.
+    pub fn supports_pipelining(&self) -> bool {
+        self.kind == TransportKind::Bidi
+    }
+
+    fn next_rand_permille(&mut self) -> u64 {
+        // xorshift*: deterministic, cheap, good enough for pool-miss
+        // sampling.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % 1000
+    }
+
+    /// Records one request at virtual time `now`; returns the CPU cost
+    /// charged and possibly switches modes.
+    pub fn on_request(&mut self, now: Timestamp) -> u64 {
+        // Idle downgrade first (a long gap tears down the bi-di conn).
+        if self.kind == TransportKind::Bidi
+            && self.last_request != Timestamp::MIN
+            && now.micros().saturating_sub(self.last_request.micros())
+                >= self.policy.idle_downgrade_micros
+        {
+            self.kind = TransportKind::Unary;
+            self.ledger.switches += 1;
+            self.recent.clear();
+        }
+        self.last_request = now;
+        self.recent.push_back(now);
+        while let Some(front) = self.recent.front() {
+            if now.micros().saturating_sub(front.micros()) > self.policy.window_micros {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut cpu = 0u64;
+        // Upgrade when the window is hot.
+        if self.kind == TransportKind::Unary && self.recent.len() >= self.policy.upgrade_requests {
+            self.kind = TransportKind::Bidi;
+            self.ledger.switches += 1;
+            cpu += self.costs.bidi_setup_cpu_us;
+        }
+        match self.kind {
+            TransportKind::Unary => {
+                self.ledger.unary_requests += 1;
+                let miss = self.next_rand_permille() < self.costs.unary_pool_miss_permille;
+                cpu += if miss {
+                    self.costs.unary_setup_cpu_us
+                } else {
+                    self.costs.unary_pooled_cpu_us
+                };
+            }
+            TransportKind::Bidi => {
+                self.ledger.bidi_requests += 1;
+                cpu += self.costs.bidi_request_cpu_us;
+                self.in_flight += 1;
+                let mem = self.costs.bidi_standing_bytes
+                    + self.in_flight * self.costs.bidi_tracking_bytes;
+                self.ledger.peak_memory_bytes = self.ledger.peak_memory_bytes.max(mem);
+            }
+        }
+        self.ledger.cpu_us += cpu;
+        cpu
+    }
+
+    /// Records a response completing (releases bi-di tracking state).
+    pub fn on_response(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Timestamp {
+        Timestamp(us)
+    }
+
+    #[test]
+    fn sparse_traffic_stays_unary() {
+        let mut tr = AdaptiveTransport::with_defaults();
+        for i in 0..20 {
+            tr.on_request(t(i * 10_000_000)); // one every 10s
+            tr.on_response();
+        }
+        assert_eq!(tr.kind(), TransportKind::Unary);
+        assert_eq!(tr.ledger().bidi_requests, 0);
+        assert_eq!(tr.ledger().unary_requests, 20);
+        assert_eq!(tr.ledger().peak_memory_bytes, 0, "no standing memory");
+    }
+
+    #[test]
+    fn hot_traffic_upgrades_to_bidi() {
+        let mut tr = AdaptiveTransport::with_defaults();
+        for i in 0..50 {
+            tr.on_request(t(1_000_000 + i * 1_000)); // 1k req/s
+            tr.on_response();
+        }
+        assert_eq!(tr.kind(), TransportKind::Bidi);
+        assert!(tr.ledger().bidi_requests > 30);
+        assert!(tr.ledger().peak_memory_bytes >= 512 * 1024);
+    }
+
+    #[test]
+    fn idle_downgrades_back_to_unary() {
+        let mut tr = AdaptiveTransport::with_defaults();
+        for i in 0..20 {
+            tr.on_request(t(1_000_000 + i * 1_000));
+            tr.on_response();
+        }
+        assert_eq!(tr.kind(), TransportKind::Bidi);
+        tr.on_request(t(100_000_000)); // long idle gap
+        assert_eq!(tr.kind(), TransportKind::Unary);
+        assert!(tr.ledger().switches >= 2);
+    }
+
+    #[test]
+    fn bidi_is_cheaper_per_request_at_high_rate() {
+        // The §5.4.2 claim: persistent connections are CPU-efficient for
+        // high request volumes; unary avoids standing memory for sparse
+        // writers.
+        let costs = TransportCosts::default();
+        let mut hot_adaptive = AdaptiveTransport::new(costs, AdaptivePolicy::default());
+        let mut hot_unary_only = AdaptiveTransport::new(
+            costs,
+            AdaptivePolicy {
+                upgrade_requests: usize::MAX, // never upgrade
+                ..AdaptivePolicy::default()
+            },
+        );
+        for i in 0..10_000 {
+            hot_adaptive.on_request(t(1_000_000 + i * 100));
+            hot_adaptive.on_response();
+            hot_unary_only.on_request(t(1_000_000 + i * 100));
+            hot_unary_only.on_response();
+        }
+        assert!(
+            hot_adaptive.ledger().cpu_us * 2 < hot_unary_only.ledger().cpu_us,
+            "adaptive {} vs unary-only {}",
+            hot_adaptive.ledger().cpu_us,
+            hot_unary_only.ledger().cpu_us
+        );
+    }
+
+    #[test]
+    fn pipelining_only_on_bidi() {
+        let mut tr = AdaptiveTransport::with_defaults();
+        assert!(!tr.supports_pipelining());
+        for i in 0..20 {
+            tr.on_request(t(1_000_000 + i * 1_000));
+        }
+        assert!(tr.supports_pipelining());
+        // In-flight tracking grows memory.
+        let mem_many_inflight = tr.ledger().peak_memory_bytes;
+        assert!(mem_many_inflight > 512 * 1024 + 10 * 4 * 1024);
+    }
+}

@@ -45,7 +45,8 @@ fn rig() -> Rig {
         .unwrap();
         sms.register_server(server);
     }
-    let client = VortexClient::new(Arc::clone(&sms), fleet, tt);
+    let handle: vortex_sms::api::SmsHandle = sms.clone();
+    let client = VortexClient::new(handle, fleet, tt);
     Rig { client, sms }
 }
 

@@ -93,6 +93,9 @@ pub use vortex_common::ids;
 pub use vortex_common::latency::{Percentiles, WriteProfile};
 pub use vortex_common::mask::DeletionMask;
 pub use vortex_common::row;
+pub use vortex_common::rpc::{
+    CallKind, MethodStats, RetryPolicy, RpcChannel, RpcChannelConfig, RpcFaultPlan, RpcMetrics,
+};
 pub use vortex_common::schema;
 pub use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 pub use vortex_connector::{BeamSink, SinkConfig, SinkReport};
@@ -101,7 +104,9 @@ pub use vortex_query::{
     resolve_changes, AggKind, DmlExecutor, DmlReport, Expr, QueryEngine, ScanOptions, ScanResult,
     ScanStats, SqlResult, SqlSession,
 };
+pub use vortex_sms::api::{ServerChannel, SmsApi, SmsChannel, SmsHandle};
 pub use vortex_sms::meta::{
     FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletMeta, StreamletState, TableMeta,
 };
+pub use vortex_sms::server_ctl::{ServerHandle, StreamServerApi};
 pub use vortex_verify::{AuditLog, VerificationReport, Verifier};

@@ -9,11 +9,14 @@ use vortex_colossus::{Colossus, StorageFleet};
 use vortex_common::error::VortexResult;
 use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
 use vortex_common::latency::WriteProfile;
+use vortex_common::rpc::{RpcChannel, RpcChannelConfig};
 use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 use vortex_metastore::MetaStore;
 use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
 use vortex_query::{DmlExecutor, QueryEngine};
 use vortex_server::{ServerConfig, StreamServer};
+use vortex_sms::api::{ServerChannel, SmsChannel, SmsHandle};
+use vortex_sms::server_ctl::ServerHandle;
 use vortex_sms::slicer::{Slicer, SlicerView};
 use vortex_sms::sms::{SmsConfig, SmsTask};
 use vortex_verify::Verifier;
@@ -50,6 +53,10 @@ pub struct RegionConfig {
     /// longest read. Tests that advance the virtual clock aggressively
     /// must scale it up in proportion.
     pub gc_grace_micros: Option<u64>,
+    /// RPC channel behavior (deadlines, retry policy, latency model) for
+    /// the SMS and Stream Server hops. Fault plans are armed at runtime
+    /// via [`Region::sms_rpc`] / [`Region::server_rpc`].
+    pub rpc: RpcChannelConfig,
 }
 
 impl Default for RegionConfig {
@@ -67,6 +74,7 @@ impl Default for RegionConfig {
             optimizer: OptimizerConfig::default(),
             disk_root: None,
             gc_grace_micros: None,
+            rpc: RpcChannelConfig::default(),
         }
     }
 }
@@ -85,6 +93,15 @@ impl RegionConfig {
 const META_CHECKPOINT_PATH: &str = "meta/checkpoint";
 
 /// A fully assembled region.
+///
+/// Construction hands out *channel-wrapped* service handles: every SMS
+/// handle is an [`SmsChannel`] over the shared `"sms"` [`RpcChannel`],
+/// and the server handles registered with the SMS (and embedded in the
+/// stream handles it gives to clients) are [`ServerChannel`]s over the
+/// `"server"` channel. All control- and data-plane traffic therefore
+/// crosses the fault/deadline/metrics boundary; the raw
+/// [`StreamServer`]s remain reachable only for host-process concerns
+/// (checkpointing, crash-recovery tests).
 pub struct Region {
     clock: SimClock,
     tt: TrueTime,
@@ -92,8 +109,11 @@ pub struct Region {
     store: Arc<MetaStore>,
     ids: Arc<IdGen>,
     slicer: Arc<Slicer>,
-    sms_tasks: Vec<Arc<SmsTask>>,
+    sms_handles: Vec<SmsHandle>,
     servers: Vec<Arc<StreamServer>>,
+    server_handles: Vec<ServerHandle>,
+    sms_rpc: Arc<RpcChannel>,
+    server_rpc: Arc<RpcChannel>,
     optimizer: StorageOptimizer,
 }
 
@@ -195,7 +215,14 @@ impl Region {
                 view,
             ));
         }
+        // The two in-process RPC channels: one per service hop. The SMS
+        // registers channel-wrapped server handles, so client appends
+        // (which go through the handles the SMS gives out) cross the
+        // server channel too.
+        let sms_rpc = RpcChannel::new("sms", cfg.rpc.clone(), Some(clock.clone()));
+        let server_rpc = RpcChannel::new("server", cfg.rpc.clone(), Some(clock.clone()));
         let mut servers = Vec::new();
+        let mut server_handles: Vec<ServerHandle> = Vec::new();
         for c in 0..cfg.clusters {
             for s in 0..cfg.servers_per_cluster {
                 let server = StreamServer::new(
@@ -211,14 +238,20 @@ impl Region {
                     tt.clone(),
                     Arc::clone(&ids),
                 )?;
+                let handle = ServerChannel::wrap(server.clone(), Arc::clone(&server_rpc));
                 for sms in &sms_tasks {
-                    sms.register_server(server.clone());
+                    sms.register_server(handle.clone());
                 }
                 servers.push(server);
+                server_handles.push(handle);
             }
         }
+        let sms_handles: Vec<SmsHandle> = sms_tasks
+            .iter()
+            .map(|t| -> SmsHandle { SmsChannel::new(Arc::clone(t), Arc::clone(&sms_rpc)) })
+            .collect();
         let optimizer = StorageOptimizer::new(
-            Arc::clone(&sms_tasks[0]),
+            sms_handles[0].clone(),
             fleet.clone(),
             tt.clone(),
             Arc::clone(&ids),
@@ -231,36 +264,39 @@ impl Region {
             store,
             ids,
             slicer,
-            sms_tasks,
+            sms_handles,
             servers,
+            server_handles,
+            sms_rpc,
+            server_rpc,
             optimizer,
         })
     }
 
-    /// The SMS task that owns `table` (Slicer assignment; task 0 when a
-    /// single task runs).
-    pub fn sms_for(&self, table: TableId) -> &Arc<SmsTask> {
-        if self.sms_tasks.len() == 1 {
-            return &self.sms_tasks[0];
+    /// The (channel-wrapped) SMS handle that owns `table` (Slicer
+    /// assignment; task 0 when a single task runs).
+    pub fn sms_for(&self, table: TableId) -> &SmsHandle {
+        if self.sms_handles.len() == 1 {
+            return &self.sms_handles[0];
         }
         let owner = self
             .slicer
             .assignment(table)
             .unwrap_or(vortex_common::ids::SmsTaskId::from_raw(0));
-        self.sms_tasks
+        self.sms_handles
             .iter()
             .find(|t| t.task_id() == owner)
-            .unwrap_or(&self.sms_tasks[0])
+            .unwrap_or(&self.sms_handles[0])
     }
 
-    /// The first SMS task (single-task deployments).
-    pub fn sms(&self) -> &Arc<SmsTask> {
-        &self.sms_tasks[0]
+    /// The first SMS handle (single-task deployments), channel-wrapped.
+    pub fn sms(&self) -> &SmsHandle {
+        &self.sms_handles[0]
     }
 
-    /// All SMS tasks.
-    pub fn sms_tasks(&self) -> &[Arc<SmsTask>] {
-        &self.sms_tasks
+    /// All SMS handles, channel-wrapped.
+    pub fn sms_tasks(&self) -> &[SmsHandle] {
+        &self.sms_handles
     }
 
     /// The Slicer (assignment authority).
@@ -268,9 +304,30 @@ impl Region {
         &self.slicer
     }
 
-    /// All Stream Servers.
+    /// The raw Stream Server tasks — host-process concerns only
+    /// (checkpointing, crash recovery). Service traffic goes through
+    /// [`Region::server_handles`].
     pub fn servers(&self) -> &[Arc<StreamServer>] {
         &self.servers
+    }
+
+    /// Channel-wrapped Stream Server handles, index-aligned with
+    /// [`Region::servers`].
+    pub fn server_handles(&self) -> &[ServerHandle] {
+        &self.server_handles
+    }
+
+    /// The RPC channel carrying SMS traffic: arm faults and latency via
+    /// [`RpcChannel::faults`], read per-method metrics via
+    /// [`RpcChannel::metrics`].
+    pub fn sms_rpc(&self) -> &Arc<RpcChannel> {
+        &self.sms_rpc
+    }
+
+    /// The RPC channel carrying Stream Server traffic (control plane and
+    /// client appends alike).
+    pub fn server_rpc(&self) -> &Arc<RpcChannel> {
+        &self.server_rpc
     }
 
     /// The storage fleet.
@@ -306,7 +363,7 @@ impl Region {
     /// A client bound to the region (single-task: task 0).
     pub fn client(&self) -> VortexClient {
         VortexClient::new(
-            Arc::clone(&self.sms_tasks[0]),
+            self.sms_handles[0].clone(),
             self.fleet.clone(),
             self.tt.clone(),
         )
@@ -315,7 +372,7 @@ impl Region {
     /// A client routed to the SMS task owning `table`.
     pub fn client_for(&self, table: TableId) -> VortexClient {
         VortexClient::new(
-            Arc::clone(self.sms_for(table)),
+            self.sms_for(table).clone(),
             self.fleet.clone(),
             self.tt.clone(),
         )
@@ -353,7 +410,7 @@ impl Region {
     /// assert_eq!(n, 5);
     /// ```
     pub fn engine(&self) -> QueryEngine {
-        QueryEngine::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone())
+        QueryEngine::new(self.sms_handles[0].clone(), self.fleet.clone())
     }
 
     /// The DML executor.
@@ -392,7 +449,7 @@ impl Region {
 
     /// The verification pipelines.
     pub fn verifier(&self) -> Verifier {
-        Verifier::new(Arc::clone(&self.sms_tasks[0]), self.fleet.clone())
+        Verifier::new(self.sms_handles[0].clone(), self.fleet.clone())
     }
 
     /// One heartbeat round (§5.5): every server reports deltas to its
@@ -401,12 +458,12 @@ impl Region {
     /// Returns the number of streamlet deltas processed.
     pub fn run_heartbeats(&self, full_state: bool) -> VortexResult<usize> {
         let mut deltas = 0;
-        for server in &self.servers {
+        for server in &self.server_handles {
             let report = server.build_heartbeat(full_state);
             deltas += report.streamlets.len();
             // Every SMS task sees the heartbeat; each applies what it
             // owns (transactions keep double-apply safe).
-            for sms in &self.sms_tasks {
+            for sms in &self.sms_handles {
                 let resp = sms.heartbeat(&report)?;
                 let acks = server.apply_heartbeat_response(&resp, 60_000_000);
                 for (table, streamlet, ordinals) in acks {
@@ -421,7 +478,7 @@ impl Region {
     /// One idle tick: servers write standalone commit records for quiet
     /// streamlets (§7.1).
     pub fn run_ticks(&self) -> usize {
-        self.servers.iter().map(|s| s.tick()).sum()
+        self.server_handles.iter().map(|s| s.tick()).sum()
     }
 
     /// One optimization cycle for a table: WOS→ROS conversion, then a
@@ -455,7 +512,7 @@ impl Region {
     /// One groomer sweep (§5.4.3): physically deletes fragments whose GC
     /// grace elapsed and prunes old metastore versions.
     pub fn run_gc(&self, table: TableId) -> VortexResult<usize> {
-        let n = self.sms_tasks[0].run_gc(table)?;
+        let n = self.sms_handles[0].run_gc(table)?;
         // Metastore MVCC garbage below a conservative watermark.
         let wm = Timestamp(self.store.now().micros().saturating_sub(60_000_000));
         self.store.gc_versions(wm);
@@ -468,7 +525,7 @@ impl std::fmt::Debug for Region {
         f.debug_struct("Region")
             .field("clusters", &self.fleet.len())
             .field("servers", &self.servers.len())
-            .field("sms_tasks", &self.sms_tasks.len())
+            .field("sms_tasks", &self.sms_handles.len())
             .finish()
     }
 }

@@ -10,7 +10,7 @@ use crate::context::{in_spans, line_of, test_line_spans};
 use crate::lexer::MaskedSource;
 
 /// Rules enforced by vortex-lint, in catalogue order.
-pub const RULES: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005"];
+pub const RULES: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005", "L006"];
 
 /// Crates on the storage path: a panic here can take down an ingest
 /// server or corrupt a commit sequence, so L002/L004/L005 apply.
@@ -23,6 +23,23 @@ pub const STORAGE_PATH_CRATES: &[&str] = &[
     "vortex-sms",
     "vortex-client",
 ];
+
+/// Consumer crates that must reach the SMS and Stream Server services
+/// through the `RpcChannel`-wrapped handles (`SmsHandle`/`ServerHandle`)
+/// rather than the concrete task types, so fault injection, deadlines,
+/// and metrics see every call (L006).
+pub const RPC_CONSUMER_CRATES: &[&str] = &[
+    "vortex-client",
+    "vortex-query",
+    "vortex-optimizer",
+    "vortex-verify",
+    "vortex-connector",
+    "vortex",
+];
+
+/// Files allowed to name the concrete service types: region wiring is
+/// the single place services are constructed and channel-wrapped.
+pub const RPC_WIRING_ALLOWED_FILES: &[&str] = &["crates/core/src/region.rs"];
 
 /// Files allowed to read the real clock and the real sleep: the
 /// TrueTime/latency substrate is the single place wall-clock time may
@@ -91,6 +108,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Violation> {
     rule_l003(input, &is_test_line, &mut violations);
     rule_l004(input, &is_test_line, &mut violations);
     rule_l005(input, &is_test_line, &mut violations);
+    rule_l006(input, &is_test_line, &mut violations);
 
     violations.retain(|v| {
         v.rule == "L000"
@@ -369,6 +387,52 @@ fn rule_l005(
                     }
                 }
             }
+        }
+    }
+}
+
+/// L006 service-boundary discipline: consumer crates must not touch the
+/// concrete `SmsTask` / `StreamServer` types directly — every call goes
+/// through the channel-wrapped `SmsHandle` / `ServerHandle`, or the RPC
+/// layer's fault plans, deadlines, and per-method metrics silently miss
+/// traffic. Matches identifier boundaries, so `SmsTaskId` and
+/// `StreamServerApi` (distinct, allowed identifiers) never fire.
+fn rule_l006(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if !RPC_CONSUMER_CRATES.contains(&input.crate_name)
+        || RPC_WIRING_ALLOWED_FILES.contains(&input.rel_path)
+    {
+        return;
+    }
+    let code = &input.masked.code;
+    let bytes = code.as_bytes();
+    for pat in ["SmsTask", "StreamServer"] {
+        for at in occurrences_at(code, pat) {
+            let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+            if at > 0 && ident(bytes[at - 1]) {
+                continue;
+            }
+            let after = at + pat.len();
+            if after < bytes.len() && ident(bytes[after]) {
+                continue;
+            }
+            let line = line_of(bytes, at);
+            if is_test_line(line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "L006",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: format!(
+                    "direct `{pat}` reference outside the RPC layer; route \
+                     through the channel-wrapped handle (`SmsHandle`/`ServerHandle`)"
+                ),
+            });
         }
     }
 }

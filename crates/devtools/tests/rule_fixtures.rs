@@ -235,6 +235,45 @@ fn l005_ignores_temporary_guards() {
     assert!(rules_for(src, "crates/wos/src/x.rs", "vortex-wos").is_empty());
 }
 
+// ---------------------------------------------------------------- L006
+
+#[test]
+fn l006_fires_on_direct_service_types_in_consumer_crates() {
+    let src = "pub fn f(sms: &Arc<SmsTask>) { let _ = sms; }\n\
+               pub fn g(srv: &StreamServer) { let _ = srv; }\n";
+    assert_eq!(
+        rules_for(src, "crates/client/src/x.rs", "vortex-client"),
+        ["L006", "L006"]
+    );
+    assert_eq!(
+        rules_for(src, "crates/core/src/daemon.rs", "vortex"),
+        ["L006", "L006"]
+    );
+}
+
+#[test]
+fn l006_matches_identifier_boundaries_only() {
+    // `SmsTaskId` and `StreamServerApi` are different, allowed
+    // identifiers; so is a prefixed name.
+    let src = "pub fn f(id: SmsTaskId, api: &dyn StreamServerApi) { let _ = (id, api); }\n\
+               pub fn g(x: MockStreamServer) { let _ = x; }\n";
+    assert!(rules_for(src, "crates/client/src/x.rs", "vortex-client").is_empty());
+}
+
+#[test]
+fn l006_exempts_region_wiring_service_crates_and_tests() {
+    let src = "pub fn f(t: &SmsTask, s: &StreamServer) { let _ = (t, s); }\n";
+    // The wiring file constructs and wraps the services.
+    assert!(rules_for(src, "crates/core/src/region.rs", "vortex").is_empty());
+    // The service crates themselves are not consumers.
+    assert!(rules_for(src, "crates/sms/src/api.rs", "vortex-sms").is_empty());
+    assert!(rules_for(src, "crates/server/src/server.rs", "vortex-server").is_empty());
+    // Test context is free to grab the concrete types.
+    assert!(scan_str(src, "tests/rpc_faults.rs", "vortex", true).is_empty());
+    let in_mod = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use vortex_sms::sms::SmsTask;\n}\n";
+    assert!(rules_for(in_mod, "crates/verify/src/lib.rs", "vortex-verify").is_empty());
+}
+
 // ------------------------------------------------------------- ratchet
 
 /// Builds a miniature workspace on disk so `enforce_ratchet` can be

@@ -34,10 +34,10 @@ use vortex_common::row::{Row, Value};
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_ros::{RosBlock, RosBlockBuilder, RowMeta};
+use vortex_sms::api::SmsHandle;
 use vortex_sms::meta::{
     ros_path, FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletMeta,
 };
-use vortex_sms::sms::SmsTask;
 use vortex_wos::parse_fragment;
 
 #[cfg(test)]
@@ -96,7 +96,7 @@ pub struct ReclusterReport {
 
 /// The background storage optimization service.
 pub struct StorageOptimizer {
-    sms: Arc<SmsTask>,
+    sms: SmsHandle,
     fleet: StorageFleet,
     ids: Arc<IdGen>,
     cfg: OptimizerConfig,
@@ -105,7 +105,7 @@ pub struct StorageOptimizer {
 impl StorageOptimizer {
     /// Creates the service over shared infrastructure.
     pub fn new(
-        sms: Arc<SmsTask>,
+        sms: SmsHandle,
         fleet: StorageFleet,
         tt: TrueTime,
         ids: Arc<IdGen>,

@@ -56,14 +56,9 @@ fn rig_with(cfg: OptimizerConfig) -> Rig {
         .unwrap();
         sms.register_server(server);
     }
-    let opt = StorageOptimizer::new(
-        Arc::clone(&sms),
-        fleet.clone(),
-        tt.clone(),
-        Arc::clone(&ids),
-        cfg,
-    );
-    let client = vortex_client::VortexClient::new(Arc::clone(&sms), fleet.clone(), tt.clone());
+    let handle: vortex_sms::api::SmsHandle = sms.clone();
+    let opt = StorageOptimizer::new(handle.clone(), fleet.clone(), tt.clone(), ids, cfg);
+    let client = vortex_client::VortexClient::new(handle, fleet.clone(), tt.clone());
     Rig {
         sms,
         fleet,
@@ -284,7 +279,7 @@ fn optimizer_yields_to_dml_but_one_to_one_does_not() {
     let r = rig();
     let t = r.sms.create_table("t", schema()).unwrap();
     ingest(&r, t.table, 0, 40);
-    r.sms.begin_dml(t.table).unwrap();
+    let ticket = r.sms.begin_dml(t.table).unwrap();
     // Merged conversion yields → backlog stays.
     assert!(r.opt.convert_wos(t.table).is_err());
     assert!(r.opt.backlog(t.table) > 0);
@@ -292,7 +287,7 @@ fn optimizer_yields_to_dml_but_one_to_one_does_not() {
     let report = r.opt.convert_one_to_one(t.table).unwrap();
     assert!(report.blocks_written >= 1);
     assert_eq!(r.opt.backlog(t.table), 0);
-    r.sms.end_dml(t.table).unwrap();
+    r.sms.end_dml(t.table, ticket).unwrap();
 }
 
 #[test]
@@ -537,7 +532,7 @@ fn read_path_mixes_wos_and_ros() {
     let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
     w.append(rows(100, 100)).unwrap();
     let tr = read_table(
-        &r.sms,
+        r.client.sms(),
         &r.fleet,
         t.table,
         r.sms.read_snapshot(),

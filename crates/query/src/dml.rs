@@ -78,10 +78,10 @@ impl DmlExecutor {
         set: Option<&[(&str, Value)]>,
     ) -> VortexResult<DmlReport> {
         let sms = self.client.sms().clone();
-        sms.begin_dml(table)?;
+        let ticket = sms.begin_dml(table)?;
         let result = self.mutate_inner(table, pred, set);
         // Always release the DML marker (§7.3).
-        let _ = sms.end_dml(table);
+        let _ = sms.end_dml(table, ticket);
         result
     }
 

@@ -2,8 +2,6 @@
 //! scans (§7's "dispatches these Fragments and Streamlets to different
 //! Dremel shards to process them in parallel") + aggregation.
 
-use std::sync::Arc;
-
 use vortex_client::read::{read_fragment, read_reconciled_tail, read_tail, TailOutcome};
 use vortex_colossus::StorageFleet;
 use vortex_common::error::{VortexError, VortexResult};
@@ -13,9 +11,9 @@ use vortex_common::schema::Schema;
 use vortex_common::stats::ColumnStats;
 use vortex_common::truetime::Timestamp;
 use vortex_ros::RowMeta;
+use vortex_sms::api::SmsHandle;
 use vortex_sms::meta::FragmentKind;
 use vortex_sms::readset::FragmentReadSpec;
-use vortex_sms::sms::SmsTask;
 use vortex_wos::format::{Footer, RecordHeader, RecordType, FOOTER_TOTAL_LEN, RECORD_HEADER_LEN};
 
 use crate::cdc::resolve_changes;
@@ -95,13 +93,13 @@ pub enum AggKind {
 
 /// The Dremel-lite query engine.
 pub struct QueryEngine {
-    sms: Arc<SmsTask>,
+    sms: SmsHandle,
     fleet: StorageFleet,
 }
 
 impl QueryEngine {
     /// Creates an engine over the control plane + storage fleet.
-    pub fn new(sms: Arc<SmsTask>, fleet: StorageFleet) -> Self {
+    pub fn new(sms: SmsHandle, fleet: StorageFleet) -> Self {
         Self { sms, fleet }
     }
 

@@ -51,10 +51,11 @@ fn rig() -> Rig {
         .unwrap();
         sms.register_server(server);
     }
-    let client = VortexClient::new(Arc::clone(&sms), fleet.clone(), tt.clone());
-    let engine = QueryEngine::new(Arc::clone(&sms), fleet.clone());
+    let handle: vortex_sms::api::SmsHandle = sms.clone();
+    let client = VortexClient::new(handle.clone(), fleet.clone(), tt.clone());
+    let engine = QueryEngine::new(handle.clone(), fleet.clone());
     let opt = StorageOptimizer::new(
-        Arc::clone(&sms),
+        handle,
         fleet.clone(),
         tt,
         ids,

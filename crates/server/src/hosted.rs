@@ -21,19 +21,7 @@ use vortex_sms::meta::wos_path;
 use vortex_sms::server_ctl::StreamletSpec;
 use vortex_wos::{FileMapEntry, FragmentConfig, FragmentWriter};
 
-/// Acknowledgement of a successful append.
-#[derive(Debug, Clone, Copy)]
-pub struct AppendAck {
-    /// Stream-level row offset of the first appended row.
-    pub first_stream_row: u64,
-    /// Rows appended.
-    pub row_count: u64,
-    /// Virtual completion time (max over both replica writes, queued on
-    /// the log file).
-    pub completion: Timestamp,
-    /// Total sampled service time in microseconds.
-    pub service_us: u64,
-}
+pub use vortex_sms::server_ctl::AppendAck;
 
 /// State of one fragment currently being written.
 struct CurrentFragment {

@@ -14,7 +14,7 @@ use vortex_common::row::RowSet;
 use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_sms::heartbeat::{HeartbeatReport, HeartbeatResponse};
 use vortex_sms::meta::wos_path;
-use vortex_sms::server_ctl::{LoadReport, StreamServerCtl, StreamletSpec};
+use vortex_sms::server_ctl::{LoadReport, StreamServerApi, StreamletSpec};
 
 use crate::hosted::{HostedStreamlet, WriteTuning};
 use crate::wal::{ServerLog, WalEvent};
@@ -388,11 +388,7 @@ impl HostedStreamlet {
     }
 }
 
-impl StreamServerCtl for StreamServer {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
+impl StreamServerApi for StreamServer {
     fn server_id(&self) -> ServerId {
         self.cfg.server
     }
@@ -485,6 +481,56 @@ impl StreamServerCtl for StreamServer {
 
     fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()> {
         self.finalize_streamlet(streamlet)
+    }
+
+    // Data plane and maintenance hooks: delegate to the inherent methods
+    // above so direct (in-crate) callers and trait consumers share one
+    // implementation.
+
+    fn append(
+        &self,
+        streamlet: StreamletId,
+        rows: &RowSet,
+        declared_schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<AppendAck> {
+        StreamServer::append(
+            self,
+            streamlet,
+            rows,
+            declared_schema_version,
+            expected_stream_offset,
+            start,
+        )
+    }
+
+    fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
+        StreamServer::flush(self, streamlet, flush_row)
+    }
+
+    fn tick(&self) -> usize {
+        StreamServer::tick(self)
+    }
+
+    fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
+        StreamServer::build_heartbeat(self, full_state)
+    }
+
+    fn apply_heartbeat_response(
+        &self,
+        resp: &HeartbeatResponse,
+        orphan_age_micros: u64,
+    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+        StreamServer::apply_heartbeat_response(self, resp, orphan_age_micros)
+    }
+
+    fn reset_heartbeat_window(&self) {
+        StreamServer::reset_heartbeat_window(self)
+    }
+
+    fn set_quarantined(&self, quarantined: bool) {
+        StreamServer::set_quarantined(self, quarantined)
     }
 }
 

@@ -12,7 +12,7 @@ use vortex_common::row::{Row, RowSet, Value};
 use vortex_common::schema::{Field, FieldType, PartitionTransform, Schema};
 use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 use vortex_sms::meta::wos_path;
-use vortex_sms::server_ctl::{StreamServerCtl, StreamletSpec};
+use vortex_sms::server_ctl::{StreamServerApi, StreamletSpec};
 use vortex_wos::parse_fragment;
 
 use crate::server::{ServerConfig, StreamServer};

@@ -1,0 +1,632 @@
+//! Service traits and channel wrappers: the in-process RPC boundary.
+//!
+//! [`SmsApi`] is the complete call surface of an [`SmsTask`]; every
+//! consumer crate (client, query, optimizer, verify, connector, core)
+//! holds an [`SmsHandle`] — normally an [`SmsChannel`] that routes each
+//! method through a [`vortex_common::rpc::RpcChannel`], which injects
+//! faults and latency, enforces deadlines, and records per-method
+//! metrics. [`ServerChannel`] does the same for the Stream Server surface
+//! ([`StreamServerApi`]); the SMS registers channel-wrapped server
+//! handles, so the handles it embeds in [`StreamHandle`]s route client
+//! appends through the same boundary.
+//!
+//! Each wrapped method declares its [`CallKind`]: re-executable methods
+//! (reads, max-merge updates, token-keyed begin/end DML, rotation) are
+//! `Idempotent`; methods whose re-execution would duplicate effects
+//! (append, table DDL, conversion commits) are `NonIdempotent`, so an
+//! ambiguous ack surfaces as retryable unavailability and the caller's
+//! §5.4/§5.6 reconciliation decides what really happened.
+
+use std::sync::Arc;
+
+use vortex_common::error::VortexResult;
+use vortex_common::ids::{
+    ClusterId, FragmentId, ServerId, SmsTaskId, StreamId, StreamletId, TableId,
+};
+use vortex_common::mask::DeletionMask;
+use vortex_common::row::RowSet;
+use vortex_common::rpc::{CallKind, RpcChannel};
+use vortex_common::schema::Schema;
+use vortex_common::truetime::Timestamp;
+use vortex_metastore::MetaStore;
+
+use crate::bigmeta::BigMeta;
+use crate::heartbeat::{HeartbeatReport, HeartbeatResponse};
+use crate::meta::{FragmentMeta, StreamMeta, StreamType, StreamletMeta, TableMeta};
+use crate::readset::ReadSet;
+use crate::server_ctl::{AppendAck, LoadReport, ServerHandle, StreamServerApi, StreamletSpec};
+use crate::sms::{DmlTicket, SmsTask, StreamHandle};
+
+/// The complete SMS service surface, mirroring [`SmsTask`]'s methods.
+///
+/// Infrastructure accessors (`bigmeta`, `store`, `register_server`, the
+/// listing diagnostics) are part of the trait so consumers never need the
+/// concrete type, but channel wrappers treat them as local calls — they
+/// model in-process state shared with the caller, not RPCs.
+pub trait SmsApi: Send + Sync {
+    /// This task's id.
+    fn task_id(&self) -> SmsTaskId;
+    /// The Big Metadata index this task maintains (§6.2).
+    fn bigmeta(&self) -> &BigMeta;
+    /// The shared metastore (used by verification pipelines).
+    fn store(&self) -> &Arc<MetaStore>;
+    /// Registers a Stream Server endpoint.
+    fn register_server(&self, server: ServerHandle);
+    /// A fresh snapshot timestamp guaranteeing read-after-write.
+    fn read_snapshot(&self) -> Timestamp;
+    /// Creates a table (§5.2.1 zone assignment included).
+    fn create_table(&self, name: &str, schema: Schema) -> VortexResult<TableMeta>;
+    /// Creates a BigLake Managed Table (§6.4).
+    fn create_blmt_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        bucket: &str,
+    ) -> VortexResult<TableMeta>;
+    /// Fetches a table by id at the latest snapshot.
+    fn get_table(&self, table: TableId) -> VortexResult<TableMeta>;
+    /// Resolves a table by name.
+    fn get_table_by_name(&self, name: &str) -> VortexResult<TableMeta>;
+    /// Applies a schema change (additive column).
+    fn update_schema(&self, table: TableId, new_schema: Schema) -> VortexResult<TableMeta>;
+    /// Swaps primary and secondary clusters (§5.2.1 failover).
+    fn fail_over_table(&self, table: TableId) -> VortexResult<TableMeta>;
+    /// Creates a Stream plus its first Streamlet (§4.2.1 / §5.2).
+    fn create_stream(&self, table: TableId, stype: StreamType) -> VortexResult<StreamHandle>;
+    /// Opens the next streamlet of a stream after the current one closed.
+    fn rotate_streamlet(&self, table: TableId, stream: StreamId) -> VortexResult<StreamHandle>;
+    /// Fetches a stream's metadata.
+    fn get_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta>;
+    /// Fetches a streamlet's metadata.
+    fn get_streamlet(&self, table: TableId, streamlet: StreamletId) -> VortexResult<StreamletMeta>;
+    /// Current committed length (rows) of a stream.
+    fn stream_length(&self, table: TableId, stream: StreamId) -> VortexResult<u64>;
+    /// `FlushStream` (§4.2.3).
+    fn flush_stream(&self, table: TableId, stream: StreamId, row_offset: u64) -> VortexResult<()>;
+    /// `FinalizeStream` (§4.2.5).
+    fn finalize_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta>;
+    /// `BatchCommitStreams` (§4.2.4).
+    fn batch_commit_streams(&self, table: TableId, streams: &[StreamId])
+        -> VortexResult<Timestamp>;
+    /// Ingests a Stream Server heartbeat (§5.5).
+    fn heartbeat(&self, report: &HeartbeatReport) -> VortexResult<HeartbeatResponse>;
+    /// Acknowledges server-side fragment GC (§5.4.3).
+    fn ack_gc(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: &[u32],
+    ) -> VortexResult<usize>;
+    /// The union of WOS and ROS visible at `snapshot` (§7).
+    fn list_read_fragments(&self, table: TableId, snapshot: Timestamp) -> VortexResult<ReadSet>;
+    /// Runs the reconciliation protocol on a streamlet (§5.6, §7.1).
+    fn reconcile_streamlet(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+    ) -> VortexResult<StreamletMeta>;
+    /// Marks the start of a DML statement (§7.3); returns its ticket.
+    fn begin_dml(&self, table: TableId) -> VortexResult<DmlTicket>;
+    /// Marks the end of the DML statement holding `ticket`.
+    fn end_dml(&self, table: TableId, ticket: DmlTicket) -> VortexResult<()>;
+    /// Whether any DML statement is currently running on the table.
+    fn dml_active(&self, table: TableId) -> bool;
+    /// Atomically commits a WOS→ROS conversion or recluster merge (§6.1).
+    fn commit_conversion(
+        &self,
+        table: TableId,
+        sources: &[(FragmentId, usize)],
+        replacements: Vec<FragmentMeta>,
+        yield_to_dml: bool,
+    ) -> VortexResult<Timestamp>;
+    /// Atomically commits a DML statement's effects (§7.3).
+    fn commit_dml(
+        &self,
+        table: TableId,
+        fragment_masks: &[(FragmentId, DeletionMask)],
+        tail_masks: &[(StreamletId, DeletionMask)],
+        reinserted_streams: &[StreamId],
+    ) -> VortexResult<Timestamp>;
+    /// Physically deletes doomed fragments past the grace period (§5.4.3).
+    fn run_gc(&self, table: TableId) -> VortexResult<usize>;
+    /// Drops a table; its data becomes groomer-collectable orphans.
+    fn drop_table(&self, table: TableId) -> VortexResult<()>;
+    /// The groomer sweep over orphaned entities (§5.4.3).
+    fn run_groomer(&self) -> VortexResult<(usize, usize)>;
+    /// All fragment metadata of a table at a snapshot (diagnostics).
+    fn list_fragments(&self, table: TableId, at: Timestamp) -> Vec<FragmentMeta>;
+    /// All streamlet metadata of a table (diagnostics).
+    fn list_streamlets(&self, table: TableId) -> Vec<StreamletMeta>;
+}
+
+/// A shareable handle to an SMS endpoint.
+pub type SmsHandle = Arc<dyn SmsApi>;
+
+impl SmsApi for SmsTask {
+    fn task_id(&self) -> SmsTaskId {
+        self.task_id()
+    }
+    fn bigmeta(&self) -> &BigMeta {
+        self.bigmeta()
+    }
+    fn store(&self) -> &Arc<MetaStore> {
+        self.store()
+    }
+    fn register_server(&self, server: ServerHandle) {
+        self.register_server(server)
+    }
+    fn read_snapshot(&self) -> Timestamp {
+        self.read_snapshot()
+    }
+    fn create_table(&self, name: &str, schema: Schema) -> VortexResult<TableMeta> {
+        self.create_table(name, schema)
+    }
+    fn create_blmt_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        bucket: &str,
+    ) -> VortexResult<TableMeta> {
+        self.create_blmt_table(name, schema, bucket)
+    }
+    fn get_table(&self, table: TableId) -> VortexResult<TableMeta> {
+        self.get_table(table)
+    }
+    fn get_table_by_name(&self, name: &str) -> VortexResult<TableMeta> {
+        self.get_table_by_name(name)
+    }
+    fn update_schema(&self, table: TableId, new_schema: Schema) -> VortexResult<TableMeta> {
+        self.update_schema(table, new_schema)
+    }
+    fn fail_over_table(&self, table: TableId) -> VortexResult<TableMeta> {
+        self.fail_over_table(table)
+    }
+    fn create_stream(&self, table: TableId, stype: StreamType) -> VortexResult<StreamHandle> {
+        self.create_stream(table, stype)
+    }
+    fn rotate_streamlet(&self, table: TableId, stream: StreamId) -> VortexResult<StreamHandle> {
+        self.rotate_streamlet(table, stream)
+    }
+    fn get_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
+        self.get_stream(table, stream)
+    }
+    fn get_streamlet(&self, table: TableId, streamlet: StreamletId) -> VortexResult<StreamletMeta> {
+        self.get_streamlet(table, streamlet)
+    }
+    fn stream_length(&self, table: TableId, stream: StreamId) -> VortexResult<u64> {
+        self.stream_length(table, stream)
+    }
+    fn flush_stream(&self, table: TableId, stream: StreamId, row_offset: u64) -> VortexResult<()> {
+        self.flush_stream(table, stream, row_offset)
+    }
+    fn finalize_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
+        self.finalize_stream(table, stream)
+    }
+    fn batch_commit_streams(
+        &self,
+        table: TableId,
+        streams: &[StreamId],
+    ) -> VortexResult<Timestamp> {
+        self.batch_commit_streams(table, streams)
+    }
+    fn heartbeat(&self, report: &HeartbeatReport) -> VortexResult<HeartbeatResponse> {
+        self.heartbeat(report)
+    }
+    fn ack_gc(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: &[u32],
+    ) -> VortexResult<usize> {
+        self.ack_gc(table, streamlet, ordinals)
+    }
+    fn list_read_fragments(&self, table: TableId, snapshot: Timestamp) -> VortexResult<ReadSet> {
+        self.list_read_fragments(table, snapshot)
+    }
+    fn reconcile_streamlet(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+    ) -> VortexResult<StreamletMeta> {
+        self.reconcile_streamlet(table, streamlet)
+    }
+    fn begin_dml(&self, table: TableId) -> VortexResult<DmlTicket> {
+        self.begin_dml(table)
+    }
+    fn end_dml(&self, table: TableId, ticket: DmlTicket) -> VortexResult<()> {
+        self.end_dml(table, ticket)
+    }
+    fn dml_active(&self, table: TableId) -> bool {
+        self.dml_active(table)
+    }
+    fn commit_conversion(
+        &self,
+        table: TableId,
+        sources: &[(FragmentId, usize)],
+        replacements: Vec<FragmentMeta>,
+        yield_to_dml: bool,
+    ) -> VortexResult<Timestamp> {
+        self.commit_conversion(table, sources, replacements, yield_to_dml)
+    }
+    fn commit_dml(
+        &self,
+        table: TableId,
+        fragment_masks: &[(FragmentId, DeletionMask)],
+        tail_masks: &[(StreamletId, DeletionMask)],
+        reinserted_streams: &[StreamId],
+    ) -> VortexResult<Timestamp> {
+        self.commit_dml(table, fragment_masks, tail_masks, reinserted_streams)
+    }
+    fn run_gc(&self, table: TableId) -> VortexResult<usize> {
+        self.run_gc(table)
+    }
+    fn drop_table(&self, table: TableId) -> VortexResult<()> {
+        self.drop_table(table)
+    }
+    fn run_groomer(&self) -> VortexResult<(usize, usize)> {
+        self.run_groomer()
+    }
+    fn list_fragments(&self, table: TableId, at: Timestamp) -> Vec<FragmentMeta> {
+        self.list_fragments(table, at)
+    }
+    fn list_streamlets(&self, table: TableId) -> Vec<StreamletMeta> {
+        self.list_streamlets(table)
+    }
+}
+
+/// An [`SmsHandle`] whose every service call crosses an [`RpcChannel`].
+pub struct SmsChannel {
+    inner: Arc<SmsTask>,
+    channel: Arc<RpcChannel>,
+}
+
+impl SmsChannel {
+    /// Wraps an SMS task behind a channel.
+    pub fn new(inner: Arc<SmsTask>, channel: Arc<RpcChannel>) -> Arc<Self> {
+        Arc::new(SmsChannel { inner, channel })
+    }
+
+    /// The channel carrying this handle's traffic.
+    pub fn channel(&self) -> &Arc<RpcChannel> {
+        &self.channel
+    }
+
+    /// The wrapped task (rig plumbing; service calls go through the
+    /// trait).
+    pub fn inner(&self) -> &Arc<SmsTask> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for SmsChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmsChannel")
+            .field("task", &self.inner.task_id())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmsApi for SmsChannel {
+    // Shared in-process state, not RPCs: served locally.
+    fn task_id(&self) -> SmsTaskId {
+        self.inner.task_id()
+    }
+    fn bigmeta(&self) -> &BigMeta {
+        self.inner.bigmeta()
+    }
+    fn store(&self) -> &Arc<MetaStore> {
+        self.inner.store()
+    }
+    fn register_server(&self, server: ServerHandle) {
+        self.inner.register_server(server)
+    }
+    fn read_snapshot(&self) -> Timestamp {
+        self.inner.read_snapshot()
+    }
+    fn dml_active(&self, table: TableId) -> bool {
+        self.inner.dml_active(table)
+    }
+    fn list_fragments(&self, table: TableId, at: Timestamp) -> Vec<FragmentMeta> {
+        self.inner.list_fragments(table, at)
+    }
+    fn list_streamlets(&self, table: TableId) -> Vec<StreamletMeta> {
+        self.inner.list_streamlets(table)
+    }
+
+    // DDL and conversion commits: re-execution would duplicate effects.
+    fn create_table(&self, name: &str, schema: Schema) -> VortexResult<TableMeta> {
+        self.channel
+            .call("create_table", CallKind::NonIdempotent, || {
+                self.inner.create_table(name, schema.clone())
+            })
+    }
+    fn create_blmt_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        bucket: &str,
+    ) -> VortexResult<TableMeta> {
+        self.channel
+            .call("create_blmt_table", CallKind::NonIdempotent, || {
+                self.inner.create_blmt_table(name, schema.clone(), bucket)
+            })
+    }
+    fn update_schema(&self, table: TableId, new_schema: Schema) -> VortexResult<TableMeta> {
+        self.channel
+            .call("update_schema", CallKind::NonIdempotent, || {
+                self.inner.update_schema(table, new_schema.clone())
+            })
+    }
+    fn drop_table(&self, table: TableId) -> VortexResult<()> {
+        self.channel
+            .call("drop_table", CallKind::NonIdempotent, || {
+                self.inner.drop_table(table)
+            })
+    }
+    fn commit_conversion(
+        &self,
+        table: TableId,
+        sources: &[(FragmentId, usize)],
+        replacements: Vec<FragmentMeta>,
+        yield_to_dml: bool,
+    ) -> VortexResult<Timestamp> {
+        self.channel
+            .call("commit_conversion", CallKind::NonIdempotent, || {
+                self.inner
+                    .commit_conversion(table, sources, replacements.clone(), yield_to_dml)
+            })
+    }
+
+    // Reads, max-merge mutations, and token-keyed calls: safe to
+    // re-execute after an ambiguous ack.
+    fn get_table(&self, table: TableId) -> VortexResult<TableMeta> {
+        self.channel.call("get_table", CallKind::Idempotent, || {
+            self.inner.get_table(table)
+        })
+    }
+    fn get_table_by_name(&self, name: &str) -> VortexResult<TableMeta> {
+        self.channel
+            .call("get_table_by_name", CallKind::Idempotent, || {
+                self.inner.get_table_by_name(name)
+            })
+    }
+    fn fail_over_table(&self, table: TableId) -> VortexResult<TableMeta> {
+        self.channel
+            .call("fail_over_table", CallKind::Idempotent, || {
+                self.inner.fail_over_table(table)
+            })
+    }
+    fn create_stream(&self, table: TableId, stype: StreamType) -> VortexResult<StreamHandle> {
+        // Re-execution strands an empty stream, which the groomer reaps;
+        // the returned handle is the only one the caller writes to.
+        self.channel
+            .call("create_stream", CallKind::Idempotent, || {
+                self.inner.create_stream(table, stype)
+            })
+    }
+    fn rotate_streamlet(&self, table: TableId, stream: StreamId) -> VortexResult<StreamHandle> {
+        self.channel
+            .call("rotate_streamlet", CallKind::Idempotent, || {
+                self.inner.rotate_streamlet(table, stream)
+            })
+    }
+    fn get_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
+        self.channel.call("get_stream", CallKind::Idempotent, || {
+            self.inner.get_stream(table, stream)
+        })
+    }
+    fn get_streamlet(&self, table: TableId, streamlet: StreamletId) -> VortexResult<StreamletMeta> {
+        self.channel
+            .call("get_streamlet", CallKind::Idempotent, || {
+                self.inner.get_streamlet(table, streamlet)
+            })
+    }
+    fn stream_length(&self, table: TableId, stream: StreamId) -> VortexResult<u64> {
+        self.channel
+            .call("stream_length", CallKind::Idempotent, || {
+                self.inner.stream_length(table, stream)
+            })
+    }
+    fn flush_stream(&self, table: TableId, stream: StreamId, row_offset: u64) -> VortexResult<()> {
+        self.channel.call("flush_stream", CallKind::Idempotent, || {
+            self.inner.flush_stream(table, stream, row_offset)
+        })
+    }
+    fn finalize_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
+        self.channel
+            .call("finalize_stream", CallKind::Idempotent, || {
+                self.inner.finalize_stream(table, stream)
+            })
+    }
+    fn batch_commit_streams(
+        &self,
+        table: TableId,
+        streams: &[StreamId],
+    ) -> VortexResult<Timestamp> {
+        self.channel
+            .call("batch_commit_streams", CallKind::Idempotent, || {
+                self.inner.batch_commit_streams(table, streams)
+            })
+    }
+    fn heartbeat(&self, report: &HeartbeatReport) -> VortexResult<HeartbeatResponse> {
+        self.channel.call("heartbeat", CallKind::Idempotent, || {
+            self.inner.heartbeat(report)
+        })
+    }
+    fn ack_gc(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: &[u32],
+    ) -> VortexResult<usize> {
+        self.channel.call("ack_gc", CallKind::Idempotent, || {
+            self.inner.ack_gc(table, streamlet, ordinals)
+        })
+    }
+    fn list_read_fragments(&self, table: TableId, snapshot: Timestamp) -> VortexResult<ReadSet> {
+        self.channel
+            .call("list_read_fragments", CallKind::Idempotent, || {
+                self.inner.list_read_fragments(table, snapshot)
+            })
+    }
+    fn reconcile_streamlet(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+    ) -> VortexResult<StreamletMeta> {
+        self.channel
+            .call("reconcile_streamlet", CallKind::Idempotent, || {
+                self.inner.reconcile_streamlet(table, streamlet)
+            })
+    }
+    fn begin_dml(&self, table: TableId) -> VortexResult<DmlTicket> {
+        // Token minted OUTSIDE the retry loop: every attempt writes the
+        // same marker key, so an ambiguous ack cannot leak a lock.
+        let token = self.inner.mint_dml_token();
+        self.channel.call("begin_dml", CallKind::Idempotent, || {
+            self.inner.begin_dml_with(table, token)
+        })
+    }
+    fn end_dml(&self, table: TableId, ticket: DmlTicket) -> VortexResult<()> {
+        self.channel.call("end_dml", CallKind::Idempotent, || {
+            self.inner.end_dml(table, ticket)
+        })
+    }
+    fn commit_dml(
+        &self,
+        table: TableId,
+        fragment_masks: &[(FragmentId, DeletionMask)],
+        tail_masks: &[(StreamletId, DeletionMask)],
+        reinserted_streams: &[StreamId],
+    ) -> VortexResult<Timestamp> {
+        // Re-execution re-pushes the same masks at a later timestamp —
+        // a union-idempotent effect — and overwrites `committed_at`
+        // MVCC-safely, so the ledger a reader sees is unchanged.
+        self.channel.call("commit_dml", CallKind::Idempotent, || {
+            self.inner
+                .commit_dml(table, fragment_masks, tail_masks, reinserted_streams)
+        })
+    }
+    fn run_gc(&self, table: TableId) -> VortexResult<usize> {
+        self.channel
+            .call("run_gc", CallKind::Idempotent, || self.inner.run_gc(table))
+    }
+    fn run_groomer(&self) -> VortexResult<(usize, usize)> {
+        self.channel.call("run_groomer", CallKind::Idempotent, || {
+            self.inner.run_groomer()
+        })
+    }
+}
+
+/// A [`ServerHandle`] whose data-plane and control calls cross an
+/// [`RpcChannel`]. Placement/introspection accessors stay local.
+pub struct ServerChannel {
+    inner: ServerHandle,
+    channel: Arc<RpcChannel>,
+}
+
+impl ServerChannel {
+    /// Wraps a server endpoint behind a channel.
+    pub fn new(inner: ServerHandle, channel: Arc<RpcChannel>) -> Arc<Self> {
+        Arc::new(ServerChannel { inner, channel })
+    }
+
+    /// Wraps and erases to a [`ServerHandle`] in one step.
+    pub fn wrap(inner: ServerHandle, channel: Arc<RpcChannel>) -> ServerHandle {
+        Self::new(inner, channel)
+    }
+
+    /// The channel carrying this handle's traffic.
+    pub fn channel(&self) -> &Arc<RpcChannel> {
+        &self.channel
+    }
+}
+
+impl StreamServerApi for ServerChannel {
+    fn server_id(&self) -> ServerId {
+        self.inner.server_id()
+    }
+    fn cluster(&self) -> ClusterId {
+        self.inner.cluster()
+    }
+    fn load(&self) -> LoadReport {
+        self.inner.load()
+    }
+    fn streamlet_rows(&self, streamlet: StreamletId) -> Option<u64> {
+        self.inner.streamlet_rows(streamlet)
+    }
+    fn notify_schema_version(&self, table: TableId, version: u32) {
+        self.inner.notify_schema_version(table, version)
+    }
+    fn revoke_streamlet(&self, streamlet: StreamletId) {
+        self.inner.revoke_streamlet(streamlet)
+    }
+    fn tick(&self) -> usize {
+        self.inner.tick()
+    }
+    fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
+        self.inner.build_heartbeat(full_state)
+    }
+    fn apply_heartbeat_response(
+        &self,
+        resp: &HeartbeatResponse,
+        orphan_age_micros: u64,
+    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+        self.inner.apply_heartbeat_response(resp, orphan_age_micros)
+    }
+    fn reset_heartbeat_window(&self) {
+        self.inner.reset_heartbeat_window()
+    }
+    fn set_quarantined(&self, quarantined: bool) {
+        self.inner.set_quarantined(quarantined)
+    }
+
+    fn create_streamlet(&self, spec: StreamletSpec) -> VortexResult<()> {
+        self.channel
+            .call("create_streamlet", CallKind::NonIdempotent, || {
+                self.inner.create_streamlet(spec.clone())
+            })
+    }
+    fn gc_fragments(
+        &self,
+        table: TableId,
+        streamlet: StreamletId,
+        ordinals: Vec<u32>,
+    ) -> VortexResult<Vec<u32>> {
+        self.channel.call("gc_fragments", CallKind::Idempotent, || {
+            self.inner.gc_fragments(table, streamlet, ordinals.clone())
+        })
+    }
+    fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()> {
+        self.channel
+            .call("finalize_streamlet_ctl", CallKind::Idempotent, || {
+                self.inner.finalize_streamlet_ctl(streamlet)
+            })
+    }
+    fn append(
+        &self,
+        streamlet: StreamletId,
+        rows: &RowSet,
+        declared_schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<AppendAck> {
+        // THE ambiguous-ack case (§4.2.2): re-executing would duplicate
+        // rows, so a lost reply surfaces as retryable unavailability and
+        // the writer's rotate-reconcile-dedup path resolves it.
+        self.channel.call("append", CallKind::NonIdempotent, || {
+            self.inner.append(
+                streamlet,
+                rows,
+                declared_schema_version,
+                expected_stream_offset,
+                start,
+            )
+        })
+    }
+    fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
+        self.channel.call("flush", CallKind::Idempotent, || {
+            self.inner.flush(streamlet, flush_row)
+        })
+    }
+}

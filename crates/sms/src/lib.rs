@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bigmeta;
 pub mod heartbeat;
 pub mod meta;
@@ -43,11 +44,12 @@ pub mod sms;
 #[cfg(test)]
 mod tests;
 
+pub use api::{ServerChannel, SmsApi, SmsChannel, SmsHandle};
 pub use heartbeat::{FragmentDelta, HeartbeatReport, HeartbeatResponse, StreamletDelta};
 pub use meta::{
     FragmentKind, FragmentMeta, FragmentState, StreamMeta, StreamType, StreamletMeta,
     StreamletState, TableMeta,
 };
 pub use readset::{FragmentReadSpec, ReadSet, TailReadSpec};
-pub use server_ctl::{LoadReport, StreamServerCtl, StreamletSpec};
-pub use sms::{SmsConfig, SmsTask, StreamHandle};
+pub use server_ctl::{AppendAck, LoadReport, ServerHandle, StreamServerApi, StreamletSpec};
+pub use sms::{DmlTicket, SmsConfig, SmsTask, StreamHandle};

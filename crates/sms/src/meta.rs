@@ -60,10 +60,17 @@ pub fn fragment_prefix(t: TableId) -> String {
     format!("t/{:016x}/f/", t.raw())
 }
 
-/// Metastore key of a table's DML-in-progress marker (§7.3: "whenever a
-/// DML statement is running, storage optimizer will not commit").
-pub fn dml_lock_key(t: TableId) -> String {
-    format!("t/{:016x}/dml", t.raw())
+/// Prefix of a table's DML-in-progress markers (§7.3: "whenever a DML
+/// statement is running, storage optimizer will not commit"). Each active
+/// statement holds one token key under this prefix, so begin/end are
+/// idempotent per ticket and safe to re-execute over a lossy RPC channel.
+pub fn dml_lock_prefix(t: TableId) -> String {
+    format!("t/{:016x}/dml/", t.raw())
+}
+
+/// Metastore key of one active DML statement's marker.
+pub fn dml_lock_token_key(t: TableId, token: u64) -> String {
+    format!("t/{:016x}/dml/{:016x}", t.raw(), token)
 }
 
 /// Colossus path of a WOS fragment log file. The same path exists in both

@@ -1,17 +1,38 @@
-//! The control interface the SMS uses to drive Stream Servers.
+//! [`StreamServerApi`]: the complete service surface of a Stream Server.
 //!
 //! The SMS "picks a Stream Server based on load and health characteristics
-//! and instructs it to create the Streamlet" (§5.2). The data plane lives
-//! in the `vortex-server` crate (which depends on this one), so the
-//! control direction is expressed as a trait implemented there and
-//! registered with each [`crate::SmsTask`].
+//! and instructs it to create the Streamlet" (§5.2), and clients append to
+//! "the address of the Stream Server" the SMS handed out. The concrete
+//! server lives in the `vortex-server` crate (which depends on this one),
+//! so both directions — SMS→server control and client→server data plane —
+//! are expressed as one trait implemented there and registered with each
+//! [`crate::SmsTask`]. Consumers hold a [`ServerHandle`], normally the
+//! channel-wrapped [`crate::api::ServerChannel`], never the concrete type.
 
 use std::sync::Arc;
 
 use vortex_common::crypt::Key;
-use vortex_common::error::VortexResult;
+use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{ClusterId, ServerId, StreamId, StreamletId, TableId};
+use vortex_common::row::RowSet;
 use vortex_common::schema::Schema;
+use vortex_common::truetime::Timestamp;
+
+use crate::heartbeat::{HeartbeatReport, HeartbeatResponse};
+
+/// Acknowledgement of a successful append (§4.2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct AppendAck {
+    /// Stream-level row offset of the first appended row.
+    pub first_stream_row: u64,
+    /// Rows appended.
+    pub row_count: u64,
+    /// Virtual completion time (max over both replica writes, queued on
+    /// the log file).
+    pub completion: Timestamp,
+    /// Total sampled service time in microseconds.
+    pub service_us: u64,
+}
 
 /// Everything a Stream Server needs to host a new streamlet.
 #[derive(Debug, Clone)]
@@ -74,13 +95,10 @@ impl LoadReport {
     }
 }
 
-/// The SMS→Stream-Server control surface.
-pub trait StreamServerCtl: Send + Sync {
-    /// Downcast hook: the thick client reaches the data-plane surface
-    /// (append/flush) of the concrete server through this (an in-process
-    /// stand-in for "the address of the Stream Server", §5.2).
-    fn as_any(&self) -> &dyn std::any::Any;
-
+/// The full Stream Server service surface: SMS-driven control plus the
+/// client data plane (append/flush) plus the heartbeat/maintenance hooks
+/// the region daemon drives.
+pub trait StreamServerApi: Send + Sync {
     /// This server's id.
     fn server_id(&self) -> ServerId;
 
@@ -119,10 +137,83 @@ pub trait StreamServerCtl: Send + Sync {
     /// filter + footer on the last fragment) before the SMS reconciles
     /// it. Best effort — a dead server simply doesn't answer.
     fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()>;
+
+    // --------------------------------------------------------------
+    // Data plane (§4.2.2 / §5.3). Default implementations refuse, so
+    // control-only mocks stay small; the concrete server overrides.
+    // --------------------------------------------------------------
+
+    /// Appends `rows` to a hosted streamlet. `expected_stream_offset` is
+    /// the client's offset-validation token (§4.2.2); `start` is the
+    /// virtual submission time for latency accounting.
+    fn append(
+        &self,
+        streamlet: StreamletId,
+        rows: &RowSet,
+        declared_schema_version: u32,
+        expected_stream_offset: Option<u64>,
+        start: Timestamp,
+    ) -> VortexResult<AppendAck> {
+        let _ = (rows, declared_schema_version, expected_stream_offset, start);
+        Err(VortexError::Unavailable(format!(
+            "streamlet {streamlet}: endpoint has no data plane"
+        )))
+    }
+
+    /// Persists a flush record at streamlet-relative `flush_row` so the
+    /// BUFFERED flush watermark survives crashes (§4.2.3).
+    fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
+        let _ = flush_row;
+        Err(VortexError::Unavailable(format!(
+            "streamlet {streamlet}: endpoint has no data plane"
+        )))
+    }
+
+    // --------------------------------------------------------------
+    // Heartbeat / maintenance hooks (§5.5), driven by the region.
+    // --------------------------------------------------------------
+
+    /// Runs one maintenance tick (fragment rotation, property flushes);
+    /// returns how many hosted streamlets did work.
+    fn tick(&self) -> usize {
+        0
+    }
+
+    /// Builds the next heartbeat (deltas, or everything when
+    /// `full_state`).
+    fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
+        HeartbeatReport {
+            server: self.server_id(),
+            load: self.load(),
+            streamlets: Vec::new(),
+            full_state,
+        }
+    }
+
+    /// Applies an SMS heartbeat response (schema bumps, GC orders,
+    /// unknown-streamlet deletions older than `orphan_age_micros`);
+    /// returns the GC acknowledgements to relay back.
+    fn apply_heartbeat_response(
+        &self,
+        resp: &HeartbeatResponse,
+        orphan_age_micros: u64,
+    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+        let _ = (resp, orphan_age_micros);
+        Vec::new()
+    }
+
+    /// Forgets the last-reported heartbeat state so the next heartbeat is
+    /// a full re-report (used after SMS failovers).
+    fn reset_heartbeat_window(&self) {}
+
+    /// Marks the server quarantined (receives no new streamlets).
+    fn set_quarantined(&self, quarantined: bool) {
+        let _ = quarantined;
+    }
 }
 
-/// A shareable handle to a Stream Server control endpoint.
-pub type ServerHandle = Arc<dyn StreamServerCtl>;
+/// A shareable handle to a Stream Server endpoint.
+pub type ServerHandle = Arc<dyn StreamServerApi>;
 
 #[cfg(test)]
 mod tests {

@@ -24,9 +24,10 @@ use vortex_wos::{parse_fragment, FragmentWriter};
 use crate::bigmeta::BigMeta;
 use crate::heartbeat::{HeartbeatReport, HeartbeatResponse};
 use crate::meta::{
-    self, dml_lock_key, fragment_key, fragment_prefix, stream_key, stream_prefix, streamlet_key,
-    streamlet_prefix, table_key, wos_path, wos_streamlet_prefix, FragmentKind, FragmentMeta,
-    FragmentState, StreamMeta, StreamType, StreamletMeta, StreamletState, TableMeta,
+    self, dml_lock_prefix, dml_lock_token_key, fragment_key, fragment_prefix, stream_key,
+    stream_prefix, streamlet_key, streamlet_prefix, table_key, wos_path, wos_streamlet_prefix,
+    FragmentKind, FragmentMeta, FragmentState, StreamMeta, StreamType, StreamletMeta,
+    StreamletState, TableMeta,
 };
 use crate::readset::{FragmentReadSpec, ReadSet, RowVisibility, TailReadSpec};
 use crate::server_ctl::{ServerHandle, StreamletSpec};
@@ -87,6 +88,13 @@ impl std::fmt::Debug for StreamHandle {
             .finish()
     }
 }
+
+/// A claim ticket for one running DML statement (§7.3). Minted by
+/// [`SmsTask::begin_dml`] and surrendered to [`SmsTask::end_dml`]; the
+/// token keys the statement's metastore marker, which makes both calls
+/// idempotent per statement (safe to re-execute after an ambiguous ack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmlTicket(pub u64);
 
 /// One Stream Metadata Server task.
 pub struct SmsTask {
@@ -1165,42 +1173,45 @@ impl SmsTask {
     // Storage-optimizer and DML commits (§6.1, §7.3).
     // ------------------------------------------------------------------
 
-    /// Marks the start of a DML statement; while any DML is active the
-    /// optimizer's merged conversions will not commit (§7.3).
-    pub fn begin_dml(&self, table: TableId) -> VortexResult<()> {
-        self.store.with_txn(self.cfg.txn_retries, |txn| {
-            let key = dml_lock_key(table);
-            let count = txn
-                .get(&key)
-                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap_or([0; 8])))
-                .unwrap_or(0);
-            txn.put(&key, (count + 1).to_le_bytes().to_vec());
-            Ok(())
-        })
+    /// Mints a token for [`SmsTask::begin_dml_with`]. Channel wrappers
+    /// call this *outside* their retry loop so every retry of the begin
+    /// writes the same marker key.
+    pub fn mint_dml_token(&self) -> u64 {
+        self.ids.next_raw()
     }
 
-    /// Marks the end of a DML statement.
-    pub fn end_dml(&self, table: TableId) -> VortexResult<()> {
+    /// Marks the start of a DML statement; while any DML is active the
+    /// optimizer's merged conversions will not commit (§7.3).
+    pub fn begin_dml(&self, table: TableId) -> VortexResult<DmlTicket> {
+        let token = self.mint_dml_token();
+        self.begin_dml_with(table, token)
+    }
+
+    /// Marks the start of a DML statement under a pre-minted token.
+    /// Idempotent for a fixed token: re-execution rewrites the same key,
+    /// so an ambiguous ack cannot leak a second marker.
+    pub fn begin_dml_with(&self, table: TableId, token: u64) -> VortexResult<DmlTicket> {
         self.store.with_txn(self.cfg.txn_retries, |txn| {
-            let key = dml_lock_key(table);
-            let count = txn
-                .get(&key)
-                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap_or([0; 8])))
-                .unwrap_or(0);
-            if count <= 1 {
-                txn.delete(&key);
-            } else {
-                txn.put(&key, (count - 1).to_le_bytes().to_vec());
-            }
+            txn.put(&dml_lock_token_key(table, token), vec![1]);
+            Ok(())
+        })?;
+        Ok(DmlTicket(token))
+    }
+
+    /// Marks the end of the DML statement holding `ticket`. Idempotent.
+    pub fn end_dml(&self, table: TableId, ticket: DmlTicket) -> VortexResult<()> {
+        self.store.with_txn(self.cfg.txn_retries, |txn| {
+            txn.delete(&dml_lock_token_key(table, ticket.0));
             Ok(())
         })
     }
 
     /// Whether any DML statement is currently running on the table.
     pub fn dml_active(&self, table: TableId) -> bool {
-        self.store
-            .read_at(&dml_lock_key(table), self.store.now())
-            .is_some()
+        !self
+            .store
+            .scan_prefix_at(&dml_lock_prefix(table), self.store.now())
+            .is_empty()
     }
 
     /// Atomically commits a WOS→ROS conversion (or a recluster merge):
@@ -1228,7 +1239,7 @@ impl SmsTask {
         let ts = self.tt.record_timestamp();
         let sources = sources.to_vec();
         let ((), commit_ts) = self.store.with_txn_at(self.cfg.txn_retries, |txn| {
-            if yield_to_dml && txn.get(&dml_lock_key(table)).is_some() {
+            if yield_to_dml && !txn.scan_prefix(&dml_lock_prefix(table)).is_empty() {
                 return Err(VortexError::Unavailable(format!(
                     "optimizer yielding to active DML on {table}"
                 )));
@@ -1460,7 +1471,9 @@ impl SmsTask {
                 for k in &doomed {
                     txn.delete(k);
                 }
-                txn.delete(&dml_lock_key(table));
+                for (k, _) in txn.scan_prefix(&dml_lock_prefix(table)) {
+                    txn.delete(&k);
+                }
                 Ok(())
             })?;
         }

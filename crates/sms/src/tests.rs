@@ -23,7 +23,7 @@ use crate::heartbeat::{FragmentDelta, HeartbeatReport, StreamletDelta};
 use crate::meta::{
     wos_path, FragmentKind, FragmentMeta, FragmentState, StreamType, StreamletState,
 };
-use crate::server_ctl::{LoadReport, StreamServerCtl, StreamletSpec};
+use crate::server_ctl::{LoadReport, StreamServerApi, StreamletSpec};
 use crate::sms::{SmsConfig, SmsTask};
 
 /// A scriptable in-memory Stream Server for control-plane tests.
@@ -55,11 +55,7 @@ impl MockServer {
     }
 }
 
-impl StreamServerCtl for MockServer {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
+impl StreamServerApi for MockServer {
     fn server_id(&self) -> ServerId {
         self.id
     }
@@ -822,7 +818,7 @@ fn optimizer_yields_to_dml() {
         .find(|f| f.kind == FragmentKind::Wos)
         .unwrap();
 
-    r.sms.begin_dml(t.table).unwrap();
+    let ticket = r.sms.begin_dml(t.table).unwrap();
     assert!(r.sms.dml_active(t.table));
     let ros = make_ros_meta(&r, t.table, 7100, 5);
     // Merged conversion yields.
@@ -844,7 +840,7 @@ fn optimizer_yields_to_dml() {
             false,
         )
         .unwrap();
-    r.sms.end_dml(t.table).unwrap();
+    r.sms.end_dml(t.table, ticket).unwrap();
     assert!(!r.sms.dml_active(t.table));
 }
 
@@ -852,11 +848,11 @@ fn optimizer_yields_to_dml() {
 fn nested_dml_lock_counts() {
     let r = rig_with_servers(1);
     let t = r.sms.create_table("t", simple_schema()).unwrap();
-    r.sms.begin_dml(t.table).unwrap();
-    r.sms.begin_dml(t.table).unwrap();
-    r.sms.end_dml(t.table).unwrap();
+    let first = r.sms.begin_dml(t.table).unwrap();
+    let second = r.sms.begin_dml(t.table).unwrap();
+    r.sms.end_dml(t.table, first).unwrap();
     assert!(r.sms.dml_active(t.table), "still one statement running");
-    r.sms.end_dml(t.table).unwrap();
+    r.sms.end_dml(t.table, second).unwrap();
     assert!(!r.sms.dml_active(t.table));
 }
 

@@ -29,7 +29,7 @@ use vortex_common::error::VortexResult;
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::row::{Row, RowSet};
 use vortex_common::truetime::Timestamp;
-use vortex_sms::sms::SmsTask;
+use vortex_sms::api::SmsHandle;
 
 /// One traced append acknowledgement.
 #[derive(Debug, Clone)]
@@ -113,13 +113,13 @@ impl VerificationReport {
 
 /// Runs the §6.3 verification pipelines.
 pub struct Verifier {
-    sms: Arc<SmsTask>,
+    sms: SmsHandle,
     fleet: StorageFleet,
 }
 
 impl Verifier {
     /// A verifier over the region's control plane + storage.
-    pub fn new(sms: Arc<SmsTask>, fleet: StorageFleet) -> Self {
+    pub fn new(sms: SmsHandle, fleet: StorageFleet) -> Self {
         Self { sms, fleet }
     }
 
@@ -265,11 +265,11 @@ mod tests {
     use vortex_common::truetime::{SimClock, TrueTime};
     use vortex_metastore::MetaStore;
     use vortex_server::{ServerConfig, StreamServer};
-    use vortex_sms::sms::SmsConfig;
+    use vortex_sms::sms::{SmsConfig, SmsTask};
 
     struct Rig {
         client: VortexClient,
-        sms: Arc<SmsTask>,
+        sms: SmsHandle,
         verifier: Verifier,
         clock: SimClock,
         ids: Arc<IdGen>,
@@ -301,8 +301,9 @@ mod tests {
             .unwrap();
             sms.register_server(server);
         }
-        let client = VortexClient::new(Arc::clone(&sms), fleet.clone(), tt.clone());
-        let verifier = Verifier::new(Arc::clone(&sms), fleet.clone());
+        let sms: SmsHandle = sms;
+        let client = VortexClient::new(sms.clone(), fleet.clone(), tt.clone());
+        let verifier = Verifier::new(sms.clone(), fleet.clone());
         Rig {
             client,
             sms,

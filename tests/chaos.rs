@@ -45,6 +45,15 @@ fn chaos_soak_exact_ledger() {
     let client = region.client();
     let table = client.create_table("chaos", schema()).unwrap().table;
 
+    // Control-plane RPC fault axis (§4.2.2): 5% of calls on each hop
+    // fail before executing, 1% execute but lose the reply (the
+    // ambiguous-ack case). Idempotent methods are absorbed by channel
+    // retries; appends resolve through offset reconciliation.
+    region.sms_rpc().faults().set_unavailable_permille(50);
+    region.sms_rpc().faults().set_reply_lost_permille(10);
+    region.server_rpc().faults().set_unavailable_permille(50);
+    region.server_rpc().faults().set_reply_lost_permille(10);
+
     let stop = Arc::new(AtomicBool::new(false));
     // Per-writer published watermark: keys < watermark are acked+visible.
     let watermarks: Arc<Vec<AtomicI64>> =
@@ -74,7 +83,16 @@ fn chaos_soak_exact_ledger() {
                             })
                             .collect(),
                     );
-                    writer.append(batch).unwrap();
+                    // Retryable surfacing (rotation budget exhausted under
+                    // an RPC outage burst) is safe to retry: exactly-once
+                    // offsets dedup any ambiguously-landed batch.
+                    loop {
+                        match writer.append(batch.clone()) {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("writer {w} failed: {e}"),
+                        }
+                    }
                     next += 50;
                     watermarks[w].store(next, Ordering::SeqCst);
                 }
@@ -104,13 +122,20 @@ fn chaos_soak_exact_ledger() {
                         continue;
                     }
                     let base = w as i64 * KEYSPACE_STRIDE;
-                    let rep = dml
-                        .delete_where(
+                    // Band deletes are idempotent: a retry after an
+                    // ambiguous commit matches zero rows and still
+                    // succeeds, keeping the ledger exact.
+                    let rep = loop {
+                        match dml.delete_where(
                             table,
                             &Expr::ge("k", Value::Int64(base + lo))
                                 .and(Expr::lt("k", Value::Int64(base + hi))),
-                        )
-                        .unwrap();
+                        ) {
+                            Ok(r) => break r,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("dml failed: {e}"),
+                        }
+                    };
                     // Only record if it actually deleted (bands can
                     // overlap earlier ones; rows_matched may be < 20).
                     let _ = rep;
@@ -148,6 +173,7 @@ fn chaos_soak_exact_ledger() {
                         match engine.count(table, client.snapshot(), &ScanOptions::default()) {
                             Ok(n) => break n,
                             Err(vortex::VortexError::NotFound(_)) => continue,
+                            Err(e) if e.is_retryable() => continue,
                             Err(e) => panic!("reader failed: {e}"),
                         }
                     };
@@ -159,7 +185,8 @@ fn chaos_soak_exact_ledger() {
                 let _ = last;
             });
         }
-        // Fault injector: transient write-error bursts on one cluster.
+        // Fault injector: transient write-error bursts on one cluster,
+        // interleaved with RPC outage bursts on alternating hops.
         {
             let region = Arc::clone(&region);
             let stop = Arc::clone(&stop);
@@ -168,8 +195,13 @@ fn chaos_soak_exact_ledger() {
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     let c = ids[i % ids.len()];
-                    i += 1;
                     region.fleet().get(c).unwrap().faults().fail_next_appends(2);
+                    if i % 2 == 0 {
+                        region.sms_rpc().faults().fail_next_calls(3);
+                    } else {
+                        region.server_rpc().faults().fail_next_calls(3);
+                    }
+                    i += 1;
                     std::thread::sleep(Duration::from_millis(23));
                 }
             });
@@ -181,6 +213,20 @@ fn chaos_soak_exact_ledger() {
         }
         stop.store(true, Ordering::Relaxed);
     });
+
+    // The RPC fault axis actually fired on both hops.
+    for rpc in [region.sms_rpc(), region.server_rpc()] {
+        let snap = rpc.metrics().snapshot();
+        let injected: u64 = snap
+            .values()
+            .map(|m| m.injected_unavailable + m.injected_reply_lost)
+            .sum();
+        assert!(
+            injected > 0,
+            "channel {} saw no injected RPC faults",
+            rpc.name()
+        );
+    }
 
     // ---- Final exact ledger ----
     let mut expected: std::collections::BTreeSet<i64> = Default::default();

@@ -29,6 +29,18 @@ const LANE_PENDING: i64 = 2;
 const STRIDE: i64 = 10_000_000;
 const RUN_FOR: Duration = Duration::from_secs(3);
 
+/// Appends with retry on surfaced transients: exactly-once offsets make a
+/// caller-level retry dedup any ambiguously-landed batch (§4.2.2).
+fn retry_append(w: &mut vortex::StreamWriter, rows: RowSet) {
+    loop {
+        match w.append(rows.clone()) {
+            Ok(_) => return,
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => panic!("append failed: {e}"),
+        }
+    }
+}
+
 fn batch(lane: i64, start: i64, n: i64) -> RowSet {
     RowSet::new(
         (0..n)
@@ -62,6 +74,13 @@ fn chaos_mixed_stream_types_exact_ledger() {
     let client = region.client();
     let table = client.create_table("mixed", schema()).unwrap().table;
 
+    // Control-plane RPC fault axis (§4.2.2): 5% pre-execute failures and
+    // 1% ambiguous acks (executed, reply lost) on both service hops.
+    region.sms_rpc().faults().set_unavailable_permille(50);
+    region.sms_rpc().faults().set_reply_lost_permille(10);
+    region.server_rpc().faults().set_unavailable_permille(50);
+    region.server_rpc().faults().set_reply_lost_permille(10);
+
     let stop = Arc::new(AtomicBool::new(false));
     // Watermarks of *visible* rows per lane.
     let acked_unbuffered = Arc::new(AtomicI64::new(0));
@@ -78,7 +97,7 @@ fn chaos_mixed_stream_types_exact_ledger() {
                 let mut w = client.create_unbuffered_writer(table).unwrap();
                 let mut next = 0i64;
                 while !stop.load(Ordering::Relaxed) {
-                    w.append(batch(LANE_UNBUFFERED, next, 40)).unwrap();
+                    retry_append(&mut w, batch(LANE_UNBUFFERED, next, 40));
                     next += 40;
                     wm.store(next, Ordering::SeqCst);
                 }
@@ -95,11 +114,19 @@ fn chaos_mixed_stream_types_exact_ledger() {
                 let mut next = 0i64;
                 let mut rounds = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    w.append(batch(LANE_BUFFERED, next, 30)).unwrap();
+                    retry_append(&mut w, batch(LANE_BUFFERED, next, 30));
                     next += 30;
                     rounds += 1;
                     if rounds % 3 == 0 {
-                        w.flush(next as u64).unwrap();
+                        // Flush is idempotent end to end; retry on a
+                        // surfaced transient.
+                        loop {
+                            match w.flush(next as u64) {
+                                Ok(()) => break,
+                                Err(e) if e.is_retryable() => continue,
+                                Err(e) => panic!("flush failed: {e}"),
+                            }
+                        }
                         wm.store(next, Ordering::SeqCst);
                     }
                 }
@@ -117,9 +144,16 @@ fn chaos_mixed_stream_types_exact_ledger() {
                 let mut next = 0i64;
                 while !stop.load(Ordering::Relaxed) {
                     let mut w = client.create_pending_writer(table).unwrap();
-                    w.append(batch(LANE_PENDING, next, 25)).unwrap();
+                    retry_append(&mut w, batch(LANE_PENDING, next, 25));
                     let stream = w.stream_id();
-                    client.batch_commit(table, &[stream]).unwrap();
+                    // batch_commit is union-idempotent; retry-safe.
+                    loop {
+                        match client.batch_commit(table, &[stream]) {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("batch_commit failed: {e}"),
+                        }
+                    }
                     next += 25;
                     wm.store(next, Ordering::SeqCst);
                     std::thread::sleep(Duration::from_millis(2));
@@ -171,6 +205,7 @@ fn chaos_mixed_stream_types_exact_ledger() {
                         match engine.scan(table, snap, &ScanOptions::default()) {
                             Ok(r) => break (r.stats.rows_matched as i64, snap, r.stats),
                             Err(vortex::VortexError::NotFound(_)) => continue,
+                            Err(e) if e.is_retryable() => continue,
                             Err(e) => panic!("reader failed: {e}"),
                         }
                     };
@@ -228,7 +263,8 @@ fn chaos_mixed_stream_types_exact_ledger() {
                 }
             });
         }
-        // Fault injector.
+        // Fault injector: storage bursts plus RPC outage bursts on
+        // alternating hops.
         {
             let region = Arc::clone(&region);
             let stop = Arc::clone(&stop);
@@ -237,8 +273,13 @@ fn chaos_mixed_stream_types_exact_ledger() {
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     let c = ids[i % ids.len()];
-                    i += 1;
                     region.fleet().get(c).unwrap().faults().fail_next_appends(2);
+                    if i % 2 == 0 {
+                        region.sms_rpc().faults().fail_next_calls(3);
+                    } else {
+                        region.server_rpc().faults().fail_next_calls(3);
+                    }
+                    i += 1;
                     std::thread::sleep(Duration::from_millis(19));
                 }
             });
@@ -250,6 +291,20 @@ fn chaos_mixed_stream_types_exact_ledger() {
         }
         stop.store(true, Ordering::Relaxed);
     });
+
+    // The RPC fault axis actually fired on both hops.
+    for rpc in [region.sms_rpc(), region.server_rpc()] {
+        let snap = rpc.metrics().snapshot();
+        let injected: u64 = snap
+            .values()
+            .map(|m| m.injected_unavailable + m.injected_reply_lost)
+            .sum();
+        assert!(
+            injected > 0,
+            "channel {} saw no injected RPC faults",
+            rpc.name()
+        );
+    }
 
     // ---- Final exact ledger ----
     let mut expected: Vec<i64> = Vec::new();
