@@ -10,6 +10,10 @@
 //! - **append/read failure tokens**: the next N operations fail with an
 //!   I/O error (transient write errors, the trigger for fragment
 //!   rotation);
+//! - **torn-append tokens**: the next N appends fail *after* durably
+//!   persisting a seeded arbitrary prefix of the bytes — the write is no
+//!   longer atomic, exercising WAL torn-tail recovery, File-Map
+//!   recovery, and replica reconciliation (§5.6, §7.1);
 //! - **slow factor**: latency multiplier (the trigger for flow control).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -20,6 +24,9 @@ pub struct FaultPlan {
     unavailable: AtomicBool,
     fail_appends: AtomicU32,
     fail_reads: AtomicU32,
+    torn_appends: AtomicU32,
+    /// xorshift* state driving torn-prefix lengths (seeded, deterministic).
+    torn_rng: AtomicU64,
     /// Slow factor ×1000 (atomic fixed-point); 1000 = normal speed.
     slow_millis: AtomicU64,
 }
@@ -50,6 +57,36 @@ impl FaultPlan {
         take_token(&self.fail_appends)
     }
 
+    /// Schedules the next `n` appends to fail *torn*: a seeded arbitrary
+    /// prefix of the bytes lands durably before the error surfaces.
+    /// Unlike [`fail_next_appends`](Self::fail_next_appends), the failed
+    /// write is not atomic — this is the knob that makes torn-tail
+    /// recovery paths actually run.
+    pub fn torn_next_appends(&self, n: u32) {
+        self.torn_appends.store(n, Ordering::SeqCst);
+    }
+
+    /// Seeds the generator that picks torn-prefix lengths, so a chaos
+    /// run's tear pattern is reproducible from its seed.
+    pub fn set_torn_seed(&self, seed: u64) {
+        // Scramble so adjacent seeds give unrelated tear patterns.
+        self.torn_rng.store(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Consumes one torn-append token if any remain, returning the
+    /// deterministic roll the cluster uses to pick how many bytes to
+    /// persist before failing.
+    pub fn take_torn_append(&self) -> Option<u64> {
+        if take_token(&self.torn_appends) {
+            Some(next_roll(&self.torn_rng))
+        } else {
+            None
+        }
+    }
+
     /// Consumes one read-failure token if any remain.
     pub fn take_read_failure(&self) -> bool {
         take_token(&self.fail_reads)
@@ -68,6 +105,22 @@ impl FaultPlan {
             1.0
         } else {
             v as f64 / 1000.0
+        }
+    }
+}
+
+/// One deterministic xorshift* step over shared atomic state (the same
+/// generator `vortex_common::rpc` and `crashpoints` use).
+fn next_roll(state: &AtomicU64) -> u64 {
+    let mut cur = state.load(Ordering::Relaxed);
+    loop {
+        let mut x = cur | 1; // keep the state non-zero
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        match state.compare_exchange_weak(cur, x, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return x.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            Err(now) => cur = now,
         }
     }
 }
@@ -107,6 +160,24 @@ mod tests {
         assert!(!f.take_append_failure());
         assert!(f.take_read_failure());
         assert!(!f.take_read_failure());
+    }
+
+    #[test]
+    fn torn_tokens_are_independent_and_seeded() {
+        let f = FaultPlan::default();
+        assert!(f.take_torn_append().is_none());
+        f.set_torn_seed(99);
+        f.torn_next_appends(2);
+        assert!(!f.take_append_failure(), "torn tokens are a separate axis");
+        let a = f.take_torn_append().unwrap();
+        let b = f.take_torn_append().unwrap();
+        assert!(f.take_torn_append().is_none());
+        // Same seed ⇒ same roll sequence.
+        let g = FaultPlan::default();
+        g.set_torn_seed(99);
+        g.torn_next_appends(2);
+        assert_eq!(g.take_torn_append().unwrap(), a);
+        assert_eq!(g.take_torn_append().unwrap(), b);
     }
 
     #[test]

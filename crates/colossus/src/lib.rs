@@ -157,16 +157,36 @@ impl Colossus {
     /// earlier than virtual time `start`.
     ///
     /// Subject to fault injection: a scheduled append failure consumes one
-    /// failure token and returns `Io`; an unavailable cluster returns
-    /// `Unavailable`. On failure nothing is written — the write is atomic
-    /// at this layer; *torn* multi-write sequences are masked by the WOS
-    /// framing layer above via File Maps and commit records.
+    /// failure token and returns `Io` with nothing written (atomic
+    /// failure); a scheduled *torn* failure durably persists a seeded
+    /// arbitrary strict prefix of the bytes before returning `Io` — the
+    /// caller must treat the file tail as unknown, exactly as after a
+    /// mid-write process death. Torn tails are masked by the WOS framing
+    /// layer above via File Maps, commit records, and reconciliation
+    /// (§5.6, §7.1). An unavailable cluster returns `Unavailable`.
     pub fn append(&self, path: &str, data: &[u8], start: Timestamp) -> VortexResult<AppendOutcome> {
         self.check_available("append")?;
         if self.faults.take_append_failure() {
             return Err(VortexError::Io(format!(
                 "injected append failure on cluster {} path {path}",
                 self.cluster
+            )));
+        }
+        if let Some(roll) = self.faults.take_torn_append() {
+            let keep = if data.is_empty() {
+                0
+            } else {
+                (roll % data.len() as u64) as usize
+            };
+            if keep > 0 {
+                // Best-effort: the torn prefix lands only if the backend
+                // accepts it; either way the caller sees a failed write.
+                let _ = self.backend.append(path, &data[..keep]);
+            }
+            return Err(VortexError::Io(format!(
+                "injected torn append on cluster {} path {path}: {keep} of {} bytes persisted",
+                self.cluster,
+                data.len()
             )));
         }
         let new_len = self.backend.append(path, data)?;
@@ -392,6 +412,33 @@ mod tests {
         let ok = c.append("f", b"c", Timestamp(0)).unwrap();
         assert_eq!(ok.new_len, 1, "failed appends must not write");
         assert_eq!(c.read_all("f").unwrap().data, b"c");
+    }
+
+    #[test]
+    fn torn_appends_persist_a_strict_prefix() {
+        let c = mem();
+        c.append("f", b"base", Timestamp(0)).unwrap();
+        c.faults().set_torn_seed(1234);
+        c.faults().torn_next_appends(1);
+        let err = c.append("f", b"0123456789", Timestamp(0)).unwrap_err();
+        assert!(matches!(err, VortexError::Io(_)), "{err}");
+        let after = c.read_all("f").unwrap().data;
+        assert!(after.len() < 4 + 10, "a torn append never lands fully");
+        assert!(after.starts_with(b"base"));
+        assert!(
+            b"base0123456789".starts_with(after.as_slice()),
+            "whatever landed is a prefix of the intended bytes"
+        );
+        // The tear pattern is reproducible from the seed.
+        let c2 = mem();
+        c2.append("f", b"base", Timestamp(0)).unwrap();
+        c2.faults().set_torn_seed(1234);
+        c2.faults().torn_next_appends(1);
+        let _ = c2.append("f", b"0123456789", Timestamp(0));
+        assert_eq!(c2.read_all("f").unwrap().data, after);
+        // A later append continues after the torn tail.
+        c.append("f", b"!", Timestamp(0)).unwrap();
+        assert!(c.read_all("f").unwrap().data.ends_with(b"!"));
     }
 
     #[test]

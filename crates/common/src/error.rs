@@ -68,6 +68,13 @@ pub enum VortexError {
     FragmentNotVisible(FragmentId),
     /// A write lease was lost to another writer (zombie poisoning, §5.6).
     LeaseLost(String),
+    /// A named crash point fired (`vortex_common::crashpoints`): the
+    /// component must unwind to its service boundary and mark itself
+    /// dead, exactly as if the process had been killed at that
+    /// instruction. Deliberately NOT retryable — internal retry loops
+    /// must not swallow a simulated death; only the boundary converts it
+    /// into a retryable [`VortexError::Unavailable`] for remote callers.
+    SimulatedCrash(String),
     /// An RPC exhausted its per-call budget (injected latency plus retry
     /// backoff) before completing. Retryable: the deadline says nothing
     /// about whether the callee executed, exactly like a gRPC
@@ -148,6 +155,9 @@ impl fmt::Display for VortexError {
                 write!(f, "fragment {id} not visible at snapshot")
             }
             VortexError::LeaseLost(s) => write!(f, "write lease lost: {s}"),
+            VortexError::SimulatedCrash(p) => {
+                write!(f, "simulated crash at point '{p}'")
+            }
             VortexError::DeadlineExceeded { method, budget_us } => write!(
                 f,
                 "rpc deadline exceeded on {method}: call budget {budget_us}us exhausted"
@@ -186,6 +196,9 @@ mod tests {
         }
         .is_retryable());
         assert!(!VortexError::CorruptData("x".into()).is_retryable());
+        // A simulated process death must NOT be absorbed by internal
+        // retry loops; the component boundary handles it.
+        assert!(!VortexError::SimulatedCrash("server.wal.pre_ack".into()).is_retryable());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   latency figures without sleeping for two weeks.
 //! - [`rpc`]: the in-process RPC layer — fault/latency-injecting call
 //!   channels with deadlines, retries, and per-method metrics.
+//! - [`crashpoints`]: deterministic process-death injection — named
+//!   crash points on every durable-write path, armed by chaos tests.
 //! - [`transport`]: the unary/bi-di adaptive connection cost model
 //!   (§5.4.2) the channels and the thick client share.
 //!
@@ -29,6 +31,7 @@
 pub mod bloom;
 pub mod codec;
 pub mod compress;
+pub mod crashpoints;
 pub mod crc;
 pub mod crypt;
 pub mod error;

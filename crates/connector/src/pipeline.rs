@@ -185,6 +185,12 @@ fn run_worker(
         // Append to the dedicated stream at the tracked offset. Durable
         // but invisible (BUFFERED) until the Flush stage runs.
         writer.append(RowSet::new(bundle.rows.clone()))?;
+        // A crash here leaves the appended rows durable but the bundle
+        // uncommitted: the rows sit in the worker's dedicated BUFFERED
+        // stream above every offset ever sent to shuffle, so the Flush
+        // stage can never expose them. A redelivery re-appends and
+        // commits fresh rows — exactly-once is preserved (§7.4).
+        vortex_common::crash_point!("connector.state.pre_commit");
         // The atomic triple-commit (§7.4).
         if state.commit_bundle(shuffle, worker_id, bundle.id(), n) {
             report.committed += 1;

@@ -109,8 +109,13 @@ pub struct Region {
     store: Arc<MetaStore>,
     ids: Arc<IdGen>,
     slicer: Arc<Slicer>,
+    sms_channels: Vec<Arc<SmsChannel>>,
     sms_handles: Vec<SmsHandle>,
-    servers: Vec<Arc<StreamServer>>,
+    /// Raw server instances, index-aligned with `server_channels`. Slots
+    /// are swapped on [`Region::restart_server`] — the old instance's
+    /// memory is dropped and a WAL-recovered replacement takes its place.
+    servers: parking_lot::RwLock<Vec<Arc<StreamServer>>>,
+    server_channels: Vec<Arc<ServerChannel>>,
     server_handles: Vec<ServerHandle>,
     sms_rpc: Arc<RpcChannel>,
     server_rpc: Arc<RpcChannel>,
@@ -222,6 +227,7 @@ impl Region {
         let sms_rpc = RpcChannel::new("sms", cfg.rpc.clone(), Some(clock.clone()));
         let server_rpc = RpcChannel::new("server", cfg.rpc.clone(), Some(clock.clone()));
         let mut servers = Vec::new();
+        let mut server_channels: Vec<Arc<ServerChannel>> = Vec::new();
         let mut server_handles: Vec<ServerHandle> = Vec::new();
         for c in 0..cfg.clusters {
             for s in 0..cfg.servers_per_cluster {
@@ -238,17 +244,23 @@ impl Region {
                     tt.clone(),
                     Arc::clone(&ids),
                 )?;
-                let handle = ServerChannel::wrap(server.clone(), Arc::clone(&server_rpc));
+                let channel = ServerChannel::new(server.clone(), Arc::clone(&server_rpc));
+                let handle: ServerHandle = channel.clone();
                 for sms in &sms_tasks {
                     sms.register_server(handle.clone());
                 }
                 servers.push(server);
+                server_channels.push(channel);
                 server_handles.push(handle);
             }
         }
-        let sms_handles: Vec<SmsHandle> = sms_tasks
+        let sms_channels: Vec<Arc<SmsChannel>> = sms_tasks
             .iter()
-            .map(|t| -> SmsHandle { SmsChannel::new(Arc::clone(t), Arc::clone(&sms_rpc)) })
+            .map(|t| SmsChannel::new(Arc::clone(t), Arc::clone(&sms_rpc)))
+            .collect();
+        let sms_handles: Vec<SmsHandle> = sms_channels
+            .iter()
+            .map(|c| Arc::clone(c) as SmsHandle)
             .collect();
         let optimizer = StorageOptimizer::new(
             sms_handles[0].clone(),
@@ -264,8 +276,10 @@ impl Region {
             store,
             ids,
             slicer,
+            sms_channels,
             sms_handles,
-            servers,
+            servers: parking_lot::RwLock::new(servers),
+            server_channels,
             server_handles,
             sms_rpc,
             server_rpc,
@@ -306,15 +320,102 @@ impl Region {
 
     /// The raw Stream Server tasks — host-process concerns only
     /// (checkpointing, crash recovery). Service traffic goes through
-    /// [`Region::server_handles`].
-    pub fn servers(&self) -> &[Arc<StreamServer>] {
-        &self.servers
+    /// [`Region::server_handles`]. Returns a snapshot: restart swaps
+    /// instances underneath.
+    pub fn servers(&self) -> Vec<Arc<StreamServer>> {
+        self.servers.read().clone()
     }
 
     /// Channel-wrapped Stream Server handles, index-aligned with
     /// [`Region::servers`].
     pub fn server_handles(&self) -> &[ServerHandle] {
         &self.server_handles
+    }
+
+    /// The concrete Stream Server channels (process boundaries),
+    /// index-aligned with [`Region::servers`]. These expose the
+    /// kill/restart state ([`ServerChannel::is_dead`]).
+    pub fn server_channels(&self) -> &[Arc<ServerChannel>] {
+        &self.server_channels
+    }
+
+    /// The concrete SMS channels, index-aligned with
+    /// [`Region::sms_tasks`].
+    pub fn sms_channels(&self) -> &[Arc<SmsChannel>] {
+        &self.sms_channels
+    }
+
+    /// Simulates the death of Stream Server `idx` at this instant: the
+    /// process boundary marks it dead, so every in-flight and future call
+    /// through its handle fails with retryable unavailability, placement
+    /// sees it quarantined, and it stops heartbeating. In-memory state
+    /// (buffered blocks, hosted-streamlet maps, flow-control counters) is
+    /// unreachable from this point on; only what reached Colossus — log
+    /// file bytes, WAL records, checkpoints — survives into the next
+    /// incarnation ([`Region::restart_server`]).
+    pub fn kill_server(&self, idx: usize) {
+        self.server_channels[idx].kill();
+    }
+
+    /// Restarts Stream Server `idx` after [`Region::kill_server`]: drops
+    /// the dead instance and installs a replacement rebuilt from durable
+    /// state ONLY ([`StreamServer::recover`]: checkpoint + WAL replay).
+    /// The recovered instance re-registers behind the same channel, so
+    /// every handle the SMS and clients already hold starts working
+    /// again; its next heartbeat re-reports from recovered state. Call
+    /// [`Region::run_heartbeats`] with `full_state = true` afterwards to
+    /// reconcile promptly.
+    pub fn restart_server(&self, idx: usize) -> VortexResult<()> {
+        let cfg = self.servers.read()[idx].config().clone();
+        let server = StreamServer::recover(
+            cfg,
+            self.fleet.clone(),
+            self.tt.clone(),
+            Arc::clone(&self.ids),
+        )?;
+        self.servers.write()[idx] = server.clone();
+        self.server_channels[idx].restart(server);
+        Ok(())
+    }
+
+    /// Simulates the death of SMS task `idx` (see [`Region::kill_server`]
+    /// — same boundary semantics). Durable control-plane state lives in
+    /// the metastore, so nothing but the in-memory Big Metadata index and
+    /// server registry dies with the task.
+    pub fn kill_sms_task(&self, idx: usize) {
+        self.sms_channels[idx].kill();
+    }
+
+    /// Restarts SMS task `idx` after [`Region::kill_sms_task`]: a fresh
+    /// task over the same (durable) metastore, with an empty Big Metadata
+    /// index and a re-registered server set — exactly what a rescheduled
+    /// task rebuilds (§5.2.1). Servers are told to re-report full state
+    /// on their next heartbeat.
+    pub fn restart_sms_task(&self, idx: usize) -> VortexResult<()> {
+        let old = self.sms_channels[idx].task();
+        let cfg = old.config().clone();
+        let view = if self.sms_channels.len() > 1 {
+            Some(SlicerView::new(Arc::clone(&self.slicer), cfg.task))
+        } else {
+            None
+        };
+        let task = SmsTask::new(
+            cfg,
+            Arc::clone(&self.store),
+            self.fleet.clone(),
+            self.tt.clone(),
+            Arc::clone(&self.ids),
+            view,
+        );
+        for handle in &self.server_handles {
+            task.register_server(handle.clone());
+        }
+        self.sms_channels[idx].restart(task);
+        // SMS failover: servers re-report everything next heartbeat.
+        for handle in &self.server_handles {
+            handle.reset_heartbeat_window();
+        }
+        Ok(())
     }
 
     /// The RPC channel carrying SMS traffic: arm faults and latency via
@@ -458,14 +559,30 @@ impl Region {
     /// Returns the number of streamlet deltas processed.
     pub fn run_heartbeats(&self, full_state: bool) -> VortexResult<usize> {
         let mut deltas = 0;
-        for server in &self.server_handles {
+        for (i, server) in self.server_handles.iter().enumerate() {
+            // Dead processes send no heartbeats.
+            if self.server_channels[i].is_dead() {
+                continue;
+            }
             let report = server.build_heartbeat(full_state);
             deltas += report.streamlets.len();
             // Every SMS task sees the heartbeat; each applies what it
             // owns (transactions keep double-apply safe).
             for sms in &self.sms_handles {
-                let resp = sms.heartbeat(&report)?;
-                let acks = server.apply_heartbeat_response(&resp, 60_000_000);
+                let resp = match sms.heartbeat(&report) {
+                    Ok(r) => r,
+                    // A dead/unreachable SMS just misses this round; the
+                    // delta is re-reported next heartbeat.
+                    Err(e) if e.is_retryable() => continue,
+                    Err(e) => return Err(e),
+                };
+                let acks = match server.apply_heartbeat_response(&resp, 60_000_000) {
+                    Ok(a) => a,
+                    // The server died mid-application (crash point in
+                    // GC): unacked work is re-issued after restart.
+                    Err(e) if e.is_retryable() => break,
+                    Err(e) => return Err(e),
+                };
                 for (table, streamlet, ordinals) in acks {
                     let _ = sms.ack_gc(table, streamlet, &ordinals);
                 }
@@ -486,9 +603,13 @@ impl Region {
     pub fn run_optimizer_cycle(&self, table: TableId) -> VortexResult<()> {
         // Yielding to DML surfaces as Unavailable, and transient storage
         // faults surface as retryable errors — both mean "try again next
-        // cycle" for a continuous background service (§6.1, §7.3).
+        // cycle" for a continuous background service (§6.1, §7.3). A
+        // simulated process death mid-pass is this boundary's version of
+        // the same thing: the pass's unregistered ROS blocks stay
+        // invisible and the next cycle redoes the work.
         let tolerate = |r: VortexResult<()>| match r {
             Ok(()) => Ok(()),
+            Err(vortex_common::error::VortexError::SimulatedCrash(_)) => Ok(()),
             Err(e) if e.is_retryable() => Ok(()),
             Err(e) => Err(e),
         };
@@ -524,7 +645,7 @@ impl std::fmt::Debug for Region {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Region")
             .field("clusters", &self.fleet.len())
-            .field("servers", &self.servers.len())
+            .field("servers", &self.servers.read().len())
             .field("sms_tasks", &self.sms_handles.len())
             .finish()
     }

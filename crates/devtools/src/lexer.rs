@@ -17,6 +17,19 @@ pub struct Comment {
     pub text: String,
 }
 
+/// A string literal extracted during masking. Literal *contents* are
+/// blanked in [`MaskedSource::code`], so rules that need them (L007
+/// reads `crash_point!` names) look them up here by byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line on which the literal starts.
+    pub line: usize,
+    /// Byte offset of the opening quote in the source.
+    pub offset: usize,
+    /// The literal's contents, delimiters excluded, escapes untouched.
+    pub text: String,
+}
+
 /// The result of masking one source file.
 #[derive(Debug, Clone)]
 pub struct MaskedSource {
@@ -25,6 +38,8 @@ pub struct MaskedSource {
     pub code: String,
     /// All comments, in file order.
     pub comments: Vec<Comment>,
+    /// All string literals (regular and raw), in file order.
+    pub strings: Vec<StrLit>,
 }
 
 /// Strips comments and literal contents from Rust source.
@@ -38,6 +53,7 @@ pub fn mask_source(src: &str) -> MaskedSource {
     let bytes = src.as_bytes();
     let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
     let mut comments = Vec::new();
+    let mut strings = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
 
@@ -114,16 +130,24 @@ pub fn mask_source(src: &str) -> MaskedSource {
         // Raw strings: r"..." / r#"..."# / br#"..."# etc.
         let raw_prefix_len = raw_string_prefix(bytes, i);
         if let Some((prefix_len, hashes)) = raw_prefix_len {
+            let lit_line = line;
+            let lit_offset = i;
             for _ in 0..prefix_len {
                 emit!(bytes[i]);
                 i += 1;
             }
             // Contents until `"` followed by `hashes` hash marks.
+            let content_start = i;
             loop {
                 if i >= bytes.len() {
                     break;
                 }
                 if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
+                    strings.push(StrLit {
+                        line: lit_line,
+                        offset: lit_offset,
+                        text: src[content_start..i].to_string(),
+                    });
                     emit!(b'"');
                     i += 1;
                     for _ in 0..hashes {
@@ -140,13 +164,21 @@ pub fn mask_source(src: &str) -> MaskedSource {
         // Regular string literal (also byte strings `b"..."`; the `b`
         // was already emitted as code, which is fine).
         if b == b'"' {
+            let lit_line = line;
+            let lit_offset = i;
             emit!(b'"');
             i += 1;
+            let content_start = i;
             while i < bytes.len() {
                 if bytes[i] == b'\\' && i + 1 < bytes.len() {
                     blank!();
                     blank!();
                 } else if bytes[i] == b'"' {
+                    strings.push(StrLit {
+                        line: lit_line,
+                        offset: lit_offset,
+                        text: src[content_start..i].to_string(),
+                    });
                     emit!(b'"');
                     i += 1;
                     break;
@@ -194,6 +226,7 @@ pub fn mask_source(src: &str) -> MaskedSource {
     MaskedSource {
         code: String::from_utf8_lossy(&out).into_owned(),
         comments,
+        strings,
     }
 }
 

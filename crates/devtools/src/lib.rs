@@ -66,17 +66,44 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
         ));
     }
     let mut report = ScanReport::default();
+    // Workspace-wide state for L007's global half: every non-test
+    // `crash_point!` call site, plus the registry catalogue.
+    let mut sites: Vec<rules::CrashPointSite> = Vec::new();
+    let mut registry: Option<Vec<String>> = None;
     for src in &sources {
         let abs = root.join(&src.rel_path);
         let text = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
-        report.violations.extend(scan_str(
-            &text,
-            &src.rel_path,
-            &src.crate_name,
-            src.is_test_file,
-        ));
+        let masked = lexer::mask_source(&text);
+        report
+            .violations
+            .extend(rules::check_file(&rules::FileInput {
+                rel_path: &src.rel_path,
+                crate_name: &src.crate_name,
+                is_test_file: src.is_test_file,
+                masked: &masked,
+            }));
         report.files_scanned += 1;
+        if src.rel_path == rules::CRASHPOINT_REGISTRY_FILE {
+            registry = rules::registry_names(&masked);
+        }
+        if !src.is_test_file {
+            let spans = context::test_line_spans(&masked.code);
+            for (name, line) in rules::crash_point_call_sites(&masked) {
+                if !context::in_spans(&spans, line) {
+                    sites.push(rules::CrashPointSite {
+                        name,
+                        crate_name: src.crate_name.clone(),
+                        path: src.rel_path.clone(),
+                        line,
+                    });
+                }
+            }
+        }
     }
+    report.violations.extend(rules::check_crash_points_global(
+        &sites,
+        registry.as_deref(),
+    ));
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));

@@ -10,7 +10,13 @@ use crate::context::{in_spans, line_of, test_line_spans};
 use crate::lexer::MaskedSource;
 
 /// Rules enforced by vortex-lint, in catalogue order.
-pub const RULES: &[&str] = &["L000", "L001", "L002", "L003", "L004", "L005", "L006"];
+pub const RULES: &[&str] = &[
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007",
+];
+
+/// The file defining the crash-point registry: L007's source of truth
+/// for which names are registered.
+pub const CRASHPOINT_REGISTRY_FILE: &str = "crates/common/src/crashpoints.rs";
 
 /// Crates on the storage path: a panic here can take down an ingest
 /// server or corrupt a commit sequence, so L002/L004/L005 apply.
@@ -109,6 +115,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Violation> {
     rule_l004(input, &is_test_line, &mut violations);
     rule_l005(input, &is_test_line, &mut violations);
     rule_l006(input, &is_test_line, &mut violations);
+    rule_l007(input, &is_test_line, &mut violations);
 
     violations.retain(|v| {
         v.rule == "L000"
@@ -435,6 +442,166 @@ fn rule_l006(
             });
         }
     }
+}
+
+/// L007 crash-point discipline (per-file half): every `crash_point!`
+/// name must follow the `component.operation.moment` convention and be
+/// unique within the file. Cross-file uniqueness and registration
+/// against the [`CRASHPOINT_REGISTRY_FILE`] catalogue are checked by
+/// the workspace pass ([`crate::scan_workspace`]), which sees all files.
+fn rule_l007(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    for (name, line) in crash_point_call_sites(input.masked) {
+        if is_test_line(line) {
+            continue;
+        }
+        if !valid_crash_point_name(&name) {
+            out.push(Violation {
+                rule: "L007",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: format!(
+                    "crash point name `{name}` does not follow the \
+                     `component.operation.moment` convention \
+                     (three lowercase dot-separated segments)"
+                ),
+            });
+        }
+        if let Some((_, first)) = seen.iter().find(|(n, _)| *n == name) {
+            out.push(Violation {
+                rule: "L007",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: format!(
+                    "crash point `{name}` already has a call site at line \
+                     {first}; every crash point name must be unique"
+                ),
+            });
+        } else {
+            seen.push((name, line));
+        }
+    }
+}
+
+/// Extracts `crash_point!("name")` call sites from a masked file as
+/// `(name, 1-based line)` pairs, in file order. Test context is NOT
+/// filtered here — callers apply their own predicate.
+pub fn crash_point_call_sites(masked: &MaskedSource) -> Vec<(String, usize)> {
+    let code = &masked.code;
+    let bytes = code.as_bytes();
+    let mut sites = Vec::new();
+    for at in occurrences_at(code, "crash_point!") {
+        let after = at + "crash_point!".len();
+        // The name is the next string literal, with only `(` and
+        // whitespace between it and the macro bang.
+        let Some(lit) = masked.strings.iter().find(|s| s.offset >= after) else {
+            continue;
+        };
+        if !code[after..lit.offset]
+            .chars()
+            .all(|c| c.is_whitespace() || c == '(')
+        {
+            continue;
+        }
+        sites.push((lit.text.clone(), line_of(bytes, at)));
+    }
+    sites
+}
+
+/// Whether `name` follows `component.operation.moment`: exactly three
+/// dot-separated segments, each starting with a lowercase letter and
+/// containing only lowercase letters, digits, and underscores.
+pub fn valid_crash_point_name(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() == 3
+        && segs.iter().all(|s| {
+            s.starts_with(|c: char| c.is_ascii_lowercase())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Extracts the registered crash-point names from the masked source of
+/// [`CRASHPOINT_REGISTRY_FILE`]: the string literals inside the
+/// `pub const REGISTRY` array. Returns `None` if no registry const is
+/// present (partial trees, fixtures).
+pub fn registry_names(masked: &MaskedSource) -> Option<Vec<String>> {
+    let start = masked.code.find("pub const REGISTRY")?;
+    let end = start + masked.code[start..].find("];")?;
+    Some(
+        masked
+            .strings
+            .iter()
+            .filter(|s| s.offset > start && s.offset < end)
+            .map(|s| s.text.clone())
+            .collect(),
+    )
+}
+
+/// One non-test `crash_point!` call site, as collected by the workspace
+/// pass for the global half of L007.
+#[derive(Debug, Clone)]
+pub struct CrashPointSite {
+    /// Crash point name (the macro's string-literal argument).
+    pub name: String,
+    /// Crate charged in the baseline.
+    pub crate_name: String,
+    /// Repo-relative file path.
+    pub path: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+}
+
+/// The global half of L007: cross-file uniqueness and registration.
+/// `registry` is `None` when the registry file was not part of the scan
+/// (the registration check is skipped); same-file duplicates are the
+/// per-file rule's job and are not re-reported here.
+pub fn check_crash_points_global(
+    sites: &[CrashPointSite],
+    registry: Option<&[String]>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut first: Vec<&CrashPointSite> = Vec::new();
+    for site in sites {
+        match first.iter().find(|s| s.name == site.name) {
+            Some(prev) if prev.path != site.path => out.push(Violation {
+                rule: "L007",
+                crate_name: site.crate_name.clone(),
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "crash point `{}` already has a call site at {}:{}; \
+                     every crash point name must be unique across the repo",
+                    site.name, prev.path, prev.line
+                ),
+            }),
+            Some(_) => {} // same-file duplicate: reported per-file
+            None => first.push(site),
+        }
+        if let Some(reg) = registry {
+            if !reg.iter().any(|r| r == &site.name) {
+                out.push(Violation {
+                    rule: "L007",
+                    crate_name: site.crate_name.clone(),
+                    path: site.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "crash point `{}` is not listed in \
+                         `vortex_common::crashpoints::REGISTRY` \
+                         ({CRASHPOINT_REGISTRY_FILE})",
+                        site.name
+                    ),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Byte offsets of every occurrence of `pat`.

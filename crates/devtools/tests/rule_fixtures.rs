@@ -7,6 +7,8 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
+use vortex_devtools::lexer::mask_source;
+use vortex_devtools::rules::{check_crash_points_global, registry_names, CrashPointSite};
 use vortex_devtools::{baseline, enforce_ratchet, scan_str};
 
 /// Shorthand: rule ids reported for a snippet scanned as the given
@@ -272,6 +274,110 @@ fn l006_exempts_region_wiring_service_crates_and_tests() {
     assert!(scan_str(src, "tests/rpc_faults.rs", "vortex", true).is_empty());
     let in_mod = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use vortex_sms::sms::SmsTask;\n}\n";
     assert!(rules_for(in_mod, "crates/verify/src/lib.rs", "vortex-verify").is_empty());
+}
+
+// ---------------------------------------------------------------- L007
+
+#[test]
+fn l007_fires_on_malformed_names() {
+    // Two segments, an uppercase segment, and four segments all break
+    // the `component.operation.moment` convention.
+    let src = "fn f() -> vortex_common::error::VortexResult<()> {\n\
+               vortex_common::crash_point!(\"server.append\");\n\
+               vortex_common::crash_point!(\"Server.append.pre_ack\");\n\
+               vortex_common::crash_point!(\"a.b.c.d\");\n\
+               Ok(()) }\n";
+    assert_eq!(
+        rules_for(src, "crates/server/src/x.rs", "vortex-server"),
+        ["L007", "L007", "L007"]
+    );
+}
+
+#[test]
+fn l007_fires_on_within_file_duplicate() {
+    let src = "fn f() -> vortex_common::error::VortexResult<()> {\n\
+               vortex_common::crash_point!(\"server.append.pre_ack\");\n\
+               vortex_common::crash_point!(\"server.append.pre_ack\");\n\
+               Ok(()) }\n";
+    assert_eq!(
+        rules_for(src, "crates/server/src/x.rs", "vortex-server"),
+        ["L007"]
+    );
+}
+
+#[test]
+fn l007_silent_on_valid_unique_names_and_test_context() {
+    let src = "fn f() -> vortex_common::error::VortexResult<()> {\n\
+               vortex_common::crash_point!(\"server.append.pre_ack\");\n\
+               vortex_common::crash_point!(\"server.gc.mid\");\n\
+               Ok(()) }\n";
+    assert!(rules_for(src, "crates/server/src/x.rs", "vortex-server").is_empty());
+    // Bad names in test files and `#[cfg(test)]` modules are exempt —
+    // tests may exercise the macro with throwaway names.
+    let bad = "vortex_common::crash_point!(\"whatever\");\n";
+    assert!(scan_str(bad, "tests/chaos.rs", "vortex", true).is_empty());
+    let in_mod =
+        format!("fn prod() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ {bad} }}\n}}\n");
+    assert!(rules_for(&in_mod, "crates/server/src/x.rs", "vortex-server").is_empty());
+}
+
+/// Shorthand for a [`CrashPointSite`] in the global-pass tests.
+fn site(name: &str, path: &str, line: usize) -> CrashPointSite {
+    CrashPointSite {
+        name: name.to_string(),
+        crate_name: "vortex-server".to_string(),
+        path: path.to_string(),
+        line,
+    }
+}
+
+#[test]
+fn l007_global_cross_file_duplicate_fires() {
+    let sites = [
+        site("server.gc.mid", "crates/server/src/a.rs", 10),
+        site("server.gc.mid", "crates/server/src/b.rs", 20),
+    ];
+    let out = check_crash_points_global(&sites, None);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "L007");
+    assert_eq!(out[0].path, "crates/server/src/b.rs");
+    assert!(out[0].message.contains("crates/server/src/a.rs:10"));
+    // Same-file duplicates are the per-file rule's job: silent here.
+    let same = [
+        site("server.gc.mid", "crates/server/src/a.rs", 10),
+        site("server.gc.mid", "crates/server/src/a.rs", 20),
+    ];
+    assert!(check_crash_points_global(&same, None).is_empty());
+}
+
+#[test]
+fn l007_global_registration_checked_only_with_registry() {
+    let sites = [site("server.gc.mid", "crates/server/src/a.rs", 10)];
+    let registry = ["server.append.pre_ack".to_string()];
+    let out = check_crash_points_global(&sites, Some(&registry));
+    assert_eq!(out.len(), 1);
+    assert!(out[0].message.contains("REGISTRY"));
+    // Registered name: silent.
+    let ok_registry = ["server.gc.mid".to_string()];
+    assert!(check_crash_points_global(&sites, Some(&ok_registry)).is_empty());
+    // No registry in the scan (partial tree): the check is skipped.
+    assert!(check_crash_points_global(&sites, None).is_empty());
+}
+
+#[test]
+fn l007_registry_names_parse_the_const_array() {
+    let src = "/// Catalogue.\n\
+               pub const REGISTRY: &[&str] = &[\n\
+               \"server.append.pre_ack\",\n\
+               \"sms.open_streamlet.post_txn\",\n\
+               ];\n\
+               fn other() { let _ = \"not.a.registration\"; }\n";
+    let masked = mask_source(src);
+    assert_eq!(
+        registry_names(&masked).unwrap(),
+        ["server.append.pre_ack", "sms.open_streamlet.post_txn"]
+    );
+    assert_eq!(registry_names(&mask_source("fn f() {}")), None);
 }
 
 // ------------------------------------------------------------- ratchet

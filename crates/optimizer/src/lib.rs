@@ -357,6 +357,11 @@ impl StorageOptimizer {
                 replacements.push(meta);
             }
         }
+        // A crash here leaves the new ROS blocks durable in Colossus but
+        // unregistered in the metastore: invisible garbage, never served
+        // to readers. The WOS sources stay live and the next pass redoes
+        // the conversion (§5.4.3).
+        vortex_common::crash_point!("optimizer.convert.pre_commit");
         self.sms
             .commit_conversion(table, &sources, replacements, true)?;
         Ok(report)
@@ -507,6 +512,9 @@ impl StorageOptimizer {
                 replacements.push(meta);
             }
         }
+        // Same invariant as conversion: merged blocks written but not
+        // yet registered are invisible; sources remain authoritative.
+        vortex_common::crash_point!("optimizer.recluster.pre_commit");
         self.sms
             .commit_conversion(table, &sources, replacements, true)?;
         Ok(ReclusterReport {

@@ -218,6 +218,12 @@ impl HostedStreamlet {
         let mut max_service = 0u64;
         let mut lens = [0u64; 2];
         for (i, c) in self.spec.clusters.into_iter().enumerate() {
+            if i == 1 {
+                // One replica now has the bytes and the other does not —
+                // the §5.6 worst-case instruction for a process death;
+                // reconciliation must converge on the common prefix.
+                vortex_common::crash_point!("server.replica.mid_write");
+            }
             let cluster = fleet.get(c)?;
             let out = cluster.append(path, bytes, start)?;
             max_service = max_service.max(out.service_us);
@@ -460,6 +466,12 @@ impl HostedStreamlet {
                         self.spec.streamlet
                     )));
                 }
+                Err(e @ VortexError::SimulatedCrash(_)) => {
+                    // A crash point fired: this server is dead at this
+                    // instruction. No §5.3 local recovery — the error
+                    // unwinds to the service boundary untouched.
+                    return Err(e);
+                }
                 Err(e) if attempt == 0 => {
                     // First failure: the block may be torn in one replica.
                     // Close this fragment at its pre-failure extent and
@@ -578,6 +590,10 @@ impl HostedStreamlet {
                         "streamlet {} relinquished: {e}",
                         self.spec.streamlet
                     )));
+                }
+                Err(e @ VortexError::SimulatedCrash(_)) => {
+                    // Simulated process death: unwind to the boundary.
+                    return Err(e);
                 }
                 Err(e) if attempt == 0 => {
                     let _ = e;

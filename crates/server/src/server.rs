@@ -60,6 +60,13 @@ pub struct StreamServer {
     tt: TrueTime,
     ids: Arc<IdGen>,
     streamlets: RwLock<HashMap<StreamletId, Arc<Mutex<HostedStreamlet>>>>,
+    /// Streamlets a *previous incarnation* of this server hosted,
+    /// replayed from its WAL + checkpoint on [`StreamServer::recover`]:
+    /// (table, rows-at-crash). Never writable again — the SMS reconciles
+    /// their true committed lengths from Colossus (§7.1) and places new
+    /// streamlets elsewhere — but the identity lets the restarted server
+    /// answer metadata probes and execute GC orders for them.
+    recovered: RwLock<HashMap<StreamletId, (TableId, u64)>>,
     latest_schema: RwLock<HashMap<TableId, u32>>,
     quarantined: AtomicBool,
     in_flight_bytes: AtomicU64,
@@ -85,12 +92,36 @@ impl StreamServer {
             tt,
             ids,
             streamlets: RwLock::new(HashMap::new()),
+            recovered: RwLock::new(HashMap::new()),
             latest_schema: RwLock::new(HashMap::new()),
             quarantined: AtomicBool::new(false),
             in_flight_bytes: AtomicU64::new(0),
             bytes_since_heartbeat: AtomicU64::new(0),
             log: Mutex::new(log),
         }))
+    }
+
+    /// Starts a replacement instance after a process death, rebuilding
+    /// from durable state ONLY: the dead incarnation's checkpoint + WAL
+    /// are replayed into the [recovered-streamlet map](Self::recover_summary)
+    /// and a fresh log epoch is opened. Nothing of the dead instance's
+    /// memory survives — recovered streamlets are identity-only (never
+    /// writable); the SMS's reconciliation protocol (§5.6, §7.1)
+    /// re-derives exact committed lengths from Colossus.
+    pub fn recover(
+        cfg: ServerConfig,
+        fleet: StorageFleet,
+        tt: TrueTime,
+        ids: Arc<IdGen>,
+    ) -> VortexResult<Arc<Self>> {
+        let summary = Self::recover_summary(&cfg, &fleet)?;
+        let server = Self::new(cfg, fleet, tt, ids)?;
+        let mut map = server.recovered.write();
+        for (table, slid, rows) in summary {
+            map.insert(slid, (table, rows));
+        }
+        drop(map);
+        Ok(server)
     }
 
     /// The server's configuration.
@@ -117,6 +148,24 @@ impl StreamServer {
             .get(&streamlet)
             .cloned()
             .ok_or_else(|| VortexError::NotFound(format!("streamlet {streamlet} not hosted")))
+    }
+
+    /// Data-plane lookup. A streamlet this incarnation does not host is
+    /// reported as [`VortexError::StreamletFinalized`] — retryable and
+    /// metadata-refreshing — because the writer's correct move is the
+    /// same whether the streamlet was really finalized or its server
+    /// restarted without in-memory write state (recovered streamlets are
+    /// never writable): reconcile through the SMS and rotate to a
+    /// successor streamlet (§5.6).
+    fn hosted_for_write(
+        &self,
+        streamlet: StreamletId,
+    ) -> VortexResult<Arc<Mutex<HostedStreamlet>>> {
+        self.streamlets
+            .read()
+            .get(&streamlet)
+            .cloned()
+            .ok_or(VortexError::StreamletFinalized(streamlet))
     }
 
     /// Admits `bytes` under flow control, erroring with
@@ -154,7 +203,7 @@ impl StreamServer {
     ) -> VortexResult<AppendAck> {
         let bytes = rows.approx_bytes() as u64;
         let _guard = self.admit(bytes)?;
-        let hosted = self.hosted(streamlet)?;
+        let hosted = self.hosted_for_write(streamlet)?;
         // lint:allow(L005, the per-streamlet lock is what serializes appends to one streamlet (§4.2.2); only this streamlet's writers wait, never the server map)
         let mut sl = hosted.lock();
         let latest = self
@@ -174,6 +223,10 @@ impl StreamServer {
             &self.fleet,
             &self.tt,
         )?;
+        // The rows are durable on both replicas but the client has not
+        // seen the ack — the canonical ambiguous-ack instruction
+        // (§4.2.2); the client's offset-based retry must dedup.
+        vortex_common::crash_point!("server.append.pre_ack");
         self.bytes_since_heartbeat
             .fetch_add(bytes, Ordering::Relaxed);
         Ok(ack)
@@ -183,7 +236,7 @@ impl StreamServer {
     /// (§5.4.4). The SMS-side stream watermark is updated separately by
     /// the client library.
     pub fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
-        let hosted = self.hosted(streamlet)?;
+        let hosted = self.hosted_for_write(streamlet)?;
         let mut sl = hosted.lock();
         sl.flush(flush_row, &self.ids, &self.fleet, &self.tt)
     }
@@ -250,14 +303,21 @@ impl StreamServer {
         &self,
         resp: &HeartbeatResponse,
         min_orphan_age_micros: u64,
-    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+    ) -> VortexResult<Vec<(TableId, StreamletId, Vec<u32>)>> {
         for (table, version) in &resp.schema_updates {
             self.notify_schema_version(*table, *version);
         }
         let mut acks = Vec::new();
         for (table, streamlet, ordinals) in &resp.gc {
-            if let Ok(done) = self.gc_fragments(*table, *streamlet, ordinals.clone()) {
-                acks.push((*table, *streamlet, done));
+            match self.gc_fragments(*table, *streamlet, ordinals.clone()) {
+                Ok(done) => acks.push((*table, *streamlet, done)),
+                // Simulated process death mid-GC: unwind to the boundary
+                // with the partial batch unacknowledged — the SMS
+                // re-issues it next heartbeat (deletion is idempotent).
+                Err(e @ VortexError::SimulatedCrash(_)) => return Err(e),
+                // Transient storage error on one streamlet: skip its ack
+                // and keep going (previous behavior).
+                Err(_) => {}
             }
         }
         // Unknown streamlets: delete only if sufficiently old ("this
@@ -275,11 +335,15 @@ impl StreamServer {
                     let sl = h.lock();
                     sl.done_fragments().iter().map(|d| d.ordinal).collect()
                 };
-                let _ = self.gc_fragments(table, *slid, ordinals);
-                self.streamlets.write().remove(slid);
+                match self.gc_fragments(table, *slid, ordinals) {
+                    Err(e @ VortexError::SimulatedCrash(_)) => return Err(e),
+                    _ => {
+                        self.streamlets.write().remove(slid);
+                    }
+                }
             }
         }
-        acks
+        Ok(acks)
     }
 
     /// Writes a metadata checkpoint and truncates the WAL (§5.3).
@@ -435,6 +499,10 @@ impl StreamServerApi for StreamServer {
             .read()
             .get(&streamlet)
             .map(|h| h.lock().rows())
+            // A previous incarnation's streamlet: report the rows its WAL
+            // knew about (a lower bound; reconciliation reads the truth
+            // from Colossus, §7.1).
+            .or_else(|| self.recovered.read().get(&streamlet).map(|&(_, r)| r))
     }
 
     fn notify_schema_version(&self, table: TableId, version: u32) {
@@ -451,6 +519,10 @@ impl StreamServerApi for StreamServer {
     ) -> VortexResult<Vec<u32>> {
         let mut deleted = Vec::new();
         for ord in ordinals {
+            // Mid-GC death: some fragments of the batch are deleted and
+            // unacknowledged. Deletion is idempotent and the SMS re-issues
+            // the work list on the next heartbeat (§5.5).
+            vortex_common::crash_point!("server.gc.mid");
             let path = wos_path(table, streamlet, ord);
             let mut ok = true;
             for c in self.fleet.cluster_ids() {
@@ -521,7 +593,7 @@ impl StreamServerApi for StreamServer {
         &self,
         resp: &HeartbeatResponse,
         orphan_age_micros: u64,
-    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+    ) -> VortexResult<Vec<(TableId, StreamletId, Vec<u32>)>> {
         StreamServer::apply_heartbeat_response(self, resp, orphan_age_micros)
     }
 

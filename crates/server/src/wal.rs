@@ -152,6 +152,24 @@ fn srv_prefix(server: ServerId) -> String {
     format!("srv/{:016x}/", server.raw())
 }
 
+/// Validates a checkpoint file's framing and CRC, returning the snapshot
+/// body if intact. `None` means the file is truncated or corrupt (e.g. a
+/// torn append persisted only a prefix) and recovery must fall back.
+fn parse_checkpoint(data: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let n = get_uvarint(data, &mut pos).ok()? as usize;
+    if pos.checked_add(n)?.checked_add(4)? > data.len() {
+        return None; // truncated
+    }
+    let body = &data[pos..pos + n];
+    // lint:allow(L002, the slice is exactly 4 bytes; bounds were checked two lines up)
+    let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
+    if crc32c(body) != crc {
+        return None; // corrupt
+    }
+    Some(body.to_vec())
+}
+
 /// The server's metadata log, bound to the server's home cluster.
 pub struct ServerLog {
     server: ServerId,
@@ -198,6 +216,11 @@ impl ServerLog {
             &framed,
             Timestamp::MIN,
         )?;
+        // A crash here leaves the new checkpoint durable but the old
+        // epoch's files un-collected; recovery prefers the newest intact
+        // checkpoint, so the stale files are harmless until the next
+        // successful checkpoint sweeps them.
+        vortex_common::crash_point!("server.checkpoint.mid");
         // GC older logs and checkpoints.
         for p in cluster.list(&srv_prefix(self.server))? {
             let keep_wal = p == wal_path(self.server, self.epoch);
@@ -209,40 +232,43 @@ impl ServerLog {
         Ok(())
     }
 
-    /// Recovers the latest checkpoint (if any) and all events logged
-    /// after it.
+    /// Recovers the newest *intact* checkpoint (if any) and all events
+    /// logged after it.
+    ///
+    /// A server can die mid-`checkpoint` — after a torn append left a
+    /// truncated or CRC-damaged `ckpt.{epoch}` file, but before the
+    /// older epoch's files were garbage collected (GC only runs once the
+    /// checkpoint append succeeded). Recovery therefore walks checkpoint
+    /// epochs newest→oldest and takes the first one whose framing and
+    /// CRC validate; the surviving WAL files from that epoch onward
+    /// replay on top. If *no* checkpoint validates, the torn checkpoint
+    /// simply never happened: recover from the WAL alone.
     pub fn recover(
         server: ServerId,
         cluster: &Colossus,
     ) -> VortexResult<(Option<Vec<u8>>, Vec<WalEvent>)> {
         let files = cluster.list(&srv_prefix(server))?;
-        let latest_ckpt_epoch = files
+        let mut ckpt_epochs: Vec<u64> = files
             .iter()
             .filter(|p| p.contains("/ckpt."))
             .filter_map(|p| p.rsplit('.').next())
             .filter_map(|s| u64::from_str_radix(s, 16).ok())
-            .max();
-        let snapshot = match latest_ckpt_epoch {
-            Some(e) => {
-                let data = cluster.read_all(&checkpoint_path(server, e))?.data;
-                let mut pos = 0usize;
-                let n = get_uvarint(&data, &mut pos)? as usize;
-                if pos + n + 4 > data.len() {
-                    return Err(VortexError::CorruptData("checkpoint truncated".into()));
-                }
-                let body = &data[pos..pos + n];
-                // lint:allow(L002, the slice is exactly 4 bytes; bounds were checked two lines up)
-                let crc = u32::from_le_bytes(data[pos + n..pos + n + 4].try_into().unwrap());
-                if crc32c(body) != crc {
-                    return Err(VortexError::CorruptData("checkpoint crc".into()));
-                }
-                Some(body.to_vec())
+            .collect();
+        ckpt_epochs.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+        let mut snapshot = None;
+        let mut snapshot_epoch = None;
+        for e in ckpt_epochs {
+            let data = cluster.read_all(&checkpoint_path(server, e))?.data;
+            if let Some(body) = parse_checkpoint(&data) {
+                snapshot = Some(body);
+                snapshot_epoch = Some(e);
+                break;
             }
-            None => None,
-        };
-        // Replay WAL files with epoch > checkpoint epoch (those written
-        // after), in epoch order.
-        let min_epoch = latest_ckpt_epoch.unwrap_or(0);
+            // Torn or corrupt checkpoint: fall back to the previous one.
+        }
+        // Replay WAL files with epoch >= the recovered checkpoint epoch
+        // (those written after it), in epoch order.
+        let min_epoch = snapshot_epoch.unwrap_or(0);
         let mut wal_epochs: Vec<u64> = files
             .iter()
             .filter(|p| p.contains("/wal."))
@@ -368,14 +394,51 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_detected() {
+    fn corrupt_checkpoint_falls_back_to_previous_intact_one() {
         let c = cluster();
         let srv = ServerId::from_raw(9);
         let mut log = ServerLog::open(srv, &c).unwrap();
         log.checkpoint(&c, b"GOOD").unwrap();
-        // Corrupt it in place by appending a newer bogus checkpoint.
+        // A newer bogus checkpoint (as if the server died after a torn
+        // checkpoint append) must not poison recovery.
         let bogus_path = checkpoint_path(srv, 99);
         c.append(&bogus_path, &[0xFF; 10], Timestamp::MIN).unwrap();
-        assert!(ServerLog::recover(srv, &c).is_err());
+        let (snap, _) = ServerLog::recover(srv, &c).unwrap();
+        assert_eq!(snap.as_deref(), Some(&b"GOOD"[..]));
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_recovers_previous_state() {
+        let c = cluster();
+        let srv = ServerId::from_raw(10);
+        let mut log = ServerLog::open(srv, &c).unwrap();
+        log.log(&c, &ev(1)).unwrap();
+        log.checkpoint(&c, b"FIRST").unwrap();
+        log.log(&c, &ev(2)).unwrap();
+        // The next checkpoint append tears: only a prefix lands, and the
+        // checkpoint call fails *before* GC runs, so the first
+        // checkpoint and its newer WAL records survive.
+        c.faults().set_torn_seed(7);
+        c.faults().torn_next_appends(1);
+        assert!(log.checkpoint(&c, b"SECOND").is_err());
+        let (snap, events) = ServerLog::recover(srv, &c).unwrap();
+        assert_eq!(snap.as_deref(), Some(&b"FIRST"[..]));
+        assert_eq!(events, vec![ev(2)], "post-checkpoint events replayed");
+    }
+
+    #[test]
+    fn all_checkpoints_torn_recovers_from_wal_alone() {
+        let c = cluster();
+        let srv = ServerId::from_raw(11);
+        let mut log = ServerLog::open(srv, &c).unwrap();
+        log.log(&c, &ev(1)).unwrap();
+        // The very first checkpoint tears: there is no older intact one,
+        // so recovery behaves as if no checkpoint was ever taken.
+        c.faults().set_torn_seed(3);
+        c.faults().torn_next_appends(1);
+        assert!(log.checkpoint(&c, b"ONLY").is_err());
+        let (snap, events) = ServerLog::recover(srv, &c).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(events, vec![ev(1)]);
     }
 }

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use vortex_common::error::VortexResult;
+use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{
     ClusterId, FragmentId, ServerId, SmsTaskId, StreamId, StreamletId, TableId,
 };
@@ -46,10 +46,12 @@ use crate::sms::{DmlTicket, SmsTask, StreamHandle};
 pub trait SmsApi: Send + Sync {
     /// This task's id.
     fn task_id(&self) -> SmsTaskId;
-    /// The Big Metadata index this task maintains (§6.2).
-    fn bigmeta(&self) -> &BigMeta;
+    /// The Big Metadata index this task maintains (§6.2). Owned so
+    /// channel wrappers can swap the task behind a handle (kill/restart
+    /// chaos) without dangling borrows.
+    fn bigmeta(&self) -> Arc<BigMeta>;
     /// The shared metastore (used by verification pipelines).
-    fn store(&self) -> &Arc<MetaStore>;
+    fn store(&self) -> Arc<MetaStore>;
     /// Registers a Stream Server endpoint.
     fn register_server(&self, server: ServerHandle);
     /// A fresh snapshot timestamp guaranteeing read-after-write.
@@ -146,11 +148,11 @@ impl SmsApi for SmsTask {
     fn task_id(&self) -> SmsTaskId {
         self.task_id()
     }
-    fn bigmeta(&self) -> &BigMeta {
-        self.bigmeta()
+    fn bigmeta(&self) -> Arc<BigMeta> {
+        self.bigmeta_arc()
     }
-    fn store(&self) -> &Arc<MetaStore> {
-        self.store()
+    fn store(&self) -> Arc<MetaStore> {
+        Arc::clone(self.store())
     }
     fn register_server(&self, server: ServerHandle) {
         self.register_server(server)
@@ -275,15 +277,29 @@ impl SmsApi for SmsTask {
 }
 
 /// An [`SmsHandle`] whose every service call crosses an [`RpcChannel`].
+///
+/// The channel is also the task's *process boundary*: the wrapped task is
+/// swappable (kill/restart chaos replaces a dead instance with one
+/// rebuilt from the metastore), and a [`VortexError::SimulatedCrash`]
+/// surfacing from any service call marks the instance dead — every
+/// subsequent call fails with retryable unavailability until
+/// [`SmsChannel::restart`] installs a replacement. Callers therefore keep
+/// their handles across restarts, exactly like clients keep a service
+/// address across task reschedules (§5.2.1).
 pub struct SmsChannel {
-    inner: Arc<SmsTask>,
+    inner: parking_lot::RwLock<Arc<SmsTask>>,
     channel: Arc<RpcChannel>,
+    dead: std::sync::atomic::AtomicBool,
 }
 
 impl SmsChannel {
     /// Wraps an SMS task behind a channel.
     pub fn new(inner: Arc<SmsTask>, channel: Arc<RpcChannel>) -> Arc<Self> {
-        Arc::new(SmsChannel { inner, channel })
+        Arc::new(SmsChannel {
+            inner: parking_lot::RwLock::new(inner),
+            channel,
+            dead: std::sync::atomic::AtomicBool::new(false),
+        })
     }
 
     /// The channel carrying this handle's traffic.
@@ -293,52 +309,101 @@ impl SmsChannel {
 
     /// The wrapped task (rig plumbing; service calls go through the
     /// trait).
-    pub fn inner(&self) -> &Arc<SmsTask> {
-        &self.inner
+    pub fn task(&self) -> Arc<SmsTask> {
+        Arc::clone(&self.inner.read())
+    }
+
+    /// Marks the instance dead: calls fail with retryable unavailability
+    /// until [`SmsChannel::restart`].
+    pub fn kill(&self) {
+        self.dead.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the wrapped instance is currently dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Installs a replacement task (rebuilt from durable state) and
+    /// brings the endpoint back up.
+    pub fn restart(&self, task: Arc<SmsTask>) {
+        *self.inner.write() = task;
+        self.dead.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Routes one service call, enforcing the process boundary: dead
+    /// instances refuse, and a crash point firing inside the call kills
+    /// the instance and surfaces as retryable unavailability (callers
+    /// handle it like any other task death).
+    fn service<T>(
+        &self,
+        method: &'static str,
+        kind: CallKind,
+        f: impl FnMut(&SmsTask) -> VortexResult<T>,
+    ) -> VortexResult<T> {
+        let mut f = f;
+        if self.is_dead() {
+            return Err(VortexError::Unavailable(format!(
+                "sms task {} is down",
+                self.task().task_id()
+            )));
+        }
+        let task = self.task();
+        match self.channel.call(method, kind, || f(&task)) {
+            Err(VortexError::SimulatedCrash(point)) => {
+                self.kill();
+                Err(VortexError::Unavailable(format!(
+                    "sms task {} died at crash point '{point}'",
+                    task.task_id()
+                )))
+            }
+            other => other,
+        }
     }
 }
 
 impl std::fmt::Debug for SmsChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmsChannel")
-            .field("task", &self.inner.task_id())
+            .field("task", &self.task().task_id())
+            .field("dead", &self.is_dead())
             .finish_non_exhaustive()
     }
 }
 
 impl SmsApi for SmsChannel {
-    // Shared in-process state, not RPCs: served locally.
+    // Shared in-process state, not RPCs: served locally (a dead task's
+    // durable metadata remains inspectable, like the metastore itself).
     fn task_id(&self) -> SmsTaskId {
-        self.inner.task_id()
+        self.task().task_id()
     }
-    fn bigmeta(&self) -> &BigMeta {
-        self.inner.bigmeta()
+    fn bigmeta(&self) -> Arc<BigMeta> {
+        self.task().bigmeta_arc()
     }
-    fn store(&self) -> &Arc<MetaStore> {
-        self.inner.store()
+    fn store(&self) -> Arc<MetaStore> {
+        Arc::clone(self.task().store())
     }
     fn register_server(&self, server: ServerHandle) {
-        self.inner.register_server(server)
+        self.task().register_server(server)
     }
     fn read_snapshot(&self) -> Timestamp {
-        self.inner.read_snapshot()
+        self.task().read_snapshot()
     }
     fn dml_active(&self, table: TableId) -> bool {
-        self.inner.dml_active(table)
+        self.task().dml_active(table)
     }
     fn list_fragments(&self, table: TableId, at: Timestamp) -> Vec<FragmentMeta> {
-        self.inner.list_fragments(table, at)
+        self.task().list_fragments(table, at)
     }
     fn list_streamlets(&self, table: TableId) -> Vec<StreamletMeta> {
-        self.inner.list_streamlets(table)
+        self.task().list_streamlets(table)
     }
 
     // DDL and conversion commits: re-execution would duplicate effects.
     fn create_table(&self, name: &str, schema: Schema) -> VortexResult<TableMeta> {
-        self.channel
-            .call("create_table", CallKind::NonIdempotent, || {
-                self.inner.create_table(name, schema.clone())
-            })
+        self.service("create_table", CallKind::NonIdempotent, |t| {
+            t.create_table(name, schema.clone())
+        })
     }
     fn create_blmt_table(
         &self,
@@ -346,22 +411,19 @@ impl SmsApi for SmsChannel {
         schema: Schema,
         bucket: &str,
     ) -> VortexResult<TableMeta> {
-        self.channel
-            .call("create_blmt_table", CallKind::NonIdempotent, || {
-                self.inner.create_blmt_table(name, schema.clone(), bucket)
-            })
+        self.service("create_blmt_table", CallKind::NonIdempotent, |t| {
+            t.create_blmt_table(name, schema.clone(), bucket)
+        })
     }
     fn update_schema(&self, table: TableId, new_schema: Schema) -> VortexResult<TableMeta> {
-        self.channel
-            .call("update_schema", CallKind::NonIdempotent, || {
-                self.inner.update_schema(table, new_schema.clone())
-            })
+        self.service("update_schema", CallKind::NonIdempotent, |t| {
+            t.update_schema(table, new_schema.clone())
+        })
     }
     fn drop_table(&self, table: TableId) -> VortexResult<()> {
-        self.channel
-            .call("drop_table", CallKind::NonIdempotent, || {
-                self.inner.drop_table(table)
-            })
+        self.service("drop_table", CallKind::NonIdempotent, |t| {
+            t.drop_table(table)
+        })
     }
     fn commit_conversion(
         &self,
@@ -370,88 +432,74 @@ impl SmsApi for SmsChannel {
         replacements: Vec<FragmentMeta>,
         yield_to_dml: bool,
     ) -> VortexResult<Timestamp> {
-        self.channel
-            .call("commit_conversion", CallKind::NonIdempotent, || {
-                self.inner
-                    .commit_conversion(table, sources, replacements.clone(), yield_to_dml)
-            })
+        self.service("commit_conversion", CallKind::NonIdempotent, |t| {
+            t.commit_conversion(table, sources, replacements.clone(), yield_to_dml)
+        })
     }
 
     // Reads, max-merge mutations, and token-keyed calls: safe to
     // re-execute after an ambiguous ack.
     fn get_table(&self, table: TableId) -> VortexResult<TableMeta> {
-        self.channel.call("get_table", CallKind::Idempotent, || {
-            self.inner.get_table(table)
-        })
+        self.service("get_table", CallKind::Idempotent, |t| t.get_table(table))
     }
     fn get_table_by_name(&self, name: &str) -> VortexResult<TableMeta> {
-        self.channel
-            .call("get_table_by_name", CallKind::Idempotent, || {
-                self.inner.get_table_by_name(name)
-            })
+        self.service("get_table_by_name", CallKind::Idempotent, |t| {
+            t.get_table_by_name(name)
+        })
     }
     fn fail_over_table(&self, table: TableId) -> VortexResult<TableMeta> {
-        self.channel
-            .call("fail_over_table", CallKind::Idempotent, || {
-                self.inner.fail_over_table(table)
-            })
+        self.service("fail_over_table", CallKind::Idempotent, |t| {
+            t.fail_over_table(table)
+        })
     }
     fn create_stream(&self, table: TableId, stype: StreamType) -> VortexResult<StreamHandle> {
         // Re-execution strands an empty stream, which the groomer reaps;
         // the returned handle is the only one the caller writes to.
-        self.channel
-            .call("create_stream", CallKind::Idempotent, || {
-                self.inner.create_stream(table, stype)
-            })
+        self.service("create_stream", CallKind::Idempotent, |t| {
+            t.create_stream(table, stype)
+        })
     }
     fn rotate_streamlet(&self, table: TableId, stream: StreamId) -> VortexResult<StreamHandle> {
-        self.channel
-            .call("rotate_streamlet", CallKind::Idempotent, || {
-                self.inner.rotate_streamlet(table, stream)
-            })
+        self.service("rotate_streamlet", CallKind::Idempotent, |t| {
+            t.rotate_streamlet(table, stream)
+        })
     }
     fn get_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
-        self.channel.call("get_stream", CallKind::Idempotent, || {
-            self.inner.get_stream(table, stream)
+        self.service("get_stream", CallKind::Idempotent, |t| {
+            t.get_stream(table, stream)
         })
     }
     fn get_streamlet(&self, table: TableId, streamlet: StreamletId) -> VortexResult<StreamletMeta> {
-        self.channel
-            .call("get_streamlet", CallKind::Idempotent, || {
-                self.inner.get_streamlet(table, streamlet)
-            })
+        self.service("get_streamlet", CallKind::Idempotent, |t| {
+            t.get_streamlet(table, streamlet)
+        })
     }
     fn stream_length(&self, table: TableId, stream: StreamId) -> VortexResult<u64> {
-        self.channel
-            .call("stream_length", CallKind::Idempotent, || {
-                self.inner.stream_length(table, stream)
-            })
+        self.service("stream_length", CallKind::Idempotent, |t| {
+            t.stream_length(table, stream)
+        })
     }
     fn flush_stream(&self, table: TableId, stream: StreamId, row_offset: u64) -> VortexResult<()> {
-        self.channel.call("flush_stream", CallKind::Idempotent, || {
-            self.inner.flush_stream(table, stream, row_offset)
+        self.service("flush_stream", CallKind::Idempotent, |t| {
+            t.flush_stream(table, stream, row_offset)
         })
     }
     fn finalize_stream(&self, table: TableId, stream: StreamId) -> VortexResult<StreamMeta> {
-        self.channel
-            .call("finalize_stream", CallKind::Idempotent, || {
-                self.inner.finalize_stream(table, stream)
-            })
+        self.service("finalize_stream", CallKind::Idempotent, |t| {
+            t.finalize_stream(table, stream)
+        })
     }
     fn batch_commit_streams(
         &self,
         table: TableId,
         streams: &[StreamId],
     ) -> VortexResult<Timestamp> {
-        self.channel
-            .call("batch_commit_streams", CallKind::Idempotent, || {
-                self.inner.batch_commit_streams(table, streams)
-            })
+        self.service("batch_commit_streams", CallKind::Idempotent, |t| {
+            t.batch_commit_streams(table, streams)
+        })
     }
     fn heartbeat(&self, report: &HeartbeatReport) -> VortexResult<HeartbeatResponse> {
-        self.channel.call("heartbeat", CallKind::Idempotent, || {
-            self.inner.heartbeat(report)
-        })
+        self.service("heartbeat", CallKind::Idempotent, |t| t.heartbeat(report))
     }
     fn ack_gc(
         &self,
@@ -459,37 +507,35 @@ impl SmsApi for SmsChannel {
         streamlet: StreamletId,
         ordinals: &[u32],
     ) -> VortexResult<usize> {
-        self.channel.call("ack_gc", CallKind::Idempotent, || {
-            self.inner.ack_gc(table, streamlet, ordinals)
+        self.service("ack_gc", CallKind::Idempotent, |t| {
+            t.ack_gc(table, streamlet, ordinals)
         })
     }
     fn list_read_fragments(&self, table: TableId, snapshot: Timestamp) -> VortexResult<ReadSet> {
-        self.channel
-            .call("list_read_fragments", CallKind::Idempotent, || {
-                self.inner.list_read_fragments(table, snapshot)
-            })
+        self.service("list_read_fragments", CallKind::Idempotent, |t| {
+            t.list_read_fragments(table, snapshot)
+        })
     }
     fn reconcile_streamlet(
         &self,
         table: TableId,
         streamlet: StreamletId,
     ) -> VortexResult<StreamletMeta> {
-        self.channel
-            .call("reconcile_streamlet", CallKind::Idempotent, || {
-                self.inner.reconcile_streamlet(table, streamlet)
-            })
+        self.service("reconcile_streamlet", CallKind::Idempotent, |t| {
+            t.reconcile_streamlet(table, streamlet)
+        })
     }
     fn begin_dml(&self, table: TableId) -> VortexResult<DmlTicket> {
         // Token minted OUTSIDE the retry loop: every attempt writes the
         // same marker key, so an ambiguous ack cannot leak a lock.
-        let token = self.inner.mint_dml_token();
-        self.channel.call("begin_dml", CallKind::Idempotent, || {
-            self.inner.begin_dml_with(table, token)
+        let token = self.task().mint_dml_token();
+        self.service("begin_dml", CallKind::Idempotent, |t| {
+            t.begin_dml_with(table, token)
         })
     }
     fn end_dml(&self, table: TableId, ticket: DmlTicket) -> VortexResult<()> {
-        self.channel.call("end_dml", CallKind::Idempotent, || {
-            self.inner.end_dml(table, ticket)
+        self.service("end_dml", CallKind::Idempotent, |t| {
+            t.end_dml(table, ticket)
         })
     }
     fn commit_dml(
@@ -502,33 +548,42 @@ impl SmsApi for SmsChannel {
         // Re-execution re-pushes the same masks at a later timestamp —
         // a union-idempotent effect — and overwrites `committed_at`
         // MVCC-safely, so the ledger a reader sees is unchanged.
-        self.channel.call("commit_dml", CallKind::Idempotent, || {
-            self.inner
-                .commit_dml(table, fragment_masks, tail_masks, reinserted_streams)
+        self.service("commit_dml", CallKind::Idempotent, |t| {
+            t.commit_dml(table, fragment_masks, tail_masks, reinserted_streams)
         })
     }
     fn run_gc(&self, table: TableId) -> VortexResult<usize> {
-        self.channel
-            .call("run_gc", CallKind::Idempotent, || self.inner.run_gc(table))
+        self.service("run_gc", CallKind::Idempotent, |t| t.run_gc(table))
     }
     fn run_groomer(&self) -> VortexResult<(usize, usize)> {
-        self.channel.call("run_groomer", CallKind::Idempotent, || {
-            self.inner.run_groomer()
-        })
+        self.service("run_groomer", CallKind::Idempotent, |t| t.run_groomer())
     }
 }
 
 /// A [`ServerHandle`] whose data-plane and control calls cross an
 /// [`RpcChannel`]. Placement/introspection accessors stay local.
+///
+/// Like [`SmsChannel`], this is the server's *process boundary*: the
+/// wrapped instance is swappable (kill/restart chaos replaces a dead
+/// server with one recovered from its WAL + checkpoint), and a
+/// [`VortexError::SimulatedCrash`] surfacing from any call marks the
+/// instance dead. A dead server answers no RPCs, reports itself
+/// quarantined so placement skips it, and produces empty heartbeats —
+/// until [`ServerChannel::restart`] installs the recovered instance.
 pub struct ServerChannel {
-    inner: ServerHandle,
+    inner: parking_lot::RwLock<ServerHandle>,
     channel: Arc<RpcChannel>,
+    dead: std::sync::atomic::AtomicBool,
 }
 
 impl ServerChannel {
     /// Wraps a server endpoint behind a channel.
     pub fn new(inner: ServerHandle, channel: Arc<RpcChannel>) -> Arc<Self> {
-        Arc::new(ServerChannel { inner, channel })
+        Arc::new(ServerChannel {
+            inner: parking_lot::RwLock::new(inner),
+            channel,
+            dead: std::sync::atomic::AtomicBool::new(false),
+        })
     }
 
     /// Wraps and erases to a [`ServerHandle`] in one step.
@@ -540,52 +595,158 @@ impl ServerChannel {
     pub fn channel(&self) -> &Arc<RpcChannel> {
         &self.channel
     }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> ServerHandle {
+        Arc::clone(&self.inner.read())
+    }
+
+    /// Marks the instance dead: RPCs fail with retryable unavailability,
+    /// placement sees a quarantined load, heartbeats go silent.
+    pub fn kill(&self) {
+        self.dead.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the wrapped instance is currently dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Installs a replacement instance (recovered from durable state)
+    /// and brings the endpoint back up.
+    pub fn restart(&self, inner: ServerHandle) {
+        *self.inner.write() = inner;
+        self.dead.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Routes one service call across the process boundary (same
+    /// contract as `SmsChannel::service`).
+    fn service<T>(
+        &self,
+        method: &'static str,
+        kind: CallKind,
+        f: impl FnMut(&dyn StreamServerApi) -> VortexResult<T>,
+    ) -> VortexResult<T> {
+        let mut f = f;
+        if self.is_dead() {
+            return Err(VortexError::Unavailable(format!(
+                "stream server {} is down",
+                self.endpoint().server_id()
+            )));
+        }
+        let inner = self.endpoint();
+        match self.channel.call(method, kind, || f(inner.as_ref())) {
+            Err(VortexError::SimulatedCrash(point)) => {
+                self.kill();
+                Err(VortexError::Unavailable(format!(
+                    "stream server {} died at crash point '{point}'",
+                    inner.server_id()
+                )))
+            }
+            other => other,
+        }
+    }
 }
 
 impl StreamServerApi for ServerChannel {
     fn server_id(&self) -> ServerId {
-        self.inner.server_id()
+        self.endpoint().server_id()
     }
     fn cluster(&self) -> ClusterId {
-        self.inner.cluster()
+        self.endpoint().cluster()
     }
     fn load(&self) -> LoadReport {
-        self.inner.load()
+        if self.is_dead() {
+            // Placement must skip a dead server exactly like a
+            // quarantined one (§5.5: "health characteristics").
+            return LoadReport {
+                quarantined: true,
+                ..LoadReport::default()
+            };
+        }
+        self.endpoint().load()
     }
     fn streamlet_rows(&self, streamlet: StreamletId) -> Option<u64> {
-        self.inner.streamlet_rows(streamlet)
+        if self.is_dead() {
+            return None;
+        }
+        self.endpoint().streamlet_rows(streamlet)
     }
     fn notify_schema_version(&self, table: TableId, version: u32) {
-        self.inner.notify_schema_version(table, version)
+        if self.is_dead() {
+            return; // dead processes hear nothing
+        }
+        self.endpoint().notify_schema_version(table, version)
     }
     fn revoke_streamlet(&self, streamlet: StreamletId) {
-        self.inner.revoke_streamlet(streamlet)
+        if self.is_dead() {
+            return; // recovered streamlets come back revoked anyway
+        }
+        self.endpoint().revoke_streamlet(streamlet)
     }
     fn tick(&self) -> usize {
-        self.inner.tick()
+        if self.is_dead() {
+            return 0;
+        }
+        self.endpoint().tick()
     }
     fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
-        self.inner.build_heartbeat(full_state)
+        let inner = self.endpoint();
+        if self.is_dead() {
+            // A dead process sends no heartbeats; an empty quarantined
+            // report keeps drivers that poll unconditionally harmless.
+            return HeartbeatReport {
+                server: inner.server_id(),
+                load: LoadReport {
+                    quarantined: true,
+                    ..LoadReport::default()
+                },
+                streamlets: Vec::new(),
+                full_state,
+            };
+        }
+        inner.build_heartbeat(full_state)
     }
     fn apply_heartbeat_response(
         &self,
         resp: &HeartbeatResponse,
         orphan_age_micros: u64,
-    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
-        self.inner.apply_heartbeat_response(resp, orphan_age_micros)
+    ) -> VortexResult<Vec<(TableId, StreamletId, Vec<u32>)>> {
+        if self.is_dead() {
+            return Err(VortexError::Unavailable(format!(
+                "stream server {} is down",
+                self.endpoint().server_id()
+            )));
+        }
+        let inner = self.endpoint();
+        match inner.apply_heartbeat_response(resp, orphan_age_micros) {
+            Err(VortexError::SimulatedCrash(point)) => {
+                self.kill();
+                Err(VortexError::Unavailable(format!(
+                    "stream server {} died at crash point '{point}'",
+                    inner.server_id()
+                )))
+            }
+            other => other,
+        }
     }
     fn reset_heartbeat_window(&self) {
-        self.inner.reset_heartbeat_window()
+        if self.is_dead() {
+            return;
+        }
+        self.endpoint().reset_heartbeat_window()
     }
     fn set_quarantined(&self, quarantined: bool) {
-        self.inner.set_quarantined(quarantined)
+        if self.is_dead() {
+            return;
+        }
+        self.endpoint().set_quarantined(quarantined)
     }
 
     fn create_streamlet(&self, spec: StreamletSpec) -> VortexResult<()> {
-        self.channel
-            .call("create_streamlet", CallKind::NonIdempotent, || {
-                self.inner.create_streamlet(spec.clone())
-            })
+        self.service("create_streamlet", CallKind::NonIdempotent, |s| {
+            s.create_streamlet(spec.clone())
+        })
     }
     fn gc_fragments(
         &self,
@@ -593,15 +754,14 @@ impl StreamServerApi for ServerChannel {
         streamlet: StreamletId,
         ordinals: Vec<u32>,
     ) -> VortexResult<Vec<u32>> {
-        self.channel.call("gc_fragments", CallKind::Idempotent, || {
-            self.inner.gc_fragments(table, streamlet, ordinals.clone())
+        self.service("gc_fragments", CallKind::Idempotent, |s| {
+            s.gc_fragments(table, streamlet, ordinals.clone())
         })
     }
     fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()> {
-        self.channel
-            .call("finalize_streamlet_ctl", CallKind::Idempotent, || {
-                self.inner.finalize_streamlet_ctl(streamlet)
-            })
+        self.service("finalize_streamlet_ctl", CallKind::Idempotent, |s| {
+            s.finalize_streamlet_ctl(streamlet)
+        })
     }
     fn append(
         &self,
@@ -614,8 +774,8 @@ impl StreamServerApi for ServerChannel {
         // THE ambiguous-ack case (§4.2.2): re-executing would duplicate
         // rows, so a lost reply surfaces as retryable unavailability and
         // the writer's rotate-reconcile-dedup path resolves it.
-        self.channel.call("append", CallKind::NonIdempotent, || {
-            self.inner.append(
+        self.service("append", CallKind::NonIdempotent, |s| {
+            s.append(
                 streamlet,
                 rows,
                 declared_schema_version,
@@ -625,8 +785,8 @@ impl StreamServerApi for ServerChannel {
         })
     }
     fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
-        self.channel.call("flush", CallKind::Idempotent, || {
-            self.inner.flush(streamlet, flush_row)
+        self.service("flush", CallKind::Idempotent, |s| {
+            s.flush(streamlet, flush_row)
         })
     }
 }

@@ -192,14 +192,16 @@ pub trait StreamServerApi: Send + Sync {
 
     /// Applies an SMS heartbeat response (schema bumps, GC orders,
     /// unknown-streamlet deletions older than `orphan_age_micros`);
-    /// returns the GC acknowledgements to relay back.
+    /// returns the GC acknowledgements to relay back. Errors mean the
+    /// server died mid-application (e.g. a crash point fired during GC):
+    /// unacknowledged work is simply re-issued on the next heartbeat.
     fn apply_heartbeat_response(
         &self,
         resp: &HeartbeatResponse,
         orphan_age_micros: u64,
-    ) -> Vec<(TableId, StreamletId, Vec<u32>)> {
+    ) -> VortexResult<Vec<(TableId, StreamletId, Vec<u32>)>> {
         let _ = (resp, orphan_age_micros);
-        Vec::new()
+        Ok(Vec::new())
     }
 
     /// Forgets the last-reported heartbeat state so the next heartbeat is

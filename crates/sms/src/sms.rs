@@ -104,7 +104,7 @@ pub struct SmsTask {
     tt: TrueTime,
     ids: Arc<IdGen>,
     servers: RwLock<HashMap<ServerId, ServerHandle>>,
-    bigmeta: BigMeta,
+    bigmeta: Arc<BigMeta>,
     view: Option<SlicerView>,
 }
 
@@ -127,7 +127,7 @@ impl SmsTask {
             tt,
             ids,
             servers: RwLock::new(HashMap::new()),
-            bigmeta: BigMeta::new(),
+            bigmeta: Arc::new(BigMeta::new()),
             view,
         })
     }
@@ -137,9 +137,22 @@ impl SmsTask {
         self.cfg.task
     }
 
+    /// This task's static configuration (used to rebuild a replacement
+    /// task after a simulated process death).
+    pub fn config(&self) -> &SmsConfig {
+        &self.cfg
+    }
+
     /// The Big Metadata index this task maintains (§6.2).
     pub fn bigmeta(&self) -> &BigMeta {
         &self.bigmeta
+    }
+
+    /// Shared handle to the Big Metadata index (what [`crate::api::SmsApi`]
+    /// hands out, so channel wrappers can swap tasks without dangling
+    /// borrows).
+    pub fn bigmeta_arc(&self) -> Arc<BigMeta> {
+        Arc::clone(&self.bigmeta)
     }
 
     /// The shared metastore (used by verification pipelines).
@@ -410,6 +423,12 @@ impl SmsTask {
                 Ok(())
             })?;
             stream.streamlet_count += 1;
+            // A crash here leaves the streamlet row committed in the
+            // metastore but the Stream Server never instructed: exactly
+            // the orphan that reconcile_streamlet's Phase 1 poisons
+            // (§5.2). Fires between txn commit and side effect, and
+            // bypasses the retry loop below.
+            vortex_common::crash_point!("sms.open_streamlet.post_txn");
             match server.create_streamlet(spec) {
                 Ok(()) => {
                     return Ok(StreamHandle {

@@ -230,8 +230,12 @@ pub fn parse_fragment(bytes: &[u8], key: &Key, limit: Option<u64>) -> VortexResu
                         rows.len()
                     )));
                 }
-                // Seeing a new record commits everything before it.
-                for b in blocks.iter_mut() {
+                // Seeing a new record commits everything before it. Only
+                // the most recent block can be uncommitted (every earlier
+                // one was committed when its successor record parsed), so
+                // flipping the last is enough — and keeps parsing O(n)
+                // rather than O(records²) on block-heavy fragments.
+                if let Some(b) = blocks.last_mut() {
                     b.committed = true;
                 }
                 blocks.push(DataBlock {
@@ -271,8 +275,9 @@ pub fn parse_fragment(bytes: &[u8], key: &Key, limit: Option<u64>) -> VortexResu
                 footer = Some(Footer::from_bytes(payload)?);
             }
         }
-        // Any non-data record commits all preceding data blocks.
-        for b in blocks.iter_mut() {
+        // Any non-data record commits all preceding data blocks (only
+        // the last can still be uncommitted).
+        if let Some(b) = blocks.last_mut() {
             b.committed = true;
         }
         last_was_data = false;
@@ -286,7 +291,7 @@ pub fn parse_fragment(bytes: &[u8], key: &Key, limit: Option<u64>) -> VortexResu
     // A footer also certifies the whole file; and a strict (File Map
     // bounded) parse certifies everything inside the limit.
     if footer.is_some() || (strict && last_was_data) {
-        for b in blocks.iter_mut() {
+        if let Some(b) = blocks.last_mut() {
             b.committed = true;
         }
     }

@@ -24,13 +24,25 @@ const WRITERS: usize = 3;
 const KEYSPACE_STRIDE: i64 = 1_000_000;
 const RUN_FOR: Duration = Duration::from_secs(3);
 
+/// Seed for the region's deterministic randomness (placement, latency
+/// sampling). Override via `VORTEX_CHAOS_SEED` to reproduce a run.
+fn chaos_seed() -> u64 {
+    std::env::var("VORTEX_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC8A0_5EED)
+}
+
 #[test]
 fn chaos_soak_exact_ledger() {
+    let seed = chaos_seed();
+    eprintln!("chaos seed = {seed} (override with VORTEX_CHAOS_SEED)");
     let region = Arc::new(
         Region::create(RegionConfig {
             clusters: 3,
             servers_per_cluster: 2,
             fragment_max_bytes: 24 * 1024,
+            seed,
             optimizer: vortex::OptimizerConfig {
                 target_block_rows: 512,
                 merge_trigger: 0.5,
@@ -223,7 +235,7 @@ fn chaos_soak_exact_ledger() {
             .sum();
         assert!(
             injected > 0,
-            "channel {} saw no injected RPC faults",
+            "channel {} saw no injected RPC faults (seed {seed})",
             rpc.name()
         );
     }
@@ -281,7 +293,7 @@ fn chaos_soak_exact_ledger() {
         }
         eprintln!("deleted bands: {:?}", deleted.lock().unwrap());
         panic!(
-            "ledger mismatch: got {} want {} (writers wrote {})",
+            "ledger mismatch: got {} want {} (writers wrote {}, seed {seed})",
             got.len(),
             want.len(),
             watermarks
@@ -296,5 +308,9 @@ fn chaos_soak_exact_ledger() {
         .verifier()
         .verify_appends(table, &vortex::AuditLog::new())
         .unwrap();
-    assert!(report.is_clean(), "{:?}", report.violations);
+    assert!(
+        report.is_clean(),
+        "verification violations (seed {seed}): {:?}",
+        report.violations
+    );
 }

@@ -1,0 +1,409 @@
+//! Kill/restart chaos soak: a supervisor thread murders Stream Servers
+//! and the SMS task mid-flight — by decree on a seeded schedule, and
+//! whenever an armed crash point fires inside a component — while torn
+//! Colossus appends corrupt the tail of failed writes. Every restart
+//! rebuilds from durable state only (checkpoint + WAL replay for
+//! servers, the metastore for the SMS). The final table must hold
+//! exactly the acked rows, each exactly once, and every §6.3 invariant
+//! must stay green.
+//!
+//! Determinism: the whole fault schedule derives from one seed, printed
+//! at startup and echoed in every assertion. Reproduce a failure with
+//! `VORTEX_CHAOS_SEED=<seed> cargo test --test chaos_crash`.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, PartitionTransform, Schema};
+use vortex::{Region, RegionConfig, ScanOptions, VortexError};
+use vortex_common::crashpoints;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::required("day", FieldType::Int64),
+        Field::required("k", FieldType::Int64),
+        Field::required("payload", FieldType::String),
+    ])
+    .with_partition("day", PartitionTransform::Identity)
+    .with_clustering(&["k"])
+}
+
+const WRITERS: usize = 3;
+const KEYSPACE_STRIDE: i64 = 1_000_000;
+const RUN_FOR: Duration = Duration::from_secs(3);
+/// The acceptance floor: the soak must complete at least this many
+/// kill/restart cycles before it is allowed to finish.
+const MIN_CYCLES: usize = 20;
+
+/// Seed for the whole fault schedule: supervisor victims, crash-point
+/// permille rolls, and torn-append prefixes. Override via
+/// `VORTEX_CHAOS_SEED` to reproduce a failing run.
+fn chaos_seed() -> u64 {
+    std::env::var("VORTEX_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC8A5_0C8A)
+}
+
+/// Plain (non-atomic) xorshift* step for the supervisor's local RNG.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[test]
+fn chaos_kill_restart_exact_ledger() {
+    let seed = chaos_seed();
+    eprintln!("chaos_crash seed = {seed} (override with VORTEX_CHAOS_SEED)");
+
+    let region = Arc::new(
+        Region::create(RegionConfig {
+            clusters: 3,
+            servers_per_cluster: 2,
+            fragment_max_bytes: 24 * 1024,
+            seed,
+            optimizer: vortex::OptimizerConfig {
+                target_block_rows: 512,
+                merge_trigger: 0.5,
+            },
+            // Time-travel horizon ≫ the 10 s virtual jumps below.
+            gc_grace_micros: Some(3_600_000_000),
+            ..RegionConfig::default()
+        })
+        .unwrap(),
+    );
+    let client = region.client();
+    let table = client.create_table("chaos_crash", schema()).unwrap().table;
+
+    // Torn-append axis: a failed Colossus append may durably persist a
+    // seeded arbitrary prefix of its bytes. The seed makes the prefix
+    // lengths reproducible; the injector thread below mints the tokens.
+    for (i, c) in region.fleet().cluster_ids().into_iter().enumerate() {
+        region
+            .fleet()
+            .get(c)
+            .unwrap()
+            .faults()
+            .set_torn_seed(seed.wrapping_add(i as u64));
+    }
+
+    // Crash-point axis: every registered point armed with a seeded
+    // per-mille trigger. Rates are chosen so the data plane keeps
+    // making progress between deaths while rarer control-plane paths
+    // (checkpoint, GC, streamlet open, optimizer commits) still die a
+    // handful of times over the run.
+    let _guards = [
+        crashpoints::arm_permille("server.replica.mid_write", 2, seed ^ 0x01),
+        crashpoints::arm_permille("server.append.pre_ack", 2, seed ^ 0x02),
+        crashpoints::arm_permille("server.checkpoint.mid", 300, seed ^ 0x03),
+        crashpoints::arm_permille("server.gc.mid", 100, seed ^ 0x04),
+        crashpoints::arm_permille("sms.open_streamlet.post_txn", 60, seed ^ 0x05),
+        crashpoints::arm_permille("optimizer.convert.pre_commit", 80, seed ^ 0x06),
+        crashpoints::arm_permille("optimizer.recluster.pre_commit", 80, seed ^ 0x07),
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Per-writer published watermark: keys < watermark are acked.
+    let watermarks: Arc<Vec<AtomicI64>> =
+        Arc::new((0..WRITERS).map(|_| AtomicI64::new(0)).collect());
+    // Completed kill→restart pairs across servers and SMS tasks.
+    let cycles = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        // Writers: disjoint key spaces; every surfaced error during an
+        // outage window is retryable (the process boundary converts a
+        // crash into Unavailable), and exactly-once offsets dedup any
+        // batch that landed durably before its server died pre-ack.
+        for w in 0..WRITERS {
+            let client = region.client();
+            let stop = Arc::clone(&stop);
+            let watermarks = Arc::clone(&watermarks);
+            s.spawn(move || {
+                let mut writer = client.create_unbuffered_writer(table).unwrap();
+                let mut next = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch = RowSet::new(
+                        (0..50)
+                            .map(|i| {
+                                let k = next + i;
+                                Row::insert(vec![
+                                    Value::Int64(k % 5),
+                                    Value::Int64(w as i64 * KEYSPACE_STRIDE + k),
+                                    Value::String(format!("w{w}-k{k}-padding-padding")),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    loop {
+                        match writer.append(batch.clone()) {
+                            Ok(_) => break,
+                            // The streamlet's server is dead until the
+                            // supervisor revives it; don't spin hot.
+                            Err(e) if e.is_retryable() => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("writer {w} failed (seed {seed}): {e}"),
+                        }
+                    }
+                    next += 50;
+                    watermarks[w].store(next, Ordering::SeqCst);
+                }
+            });
+        }
+        // Supervisor: revives whatever a crash point killed, murders a
+        // random victim on a seeded schedule, and periodically forces a
+        // WAL checkpoint (which can itself die mid-checkpoint).
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            let cycles = Arc::clone(&cycles);
+            s.spawn(move || {
+                let mut rng = seed ^ 0x50BE_12F1_5012; // supervisor lane
+                let n_servers = region.server_channels().len();
+                let mut tick = 0usize;
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    // Revive phase: every dead process restarts from
+                    // durable state only, then a full-state heartbeat
+                    // round reconciles promptly.
+                    let mut revived = false;
+                    for idx in 0..n_servers {
+                        if region.server_channels()[idx].is_dead() {
+                            restart_server_with_retry(&region, idx, seed);
+                            cycles.fetch_add(1, Ordering::SeqCst);
+                            revived = true;
+                        }
+                    }
+                    for idx in 0..region.sms_channels().len() {
+                        if region.sms_channels()[idx].is_dead() {
+                            restart_sms_with_retry(&region, idx, seed);
+                            cycles.fetch_add(1, Ordering::SeqCst);
+                            revived = true;
+                        }
+                    }
+                    if revived {
+                        let _ = region.run_heartbeats(true);
+                    }
+                    if done {
+                        break; // exits with every process alive
+                    }
+                    // Murder phase: a seeded victim every third tick.
+                    if tick % 3 == 0 {
+                        let r = next_rand(&mut rng);
+                        if r % 5 == 0 {
+                            region.kill_sms_task(0);
+                        } else {
+                            region.kill_server(r as usize % n_servers);
+                        }
+                    }
+                    // Checkpoint phase: force WAL checkpoints so
+                    // recovery exercises snapshot+tail replay (and the
+                    // mid-checkpoint crash point) rather than pure WAL
+                    // rebuilds. A simulated death here is a host-process
+                    // death: mark the channel dead, revive next tick.
+                    if tick % 4 == 1 {
+                        let idx = next_rand(&mut rng) as usize % n_servers;
+                        if !region.server_channels()[idx].is_dead() {
+                            // Any other outcome (incl. a torn/failed
+                            // checkpoint append) aborts the checkpoint
+                            // and keeps prior state.
+                            if let Err(VortexError::SimulatedCrash(_)) =
+                                region.servers()[idx].checkpoint()
+                            {
+                                region.kill_server(idx);
+                            }
+                        }
+                    }
+                    tick += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        // Background reorganization (a crash point firing inside the
+        // optimizer aborts that pass; the next cycle redoes the work).
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = region.run_heartbeats(false);
+                    let _ = region.run_optimizer_cycle(table);
+                    region.advance_micros(10_000_000);
+                    let _ = region.run_gc(table);
+                    std::thread::sleep(Duration::from_millis(11));
+                }
+            });
+        }
+        // Reader: scans must keep working across deaths (reads go to
+        // Colossus replicas, not the dead server's memory).
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let engine = region.engine();
+                let client = region.client();
+                while !stop.load(Ordering::Relaxed) {
+                    let n = loop {
+                        match engine.count(table, client.snapshot(), &ScanOptions::default()) {
+                            Ok(n) => break n,
+                            Err(vortex::VortexError::NotFound(_)) => continue,
+                            Err(e) if e.is_retryable() => continue,
+                            Err(e) => panic!("reader failed (seed {seed}): {e}"),
+                        }
+                    };
+                    assert!(n < 10_000_000, "absurd row count {n} (seed {seed})");
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            });
+        }
+        // Torn-append injector: a steady drip of failed-and-torn write
+        // tokens across all clusters, so log files, WAL records, and
+        // checkpoints all see corrupted tails.
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let ids = region.fleet().cluster_ids();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let c = ids[i % ids.len()];
+                    region.fleet().get(c).unwrap().faults().torn_next_appends(2);
+                    if i % 3 == 2 {
+                        region.fleet().get(c).unwrap().faults().fail_next_appends(1);
+                    }
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(17));
+                }
+            });
+        }
+
+        // Run until the clock AND the cycle floor are both satisfied.
+        let start = Instant::now();
+        while start.elapsed() < RUN_FOR || cycles.load(Ordering::SeqCst) < MIN_CYCLES {
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                start.elapsed() < Duration::from_secs(60),
+                "soak stalled: only {} kill/restart cycles after 60s (seed {seed})",
+                cycles.load(Ordering::SeqCst)
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The fault axes actually fired.
+    let completed = cycles.load(Ordering::SeqCst);
+    assert!(
+        completed >= MIN_CYCLES,
+        "only {completed} kill/restart cycles completed (seed {seed})"
+    );
+    assert!(
+        crashpoints::total_fires() > 0,
+        "no crash point ever fired (seed {seed})"
+    );
+    eprintln!(
+        "chaos_crash: {completed} kill/restart cycles, {} crash-point fires (seed {seed})",
+        crashpoints::total_fires()
+    );
+
+    // Settle: full-state heartbeats reconcile anything the last death
+    // left half-reported before the ledger is judged.
+    for _ in 0..3 {
+        region.run_heartbeats(true).unwrap();
+        region.advance_micros(1_000_000);
+    }
+
+    // ---- Final exact ledger ----
+    let mut expected: std::collections::BTreeSet<i64> = Default::default();
+    for (w, wm) in watermarks.iter().enumerate() {
+        let n = wm.load(Ordering::SeqCst);
+        for k in 0..n {
+            expected.insert(w as i64 * KEYSPACE_STRIDE + k);
+        }
+    }
+    let engine = region.engine();
+    let res = engine
+        .scan(table, client.snapshot(), &ScanOptions::default())
+        .unwrap();
+    let mut got: Vec<i64> = res
+        .rows
+        .iter()
+        .map(|(_, r)| r.values[1].as_i64().unwrap())
+        .collect();
+    got.sort_unstable();
+    let want: Vec<i64> = expected.into_iter().collect();
+    if got != want {
+        let got_set: std::collections::BTreeSet<i64> = got.iter().copied().collect();
+        let want_set: std::collections::BTreeSet<i64> = want.iter().copied().collect();
+        let missing: Vec<i64> = want_set.difference(&got_set).copied().collect();
+        let extra: Vec<i64> = got_set.difference(&want_set).copied().collect();
+        eprintln!(
+            "MISSING ({}): {:?}",
+            missing.len(),
+            &missing[..missing.len().min(30)]
+        );
+        eprintln!(
+            "EXTRA   ({}): {:?}",
+            extra.len(),
+            &extra[..extra.len().min(30)]
+        );
+        for sl in region.sms().list_streamlets(table) {
+            eprintln!(
+                "streamlet {} stream {} state {:?} first {} rows {} masks {}",
+                sl.streamlet,
+                sl.stream,
+                sl.state,
+                sl.first_stream_row,
+                sl.row_count,
+                sl.masks.len()
+            );
+        }
+        panic!(
+            "ledger mismatch: got {} want {} after {completed} kill/restart cycles (seed {seed})",
+            got.len(),
+            want.len(),
+        );
+    }
+
+    // §6.3 invariants: unique locations, clean verification.
+    let report = region
+        .verifier()
+        .verify_appends(table, &vortex::AuditLog::new())
+        .unwrap();
+    assert!(
+        report.is_clean(),
+        "verifier violations after crash soak (seed {seed}): {:?}",
+        report.violations
+    );
+}
+
+/// Restarts server `idx`, retrying transient recovery failures (a torn
+/// token pending on the WAL cluster can fail recovery's bookkeeping
+/// writes; the state it recovers from is untouched, so retry is safe).
+fn restart_server_with_retry(region: &Region, idx: usize, seed: u64) {
+    for _ in 0..50 {
+        match region.restart_server(idx) {
+            Ok(()) => return,
+            Err(e) if e.is_retryable() => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => panic!("restart_server({idx}) failed (seed {seed}): {e}"),
+        }
+    }
+    panic!("restart_server({idx}) kept failing transiently (seed {seed})");
+}
+
+/// Restarts SMS task `idx` (see [`restart_server_with_retry`]).
+fn restart_sms_with_retry(region: &Region, idx: usize, seed: u64) {
+    for _ in 0..50 {
+        match region.restart_sms_task(idx) {
+            Ok(()) => return,
+            Err(e) if e.is_retryable() => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => panic!("restart_sms_task({idx}) failed (seed {seed}): {e}"),
+        }
+    }
+    panic!("restart_sms_task({idx}) kept failing transiently (seed {seed})");
+}

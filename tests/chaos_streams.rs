@@ -29,6 +29,15 @@ const LANE_PENDING: i64 = 2;
 const STRIDE: i64 = 10_000_000;
 const RUN_FOR: Duration = Duration::from_secs(3);
 
+/// Seed for the region's deterministic randomness (placement, latency
+/// sampling). Override via `VORTEX_CHAOS_SEED` to reproduce a run.
+fn chaos_seed() -> u64 {
+    std::env::var("VORTEX_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x57E4_5EED)
+}
+
 /// Appends with retry on surfaced transients: exactly-once offsets make a
 /// caller-level retry dedup any ambiguously-landed batch (§4.2.2).
 fn retry_append(w: &mut vortex::StreamWriter, rows: RowSet) {
@@ -58,11 +67,14 @@ fn batch(lane: i64, start: i64, n: i64) -> RowSet {
 
 #[test]
 fn chaos_mixed_stream_types_exact_ledger() {
+    let seed = chaos_seed();
+    eprintln!("chaos_streams seed = {seed} (override with VORTEX_CHAOS_SEED)");
     let region = Arc::new(
         Region::create(RegionConfig {
             clusters: 3,
             servers_per_cluster: 2,
             fragment_max_bytes: 24 * 1024,
+            seed,
             // The optimizer loop below advances the virtual clock 10 s
             // per ~13 ms of wall time; the grace (time-travel horizon)
             // must dwarf that so in-flight scans don't fall off it.
@@ -301,7 +313,7 @@ fn chaos_mixed_stream_types_exact_ledger() {
             .sum();
         assert!(
             injected > 0,
-            "channel {} saw no injected RPC faults",
+            "channel {} saw no injected RPC faults (seed {seed})",
             rpc.name()
         );
     }
@@ -344,7 +356,11 @@ fn chaos_mixed_stream_types_exact_ledger() {
             extra.len(),
             &extra[..extra.len().min(30)]
         );
-        panic!("ledger mismatch: got {} want {}", got.len(), expected.len());
+        panic!(
+            "ledger mismatch: got {} want {} (seed {seed})",
+            got.len(),
+            expected.len()
+        );
     }
 
     // §6.3 invariants stay clean across stream types.
@@ -352,7 +368,11 @@ fn chaos_mixed_stream_types_exact_ledger() {
         .verifier()
         .verify_appends(table, &vortex::AuditLog::new())
         .unwrap();
-    assert!(report.is_clean(), "{:?}", report.violations);
+    assert!(
+        report.is_clean(),
+        "verification violations (seed {seed}): {:?}",
+        report.violations
+    );
 }
 
 /// Repeatable reads: scanning at one fixed snapshot must return the same
@@ -367,6 +387,7 @@ fn scans_at_fixed_snapshot_are_repeatable() {
             servers_per_cluster: 2,
             fragment_max_bytes: 24 * 1024,
             gc_grace_micros: Some(3_600_000_000),
+            seed: chaos_seed(),
             ..RegionConfig::default()
         })
         .unwrap(),
