@@ -5,21 +5,38 @@
 //! append submission until a snapshot read returns the row: the append's
 //! own durability latency (the data is readable the moment it is acked —
 //! read-after-write, §7.1), plus zero visibility delay.
+//!
+//! Two measurements, one from each end of the pipe:
+//! - **append_us**: submission → durable ack, from the writer's view;
+//! - **commit_to_visible_us**: server-assigned commit timestamp → first
+//!   query-engine scan that returns the row, from the region's §8
+//!   freshness probe.
+//!
+//! Emits `BENCH_freshness.json` at the repo root so the benchmark
+//! trajectory accumulates across PRs. `VORTEX_BENCH_ITERS` overrides the
+//! iteration count (CI smoke runs use a small value).
 #![allow(clippy::print_stdout)] // prints results/tables by design
+
+use std::path::Path;
 
 fn main() {
     use vortex_bench::{bench_schema, paper_region, percentiles, print_percentile_row};
 
+    let iters: usize = std::env::var("VORTEX_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     println!("\n=== C1: data freshness (append submission → visible in a snapshot read) ===");
     let region = paper_region();
     let client = region.client();
+    let engine = region.engine();
     let table = client.create_table("c1", bench_schema()).unwrap().table;
     let mut writer = client.create_unbuffered_writer(table).unwrap();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xC1);
 
     let mut freshness = Vec::new();
     let mut seen = 0usize;
-    for i in 0..200 {
+    for i in 0..iters {
         let submit = region.truetime().record_timestamp();
         let batch = vortex_bench::batch_of_bytes(&mut rng, 8 * 1024);
         let n = batch.len();
@@ -29,16 +46,23 @@ fn main() {
         // end-to-end freshness is therefore the append latency itself.
         freshness.push(res.completion.micros() - submit.micros());
         seen += n;
-        // Verify visibility for a sample of iterations (full read is
-        // O(table), so probe sparsely).
-        if i % 50 == 0 {
-            let rows = client.read_rows(table).unwrap();
-            assert_eq!(rows.rows.len(), seen, "read-after-write at iter {i}");
-        }
+        // A query-engine scan every iteration plays a reader polling on
+        // a 50 ms cadence: the clock advances first (the poll interval),
+        // then the scan verifies read-after-write and feeds the region's
+        // §8 commit-to-visible probe (the other measurement below).
         region.advance_micros(50_000);
+        let visible = engine
+            .count(table, client.snapshot(), &vortex::ScanOptions::default())
+            .unwrap();
+        assert_eq!(visible as usize, seen, "read-after-write at iter {i}");
     }
     let p = percentiles(freshness);
-    print_percentile_row("freshness", &p);
+    print_percentile_row("append freshness", &p);
+    let probe = region.freshness().histogram();
+    println!(
+        "probe: commit→visible over {} rows — p50 {}us p90 {}us p99 {}us max {}us",
+        probe.count, probe.p50, probe.p90, probe.p99, probe.max
+    );
     println!(
         "paper: sub-second freshness — measured p99 {:.1}ms (sub-second: {})",
         p.p99 as f64 / 1000.0,
@@ -46,4 +70,41 @@ fn main() {
     );
     assert!(p.p99 < 1_000_000, "freshness must be sub-second");
     assert!(p.p50 < 100_000, "typical freshness is tens of ms");
+    assert_eq!(
+        region.freshness().rows_observed() as usize,
+        seen,
+        "probe must observe every acked row exactly once"
+    );
+
+    // ---- BENCH_freshness.json (repo root) ----
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"c1_freshness\",\n",
+            "  \"iters\": {},\n",
+            "  \"rows\": {},\n",
+            "  \"append_us\": {{\"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}},\n",
+            "  \"commit_to_visible_us\": {{\"count\": {}, \"min\": {}, \"p50\": {}, ",
+            "\"p90\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+            "  \"sub_second\": {}\n",
+            "}}\n"
+        ),
+        iters,
+        seen,
+        p.p50,
+        p.p90,
+        p.p95,
+        p.p99,
+        probe.count,
+        probe.min,
+        probe.p50,
+        probe.p90,
+        probe.p95,
+        probe.p99,
+        probe.max,
+        p.p99 < 1_000_000,
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_freshness.json");
+    std::fs::write(&out, json).expect("write BENCH_freshness.json");
+    println!("wrote {}", out.display());
 }

@@ -106,6 +106,15 @@ impl ReadCache {
         self.inner.lock().map.len()
     }
 
+    /// Decoded rows currently accounted against the bound. Kept exact
+    /// even when a single extent exceeds `max_rows` (the eviction loop's
+    /// `order.len() > 1` guard keeps one oversized resident entry rather
+    /// than thrashing, and its rows stay on the books until it is
+    /// evicted by a later insert).
+    pub fn rows(&self) -> usize {
+        self.inner.lock().rows
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -168,6 +177,29 @@ mod tests {
         // Newest entries survive.
         assert!(c.get("f19", 1).is_some());
         assert!(c.get("f0", 1).is_none());
+    }
+
+    #[test]
+    fn oversized_extent_keeps_accounting_exact() {
+        // A single extent larger than max_rows must stay resident (the
+        // `order.len() > 1` guard: evicting the only entry would make
+        // the cache useless for it) with its rows accounted exactly —
+        // and the books must return to exact once it IS evicted.
+        let c = ReadCache::new(100);
+        c.put("big", 1, rows(250));
+        assert_eq!(c.len(), 1, "oversized sole entry stays resident");
+        assert_eq!(c.rows(), 250, "accounting covers the oversized entry");
+        assert!(c.get("big", 1).is_some());
+        // A second insert trips eviction: FIFO pops the oversized entry
+        // first; accounting must drop by exactly its row count.
+        c.put("small", 1, rows(10));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("big", 1).is_none(), "oversized entry evicted FIFO");
+        assert!(c.get("small", 1).is_some());
+        assert_eq!(c.rows(), 10, "books exact after oversized eviction");
+        // Duplicate put of a resident key must not inflate the books.
+        c.put("small", 1, rows(10));
+        assert_eq!(c.rows(), 10);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{StreamId, TableId};
+use vortex_common::obs;
 use vortex_common::row::{Row, RowSet, Value};
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
@@ -183,6 +184,14 @@ impl StreamWriter {
                     self.transport.on_response();
                     self.next_offset = ack.first_stream_row + ack.row_count;
                     self.last_completion = self.last_completion.max(ack.completion);
+                    // Client leg of the append span: send → durable ack,
+                    // in virtual time (§4.2.2 ack path).
+                    let m = obs::global();
+                    m.counter("append.client.calls").inc();
+                    m.counter("append.client.rows").add(ack.row_count);
+                    m.counter("append.client.retries")
+                        .add((rotations + schema_refetches) as u64);
+                    obs::Span::begin("append.client", now).end(ack.completion);
                     return Ok(AppendResult {
                         row_offset: ack.first_stream_row,
                         row_count: ack.row_count,
@@ -202,6 +211,9 @@ impl StreamWriter {
                     // offset.
                     self.next_offset = expected;
                     self.transport.on_response();
+                    let m = obs::global();
+                    m.counter("append.client.calls").inc();
+                    m.counter("append.client.dedup").inc();
                     return Ok(AppendResult {
                         row_offset: provided,
                         row_count: padded.len() as u64,
@@ -246,6 +258,9 @@ impl StreamWriter {
                         let row_offset = self.next_offset;
                         self.next_offset = reconciled;
                         self.transport.on_response();
+                        let m = obs::global();
+                        m.counter("append.client.calls").inc();
+                        m.counter("append.client.dedup").inc();
                         return Ok(AppendResult {
                             row_offset,
                             row_count: padded.len() as u64,

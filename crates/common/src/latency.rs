@@ -151,6 +151,13 @@ pub struct Percentiles {
 impl Percentiles {
     /// Computes percentiles (nearest-rank) from unsorted samples.
     /// Returns zeros for an empty input.
+    ///
+    /// Nearest-rank in exact integer arithmetic: the q-th percentile of
+    /// n samples is the value at 1-based rank `ceil(n*q/100)`, clamped
+    /// to `[1, n]`. The former float formulation (`(n as f64 * q).ceil()`)
+    /// gave the same ranks for practical n but depended on f64 rounding
+    /// near exact multiples; the integer form is audit-proof at the
+    /// boundaries (n = 1, n = 2, rank exactly on a sample).
     pub fn compute(samples: &mut [u64]) -> Percentiles {
         if samples.is_empty() {
             return Percentiles {
@@ -164,12 +171,13 @@ impl Percentiles {
         }
         samples.sort_unstable();
         let n = samples.len();
-        let at = |q: f64| samples[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        let at =
+            |pct: u64| samples[((n as u64 * pct).div_ceil(100).clamp(1, n as u64) - 1) as usize];
         Percentiles {
-            p50: at(0.50),
-            p90: at(0.90),
-            p95: at(0.95),
-            p99: at(0.99),
+            p50: at(50),
+            p90: at(90),
+            p95: at(95),
+            p99: at(99),
             max: samples[n - 1],
             count: n,
         }
@@ -268,6 +276,50 @@ mod tests {
         let mut one = vec![7u64];
         let p1 = Percentiles::compute(&mut one);
         assert_eq!((p1.p50, p1.p99), (7, 7));
+    }
+
+    #[test]
+    fn percentiles_boundary_semantics() {
+        // n = 1: every percentile is the single sample.
+        let mut one = vec![13u64];
+        let p = Percentiles::compute(&mut one);
+        assert_eq!(
+            (p.p50, p.p90, p.p95, p.p99, p.max, p.count),
+            (13, 13, 13, 13, 13, 1)
+        );
+        // n = 2: nearest-rank puts p50 on the FIRST sample
+        // (rank = ceil(2*50/100) = 1) and p90/p99 on the second.
+        let mut two = vec![20u64, 10];
+        let p = Percentiles::compute(&mut two);
+        assert_eq!((p.p50, p.p90, p.p99, p.max), (10, 20, 20, 20));
+        // n = 3: p50 is the middle sample (rank 2).
+        let mut three = vec![30u64, 10, 20];
+        let p = Percentiles::compute(&mut three);
+        assert_eq!((p.p50, p.p99), (20, 30));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_property() {
+        // Property sweep: for samples 1..=n (value == rank), the q-th
+        // percentile must be exactly ceil(n*q/100), every percentile is
+        // an actual sample, and percentiles are monotone in q. This pins
+        // the nearest-rank definition across every small n and across
+        // the exact-multiple boundaries (n*q a multiple of 100) where a
+        // float ceil could round either way.
+        for n in 1..=500u64 {
+            let mut s: Vec<u64> = (1..=n).collect();
+            let p = Percentiles::compute(&mut s);
+            let expect = |pct: u64| (n * pct).div_ceil(100).clamp(1, n);
+            assert_eq!(p.p50, expect(50), "n={n}");
+            assert_eq!(p.p90, expect(90), "n={n}");
+            assert_eq!(p.p95, expect(95), "n={n}");
+            assert_eq!(p.p99, expect(99), "n={n}");
+            assert_eq!(p.max, n);
+            assert!(p.p50 <= p.p90 && p.p90 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+            for v in [p.p50, p.p90, p.p95, p.p99] {
+                assert!((1..=n).contains(&v), "percentile {v} not a sample, n={n}");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   channels with deadlines, retries, and per-method metrics.
 //! - [`crashpoints`]: deterministic process-death injection — named
 //!   crash points on every durable-write path, armed by chaos tests.
+//! - [`obs`]: the unified observability layer — metrics registry, spans
+//!   over virtual time, and the §8 commit-to-visible freshness probe.
 //! - [`transport`]: the unary/bi-di adaptive connection cost model
 //!   (§5.4.2) the channels and the thick client share.
 //!
@@ -38,6 +40,7 @@ pub mod error;
 pub mod ids;
 pub mod latency;
 pub mod mask;
+pub mod obs;
 pub mod row;
 pub mod rpc;
 pub mod schema;

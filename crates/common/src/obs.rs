@@ -1,0 +1,906 @@
+//! Unified observability: one pane of glass for the whole engine.
+//!
+//! The paper's headline claim — sub-second data freshness at multi-GB/s
+//! ingest (§1, §8) — is only meaningful if commit-to-visible latency can
+//! be *measured* end to end. This module is the measurement substrate:
+//!
+//! - a process-wide [`Registry`] of named [`Counter`]s, [`Gauge`]s, and
+//!   bounded-bucket [`Histogram`]s (p50/p90/p95/p99/max);
+//! - [`Span`]s: lightweight structured timers over **virtual** time,
+//!   threaded through the append path (client → RPC → Stream Server →
+//!   WAL → Colossus replica write → ack, §4.2.2) and the scan path
+//!   (list → prune → parallel fragment reads → reconciled tail, §7.2);
+//! - a [`FreshnessProbe`] that stamps each appended record's commit
+//!   timestamp and measures commit-to-visible latency at the query
+//!   engine (§8), watermarked so retries and ambiguous acks never
+//!   double-count a row;
+//! - a seeded [`Reservoir`] sampler (Algorithm R) so long soaks keep
+//!   percentiles representative of the *whole* stream instead of its
+//!   first N samples;
+//! - a [`MetricsSnapshot`] exporter (JSON + aligned text table) that
+//!   also folds in per-method RPC stats and crash-point fires, so RPC
+//!   histograms and chaos counters stop being islands.
+//!
+//! Everything here is deterministic under a seed and uses virtual /
+//! TrueTime timestamps exclusively — nothing reads the wall clock (the
+//! repo's clock discipline, enforced by vortex-lint).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::ids::TableId;
+use crate::latency::Percentiles;
+use crate::rpc::RpcMetrics;
+use crate::truetime::Timestamp;
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by a signed delta.
+    pub fn adjust(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-bucket histogram
+// ---------------------------------------------------------------------------
+
+/// Exact buckets below this value; log-scale sub-buckets above.
+const LINEAR_BUCKETS: usize = 16;
+/// Sub-buckets per power of two (relative error ≤ 1/8 above 16).
+const SUB_BUCKETS: usize = 8;
+/// Total bucket count: 16 exact + 8 per octave for octaves 4..=63.
+const NUM_BUCKETS: usize = LINEAR_BUCKETS + (64 - 4) * SUB_BUCKETS;
+
+/// Bucket index for a value: exact below [`LINEAR_BUCKETS`], then
+/// HDR-style (octave, 3-bit mantissa) above.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 3)) & 0x7) as usize;
+    LINEAR_BUCKETS + (msb - 4) * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of a bucket (the value reported for any
+/// percentile falling inside it — a deterministic ≤ 12.5% overestimate).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let msb = 4 + (idx - LINEAR_BUCKETS) / SUB_BUCKETS;
+    let sub = (idx - LINEAR_BUCKETS) % SUB_BUCKETS;
+    let base = 1u128 << msb;
+    let hi = base + (sub as u128 + 1) * (base >> 3) - 1;
+    hi.min(u64::MAX as u128) as u64
+}
+
+#[derive(Debug)]
+struct HistInner {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A bounded-memory latency histogram: fixed bucket layout, exact
+/// count/sum/min/max, percentiles read from bucket upper bounds. All
+/// percentile output is deterministic for a given record sequence.
+#[derive(Debug)]
+pub struct Histogram {
+    inner: Mutex<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Mutex::new(HistInner {
+                counts: vec![0; NUM_BUCKETS],
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut h = self.inner.lock();
+        h.counts[bucket_index(v)] += n;
+        h.count += n;
+        h.sum = h.sum.saturating_add(v.saturating_mul(n));
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    /// A point-in-time summary of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.inner.lock();
+        if h.count == 0 {
+            return HistogramSnapshot::default();
+        }
+        // Nearest-rank percentile over the bucket cumulative counts,
+        // clamped into [min, max] so tiny sample sets stay exact-ish.
+        let pct = |p: u64| -> u64 {
+            let rank = (h.count * p).div_ceil(100).clamp(1, h.count);
+            let mut seen = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i).clamp(h.min, h.max);
+                }
+            }
+            h.max
+        };
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: pct(50),
+            p90: pct(90),
+            p95: pct(95),
+            p99: pct(99),
+        }
+    }
+}
+
+/// Summary of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Minimum observation (0 when empty).
+    pub min: u64,
+    /// Maximum observation.
+    pub max: u64,
+    /// 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded reservoir sampling (Algorithm R)
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity uniform sample over an unbounded stream, seeded so
+/// the kept sample set is deterministic under `VORTEX_CHAOS_SEED`-style
+/// seeding. Replaces first-N retention wherever percentiles must track
+/// the *whole* stream (a first-N window reports startup-biased tails on
+/// long soaks).
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    rng: u64,
+    samples: Vec<u64>,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `cap` samples.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        // splitmix64 finalizer: xorshift* state must be non-zero, and
+        // seeds differing in any single bit must diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            rng: z | 1,
+            samples: Vec::new(),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Offers one observation to the reservoir (Algorithm R: kept with
+    /// probability `cap / seen`).
+    pub fn record(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+            return;
+        }
+        let j = self.next_rand() % self.seen;
+        if (j as usize) < self.cap {
+            self.samples[j as usize] = v;
+        }
+    }
+
+    /// Observations offered so far (≥ `samples().len()`).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current uniform sample of the stream.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Percentiles of the current sample.
+    pub fn percentiles(&self) -> Percentiles {
+        let mut s = self.samples.clone();
+        Percentiles::compute(&mut s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named-metric registry. Instantiable for tests; the engine shares
+/// the process-wide [`global`] instance (one pane of glass, mirroring
+/// the crash-point registry's process-global design).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Snapshots every metric in the registry, plus the process-wide
+    /// crash-point fire total (so chaos counters share the pane).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            rpc: BTreeMap::new(),
+            crash_point_fires: crate::crashpoints::total_fires(),
+        }
+    }
+}
+
+/// The process-wide registry every component records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// A lightweight structured span over **virtual** time: explicit begin /
+/// end timestamps (no wall clock), recorded into the global registry as
+/// histogram `span.<name>.us` on end. Durations of 0 are normal under
+/// zero-latency profiles and keep deterministic runs deterministic.
+#[derive(Debug)]
+#[must_use = "a span records nothing until `end` is called"]
+pub struct Span {
+    name: &'static str,
+    start: Timestamp,
+}
+
+impl Span {
+    /// Opens a span at `start` (virtual / TrueTime-derived).
+    pub fn begin(name: &'static str, start: Timestamp) -> Span {
+        Span { name, start }
+    }
+
+    /// Closes the span at `end`, recording its duration into `registry`.
+    pub fn end_into(self, registry: &Registry, end: Timestamp) {
+        registry
+            .histogram(&format!("span.{}.us", self.name))
+            .record(end.micros().saturating_sub(self.start.micros()));
+    }
+
+    /// Closes the span at `end`, recording into the [`global`] registry.
+    pub fn end(self, end: Timestamp) {
+        self.end_into(global(), end);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Freshness probe
+// ---------------------------------------------------------------------------
+
+/// The end-to-end freshness probe (§8): measures commit-to-visible
+/// latency at the query engine.
+///
+/// Every appended record carries a server-assigned TrueTime commit
+/// timestamp. When a scan returns, the engine offers each visible row's
+/// commit timestamp together with the scan's observation time; rows at
+/// or below the per-table watermark (the max commit timestamp already
+/// observed) are skipped, so client retries, ambiguous acks resolved by
+/// offset dedup, and repeated polling scans never count a row twice.
+#[derive(Debug)]
+pub struct FreshnessProbe {
+    watermarks: Mutex<BTreeMap<TableId, Timestamp>>,
+    hist: Arc<Histogram>,
+    observed: Arc<Counter>,
+}
+
+/// Registry name of the commit-to-visible latency histogram.
+pub const FRESHNESS_HISTOGRAM: &str = "freshness.commit_to_visible_us";
+/// Registry name of the unique-rows-observed counter.
+pub const FRESHNESS_ROWS_OBSERVED: &str = "freshness.rows_observed";
+
+impl FreshnessProbe {
+    /// A probe recording into `registry` under [`FRESHNESS_HISTOGRAM`]
+    /// and [`FRESHNESS_ROWS_OBSERVED`].
+    pub fn new(registry: &Registry) -> Self {
+        FreshnessProbe {
+            watermarks: Mutex::new(BTreeMap::new()),
+            hist: registry.histogram(FRESHNESS_HISTOGRAM),
+            observed: registry.counter(FRESHNESS_ROWS_OBSERVED),
+        }
+    }
+
+    /// Offers the commit timestamps of every row visible to one scan of
+    /// `table`, observed at `visible_at`. Returns how many rows were
+    /// *newly* observed (above the prior watermark). Serialized on the
+    /// probe's lock, so concurrent scans cannot double-count.
+    pub fn observe<I>(&self, table: TableId, commit_ts: I, visible_at: Timestamp) -> u64
+    where
+        I: IntoIterator<Item = Timestamp>,
+    {
+        let mut wm = self.watermarks.lock();
+        let prior = wm.get(&table).copied().unwrap_or(Timestamp::MIN);
+        let mut newest = prior;
+        let mut fresh = 0u64;
+        for ts in commit_ts {
+            if ts > prior {
+                // Saturating: TrueTime issuance can stamp a record a hair
+                // past `now().latest` while the virtual clock stands
+                // still; freshness is then 0, never negative.
+                self.hist
+                    .record(visible_at.micros().saturating_sub(ts.micros()));
+                fresh += 1;
+                newest = newest.max(ts);
+            }
+        }
+        if newest > prior {
+            wm.insert(table, newest);
+        }
+        self.observed.add(fresh);
+        fresh
+    }
+
+    /// Snapshot of the commit-to-visible histogram.
+    pub fn histogram(&self) -> HistogramSnapshot {
+        self.hist.snapshot()
+    }
+
+    /// Unique rows observed across all tables.
+    pub fn rows_observed(&self) -> u64 {
+        self.observed.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// Per-method RPC summary folded into a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct RpcMethodSummary {
+    /// Calls issued.
+    pub calls: u64,
+    /// Attempts across all calls (excess over `calls` = retries).
+    pub attempts: u64,
+    /// Calls that returned `Ok`.
+    pub ok: u64,
+    /// Calls that returned `Err`.
+    pub err: u64,
+    /// Attempts failed by injected pre-execution unavailability.
+    pub injected_unavailable: u64,
+    /// Successful executions whose reply was injected-lost.
+    pub injected_reply_lost: u64,
+    /// Calls that exhausted their budget.
+    pub deadline_exceeded: u64,
+    /// Latency percentiles over the method's reservoir sample.
+    pub latency: Percentiles,
+}
+
+/// One unified, exportable view over counters, gauges, histograms,
+/// per-method RPC stats, and crash-point fires.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// RPC per-method summaries keyed `"<channel>.<method>"`.
+    pub rpc: BTreeMap<String, RpcMethodSummary>,
+    /// Total crash-point fires in this process.
+    pub crash_point_fires: u64,
+}
+
+impl MetricsSnapshot {
+    /// Folds one RPC channel's per-method metrics into the snapshot
+    /// under `"<channel>.<method>"` keys.
+    pub fn add_rpc(&mut self, channel: &str, metrics: &RpcMetrics) {
+        for (method, stats) in metrics.snapshot() {
+            self.rpc.insert(
+                format!("{channel}.{method}"),
+                RpcMethodSummary {
+                    calls: stats.calls,
+                    attempts: stats.attempts,
+                    ok: stats.ok,
+                    err: stats.err,
+                    injected_unavailable: stats.injected_unavailable,
+                    injected_reply_lost: stats.injected_reply_lost,
+                    deadline_exceeded: stats.deadline_exceeded,
+                    latency: stats.percentiles(),
+                },
+            );
+        }
+    }
+
+    /// Serializes the snapshot as a single JSON object (hand-rolled; the
+    /// workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", esc(k)));
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{v}", esc(k)));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+                esc(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p95,
+                h.p99
+            ));
+        }
+        out.push_str("},\"rpc\":{");
+        let mut first = true;
+        for (k, m) in &self.rpc {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"calls\":{},\"attempts\":{},\"ok\":{},\"err\":{},\
+                 \"injected_unavailable\":{},\"injected_reply_lost\":{},\
+                 \"deadline_exceeded\":{},\"p50\":{},\"p90\":{},\"p95\":{},\
+                 \"p99\":{},\"max\":{},\"samples\":{}}}",
+                esc(k),
+                m.calls,
+                m.attempts,
+                m.ok,
+                m.err,
+                m.injected_unavailable,
+                m.injected_reply_lost,
+                m.deadline_exceeded,
+                m.latency.p50,
+                m.latency.p90,
+                m.latency.p95,
+                m.latency.p99,
+                m.latency.max,
+                m.latency.count
+            ));
+        }
+        out.push_str(&format!(
+            "}},\"crash_point_fires\":{}}}",
+            self.crash_point_fires
+        ));
+        out
+    }
+
+    /// Renders the snapshot as an aligned text table (the
+    /// `examples/monitoring.rs` dashboard format).
+    pub fn to_table(&self) -> String {
+        let name_w = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .chain(self.rpc.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(4)
+            .max(24);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<name_w$} {:>12}\n", "counter", "value"));
+            for (k, v) in &self.counters {
+                out.push_str(&format!("{k:<name_w$} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("{:<name_w$} {:>12}\n", "gauge", "value"));
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("{k:<name_w$} {v:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<name_w$} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            ));
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{k:<name_w$} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                ));
+            }
+        }
+        if !self.rpc.is_empty() {
+            out.push_str(&format!(
+                "{:<name_w$} {:>10} {:>8} {:>8} {:>10} {:>10}\n",
+                "rpc method", "calls", "ok", "err", "p50us", "p99us"
+            ));
+            for (k, m) in &self.rpc {
+                out.push_str(&format!(
+                    "{k:<name_w$} {:>10} {:>8} {:>8} {:>10} {:>10}\n",
+                    m.calls, m.ok, m.err, m.latency.p50, m.latency.p99
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{:<name_w$} {:>12}\n",
+            "crash_point_fires", self.crash_point_fires
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotonic_and_covering() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within 12.5% relative error above the linear range.
+        let mut prev_upper = 0;
+        for idx in 0..NUM_BUCKETS {
+            let hi = bucket_upper(idx);
+            assert!(hi >= prev_upper, "idx {idx}");
+            prev_upper = hi;
+        }
+        for v in [0, 1, 15, 16, 17, 31, 32, 1000, 65_535, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            let hi = bucket_upper(idx);
+            assert!(hi >= v, "v={v} idx={idx} hi={hi}");
+            if v >= 16 {
+                assert!(
+                    (hi - v) as f64 <= v as f64 / 8.0 + 1.0,
+                    "v={v} hi={hi}: > 12.5% error"
+                );
+            } else {
+                assert_eq!(hi, v, "exact below the linear range");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_track_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // Bucketed nearest-rank: within one sub-bucket (12.5%) of truth.
+        assert!((450..=570).contains(&s.p50), "p50={}", s.p50);
+        assert!((880..=1000).contains(&s.p99), "p99={}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (1, 42, 42));
+        assert_eq!(s.p50, 42, "single sample pins every percentile");
+        assert_eq!(s.p99, 42);
+    }
+
+    #[test]
+    fn reservoir_is_uniform_not_prefix_biased() {
+        // 10k lows then 90k highs: a first-N window of 10k would report
+        // p50 = low; a uniform reservoir must report p50 = high.
+        let mut r = Reservoir::new(10_000, 7);
+        for _ in 0..10_000 {
+            r.record(1_000);
+        }
+        for _ in 0..90_000 {
+            r.record(100_000);
+        }
+        assert_eq!(r.seen(), 100_000);
+        assert_eq!(r.samples().len(), 10_000);
+        let p = r.percentiles();
+        assert_eq!(p.p50, 100_000, "p50 must track the overall stream");
+        let lows = r.samples().iter().filter(|&&v| v == 1_000).count();
+        // E[lows] = 10_000 * (10k/100k) = 1_000; allow generous slack.
+        assert!((500..2_000).contains(&lows), "lows={lows}");
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut r = Reservoir::new(64, seed);
+            for v in 0..10_000u64 {
+                r.record(v);
+            }
+            r.samples().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn registry_interns_and_snapshots() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(2);
+        reg.gauge("g").set(-5);
+        reg.histogram("h").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 3);
+        assert_eq!(snap.gauges["g"], -5);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn span_records_virtual_duration() {
+        let reg = Registry::new();
+        let s = Span::begin("test.stage", Timestamp(1_000));
+        s.end_into(&reg, Timestamp(3_500));
+        let h = reg.histogram("span.test.stage.us").snapshot();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 2_500);
+        // Clock standing still → zero duration, not a panic.
+        let s = Span::begin("test.stage", Timestamp(9_000));
+        s.end_into(&reg, Timestamp(9_000));
+        assert_eq!(reg.histogram("span.test.stage.us").snapshot().count, 2);
+    }
+
+    #[test]
+    fn freshness_probe_never_double_counts() {
+        let reg = Registry::new();
+        let probe = FreshnessProbe::new(&reg);
+        let t = TableId::from_raw(1);
+        // First scan: three rows committed at 100/200/300, visible at 500.
+        let n = probe.observe(t, [100, 200, 300].map(Timestamp), Timestamp(500));
+        assert_eq!(n, 3);
+        // Retry / repeated poll re-surfaces the same rows: no new counts.
+        let n = probe.observe(t, [100, 200, 300].map(Timestamp), Timestamp(900));
+        assert_eq!(n, 0);
+        // A later row is counted once, against its own visibility time.
+        let n = probe.observe(t, [200, 300, 400].map(Timestamp), Timestamp(900));
+        assert_eq!(n, 1);
+        assert_eq!(probe.rows_observed(), 4);
+        let h = probe.histogram();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 500, "500 - 100 + the later 900 - 400");
+        // Tables are independent watermarks.
+        let n = probe.observe(TableId::from_raw(2), [Timestamp(100)], Timestamp(901));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn freshness_probe_saturates_on_clock_skew() {
+        let reg = Registry::new();
+        let probe = FreshnessProbe::new(&reg);
+        // Commit stamp beyond the observation time (issuance tie-break):
+        // freshness clamps to zero instead of underflowing.
+        let n = probe.observe(TableId::from_raw(9), [Timestamp(1_000)], Timestamp(500));
+        assert_eq!(n, 1);
+        assert_eq!(probe.histogram().min, 0);
+    }
+
+    #[test]
+    fn snapshot_exports_json_and_table() {
+        let reg = Registry::new();
+        reg.counter("scan.calls").add(7);
+        reg.gauge("server.hosted").set(3);
+        reg.histogram("freshness.commit_to_visible_us").record(1234);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"scan.calls\":7"), "{json}");
+        assert!(json.contains("\"server.hosted\":3"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"crash_point_fires\":"), "{json}");
+        let table = snap.to_table();
+        assert!(table.contains("scan.calls"), "{table}");
+        assert!(table.contains("crash_point_fires"), "{table}");
+        // Aligned: every non-empty line ends in a numeric column.
+        for line in table.lines() {
+            assert!(!line.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs.test.singleton").inc();
+        assert!(global().snapshot().counters["obs.test.singleton"] >= 1);
+    }
+}

@@ -29,6 +29,7 @@ use rand::SeedableRng;
 
 use crate::error::{VortexError, VortexResult};
 use crate::latency::{LogNormal, Percentiles};
+use crate::obs::Reservoir;
 use crate::transport::AdaptiveTransport;
 use crate::truetime::{SimClock, Timestamp};
 
@@ -229,6 +230,10 @@ impl RetryPolicy {
 /// Per-method counters and latency samples. Latencies are the *virtual*
 /// per-call totals (injected attempt latencies + backoffs), so percentile
 /// assertions are deterministic under a seeded profile.
+///
+/// `latency_us` is a seeded uniform *reservoir sample* of every completed
+/// call, not a first-N prefix: on a soak that records millions of calls,
+/// percentiles track the whole stream rather than its startup phase.
 #[derive(Debug, Clone, Default)]
 pub struct MethodStats {
     /// Calls issued (one per `call()` invocation).
@@ -245,7 +250,11 @@ pub struct MethodStats {
     pub injected_reply_lost: u64,
     /// Calls that exhausted their budget.
     pub deadline_exceeded: u64,
-    /// Virtual latency per completed call, microseconds (capped).
+    /// Latencies offered to the reservoir over the channel's lifetime
+    /// (≥ `latency_us.len()`; the excess was sampled out).
+    pub latency_seen: u64,
+    /// Virtual latency per completed call, microseconds — a uniform
+    /// reservoir sample of at most [`MAX_LATENCY_SAMPLES`] values.
     pub latency_us: Vec<u64>,
 }
 
@@ -257,35 +266,124 @@ impl MethodStats {
     }
 }
 
-/// Latency samples kept per method; enough for stable p99s, bounded for
-/// long soaks.
-const MAX_LATENCY_SAMPLES: usize = 65_536;
+/// Latency samples kept per method (reservoir capacity): enough for
+/// stable p99s, bounded for long soaks.
+pub const MAX_LATENCY_SAMPLES: usize = 65_536;
+
+/// Internal per-method record: the counters plus the seeded reservoir
+/// the public [`MethodStats`] snapshot is materialized from.
+#[derive(Debug)]
+struct MethodRecord {
+    calls: u64,
+    attempts: u64,
+    ok: u64,
+    err: u64,
+    injected_unavailable: u64,
+    injected_reply_lost: u64,
+    deadline_exceeded: u64,
+    latency: Reservoir,
+}
+
+impl MethodRecord {
+    fn new(seed: u64) -> Self {
+        MethodRecord {
+            calls: 0,
+            attempts: 0,
+            ok: 0,
+            err: 0,
+            injected_unavailable: 0,
+            injected_reply_lost: 0,
+            deadline_exceeded: 0,
+            latency: Reservoir::new(MAX_LATENCY_SAMPLES, seed),
+        }
+    }
+
+    fn to_stats(&self) -> MethodStats {
+        MethodStats {
+            calls: self.calls,
+            attempts: self.attempts,
+            ok: self.ok,
+            err: self.err,
+            injected_unavailable: self.injected_unavailable,
+            injected_reply_lost: self.injected_reply_lost,
+            deadline_exceeded: self.deadline_exceeded,
+            latency_seen: self.latency.seen(),
+            latency_us: self.latency.samples().to_vec(),
+        }
+    }
+}
+
+/// FNV-1a over the method name, folded into the channel seed, so each
+/// method's reservoir is independently — and reproducibly — seeded.
+fn method_seed(seed: u64, method: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in method.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^ h
+}
 
 /// Per-method metrics for one channel, drainable by tests and benches.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RpcMetrics {
-    methods: Mutex<HashMap<String, MethodStats>>,
+    seed: u64,
+    methods: Mutex<HashMap<String, MethodRecord>>,
+}
+
+impl Default for RpcMetrics {
+    fn default() -> Self {
+        RpcMetrics::with_seed(0x5EED_1E55)
+    }
 }
 
 impl RpcMetrics {
-    fn with<R>(&self, method: &str, f: impl FnOnce(&mut MethodStats) -> R) -> R {
+    /// Metrics whose per-method latency reservoirs derive from `seed`
+    /// (deterministic under `VORTEX_CHAOS_SEED`-seeded configs).
+    pub fn with_seed(seed: u64) -> Self {
+        RpcMetrics {
+            seed,
+            methods: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn with<R>(&self, method: &str, f: impl FnOnce(&mut MethodRecord) -> R) -> R {
         let mut map = self.methods.lock();
-        f(map.entry(method.to_string()).or_default())
+        match map.get_mut(method) {
+            Some(rec) => f(rec),
+            None => {
+                let rec = map
+                    .entry(method.to_string())
+                    .or_insert_with(|| MethodRecord::new(method_seed(self.seed, method)));
+                f(rec)
+            }
+        }
     }
 
     /// Snapshot of every method's stats.
     pub fn snapshot(&self) -> HashMap<String, MethodStats> {
-        self.methods.lock().clone()
+        self.methods
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_stats()))
+            .collect()
     }
 
     /// One method's stats (zeros if never called).
     pub fn method(&self, method: &str) -> MethodStats {
-        self.methods.lock().get(method).cloned().unwrap_or_default()
+        self.methods
+            .lock()
+            .get(method)
+            .map(|r| r.to_stats())
+            .unwrap_or_default()
     }
 
     /// Snapshot and reset.
     pub fn drain(&self) -> HashMap<String, MethodStats> {
         std::mem::take(&mut *self.methods.lock())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_stats()))
+            .collect()
     }
 
     /// Total calls across all methods.
@@ -356,11 +454,12 @@ impl RpcChannel {
     pub fn new(name: &str, cfg: RpcChannelConfig, clock: Option<SimClock>) -> Arc<Self> {
         let faults = Arc::new(RpcFaultPlan::new(cfg.seed ^ 0x9E37_79B9));
         let latency_rng = Mutex::new(StdRng::seed_from_u64(cfg.seed));
+        let metrics = RpcMetrics::with_seed(cfg.seed);
         Arc::new(RpcChannel {
             name: name.to_string(),
             cfg,
             faults,
-            metrics: RpcMetrics::default(),
+            metrics,
             clock,
             transport: Mutex::new(AdaptiveTransport::with_defaults()),
             latency_rng,
@@ -448,9 +547,7 @@ impl RpcChannel {
                 } else {
                     m.err += 1;
                 }
-                if m.latency_us.len() < MAX_LATENCY_SAMPLES {
-                    m.latency_us.push(consumed_us);
-                }
+                m.latency.record(consumed_us);
             });
         };
         loop {
@@ -714,6 +811,60 @@ mod tests {
             "p99 {}us should be ~30ms",
             p.p99
         );
+    }
+
+    #[test]
+    fn reservoir_percentiles_track_overall_stream_not_prefix() {
+        // Regression: latency retention used to keep only the *first*
+        // MAX_LATENCY_SAMPLES values per method, so a long soak whose
+        // latency profile shifted after startup reported startup-biased
+        // percentiles forever. The seeded reservoir must instead sample
+        // the whole stream uniformly: 65,536 fast calls followed by
+        // 2×65,536 slow calls has an overall p50 of the slow value.
+        let ch = channel(RpcChannelConfig::default());
+        let m = ch.metrics();
+        for _ in 0..MAX_LATENCY_SAMPLES {
+            m.with("m", |r| {
+                r.ok += 1;
+                r.latency.record(1_000);
+            });
+        }
+        for _ in 0..2 * MAX_LATENCY_SAMPLES {
+            m.with("m", |r| {
+                r.ok += 1;
+                r.latency.record(100_000);
+            });
+        }
+        let stats = m.method("m");
+        assert_eq!(stats.latency_seen, 3 * MAX_LATENCY_SAMPLES as u64);
+        assert_eq!(stats.latency_us.len(), MAX_LATENCY_SAMPLES);
+        let p = stats.percentiles();
+        assert_eq!(
+            p.p50, 100_000,
+            "p50 must track the overall stream (2/3 slow), not the fast prefix"
+        );
+        // The fast prefix is 1/3 of the stream; the uniform sample keeps
+        // roughly that share, not 100% of it.
+        let lows = stats.latency_us.iter().filter(|&&v| v == 1_000).count();
+        let (lo, hi) = (MAX_LATENCY_SAMPLES / 5, MAX_LATENCY_SAMPLES / 2);
+        assert!((lo..hi).contains(&lows), "prefix share {lows} not ~1/3");
+    }
+
+    #[test]
+    fn reservoir_sample_is_deterministic_per_channel_seed() {
+        let run = |seed: u64| {
+            let cfg = RpcChannelConfig {
+                seed,
+                ..RpcChannelConfig::default()
+            };
+            let ch = channel(cfg);
+            for v in 0..(MAX_LATENCY_SAMPLES as u64 + 10_000) {
+                ch.metrics().with("m", |r| r.latency.record(v));
+            }
+            ch.metrics().method("m").latency_us
+        };
+        assert_eq!(run(0xC8A5_0C8A), run(0xC8A5_0C8A));
+        assert_ne!(run(0xC8A5_0C8A), run(0xC8A5_0C8B));
     }
 
     #[test]

@@ -131,6 +131,13 @@ impl BeamSink {
                 .flush_stream(self.table, msg.stream, msg.row_offset)?;
             report.flushes += 1;
         }
+        let m = vortex_common::obs::global();
+        m.counter("connector.runs").inc();
+        m.counter("connector.bundles_committed")
+            .add(report.bundles_committed);
+        m.counter("connector.commits_rejected")
+            .add(report.commits_rejected);
+        m.counter("connector.flushes").add(report.flushes);
         Ok(report)
     }
 }

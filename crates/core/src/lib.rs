@@ -92,6 +92,7 @@ pub use vortex_common::error::{VortexError, VortexResult};
 pub use vortex_common::ids;
 pub use vortex_common::latency::{Percentiles, WriteProfile};
 pub use vortex_common::mask::DeletionMask;
+pub use vortex_common::obs;
 pub use vortex_common::row;
 pub use vortex_common::rpc::{
     CallKind, MethodStats, RetryPolicy, RpcChannel, RpcChannelConfig, RpcFaultPlan, RpcMetrics,

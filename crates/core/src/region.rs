@@ -4,11 +4,12 @@
 
 use std::sync::Arc;
 
-use vortex_client::VortexClient;
+use vortex_client::{ReadCache, VortexClient};
 use vortex_colossus::{Colossus, StorageFleet};
 use vortex_common::error::VortexResult;
 use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
 use vortex_common::latency::WriteProfile;
+use vortex_common::obs::{self, FreshnessProbe, MetricsSnapshot};
 use vortex_common::rpc::{RpcChannel, RpcChannelConfig};
 use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 use vortex_metastore::MetaStore;
@@ -92,6 +93,9 @@ impl RegionConfig {
 /// Colossus path of the metastore checkpoint in cluster 0.
 const META_CHECKPOINT_PATH: &str = "meta/checkpoint";
 
+/// Decoded-row bound of the region's shared read cache (§9).
+const READ_CACHE_MAX_ROWS: usize = 64 * 1024;
+
 /// A fully assembled region.
 ///
 /// Construction hands out *channel-wrapped* service handles: every SMS
@@ -120,6 +124,12 @@ pub struct Region {
     sms_rpc: Arc<RpcChannel>,
     server_rpc: Arc<RpcChannel>,
     optimizer: StorageOptimizer,
+    /// Shared decoded-extent cache handed to every [`Region::engine`]
+    /// (§9 query-aware caching).
+    read_cache: Arc<ReadCache>,
+    /// Region-wide commit-to-visible freshness probe (§8), fed by every
+    /// [`Region::engine`] scan.
+    freshness: Arc<FreshnessProbe>,
 }
 
 impl Region {
@@ -284,6 +294,8 @@ impl Region {
             sms_rpc,
             server_rpc,
             optimizer,
+            read_cache: ReadCache::new(READ_CACHE_MAX_ROWS),
+            freshness: Arc::new(FreshnessProbe::new(obs::global())),
         })
     }
 
@@ -511,7 +523,33 @@ impl Region {
     /// assert_eq!(n, 5);
     /// ```
     pub fn engine(&self) -> QueryEngine {
-        QueryEngine::new(self.sms_handles[0].clone(), self.fleet.clone())
+        QueryEngine::new(self.sms_handles[0].clone(), self.fleet.clone()).with_observability(
+            self.tt.clone(),
+            Arc::clone(&self.read_cache),
+            Arc::clone(&self.freshness),
+        )
+    }
+
+    /// The region-wide decoded-extent read cache shared by every
+    /// [`Region::engine`] (§9 query-aware caching).
+    pub fn read_cache(&self) -> &Arc<ReadCache> {
+        &self.read_cache
+    }
+
+    /// The region-wide commit-to-visible freshness probe (§8), fed by
+    /// every [`Region::engine`] scan.
+    pub fn freshness(&self) -> &Arc<FreshnessProbe> {
+        &self.freshness
+    }
+
+    /// One unified snapshot of the process-wide metrics registry plus
+    /// this region's per-method RPC statistics — what `/varz` would
+    /// serve. See [`MetricsSnapshot::to_table`] / `to_json`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = obs::global().snapshot();
+        snap.add_rpc("sms", self.sms_rpc.metrics());
+        snap.add_rpc("server", self.server_rpc.metrics());
+        snap
     }
 
     /// The DML executor.

@@ -11,7 +11,7 @@ use crate::lexer::MaskedSource;
 
 /// Rules enforced by vortex-lint, in catalogue order.
 pub const RULES: &[&str] = &[
-    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007",
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
 ];
 
 /// The file defining the crash-point registry: L007's source of truth
@@ -53,6 +53,14 @@ pub const RPC_WIRING_ALLOWED_FILES: &[&str] = &["crates/core/src/region.rs"];
 pub const CLOCK_ALLOWED_FILES: &[&str] = &[
     "crates/common/src/truetime.rs",
     "crates/common/src/latency.rs",
+];
+
+/// Files allowed to declare process-wide atomic statics: the unified
+/// metrics registry and the crash-point framework are the two sanctioned
+/// owners of global mutable counters (L008).
+pub const OBS_ALLOWED_FILES: &[&str] = &[
+    "crates/common/src/obs.rs",
+    "crates/common/src/crashpoints.rs",
 ];
 
 /// One diagnostic.
@@ -116,6 +124,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Violation> {
     rule_l005(input, &is_test_line, &mut violations);
     rule_l006(input, &is_test_line, &mut violations);
     rule_l007(input, &is_test_line, &mut violations);
+    rule_l008(input, &is_test_line, &mut violations);
 
     violations.retain(|v| {
         v.rule == "L000"
@@ -485,6 +494,57 @@ fn rule_l007(
             });
         } else {
             seen.push((name, line));
+        }
+    }
+}
+
+/// L008 metric-discipline: no ad-hoc `static …: Atomic*` counters
+/// outside the observability layer ([`OBS_ALLOWED_FILES`]). A private
+/// atomic static is a metric the unified registry snapshot cannot see —
+/// register it through `vortex_common::obs::global()` (counter, gauge,
+/// or histogram) so one pane of glass covers the whole process.
+/// Struct-field atomics (per-instance state like `ReadCache` hit
+/// counters) are fine; only module/function-scope statics fire.
+fn rule_l008(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if OBS_ALLOWED_FILES.contains(&input.rel_path) {
+        return;
+    }
+    let code = &input.masked.code;
+    let bytes = code.as_bytes();
+    for at in occurrences_at(code, "static ") {
+        // Not `&'static` (lifetime) and not the tail of an identifier.
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev == b'\'' || prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let line = line_of(bytes, at);
+        if is_test_line(line) {
+            continue;
+        }
+        // Declaration head = up to the initializer or terminator; an
+        // atomic type annotation there marks an ad-hoc counter.
+        let head_end = code[at..]
+            .find(['=', ';', '{'])
+            .map(|o| at + o)
+            .unwrap_or(code.len());
+        let head = &code[at..head_end];
+        if head.contains(": Atomic") || head.contains(":Atomic") {
+            out.push(Violation {
+                rule: "L008",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: "ad-hoc atomic counter static outside the obs layer; \
+                          register it via `vortex_common::obs::global()` so the \
+                          unified snapshot sees it"
+                    .to_string(),
+            });
         }
     }
 }

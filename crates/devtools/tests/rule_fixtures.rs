@@ -380,6 +380,57 @@ fn l007_registry_names_parse_the_const_array() {
     assert_eq!(registry_names(&mask_source("fn f() {}")), None);
 }
 
+// ---------------------------------------------------------------- L008
+
+#[test]
+fn l008_fires_on_module_scope_atomic_static() {
+    let src = "use std::sync::atomic::AtomicU64;\n\
+               static APPENDS: AtomicU64 = AtomicU64::new(0);\n\
+               pub static PUB_HITS: AtomicUsize = AtomicUsize::new(0);\n";
+    assert_eq!(
+        rules_for(src, "crates/server/src/x.rs", "vortex-server"),
+        ["L008", "L008"]
+    );
+}
+
+#[test]
+fn l008_fires_on_function_local_atomic_static() {
+    let src = "fn f() {\n    static CALLS: AtomicU32 = AtomicU32::new(0);\n}\n";
+    assert_eq!(
+        rules_for(src, "crates/query/src/x.rs", "vortex-query"),
+        ["L008"]
+    );
+}
+
+#[test]
+fn l008_silent_on_lifetimes_fields_and_non_atomic_statics() {
+    // `&'static` lifetimes, struct-field atomics (per-instance state),
+    // and non-atomic statics (lookup tables) are all fine.
+    let src = "pub struct C { hits: std::sync::atomic::AtomicU64 }\n\
+               static TABLES: [u32; 4] = [0, 1, 2, 3];\n\
+               fn f(s: &'static str) -> &'static str { s }\n";
+    assert!(rules_for(src, "crates/client/src/x.rs", "vortex-client").is_empty());
+}
+
+#[test]
+fn l008_exempts_the_obs_layer() {
+    let src = "static TOTAL_FIRES: AtomicU64 = AtomicU64::new(0);\n";
+    assert!(rules_for(src, "crates/common/src/obs.rs", "vortex-common").is_empty());
+    assert!(rules_for(src, "crates/common/src/crashpoints.rs", "vortex-common").is_empty());
+}
+
+#[test]
+fn l008_silent_in_test_context_and_suppressible() {
+    let src = "static N: AtomicU64 = AtomicU64::new(0);\n";
+    assert!(scan_str(src, "tests/chaos.rs", "vortex", true).is_empty());
+    let in_mod = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    \
+                  static N: AtomicU64 = AtomicU64::new(0);\n}\n";
+    assert!(rules_for(in_mod, "crates/server/src/x.rs", "vortex-server").is_empty());
+    let suppressed = "// lint:allow(L008, fixture-local scratch counter)\n\
+                      static N: AtomicU64 = AtomicU64::new(0);\n";
+    assert!(rules_for(suppressed, "crates/server/src/x.rs", "vortex-server").is_empty());
+}
+
 // ------------------------------------------------------------- ratchet
 
 /// Builds a miniature workspace on disk so `enforce_ratchet` can be

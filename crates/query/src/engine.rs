@@ -2,14 +2,18 @@
 //! scans (§7's "dispatches these Fragments and Streamlets to different
 //! Dremel shards to process them in parallel") + aggregation.
 
-use vortex_client::read::{read_fragment, read_reconciled_tail, read_tail, TailOutcome};
+use std::sync::Arc;
+
+use vortex_client::read::{read_fragment_cached, read_reconciled_tail, read_tail, TailOutcome};
+use vortex_client::ReadCache;
 use vortex_colossus::StorageFleet;
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::TableId;
+use vortex_common::obs::{self, FreshnessProbe};
 use vortex_common::row::{Row, Value};
 use vortex_common::schema::Schema;
 use vortex_common::stats::ColumnStats;
-use vortex_common::truetime::Timestamp;
+use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_ros::RowMeta;
 use vortex_sms::api::SmsHandle;
 use vortex_sms::meta::FragmentKind;
@@ -60,6 +64,12 @@ pub struct ScanStats {
     pub rows_scanned: u64,
     /// Rows matching the predicate.
     pub rows_matched: u64,
+    /// Decoded-extent cache hits during this scan (0 without a cache).
+    /// Attributed from shared-cache counter deltas, so concurrent scans
+    /// may shift hits between each other; totals stay exact.
+    pub cache_hits: u64,
+    /// Decoded-extent cache misses during this scan (0 without a cache).
+    pub cache_misses: u64,
 }
 
 /// Result of a scan.
@@ -95,12 +105,41 @@ pub enum AggKind {
 pub struct QueryEngine {
     sms: SmsHandle,
     fleet: StorageFleet,
+    /// Virtual clock for scan spans and the freshness probe's
+    /// "visible at" stamp. Optional: bare engines stay uninstrumented.
+    tt: Option<TrueTime>,
+    /// Shared decoded-extent cache (§9 future work).
+    cache: Option<Arc<ReadCache>>,
+    /// End-to-end commit-to-visible freshness probe (§8).
+    probe: Option<Arc<FreshnessProbe>>,
 }
 
 impl QueryEngine {
     /// Creates an engine over the control plane + storage fleet.
     pub fn new(sms: SmsHandle, fleet: StorageFleet) -> Self {
-        Self { sms, fleet }
+        Self {
+            sms,
+            fleet,
+            tt: None,
+            cache: None,
+            probe: None,
+        }
+    }
+
+    /// Wires the engine into the observability layer: scans go through
+    /// `cache`, record `scan.*` metrics and spans against the global
+    /// registry, and feed `probe` with commit-to-visible latencies
+    /// stamped by `tt` (§8 freshness, measured at the query engine).
+    pub fn with_observability(
+        mut self,
+        tt: TrueTime,
+        cache: Arc<ReadCache>,
+        probe: Arc<FreshnessProbe>,
+    ) -> Self {
+        self.tt = Some(tt);
+        self.cache = Some(cache);
+        self.probe = Some(probe);
+        self
     }
 
     /// Scans a table at a snapshot with partition elimination.
@@ -112,6 +151,8 @@ impl QueryEngine {
     ) -> VortexResult<ScanResult> {
         let tmeta = self.sms.get_table(table)?;
         let key = tmeta.encryption_key();
+        let scan_start = self.tt.as_ref().map(|tt| tt.now().latest);
+        let cache_base = self.cache.as_ref().map(|c| (c.hits(), c.misses()));
         let mut reconciled: std::collections::HashMap<vortex_common::ids::StreamletId, Timestamp> =
             Default::default();
         for _round in 0..8 {
@@ -152,10 +193,11 @@ impl QueryEngine {
                 for chunk in survivors.chunks(survivors.len().div_ceil(shards).max(1)) {
                     let fleet = &self.fleet;
                     let key = &key;
+                    let cache = self.cache.as_deref();
                     handles.push(s.spawn(move || {
                         let mut out = Vec::new();
                         for spec in chunk {
-                            out.extend(read_fragment(spec, fleet, key, snapshot)?);
+                            out.extend(read_fragment_cached(spec, fleet, key, snapshot, cache)?);
                         }
                         Ok(out)
                     }));
@@ -200,6 +242,15 @@ impl QueryEngine {
                 continue; // retry with reconciled metadata
             }
             stats.rows_scanned = rows.len() as u64;
+            // Commit timestamps of everything visible at this snapshot,
+            // captured before CDC resolution / filtering can drop rows —
+            // freshness (§8) measures when *committed* data became
+            // readable, not whether a predicate kept it.
+            let visible_ts: Vec<Timestamp> = if self.probe.is_some() {
+                rows.iter().map(|(m, _)| m.ts).collect()
+            } else {
+                Vec::new()
+            };
             // Pad short (pre-evolution) rows to the snapshot schema.
             let arity = rs.schema.fields.len();
             for (_, r) in rows.iter_mut() {
@@ -221,6 +272,12 @@ impl QueryEngine {
             }
             stats.rows_matched = matched.len() as u64;
             matched.sort_by_key(|(m, _)| (m.stream, m.offset, m.ts));
+            if let Some((h0, m0)) = cache_base {
+                let c = self.cache.as_ref().expect("cache_base implies cache");
+                stats.cache_hits = c.hits().saturating_sub(h0);
+                stats.cache_misses = c.misses().saturating_sub(m0);
+            }
+            self.record_scan(table, &stats, scan_start, &visible_ts);
             return Ok(ScanResult {
                 snapshot,
                 schema: rs.schema,
@@ -231,6 +288,45 @@ impl QueryEngine {
         Err(VortexError::Unavailable(format!(
             "table {table}: scan could not settle after reconciliation rounds"
         )))
+    }
+
+    /// Folds one successful scan into the global registry: `scan.*`
+    /// counters mirroring [`ScanStats`], the `span.scan.us` histogram
+    /// (virtual time; usually 0 because the sim clock does not advance
+    /// during scan CPU work), and the commit-to-visible freshness probe
+    /// (§8) stamped at the moment results are handed to the caller.
+    fn record_scan(
+        &self,
+        table: TableId,
+        stats: &ScanStats,
+        scan_start: Option<Timestamp>,
+        visible_ts: &[Timestamp],
+    ) {
+        let m = obs::global();
+        m.counter("scan.calls").inc();
+        m.counter("scan.fragments_total")
+            .add(stats.fragments_total as u64);
+        m.counter("scan.pruned_by_stats")
+            .add(stats.pruned_by_stats as u64);
+        m.counter("scan.pruned_by_bloom")
+            .add(stats.pruned_by_bloom as u64);
+        m.counter("scan.tails_scanned")
+            .add(stats.tails_scanned as u64);
+        m.counter("scan.rows_scanned").add(stats.rows_scanned);
+        m.counter("scan.rows_matched").add(stats.rows_matched);
+        if self.cache.is_some() {
+            m.counter("scan.cache.hits").add(stats.cache_hits);
+            m.counter("scan.cache.misses").add(stats.cache_misses);
+        }
+        if let Some(tt) = &self.tt {
+            let end = tt.now().latest;
+            if let Some(start) = scan_start {
+                obs::Span::begin("scan", start).end(end);
+            }
+            if let Some(probe) = &self.probe {
+                probe.observe(table, visible_ts.iter().copied(), end);
+            }
+        }
     }
 
     /// Checks the WOS fragment's on-file bloom filter against every

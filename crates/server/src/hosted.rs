@@ -12,6 +12,7 @@ use vortex_colossus::StorageFleet;
 use vortex_common::bloom::BloomFilter;
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{FragmentId, IdGen};
+use vortex_common::obs;
 use vortex_common::row::RowSet;
 use vortex_common::schema::FieldMode;
 use vortex_common::stats::ColumnStats;
@@ -230,6 +231,11 @@ impl HostedStreamlet {
             completion = completion.max(out.completion);
             lens[i] = out.new_len;
         }
+        // Colossus replica-write leg of the append span: the max of the
+        // two synchronous replica writes (§5.6) is what the ack waits on.
+        obs::global()
+            .histogram("append.server.replica_write_us")
+            .record(max_service);
         Ok((max_service, completion, lens))
     }
 
@@ -421,6 +427,14 @@ impl HostedStreamlet {
                 self.rotate(true, ids, fleet, tt)?;
             }
         }
+        // Server leg of the append span (§4.2.2: request → both-replica
+        // durable), plus data-plane counters for the unified registry.
+        let m = obs::global();
+        m.counter("append.server.chunks").add(chunks.len() as u64);
+        m.counter("append.server.rows").add(rows.len() as u64);
+        m.histogram("append.server.service_us")
+            .record(total_service);
+        obs::Span::begin("append.server", start).end(completion);
         Ok(AppendAck {
             first_stream_row,
             row_count: rows.len() as u64,

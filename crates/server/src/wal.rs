@@ -200,6 +200,10 @@ impl ServerLog {
         rec.extend_from_slice(&body);
         rec.extend_from_slice(&crc32c(&body).to_le_bytes());
         cluster.append(&wal_path(self.server, self.epoch), &rec, Timestamp::MIN)?;
+        // WAL leg of the append path: one durable log record per event.
+        vortex_common::obs::global()
+            .counter("wal.records_logged")
+            .inc();
         Ok(())
     }
 

@@ -815,6 +815,9 @@ impl SmsTask {
         table: TableId,
         snapshot: Timestamp,
     ) -> VortexResult<ReadSet> {
+        vortex_common::obs::global()
+            .counter("sms.list_read_fragments")
+            .inc();
         let tbytes = self
             .store
             .read_at(&table_key(table), snapshot)
@@ -966,6 +969,9 @@ impl SmsTask {
         table: TableId,
         streamlet: StreamletId,
     ) -> VortexResult<StreamletMeta> {
+        vortex_common::obs::global()
+            .counter("sms.reconcile_streamlet")
+            .inc();
         let tmeta = self.get_table(table)?;
         let key = tmeta.encryption_key();
         // Phase 1: close + bump epoch so the outcome is sticky even if

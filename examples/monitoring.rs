@@ -20,6 +20,7 @@ use vortex::{
     DaemonConfig, FragmentKind, FragmentState, Region, RegionConfig, RegionDaemon, ScanOptions,
     StreamletState,
 };
+use vortex_common::crashpoints;
 
 fn main() -> vortex::VortexResult<()> {
     let region = Arc::new(Region::create(RegionConfig {
@@ -156,5 +157,46 @@ fn main() -> vortex::VortexResult<()> {
     println!("writers acked {written} rows; query engine sees {visible}");
     assert_eq!(visible as i64, written);
     println!("ledger clean: every acknowledged row is visible exactly once");
+
+    // Induce one crash-point fire on a host-process checkpoint so the
+    // unified snapshot below shows the framework's counter moving. The
+    // aborted checkpoint leaves durable state untouched.
+    {
+        let _cp = crashpoints::arm_nth("server.checkpoint.mid", 1);
+        match region.servers()[0].checkpoint() {
+            Err(vortex::VortexError::SimulatedCrash(_)) => {}
+            other => panic!("armed checkpoint crash point did not fire: {other:?}"),
+        }
+    }
+
+    // The unified observability snapshot (/varz): registry counters and
+    // histograms, per-method RPC percentiles, cache hit rates, crash
+    // point fires, and the §8 commit-to-visible freshness histogram fed
+    // by the dashboard's own scans.
+    let snap = region.metrics_snapshot();
+    println!();
+    println!("{}", snap.to_table());
+    let fresh = region.freshness().histogram();
+    assert!(
+        fresh.count > 0,
+        "freshness probe observed no rows despite live scans"
+    );
+    let rendered = snap.to_table();
+    for needle in [
+        "freshness.commit_to_visible_us",
+        "scan.cache.",
+        "append.client.calls",
+        "rpc",
+        "crash_point_fires",
+    ] {
+        assert!(rendered.contains(needle), "snapshot missing {needle}");
+    }
+    assert!(snap.crash_point_fires >= 1, "crash point fire not counted");
+    println!(
+        "freshness: {} rows observed, p50 {}us p99 {}us",
+        region.freshness().rows_observed(),
+        fresh.p50,
+        fresh.p99
+    );
     Ok(())
 }

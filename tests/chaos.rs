@@ -313,4 +313,11 @@ fn chaos_soak_exact_ledger() {
         "verification violations (seed {seed}): {:?}",
         report.violations
     );
+
+    // Exit telemetry: the unified snapshot, tagged with the seed that
+    // reproduces this exact run.
+    eprintln!(
+        "chaos metrics (seed {seed}):\n{}",
+        region.metrics_snapshot().to_table()
+    );
 }

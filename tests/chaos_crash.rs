@@ -93,6 +93,15 @@ fn chaos_kill_restart_exact_ledger() {
             .set_torn_seed(seed.wrapping_add(i as u64));
     }
 
+    // RPC-fault axis: seeded pre-execution unavailability on both
+    // service hops plus reply loss on the server hop (the ambiguous-ack
+    // path §4.2.2), layered under the kill/restart churn so the
+    // freshness probe below measures commit-to-visible latency through
+    // genuinely lossy channels.
+    region.sms_rpc().faults().set_unavailable_permille(15);
+    region.server_rpc().faults().set_unavailable_permille(15);
+    region.server_rpc().faults().set_reply_lost_permille(10);
+
     // Crash-point axis: every registered point armed with a seeded
     // per-mille trigger. Rates are chosen so the data plane keeps
     // making progress between deaths while rarer control-plane paths
@@ -311,8 +320,12 @@ fn chaos_kill_restart_exact_ledger() {
         crashpoints::total_fires()
     );
 
-    // Settle: full-state heartbeats reconcile anything the last death
-    // left half-reported before the ledger is judged.
+    // Settle: RPC faults off (the soak is over; the settle loop's
+    // heartbeats must not flake), then full-state heartbeats reconcile
+    // anything the last death left half-reported before the ledger is
+    // judged.
+    region.sms_rpc().faults().clear();
+    region.server_rpc().faults().clear();
     for _ in 0..3 {
         region.run_heartbeats(true).unwrap();
         region.advance_micros(1_000_000);
@@ -379,6 +392,40 @@ fn chaos_kill_restart_exact_ledger() {
         report.is_clean(),
         "verifier violations after crash soak (seed {seed}): {:?}",
         report.violations
+    );
+
+    // ---- Freshness probe (§8) under chaos ----
+    // The reader thread's scans plus the final ledger scan fed the
+    // region's commit-to-visible histogram through lossy RPC channels
+    // and kill/restart churn. It must have observed rows, its tail must
+    // stay finite (never the saturated bucket ceiling), and the
+    // per-table watermark must prevent double-counting: each row is
+    // observed at most once, so the unique-row counter can never exceed
+    // the final ledger, and it must agree with the histogram exactly.
+    let fresh = region.freshness().histogram();
+    let observed = region.freshness().rows_observed();
+    assert!(fresh.count > 0, "freshness histogram empty (seed {seed})");
+    assert!(
+        fresh.p99 <= fresh.max && fresh.max < u64::MAX / 2,
+        "freshness tail saturated: p99={} max={} (seed {seed})",
+        fresh.p99,
+        fresh.max
+    );
+    assert_eq!(
+        observed, fresh.count,
+        "freshness histogram and row counter disagree (seed {seed})"
+    );
+    assert!(
+        observed <= got.len() as u64,
+        "freshness double-counted: {observed} observed > {} visible rows (seed {seed})",
+        got.len()
+    );
+
+    // Exit telemetry: the unified snapshot, tagged with the seed that
+    // reproduces this exact run.
+    eprintln!(
+        "chaos_crash metrics (seed {seed}):\n{}",
+        region.metrics_snapshot().to_table()
     );
 }
 
