@@ -1,0 +1,279 @@
+//! **C9 — graceful degradation under overload** (§4.2.1, §7.2).
+//!
+//! Sweeps offered load from 1× to 8× the admitted capacity (the tenant
+//! requests/s quota) and measures, for both arms — admission enabled
+//! vs the disabled control — interactive goodput, interactive p99, and
+//! how deep the background stream's storage backlog grows.
+//!
+//! The claim under test: with admission control the system degrades
+//! gracefully — interactive traffic keeps ≥95% goodput at a bounded
+//! p99 while background work is shed first, and aggregate goodput
+//! stays at capacity instead of collapsing. Without it, every offer is
+//! admitted into the storage queues and the backlog (and therefore
+//! latency) grows without bound — congestion collapse.
+//!
+//! Emits `BENCH_overload.json` at the repo root so the benchmark
+//! trajectory accumulates across PRs. `VORTEX_BENCH_ITERS` overrides
+//! the tick count (CI smoke runs use a small value; the degradation
+//! assertions arm only on full-length runs).
+#![allow(clippy::print_stdout)] // prints results/tables by design
+
+use std::path::Path;
+
+use vortex::row::{Row, RowSet, Value};
+use vortex::schema::{Field, FieldType, Schema};
+use vortex::{
+    class_scope, AdmissionConfig, Percentiles, Quota, Region, RegionConfig, StreamWriter,
+    VortexError, WorkClass,
+};
+
+/// Admitted capacity: the tenant requests/s quota.
+const QUOTA_RPS: u64 = 130;
+/// Interactive offered rate, req/s — always inside quota.
+const INTERACTIVE_RPS: u64 = 50;
+/// Virtual tick of the open-loop schedule.
+const TICK_US: u64 = 20_000;
+
+struct Point {
+    mult: u64,
+    enabled: bool,
+    offered_rps: u64,
+    interactive_goodput_pct: f64,
+    interactive_p99_us: u64,
+    background_shed_pct: f64,
+    acked_rps: u64,
+    backlog_end_us: u64,
+}
+
+fn bench_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("k", FieldType::Int64),
+        Field::required("payload", FieldType::String),
+    ])
+}
+
+fn rows(k: i64) -> RowSet {
+    RowSet::new(vec![Row::insert(vec![
+        Value::Int64(k),
+        Value::String("c9".into()),
+    ])])
+}
+
+/// Interactive appends honor `retry_after_us` at application level:
+/// back off in virtual time and re-offer until the append lands.
+fn must_append(region: &Region, w: &mut StreamWriter, k: i64) -> u64 {
+    for _ in 0..100 {
+        match w.append(rows(k)) {
+            Ok(res) => return res.latency_us,
+            Err(VortexError::ResourceExhausted { retry_after_us, .. }) => {
+                region.advance_micros(retry_after_us.clamp(1_000, 50_000));
+            }
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => panic!("interactive append failed: {e}"),
+        }
+    }
+    panic!("interactive append kept failing");
+}
+
+/// Background offers shed on `ResourceExhausted` (dropped, not retried).
+fn try_append(w: &mut StreamWriter, k: i64) -> Option<u64> {
+    for _ in 0..50 {
+        match w.append(rows(k)) {
+            Ok(res) => return Some(res.latency_us),
+            Err(VortexError::ResourceExhausted { .. }) => return None,
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => panic!("background append failed: {e}"),
+        }
+    }
+    None
+}
+
+fn run_point(mult: u64, enabled: bool, ticks: u64) -> Point {
+    let admission = if enabled {
+        AdmissionConfig {
+            tenant_quota: Quota {
+                requests_per_sec: QUOTA_RPS,
+                burst_requests: 20,
+                ..Quota::UNLIMITED
+            },
+            ..AdmissionConfig::default()
+        }
+    } else {
+        AdmissionConfig::disabled()
+    };
+    let region = Region::create(RegionConfig {
+        seed: 0xC9 + mult,
+        gc_grace_micros: Some(3_600_000_000),
+        admission,
+        ..RegionConfig::paper_latency()
+    })
+    .unwrap();
+    let client = region.client();
+    let table = client.create_table("c9", bench_schema()).unwrap().table;
+    let mut w_int = client.create_unbuffered_writer(table).unwrap();
+    let mut w_bg = client.create_unbuffered_writer(table).unwrap();
+
+    // Offered schedule: interactive at a fixed in-quota rate plus a
+    // background storm sized so the total is `mult` × capacity.
+    let bg_rps = (mult * QUOTA_RPS).saturating_sub(INTERACTIVE_RPS);
+    let mut int_due = 0u64; // fixed-point offer accumulators, µreq
+    let mut bg_due = 0u64;
+    let (mut int_lat, mut bg_lat) = (Vec::new(), Vec::new());
+    let (mut int_offered, mut bg_offered, mut bg_acked) = (0u64, 0u64, 0u64);
+    let mut k = 0i64;
+    let mut backlog_end_us = 0u64;
+    for _ in 0..ticks {
+        region.advance_micros(TICK_US);
+        int_due += INTERACTIVE_RPS * TICK_US;
+        while int_due >= 1_000_000 {
+            int_due -= 1_000_000;
+            int_offered += 1;
+            int_lat.push(must_append(&region, &mut w_int, k));
+            k += 1;
+        }
+        bg_due += bg_rps * TICK_US;
+        {
+            let _g = class_scope(WorkClass::Background);
+            while bg_due >= 1_000_000 {
+                bg_due -= 1_000_000;
+                bg_offered += 1;
+                if let Some(lat) = try_append(&mut w_bg, k) {
+                    bg_acked += 1;
+                    bg_lat.push(lat);
+                    backlog_end_us = lat;
+                }
+                k += 1;
+            }
+        }
+    }
+    let stats = region.admission().class_stats(WorkClass::Background);
+    let span_s = (ticks * TICK_US) as f64 / 1e6;
+    let p99 = {
+        let mut v = int_lat.clone();
+        Percentiles::compute(&mut v).p99
+    };
+    Point {
+        mult,
+        enabled,
+        offered_rps: ((int_offered + bg_offered) as f64 / span_s) as u64,
+        interactive_goodput_pct: int_lat.len() as f64 * 100.0 / int_offered.max(1) as f64,
+        interactive_p99_us: p99,
+        background_shed_pct: 100.0 * stats.shed as f64
+            / (stats.shed + stats.admitted).max(1) as f64,
+        acked_rps: ((int_lat.len() as u64 + bg_acked) as f64 / span_s) as u64,
+        backlog_end_us,
+    }
+}
+
+fn main() {
+    let ticks: u64 = std::env::var("VORTEX_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    println!("\n=== C9: goodput & latency vs offered load (quota {QUOTA_RPS} req/s) ===");
+    println!(
+        "{:>5} | {:>9} | {:>11} | {:>13} | {:>11} | {:>9} | {:>12} | {:>12}",
+        "mult",
+        "admission",
+        "offered r/s",
+        "int goodput %",
+        "int p99 ms",
+        "acked r/s",
+        "bg shed %",
+        "backlog ms"
+    );
+    let mut points = Vec::new();
+    for &mult in &[1u64, 2, 4, 8] {
+        for &enabled in &[true, false] {
+            let p = run_point(mult, enabled, ticks);
+            println!(
+                "{:>5} | {:>9} | {:>11} | {:>13.1} | {:>11.1} | {:>9} | {:>12.1} | {:>12.1}",
+                p.mult,
+                if p.enabled { "on" } else { "off" },
+                p.offered_rps,
+                p.interactive_goodput_pct,
+                p.interactive_p99_us as f64 / 1000.0,
+                p.acked_rps,
+                p.background_shed_pct,
+                p.backlog_end_us as f64 / 1000.0,
+            );
+            points.push(p);
+        }
+    }
+
+    let find = |mult: u64, enabled: bool| -> &Point {
+        points
+            .iter()
+            .find(|p| p.mult == mult && p.enabled == enabled)
+            .unwrap()
+    };
+    // Degradation assertions need a long enough run for queues to
+    // build; CI smoke (small VORTEX_BENCH_ITERS) just exercises paths.
+    let full = ticks >= 200;
+    if full {
+        let on4 = find(4, true);
+        let off4 = find(4, false);
+        let on1 = find(1, true);
+        assert!(
+            on4.interactive_goodput_pct >= 95.0,
+            "interactive goodput collapsed at 4x: {:.1}%",
+            on4.interactive_goodput_pct
+        );
+        assert!(
+            on4.interactive_p99_us < 500_000,
+            "interactive p99 unbounded at 4x: {}us",
+            on4.interactive_p99_us
+        );
+        assert!(
+            on4.background_shed_pct > 50.0,
+            "background not shed at 4x: {:.1}%",
+            on4.background_shed_pct
+        );
+        // Graceful degradation: aggregate goodput at 4x stays at (or
+        // above) the 1x level instead of collapsing.
+        assert!(
+            on4.acked_rps * 100 >= on1.acked_rps * 90,
+            "goodput collapse: {} r/s at 4x vs {} r/s at 1x",
+            on4.acked_rps,
+            on1.acked_rps
+        );
+        // Control: without admission the backlog at 4x dwarfs the
+        // admission arm's (queue growth → latency blow-up).
+        assert!(
+            off4.backlog_end_us >= 5 * on4.backlog_end_us.max(1) && off4.backlog_end_us > 1_000_000,
+            "control backlog did not blow up: {}us vs {}us",
+            off4.backlog_end_us,
+            on4.backlog_end_us
+        );
+        println!("\ngraceful degradation: interactive protected, background shed, no collapse ✓");
+    } else {
+        println!("\n(smoke run: degradation assertions skipped at {ticks} ticks)");
+    }
+
+    // ---- BENCH_overload.json (repo root) ----
+    let mut rows_json = String::new();
+    for (i, p) in points.iter().enumerate() {
+        rows_json.push_str(&format!(
+            concat!(
+                "    {{\"mult\": {}, \"admission\": {}, \"offered_rps\": {}, ",
+                "\"interactive_goodput_pct\": {:.1}, \"interactive_p99_us\": {}, ",
+                "\"acked_rps\": {}, \"background_shed_pct\": {:.1}, \"backlog_end_us\": {}}}{}\n"
+            ),
+            p.mult,
+            p.enabled,
+            p.offered_rps,
+            p.interactive_goodput_pct,
+            p.interactive_p99_us,
+            p.acked_rps,
+            p.background_shed_pct,
+            p.backlog_end_us,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"c9_overload\",\n  \"ticks\": {ticks},\n  \"quota_rps\": {QUOTA_RPS},\n  \"points\": [\n{rows_json}  ]\n}}\n"
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_overload.json");
+    std::fs::write(&out, json).expect("write BENCH_overload.json");
+    println!("wrote {}", out.display());
+}

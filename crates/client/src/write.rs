@@ -5,6 +5,7 @@ use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::obs;
 use vortex_common::row::{Row, RowSet, Value};
+use vortex_common::rpc::table_scope;
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_sms::api::SmsHandle;
@@ -167,9 +168,15 @@ impl StreamWriter {
             // to arrive over the network before sending the next request.
             now.max(self.last_completion.plus_micros(self.opts.ack_delay_us))
         };
+        // Tag every RPC below with the table so per-table admission
+        // quotas attribute the traffic (the class stays whatever the
+        // caller scoped — Interactive for direct clients, Batch inside a
+        // connector worker).
+        let _table = table_scope(self.table);
         let cpu = self.transport.on_request(now);
         let mut schema_refetches = 0usize;
         let mut rotations = 0usize;
+        let mut throttle_retries = 0usize;
         loop {
             let expected = self.opts.exactly_once.then_some(self.next_offset);
             let outcome = self.handle.server.append(
@@ -226,7 +233,26 @@ impl StreamWriter {
                     // §5.4.1: fetch the updated schema from the SMS, then
                     // retry the append under the new version.
                     schema_refetches += 1;
-                    self.schema = self.sms.get_table(self.table)?.schema;
+                    match self.sms.get_table(self.table) {
+                        Ok(meta) => self.schema = meta.schema,
+                        Err(re) => {
+                            // Flow-control discipline: this early return
+                            // used to `?` straight out and leak the
+                            // in-flight slot taken by on_request above.
+                            self.transport.on_response();
+                            return Err(re);
+                        }
+                    }
+                }
+                Err(VortexError::ResourceExhausted { .. }) if throttle_retries < 3 => {
+                    // Admission shed the append before anything executed:
+                    // the streamlet is fine and the offset unchanged, so
+                    // rotating (which would hammer the already-overloaded
+                    // SMS with metadata traffic) is exactly wrong. Retry
+                    // in place; the channel honors the server's
+                    // retry_after hint between attempts.
+                    throttle_retries += 1;
+                    obs::global().counter("append.client.throttled").inc();
                 }
                 Err(e) if e.is_retryable() && rotations < self.max_rotate_retries => {
                     // §5.4: finalize the current streamlet, obtain a new

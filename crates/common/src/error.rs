@@ -75,6 +75,21 @@ pub enum VortexError {
     /// must not swallow a simulated death; only the boundary converts it
     /// into a retryable [`VortexError::Unavailable`] for remote callers.
     SimulatedCrash(String),
+    /// Admission control rejected the request before it executed: a
+    /// quota bucket is empty, the admission queue for the caller's
+    /// priority class is full, or the adaptive concurrency limiter is
+    /// clamped (`vortex-admission`). Retryable — and unlike every other
+    /// retryable error it carries an explicit server-side backoff hint,
+    /// which [`crate::rpc::RetryPolicy`]-driven retries honor instead of
+    /// blind exponential backoff (the gRPC `RESOURCE_EXHAUSTED` +
+    /// `RetryInfo` contract). `retry_after_us` must be nonzero (lint
+    /// L009): a zero hint strands hint-directed retriers in a busy loop.
+    ResourceExhausted {
+        /// What was exhausted, e.g. `tenant 0 bytes/s` or `aimd limit`.
+        scope: String,
+        /// Server-suggested backoff before retrying, virtual µs (> 0).
+        retry_after_us: u64,
+    },
     /// An RPC exhausted its per-call budget (injected latency plus retry
     /// backoff) before completing. Retryable: the deadline says nothing
     /// about whether the callee executed, exactly like a gRPC
@@ -99,9 +114,20 @@ impl VortexError {
                 | VortexError::Io(_)
                 | VortexError::TxnConflict(_)
                 | VortexError::Throttled { .. }
+                | VortexError::ResourceExhausted { .. }
                 | VortexError::StreamletFinalized(_)
                 | VortexError::DeadlineExceeded { .. }
         )
+    }
+
+    /// The server-supplied backoff hint, if this error carries one.
+    /// Hint-directed retriers (the RPC channel, the thick client) wait
+    /// exactly this long instead of applying exponential backoff.
+    pub fn retry_after_us(&self) -> Option<u64> {
+        match self {
+            VortexError::ResourceExhausted { retry_after_us, .. } => Some(*retry_after_us),
+            _ => None,
+        }
     }
 
     /// Whether the error indicates the client must refresh metadata (new
@@ -151,6 +177,13 @@ impl fmt::Display for VortexError {
                 f,
                 "throttled: {in_flight_bytes} bytes in flight exceeds limit {limit_bytes}"
             ),
+            VortexError::ResourceExhausted {
+                scope,
+                retry_after_us,
+            } => write!(
+                f,
+                "resource exhausted ({scope}): retry after {retry_after_us}us"
+            ),
             VortexError::FragmentNotVisible(id) => {
                 write!(f, "fragment {id} not visible at snapshot")
             }
@@ -188,6 +221,11 @@ mod tests {
             budget_us: 1_000
         }
         .is_retryable());
+        assert!(VortexError::ResourceExhausted {
+            scope: "tenant 0 bytes/s".into(),
+            retry_after_us: 2_500
+        }
+        .is_retryable());
         assert!(!VortexError::NotFound("x".into()).is_retryable());
         assert!(!VortexError::OffsetMismatch {
             stream: StreamId::from_raw(1),
@@ -211,6 +249,25 @@ mod tests {
         .needs_metadata_refresh());
         assert!(VortexError::StreamletFinalized(StreamletId::from_raw(9)).needs_metadata_refresh());
         assert!(!VortexError::Unavailable("x".into()).needs_metadata_refresh());
+    }
+
+    #[test]
+    fn retry_after_hint_only_on_resource_exhausted() {
+        let e = VortexError::ResourceExhausted {
+            scope: "aimd limit".into(),
+            retry_after_us: 7_500,
+        };
+        assert_eq!(e.retry_after_us(), Some(7_500));
+        assert!(e.to_string().contains("7500us"), "{e}");
+        assert_eq!(VortexError::Unavailable("x".into()).retry_after_us(), None);
+        assert_eq!(
+            VortexError::Throttled {
+                in_flight_bytes: 10,
+                limit_bytes: 5
+            }
+            .retry_after_us(),
+            None
+        );
     }
 
     #[test]

@@ -215,8 +215,23 @@ impl AdaptiveTransport {
     }
 
     /// Records a response completing (releases bi-di tracking state).
+    ///
+    /// Flow-control release discipline: every `on_request` must be paired
+    /// with exactly one `on_response` on *every* exit path — success,
+    /// callee error, injected fault, lost reply — or the in-flight window
+    /// leaks and a burst of failures permanently exhausts the budget.
+    /// `RpcChannel::call` owns the pairing; callers that drive the
+    /// transport directly (the thick client's append loop) must uphold it
+    /// themselves, including on early-return `?` paths.
     pub fn on_response(&mut self) {
         self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Requests currently in flight (bi-di tracking window). Zero
+    /// whenever no call is executing — see the release discipline on
+    /// [`AdaptiveTransport::on_response`].
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
     }
 }
 

@@ -6,6 +6,7 @@ use vortex_client::{VortexClient, WriterOptions};
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::TableId;
 use vortex_common::row::{Row, RowSet};
+use vortex_common::rpc::{class_scope, WorkClass};
 use vortex_sms::meta::StreamType;
 
 use crate::shuffle::{partition_rows, Bundle, Shuffle};
@@ -68,6 +69,11 @@ impl BeamSink {
     /// end to end: every input row becomes visible exactly once no matter
     /// how many duplicate deliveries or zombie workers the run injects.
     pub fn run(&self, input: Vec<Row>, cfg: &SinkConfig) -> VortexResult<SinkReport> {
+        // Connector ingest is throughput-oriented batch work: it queues
+        // behind interactive traffic and sheds before it under overload.
+        // (Workers tag their own threads in `run_worker` — CallCtx is
+        // thread-local and does not cross `thread::scope`.)
+        let _batch = class_scope(WorkClass::Batch);
         if cfg.workers == 0 {
             return Err(VortexError::InvalidArgument(
                 "need at least 1 worker".into(),
@@ -158,6 +164,7 @@ fn run_worker(
     state: &PipelineState,
     shuffle: &Shuffle,
 ) -> VortexResult<WorkerReport> {
+    let _batch = class_scope(WorkClass::Batch);
     // "Each worker in the Append stage creates its own dedicated BUFFERED
     // stream on the table" (§7.4).
     let mut writer = client.create_writer(

@@ -84,6 +84,9 @@ pub use daemon::{DaemonConfig, RegionDaemon};
 pub use region::{Region, RegionConfig};
 
 // Re-exports: the public API surface downstream code should use.
+pub use vortex_admission::{
+    AdmissionConfig, AdmissionController, AimdConfig, ClassStats, Quota, TokenBucket,
+};
 pub use vortex_client::{
     read_table, AppendResult, ReadCache, ReadOptions, StreamWriter, TableRows, VortexClient,
     WriterOptions,
@@ -95,7 +98,8 @@ pub use vortex_common::mask::DeletionMask;
 pub use vortex_common::obs;
 pub use vortex_common::row;
 pub use vortex_common::rpc::{
-    CallKind, MethodStats, RetryPolicy, RpcChannel, RpcChannelConfig, RpcFaultPlan, RpcMetrics,
+    class_scope, table_scope, tenant_scope, CallCtx, CallKind, MethodStats, RetryPolicy,
+    RpcChannel, RpcChannelConfig, RpcFaultPlan, RpcMetrics, WorkClass,
 };
 pub use vortex_common::schema;
 pub use vortex_common::truetime::{SimClock, Timestamp, TrueTime};

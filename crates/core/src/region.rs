@@ -4,13 +4,14 @@
 
 use std::sync::Arc;
 
+use vortex_admission::{AdmissionConfig, AdmissionController};
 use vortex_client::{ReadCache, VortexClient};
 use vortex_colossus::{Colossus, StorageFleet};
 use vortex_common::error::VortexResult;
 use vortex_common::ids::{ClusterId, IdGen, ServerId, SmsTaskId, TableId};
 use vortex_common::latency::WriteProfile;
 use vortex_common::obs::{self, FreshnessProbe, MetricsSnapshot};
-use vortex_common::rpc::{RpcChannel, RpcChannelConfig};
+use vortex_common::rpc::{class_scope, RpcChannel, RpcChannelConfig, WorkClass};
 use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 use vortex_metastore::MetaStore;
 use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
@@ -58,6 +59,13 @@ pub struct RegionConfig {
     /// the SMS and Stream Server hops. Fault plans are armed at runtime
     /// via [`Region::sms_rpc`] / [`Region::server_rpc`].
     pub rpc: RpcChannelConfig,
+    /// Admission-control policy installed on both RPC channels (quotas,
+    /// priority-class shedding, adaptive overload protection). The
+    /// default admits everything (unlimited quotas) while still keeping
+    /// per-class counters; overload soaks set real quotas, and
+    /// [`vortex_admission::AdmissionConfig::disabled`] is the
+    /// no-protection control arm.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for RegionConfig {
@@ -76,6 +84,7 @@ impl Default for RegionConfig {
             disk_root: None,
             gc_grace_micros: None,
             rpc: RpcChannelConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -123,6 +132,7 @@ pub struct Region {
     server_handles: Vec<ServerHandle>,
     sms_rpc: Arc<RpcChannel>,
     server_rpc: Arc<RpcChannel>,
+    admission: Arc<AdmissionController>,
     optimizer: StorageOptimizer,
     /// Shared decoded-extent cache handed to every [`Region::engine`]
     /// (§9 query-aware caching).
@@ -236,6 +246,12 @@ impl Region {
         // server channel too.
         let sms_rpc = RpcChannel::new("sms", cfg.rpc.clone(), Some(clock.clone()));
         let server_rpc = RpcChannel::new("server", cfg.rpc.clone(), Some(clock.clone()));
+        // One admission controller across both hops: every RPC in the
+        // region drains the same quota pool and the same adaptive
+        // concurrency window (the single policy point for overload).
+        let admission = AdmissionController::new(cfg.admission.clone());
+        sms_rpc.set_interceptor(admission.clone());
+        server_rpc.set_interceptor(admission.clone());
         let mut servers = Vec::new();
         let mut server_channels: Vec<Arc<ServerChannel>> = Vec::new();
         let mut server_handles: Vec<ServerHandle> = Vec::new();
@@ -293,6 +309,7 @@ impl Region {
             server_handles,
             sms_rpc,
             server_rpc,
+            admission,
             optimizer,
             read_cache: ReadCache::new(READ_CACHE_MAX_ROWS),
             freshness: Arc::new(FreshnessProbe::new(obs::global())),
@@ -441,6 +458,13 @@ impl Region {
     /// client appends alike).
     pub fn server_rpc(&self) -> &Arc<RpcChannel> {
         &self.server_rpc
+    }
+
+    /// The region's admission controller (quotas, per-class shed/queue
+    /// counters, the adaptive concurrency window) — installed on both
+    /// RPC channels at construction.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     /// The storage fleet.
@@ -596,6 +620,9 @@ impl Region {
     /// deletions), and acks completed GC so the SMS can drop metadata.
     /// Returns the number of streamlet deltas processed.
     pub fn run_heartbeats(&self, full_state: bool) -> VortexResult<usize> {
+        // Heartbeats themselves are admission-exempt liveness traffic,
+        // but the GC acks they trigger are deferrable maintenance.
+        let _bg = class_scope(WorkClass::Background);
         let mut deltas = 0;
         for (i, server) in self.server_handles.iter().enumerate() {
             // Dead processes send no heartbeats.
@@ -639,6 +666,9 @@ impl Region {
     /// One optimization cycle for a table: WOS→ROS conversion, then a
     /// recluster check, then metadata compaction (§6).
     pub fn run_optimizer_cycle(&self, table: TableId) -> VortexResult<()> {
+        // Optimization is the canonical background class: under overload
+        // its RPCs are shed before any interactive or batch work.
+        let _bg = class_scope(WorkClass::Background);
         // Yielding to DML surfaces as Unavailable, and transient storage
         // faults surface as retryable errors — both mean "try again next
         // cycle" for a continuous background service (§6.1, §7.3). A
@@ -671,6 +701,7 @@ impl Region {
     /// One groomer sweep (§5.4.3): physically deletes fragments whose GC
     /// grace elapsed and prunes old metastore versions.
     pub fn run_gc(&self, table: TableId) -> VortexResult<usize> {
+        let _bg = class_scope(WorkClass::Background);
         let n = self.sms_handles[0].run_gc(table)?;
         // Metastore MVCC garbage below a conservative watermark.
         let wm = Timestamp(self.store.now().micros().saturating_sub(60_000_000));

@@ -11,7 +11,7 @@ use crate::lexer::MaskedSource;
 
 /// Rules enforced by vortex-lint, in catalogue order.
 pub const RULES: &[&str] = &[
-    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
 ];
 
 /// The file defining the crash-point registry: L007's source of truth
@@ -54,6 +54,11 @@ pub const CLOCK_ALLOWED_FILES: &[&str] = &[
     "crates/common/src/truetime.rs",
     "crates/common/src/latency.rs",
 ];
+
+/// The admission-control subsystem: the single owner of throttling
+/// policy (token buckets, queue bounds, the AIMD limiter). Ad-hoc
+/// throttling waits elsewhere bypass its per-class accounting (L009).
+pub const ADMISSION_CRATE_PREFIX: &str = "crates/admission/";
 
 /// Files allowed to declare process-wide atomic statics: the unified
 /// metrics registry and the crash-point framework are the two sanctioned
@@ -125,6 +130,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Violation> {
     rule_l006(input, &is_test_line, &mut violations);
     rule_l007(input, &is_test_line, &mut violations);
     rule_l008(input, &is_test_line, &mut violations);
+    rule_l009(input, &is_test_line, &mut violations);
 
     violations.retain(|v| {
         v.rule == "L000"
@@ -543,6 +549,89 @@ fn rule_l008(
                 message: "ad-hoc atomic counter static outside the obs layer; \
                           register it via `vortex_common::obs::global()` so the \
                           unified snapshot sees it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L009 throttle-discipline: overload pushback is retryable and owned
+/// by one subsystem.
+///
+/// (a) Every `ResourceExhausted` construction must quote a nonzero
+/// `retry_after_us` — a zero hint tells the client to hammer the
+/// exhausted resource immediately (`RpcChannel` honors the hint as its
+/// backoff). The check keys on the field name, which only that variant
+/// (and its config mirrors) carries.
+///
+/// (b) Throttling waits (`sleep` on a line mentioning throttle/backoff/
+/// retry-after/rate-limit state) are banned outside `crates/admission/`:
+/// an ad-hoc sleep throttles invisibly — no shed counter, no class
+/// priority, no virtual-time accounting. Queue through the admission
+/// controller (or return `ResourceExhausted` and let the channel back
+/// off) instead.
+fn rule_l009(
+    input: &FileInput<'_>,
+    is_test_line: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let code = &input.masked.code;
+    let bytes = code.as_bytes();
+
+    for at in occurrences_at(code, "retry_after_us") {
+        let line = line_of(bytes, at);
+        if is_test_line(line) {
+            continue;
+        }
+        // `retry_after_us : 0` with a literal zero (any suffix) fires;
+        // `0.`/`01` would be a different number, and bindings/shorthand
+        // have no `:`-value at all.
+        let mut rest = code[at + "retry_after_us".len()..].chars().peekable();
+        while rest.peek().is_some_and(|c| c.is_whitespace()) {
+            rest.next();
+        }
+        if rest.next() != Some(':') {
+            continue;
+        }
+        while rest.peek().is_some_and(|c| c.is_whitespace()) {
+            rest.next();
+        }
+        if rest.next() == Some('0') && !rest.peek().is_some_and(|c| c.is_ascii_digit() || *c == '.')
+        {
+            out.push(Violation {
+                rule: "L009",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: "`ResourceExhausted` with `retry_after_us: 0` tells the \
+                          client to retry instantly against an exhausted resource; \
+                          quote the actual wait (min 1µs)"
+                    .to_string(),
+            });
+        }
+    }
+
+    if input.rel_path.starts_with(ADMISSION_CRATE_PREFIX) {
+        return;
+    }
+    const THROTTLE_MARKERS: &[&str] = &["throttle", "backoff", "retry_after", "rate_limit"];
+    for at in occurrences_at(code, "sleep(") {
+        let line = line_of(bytes, at);
+        if is_test_line(line) {
+            continue;
+        }
+        let start = code[..at].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let end = code[at..].find('\n').map(|p| at + p).unwrap_or(code.len());
+        let line_text = &code[start..end];
+        if THROTTLE_MARKERS.iter().any(|m| line_text.contains(m)) {
+            out.push(Violation {
+                rule: "L009",
+                crate_name: input.crate_name.to_string(),
+                path: input.rel_path.to_string(),
+                line,
+                message: "ad-hoc throttling sleep outside vortex-admission; route \
+                          pushback through the admission controller or return \
+                          `ResourceExhausted` and let the channel back off"
                     .to_string(),
             });
         }

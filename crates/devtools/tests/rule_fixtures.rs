@@ -431,6 +431,82 @@ fn l008_silent_in_test_context_and_suppressible() {
     assert!(rules_for(suppressed, "crates/server/src/x.rs", "vortex-server").is_empty());
 }
 
+// ---------------------------------------------------------------- L009
+
+#[test]
+fn l009_fires_on_zero_retry_after_hint() {
+    let src = "fn f() -> VortexError {\n    VortexError::ResourceExhausted {\n        \
+               scope: \"tenant\".into(),\n        retry_after_us: 0,\n    }\n}\n";
+    assert_eq!(
+        rules_for(src, "crates/server/src/x.rs", "vortex-server"),
+        ["L009"]
+    );
+    let spaced =
+        "fn f() { let e = VortexError::ResourceExhausted { scope: s, retry_after_us : 0 }; }\n";
+    assert_eq!(
+        rules_for(spaced, "crates/sms/src/x.rs", "vortex-sms"),
+        ["L009"]
+    );
+}
+
+#[test]
+fn l009_silent_on_nonzero_hints_bindings_and_patterns() {
+    let src = "fn f(w: u64) {\n    \
+               let _a = VortexError::ResourceExhausted { scope: s(), retry_after_us: w.max(1) };\n    \
+               let _b = VortexError::ResourceExhausted { scope: s(), retry_after_us: 5_000 };\n    \
+               if let VortexError::ResourceExhausted { retry_after_us, .. } = _b { let _ = retry_after_us; }\n}\n";
+    assert!(rules_for(src, "crates/client/src/x.rs", "vortex-client").is_empty());
+}
+
+#[test]
+fn l009_fires_on_throttling_sleep_outside_admission() {
+    let src = "fn f(throttle_us: u64) {\n    \
+               std::thread::sleep(std::time::Duration::from_micros(throttle_us));\n}\n";
+    assert_eq!(
+        rules_for(src, "crates/client/src/x.rs", "vortex-client"),
+        // L003 (sleep outside the latency substrate) stacks with the
+        // throttle-specific charge.
+        ["L003", "L009"]
+    );
+    // The latency substrate is L003-exempt, but a throttling sleep
+    // there still violates throttle-discipline.
+    let in_substrate =
+        "fn f(backoff_us: u64) { thread::sleep(Duration::from_micros(backoff_us)); }\n";
+    assert_eq!(
+        rules_for(
+            in_substrate,
+            "crates/common/src/latency.rs",
+            "vortex-common"
+        ),
+        ["L009"]
+    );
+}
+
+#[test]
+fn l009_exempts_admission_and_non_throttle_sleeps() {
+    // Inside the admission crate the throttle-specific charge is
+    // waived (L003's general sleep ban still applies — admission runs
+    // on virtual time).
+    let src = "fn f(throttle_us: u64) { thread::sleep(Duration::from_micros(throttle_us)); }\n";
+    assert_eq!(
+        rules_for(src, "crates/admission/src/lib.rs", "vortex-admission"),
+        ["L003"]
+    );
+    // A sleep with no throttling context is L003's business alone.
+    let plain = "fn f() { std::thread::sleep(POLL_INTERVAL); }\n";
+    assert_eq!(rules_for(plain, "crates/core/src/x.rs", "vortex"), ["L003"]);
+}
+
+#[test]
+fn l009_silent_in_test_context_and_suppressible() {
+    let src =
+        "fn f() { let _ = VortexError::ResourceExhausted { scope: s(), retry_after_us: 0 }; }\n";
+    assert!(scan_str(src, "tests/chaos.rs", "vortex", true).is_empty());
+    let suppressed = "// lint:allow(L009, fixture exercises the zero-hint path)\n\
+                      fn f() { let _ = VortexError::ResourceExhausted { scope: s(), retry_after_us: 0 }; }\n";
+    assert!(rules_for(suppressed, "crates/server/src/x.rs", "vortex-server").is_empty());
+}
+
 // ------------------------------------------------------------- ratchet
 
 /// Builds a miniature workspace on disk so `enforce_ratchet` can be

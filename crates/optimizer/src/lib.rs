@@ -31,6 +31,7 @@ use vortex_colossus::StorageFleet;
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{IdGen, StreamletId, TableId};
 use vortex_common::row::{Row, Value};
+use vortex_common::rpc::{class_scope, WorkClass};
 use vortex_common::schema::Schema;
 use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_ros::{RosBlock, RosBlockBuilder, RowMeta};
@@ -299,6 +300,7 @@ impl StorageOptimizer {
     /// splits their live rows by partition, writes clustered level-0 ROS
     /// blocks, and atomically swaps visibility. Yields to DML (§7.3).
     pub fn convert_wos(&self, table: TableId) -> VortexResult<ConversionReport> {
+        let _bg = class_scope(WorkClass::Background);
         let tmeta = self.sms.get_table(table)?;
         let key = tmeta.encryption_key();
         let schema = &tmeta.schema;
@@ -372,6 +374,7 @@ impl StorageOptimizer {
     /// carry over positionally, so this never races with DML and does not
     /// yield.
     pub fn convert_one_to_one(&self, table: TableId) -> VortexResult<ConversionReport> {
+        let _bg = class_scope(WorkClass::Background);
         let tmeta = self.sms.get_table(table)?;
         let key = tmeta.encryption_key();
         let schema = &tmeta.schema;
@@ -415,6 +418,7 @@ impl StorageOptimizer {
     /// enough relative to the baseline, merge everything into a new
     /// non-overlapping baseline sorted by the clustering keys.
     pub fn recluster(&self, table: TableId) -> VortexResult<ReclusterReport> {
+        let _bg = class_scope(WorkClass::Background);
         let tmeta = self.sms.get_table(table)?;
         let key = tmeta.encryption_key();
         let schema = &tmeta.schema;
@@ -553,6 +557,7 @@ impl StorageOptimizer {
     /// Runs Big Metadata compaction for the table (§6.2): the watermark
     /// is the current snapshot once every candidate has been converted.
     pub fn compact_metadata(&self, table: TableId) -> VortexResult<usize> {
+        let _bg = class_scope(WorkClass::Background);
         let pending = self.candidates(table)?.len();
         if pending > 0 {
             return Ok(0); // watermark pinned by unoptimized fragments

@@ -627,6 +627,19 @@ impl ServerChannel {
         kind: CallKind,
         f: impl FnMut(&dyn StreamServerApi) -> VortexResult<T>,
     ) -> VortexResult<T> {
+        self.service_sized(method, kind, 0, f)
+    }
+
+    /// [`ServerChannel::service`] with a declared payload size, charged
+    /// against admission byte quotas (`append` is the only data-plane
+    /// bulk mover on this hop).
+    fn service_sized<T>(
+        &self,
+        method: &'static str,
+        kind: CallKind,
+        payload_bytes: u64,
+        f: impl FnMut(&dyn StreamServerApi) -> VortexResult<T>,
+    ) -> VortexResult<T> {
         let mut f = f;
         if self.is_dead() {
             return Err(VortexError::Unavailable(format!(
@@ -635,7 +648,10 @@ impl ServerChannel {
             )));
         }
         let inner = self.endpoint();
-        match self.channel.call(method, kind, || f(inner.as_ref())) {
+        match self
+            .channel
+            .call_sized(method, kind, payload_bytes, || f(inner.as_ref()))
+        {
             Err(VortexError::SimulatedCrash(point)) => {
                 self.kill();
                 Err(VortexError::Unavailable(format!(
@@ -773,16 +789,22 @@ impl StreamServerApi for ServerChannel {
     ) -> VortexResult<AppendAck> {
         // THE ambiguous-ack case (§4.2.2): re-executing would duplicate
         // rows, so a lost reply surfaces as retryable unavailability and
-        // the writer's rotate-reconcile-dedup path resolves it.
-        self.service("append", CallKind::NonIdempotent, |s| {
-            s.append(
-                streamlet,
-                rows,
-                declared_schema_version,
-                expected_stream_offset,
-                start,
-            )
-        })
+        // the writer's rotate-reconcile-dedup path resolves it. The row
+        // payload size is declared so admission byte quotas see volume.
+        self.service_sized(
+            "append",
+            CallKind::NonIdempotent,
+            rows.approx_bytes() as u64,
+            |s| {
+                s.append(
+                    streamlet,
+                    rows,
+                    declared_schema_version,
+                    expected_stream_offset,
+                    start,
+                )
+            },
+        )
     }
     fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
         self.service("flush", CallKind::Idempotent, |s| {

@@ -28,6 +28,7 @@ use vortex_common::crc::crc32c;
 use vortex_common::error::VortexResult;
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::row::{Row, RowSet};
+use vortex_common::rpc::{class_scope, WorkClass};
 use vortex_common::truetime::Timestamp;
 use vortex_sms::api::SmsHandle;
 
@@ -131,6 +132,8 @@ impl Verifier {
         table: TableId,
         audit: &AuditLog,
     ) -> VortexResult<VerificationReport> {
+        // Verification is deferrable maintenance: shed first under load.
+        let _bg = class_scope(WorkClass::Background);
         let snapshot = self.sms.read_snapshot();
         let tr = read_table(
             &self.sms,
@@ -194,6 +197,7 @@ impl Verifier {
         before: Timestamp,
         after: Timestamp,
     ) -> VortexResult<VerificationReport> {
+        let _bg = class_scope(WorkClass::Background);
         let a = read_table(
             &self.sms,
             &self.fleet,
