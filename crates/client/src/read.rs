@@ -363,6 +363,7 @@ pub fn read_fragment_cached(
 /// *latest* fragment needs the commit rules: a block at or before the
 /// snapshot is committed if anything follows it or if it is present in
 /// both replicas; otherwise the client asks the SMS to reconcile.
+// lint:hotpath(scan) — freshness leg: sub-second tail visibility (§4.2.2/§7.1)
 pub fn read_tail(
     tail: &TailReadSpec,
     fleet: &StorageFleet,

@@ -154,6 +154,7 @@ impl StreamWriter {
 
     /// [`StreamWriter::append`] with an explicit virtual send time (used
     /// by latency benchmarks driving virtual clocks).
+    // lint:hotpath(append) — client submit leg of the §4.2.2 commit-to-ack path
     pub fn append_at(&mut self, rows: RowSet, now: Timestamp) -> VortexResult<AppendResult> {
         if rows.is_empty() {
             return Err(VortexError::InvalidArgument("empty append".into()));

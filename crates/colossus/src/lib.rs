@@ -164,6 +164,7 @@ impl Colossus {
     /// mid-write process death. Torn tails are masked by the WOS framing
     /// layer above via File Maps, commit records, and reconciliation
     /// (§5.6, §7.1). An unavailable cluster returns `Unavailable`.
+    // lint:hotpath(append) — storage leg: the dual-replica durable write itself
     pub fn append(&self, path: &str, data: &[u8], start: Timestamp) -> VortexResult<AppendOutcome> {
         self.check_available("append")?;
         if self.faults.take_append_failure() {

@@ -254,9 +254,17 @@ pub fn decode_row(buf: &[u8], pos: &mut usize) -> VortexResult<Row> {
 
 /// Encodes a whole row set: `num_rows | rows...`.
 pub fn encode_rowset(rows: &RowSet) -> Vec<u8> {
-    let mut out = Vec::with_capacity(rows.approx_bytes() + 8);
+    encode_rows(&rows.rows)
+}
+
+/// Encodes a row slice with the same framing as [`encode_rowset`], so
+/// the append path can chunk a borrowed batch by index range without
+/// materialising per-chunk `RowSet`s.
+pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
+    let est: usize = rows.iter().map(|r| r.approx_bytes()).sum();
+    let mut out = Vec::with_capacity(est + 8);
     put_uvarint(&mut out, rows.len() as u64);
-    for r in &rows.rows {
+    for r in rows {
         encode_row(&mut out, r);
     }
     out

@@ -4,6 +4,7 @@
 //! cargo run -p vortex-devtools --bin vortex-lint            # check
 //! cargo run -p vortex-devtools --bin vortex-lint -- --update-baseline
 //! cargo run -p vortex-devtools --bin vortex-lint -- --list  # dump all
+//! cargo run -p vortex-devtools --bin vortex-lint -- --json  # CI artifact
 //! ```
 //!
 //! Exit codes: 0 = at or below baseline, 1 = new violations (or
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
     let mut update = false;
     let mut force = false;
     let mut list = false;
+    let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
             "--update-baseline" => update = true,
             "--force" => force = true,
             "--list" => list = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => {
@@ -49,6 +52,27 @@ fn main() -> ExitCode {
     }
 
     let root = root_arg.unwrap_or_else(workspace_root_from_manifest);
+
+    if json {
+        // Machine-readable report to stdout (CI redirects to a file and
+        // uploads it as an artifact). Exit code still enforces the
+        // ratchet so one invocation serves both purposes.
+        return match (scan_workspace(&root), load_baseline(&root)) {
+            (Ok(report), Ok(base)) => {
+                print!("{}", report.to_json(&base));
+                let (regressions, _) = baseline::compare(&report.counts(), &base);
+                if regressions.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("vortex-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if list {
         return match scan_workspace(&root) {
@@ -166,11 +190,15 @@ fn update_baseline(root: &std::path::Path, force: bool) -> ExitCode {
 fn print_help() {
     println!(
         "vortex-lint — Vortex repo invariant linter\n\n\
-         USAGE: vortex-lint [--list] [--update-baseline] [--root <path>]\n\n\
-         Checks workspace sources against rules L001..L005 (see \
-         CONTRIBUTING.md)\nand the ratchet baseline at {BASELINE_PATH}.\n\n\
+         USAGE: vortex-lint [--list] [--json] [--update-baseline] [--root <path>]\n\n\
+         Checks workspace sources against rules L000..L012 — lexical \
+         invariants,\nthe crash-point registry, and the hot-path \
+         discipline analyzer (L010\nno-alloc, L011 no-block, L012 \
+         lock-order cycles; see CONTRIBUTING.md)\n— and the ratchet \
+         baseline at {BASELINE_PATH}.\n\n\
          OPTIONS:\n  \
          --list              print every violation (including baselined ones)\n  \
+         --json              print a machine-readable JSON report (schema 1)\n  \
          --update-baseline   rewrite the baseline downward after paying off debt\n  \
          --force             with --update-baseline: allow writing a higher count\n                      \
          (bootstrap only — the ratchet exists to forbid this)\n  \

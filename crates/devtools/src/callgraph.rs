@@ -1,0 +1,588 @@
+//! The workspace call-graph analyzer behind L010 (hotpath-alloc),
+//! L011 (hotpath-block), and L012 (lock-order cycles).
+//!
+//! Built from [`crate::items`] parses of every non-test source in the
+//! workspace. The graph is *conservative*: a method call resolves to
+//! every fn with that name, a qualified call prefers an `(owner, name)`
+//! match and falls back to name-only, and calls with no in-workspace
+//! candidate are tallied in [`AnalyzerStats::unresolved`] rather than
+//! silently dropped. Closures and macro bodies are lexically inside
+//! their enclosing fn, so their allocation/blocking sites are seen by
+//! the pattern scan without needing an edge.
+//!
+//! Reachability starts from `// lint:hotpath(<name>)` annotations; a
+//! breadth-first walk records parent pointers so every finding carries
+//! the full call chain (`root → helper → site`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::context::{in_spans, line_of, test_line_spans};
+use crate::items::{self, CallKind};
+use crate::lexer::{self, MaskedSource};
+use crate::rules::{suppression_targets, Violation};
+
+/// Per-file input to the analyzer.
+pub struct SourceInput<'a> {
+    pub rel_path: &'a str,
+    pub crate_name: &'a str,
+    pub is_test_file: bool,
+    pub masked: &'a MaskedSource,
+}
+
+/// Aggregate figures from one analyzer run — reported by the CLI so
+/// the approximation level is visible, not implied.
+#[derive(Debug, Default, Clone)]
+pub struct AnalyzerStats {
+    /// Non-test fn items in the graph.
+    pub functions: usize,
+    /// Call sites examined (macros excluded — they expand lexically).
+    pub call_sites: usize,
+    /// Distinct caller → callee edges.
+    pub edges: usize,
+    /// Call sites with no in-workspace candidate (std/external calls,
+    /// enum constructors, dyn trait objects with foreign impls). These
+    /// are the analyzer's blind spots, counted instead of hidden.
+    pub unresolved: usize,
+    /// Distinct hot-path root functions.
+    pub roots: usize,
+    /// Functions reachable from any root (roots included).
+    pub reachable: usize,
+    /// Lock-guard bindings feeding the L012 order graph.
+    pub lock_sites: usize,
+    /// Distinct ordered lock-acquisition edges.
+    pub lock_edges: usize,
+    /// Lock acquisitions whose receiver could not be named (chained
+    /// call results); excluded from the order graph, counted here.
+    pub lock_unnamed: usize,
+}
+
+/// Allocation markers for L010. Curated, documented in DESIGN.md §10:
+/// `.append(` is deliberately absent (it is the domain verb for durable
+/// writes in this codebase), so `Vec::append` growth is a known miss.
+pub const ALLOC_PATTERNS: &[&str] = &[
+    "Box::new(",
+    "Rc::new(",
+    "Arc::new(",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "Vec::from(",
+    "vec![",
+    "String::new(",
+    "String::with_capacity(",
+    "String::from(",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "BTreeSet::new(",
+    "VecDeque::new(",
+    "format!(",
+    ".to_string()",
+    ".to_owned()",
+    ".to_vec()",
+    ".clone()",
+    ".collect()",
+    ".collect::<",
+    ".push(",
+    ".push_str(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".insert(",
+    ".join(",
+    ".concat()",
+];
+
+/// Blocking markers for L011: lock acquisition, channel waits, sleeps,
+/// and filesystem I/O. `.read()`/`.write()` only match the no-argument
+/// guard form, so `io::Read::read(&mut buf)` never fires.
+pub const BLOCK_PATTERNS: &[&str] = &[
+    ".lock()",
+    ".read()",
+    ".write()",
+    ".recv()",
+    ".recv_timeout(",
+    ".wait(",
+    ".wait_timeout(",
+    ".wait_while(",
+    "thread::sleep(",
+    "File::open(",
+    "File::create(",
+    "std::fs::",
+    "fs::read(",
+    "fs::write(",
+    ".sync_all(",
+    ".sync_data(",
+];
+
+/// Guard-acquisition patterns feeding the L012 lock-order graph.
+const GUARD_PATTERNS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Runs the whole-workspace analysis: L010/L011 reachability lints and
+/// the L012 lock-order cycle check. Suppressions (`lint:allow`) in the
+/// reported file/line are honored.
+pub fn analyze(files: &[SourceInput<'_>]) -> (Vec<Violation>, AnalyzerStats) {
+    let mut stats = AnalyzerStats::default();
+    let mut violations = Vec::new();
+
+    // ---- parse every file, collect the global fn table --------------
+    struct GFn {
+        file: usize,
+        item: items::FnItem,
+    }
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by_key(|&i| files[i].rel_path);
+
+    let mut gfns: Vec<GFn> = Vec::new();
+    let mut file_spans: Vec<Vec<(usize, usize)>> = vec![Vec::new(); files.len()];
+    let mut roots: Vec<(usize, String)> = Vec::new(); // (gfn, hotpath name)
+
+    for &fi in &order {
+        let f = &files[fi];
+        let spans = test_line_spans(&f.masked.code);
+        let parsed = items::parse_items(f.masked);
+        let mut local_to_g: HashMap<usize, usize> = HashMap::new();
+        for (li, item) in parsed.fns.into_iter().enumerate() {
+            if f.is_test_file || in_spans(&spans, item.line) {
+                continue;
+            }
+            local_to_g.insert(li, gfns.len());
+            gfns.push(GFn { file: fi, item });
+        }
+        for hp in &parsed.hotpaths {
+            match hp.fn_index.and_then(|li| local_to_g.get(&li)) {
+                Some(&g) if !hp.hotpath.is_empty() => roots.push((g, hp.hotpath.clone())),
+                _ if f.is_test_file || in_spans(&spans, hp.line) => {}
+                _ => violations.push(Violation {
+                    rule: "L000",
+                    crate_name: f.crate_name.to_string(),
+                    path: f.rel_path.to_string(),
+                    line: hp.line,
+                    message: "malformed or dangling `lint:hotpath(<name>)` annotation: \
+                              expected a lowercase name and a following fn item"
+                        .to_string(),
+                }),
+            }
+        }
+        file_spans[fi] = spans;
+    }
+    stats.functions = gfns.len();
+    roots.sort_by_key(|&(g, _)| g);
+    roots.dedup_by_key(|&mut (g, _)| g);
+    stats.roots = roots.len();
+
+    // ---- indexes and edges ------------------------------------------
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_owner: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    for (g, f) in gfns.iter().enumerate() {
+        by_name.entry(&f.item.name).or_default().push(g);
+        if let Some(owner) = &f.item.owner {
+            by_owner
+                .entry((owner.as_str(), f.item.name.as_str()))
+                .or_default()
+                .push(g);
+        }
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); gfns.len()];
+    for g in 0..gfns.len() {
+        let Some(body) = gfns[g].item.body else {
+            continue;
+        };
+        let code = &files[gfns[g].file].masked.code;
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for call in items::call_sites(code, (body.0, body.1)) {
+            if call.kind == CallKind::Macro {
+                continue;
+            }
+            stats.call_sites += 1;
+            let candidates: Option<&Vec<usize>> = match &call.kind {
+                CallKind::Qualified(q) => {
+                    let owner_key = if q == "Self" {
+                        gfns[g].item.owner.as_deref()
+                    } else {
+                        Some(q.as_str())
+                    };
+                    owner_key
+                        .and_then(|o| by_owner.get(&(o, call.name.as_str())))
+                        .or_else(|| by_name.get(call.name.as_str()))
+                }
+                _ => by_name.get(call.name.as_str()),
+            };
+            match candidates {
+                Some(cs) => out.extend(cs.iter().copied()),
+                None => stats.unresolved += 1,
+            }
+        }
+        out.remove(&g); // self-recursion needs no edge for reachability
+        stats.edges += out.len();
+        edges[g] = out.into_iter().collect();
+    }
+
+    // ---- reachability with parent pointers --------------------------
+    let mut parent: Vec<Option<usize>> = vec![None; gfns.len()];
+    let mut root_name: Vec<Option<usize>> = vec![None; gfns.len()]; // index into roots
+    let mut visited = vec![false; gfns.len()];
+    let mut queue = VecDeque::new();
+    for (ri, &(g, _)) in roots.iter().enumerate() {
+        if !visited[g] {
+            visited[g] = true;
+            root_name[g] = Some(ri);
+            queue.push_back(g);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &edges[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = Some(u);
+                root_name[v] = root_name[u];
+                queue.push_back(v);
+            }
+        }
+    }
+    stats.reachable = visited.iter().filter(|&&v| v).count();
+
+    let chain_of = |g: usize| -> String {
+        let mut labels = Vec::new();
+        let mut cur = Some(g);
+        while let Some(c) = cur {
+            labels.push(gfns[c].item.label());
+            cur = parent[c];
+        }
+        labels.reverse();
+        labels.join(" → ")
+    };
+
+    // ---- L010 / L011: pattern scan of every reachable body ----------
+    let mut reachable: Vec<usize> = (0..gfns.len()).filter(|&g| visited[g]).collect();
+    reachable.sort_by(|&a, &b| {
+        (files[gfns[a].file].rel_path, gfns[a].item.line)
+            .cmp(&(files[gfns[b].file].rel_path, gfns[b].item.line))
+    });
+    // Nested fns share their parent's body span — dedup by site.
+    let mut seen_sites: BTreeSet<(&'static str, usize, usize)> = BTreeSet::new();
+    for &g in &reachable {
+        let Some(body) = gfns[g].item.body else {
+            continue;
+        };
+        let fi = gfns[g].file;
+        let f = &files[fi];
+        let code = &f.masked.code;
+        let bytes = code.as_bytes();
+        let hotpath = &roots[root_name[g].expect("reachable fns have a root")].1;
+        for (rule, pats, verb) in [
+            ("L010", ALLOC_PATTERNS, "allocates"),
+            ("L011", BLOCK_PATTERNS, "may block"),
+        ] {
+            for pat in pats {
+                for at in occurrences_in(code, pat, body.0, body.1) {
+                    let line = line_of(bytes, at);
+                    if in_spans(&file_spans[fi], line) {
+                        continue;
+                    }
+                    if !seen_sites.insert((rule, fi, at)) {
+                        continue;
+                    }
+                    violations.push(Violation {
+                        rule,
+                        crate_name: f.crate_name.to_string(),
+                        path: f.rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "`{pat}…` {verb} on hot path `{hotpath}` (call chain: {})",
+                            chain_of(g)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- L012: global lock-order graph ------------------------------
+    violations.extend(lock_order_cycles(files, &order, &file_spans, &mut stats));
+
+    // ---- suppressions -----------------------------------------------
+    let mut allowed: HashMap<&str, Vec<(String, usize)>> = HashMap::new();
+    for f in files {
+        allowed.insert(f.rel_path, suppression_targets(f.masked));
+    }
+    violations.retain(|v| {
+        v.rule == "L000"
+            || !allowed
+                .get(v.path.as_str())
+                .is_some_and(|sups| sups.iter().any(|(r, l)| r == v.rule && *l == v.line))
+    });
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    (violations, stats)
+}
+
+/// One ordered lock acquisition: the site where `to` was acquired while
+/// a guard for `from` was lexically live.
+struct LockEdge {
+    path: String,
+    crate_name: String,
+    line: usize,
+}
+
+/// Builds the workspace lock-order graph and reports each cycle once.
+///
+/// A node is `(crate, receiver)` where the receiver is the trailing
+/// field path of the locked expression with any leading `self.`
+/// stripped (`self.streamlets.read()` → `streamlets`). Edges come from
+/// lexical guard scopes: `let g = a.lock();` followed by any `b.lock()`
+/// before `drop(g)` or the end of `g`'s block adds `a → b`. Self-edges
+/// are excluded — distinct instances routinely share a receiver name
+/// (per-streamlet mutexes in a loop), so they are noise, not order.
+fn lock_order_cycles(
+    files: &[SourceInput<'_>],
+    order: &[usize],
+    file_spans: &[Vec<(usize, usize)>],
+    stats: &mut AnalyzerStats,
+) -> Vec<Violation> {
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+
+    for &fi in order {
+        let f = &files[fi];
+        if f.is_test_file {
+            continue;
+        }
+        let code = &f.masked.code;
+        let bytes = code.as_bytes();
+        for pat in GUARD_PATTERNS {
+            for at in occurrences_in(code, pat, 0, code.len()) {
+                // A *held* guard is a `let` statement whose expression
+                // ends in the acquisition — tolerating the std idiom's
+                // `.unwrap()` / `.expect(…)` between it and the `;`.
+                let mut after = at + pat.len();
+                if let Some(rest) = code[after..].strip_prefix(".unwrap()") {
+                    after = code.len() - rest.len();
+                } else if let Some(rest) = code[after..].strip_prefix(".expect(") {
+                    let open = code.len() - rest.len();
+                    match code[open..].find(')') {
+                        Some(p) => after = open + p + 1,
+                        None => continue,
+                    }
+                }
+                if bytes.get(after) != Some(&b';') {
+                    continue;
+                }
+                let line = line_of(bytes, at);
+                if in_spans(&file_spans[fi], line) {
+                    continue;
+                }
+                let stmt_start = code[..at]
+                    .rfind(['\n', ';', '{', '}'])
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                let Some(guard) = crate::rules::binding_name(code[stmt_start..at].trim_start())
+                else {
+                    continue; // not a held guard binding
+                };
+                stats.lock_sites += 1;
+                let Some(from) = receiver_of(code, at) else {
+                    stats.lock_unnamed += 1;
+                    continue;
+                };
+                let scope_end = crate::rules::enclosing_scope_end(bytes, after + 1);
+                let hold_start = after + 1;
+                let dropped_at = code[hold_start..scope_end]
+                    .find(&format!("drop({guard})"))
+                    .map(|p| hold_start + p)
+                    .unwrap_or(scope_end);
+                for inner_pat in GUARD_PATTERNS {
+                    for inner_at in occurrences_in(code, inner_pat, hold_start, dropped_at) {
+                        let inner_line = line_of(bytes, inner_at);
+                        if in_spans(&file_spans[fi], inner_line) {
+                            continue;
+                        }
+                        let Some(to) = receiver_of(code, inner_at) else {
+                            stats.lock_unnamed += 1;
+                            continue;
+                        };
+                        if to == from {
+                            continue;
+                        }
+                        // Lock identity is the receiver path alone — the
+                        // order graph is workspace-global (an A→B edge in
+                        // one crate and B→A in another IS a deadlock when
+                        // the receivers alias the same locks, and the
+                        // conservative contract is to flag it).
+                        edges.entry((from.clone(), to)).or_insert(LockEdge {
+                            path: f.rel_path.to_string(),
+                            crate_name: f.crate_name.to_string(),
+                            line: inner_line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    stats.lock_edges = edges.len();
+
+    // Cycle = a strongly connected component with more than one node.
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        nodes.insert(from);
+        nodes.insert(to);
+    }
+    let idx: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let names: Vec<&str> = nodes.into_iter().collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (from, to) in edges.keys() {
+        adj[idx[from.as_str()]].push(idx[to.as_str()]);
+    }
+    let mut out = Vec::new();
+    for scc in strongly_connected(&adj) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        let mut witness: Vec<(&(String, String), &LockEdge)> = edges
+            .iter()
+            .filter(|((f, t), _)| {
+                members.contains(&idx[f.as_str()]) && members.contains(&idx[t.as_str()])
+            })
+            .collect();
+        witness.sort_by(|a, b| (a.1.path.as_str(), a.1.line).cmp(&(b.1.path.as_str(), b.1.line)));
+        let Some((_, site)) = witness.first() else {
+            continue;
+        };
+        let member_names: Vec<&str> = {
+            let mut v: Vec<&str> = members.iter().map(|&m| names[m]).collect();
+            v.sort_unstable();
+            v
+        };
+        let edge_list = witness
+            .iter()
+            .map(|((f, t), e)| format!("{f} → {t} at {}:{}", e.path, e.line))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push(Violation {
+            rule: "L012",
+            crate_name: site.crate_name.clone(),
+            path: site.path.clone(),
+            line: site.line,
+            message: format!(
+                "lock-order cycle between {{{}}} — potential deadlock; acquire in one \
+                 global order ({edge_list})",
+                member_names.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+/// The trailing field path of the expression locked at `at` (which
+/// points at the `.` of `.lock()`/`.read()`/`.write()`), with a leading
+/// `self.` stripped. `None` when the receiver is not a plain path
+/// (chained call results like `map()?.lock()`).
+fn receiver_of(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 {
+        let b = bytes[i - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let recv = code[i..at].trim_matches('.');
+    let recv = recv.strip_prefix("self.").unwrap_or(recv);
+    if recv.is_empty() || recv == "self" || recv.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return None;
+    }
+    Some(recv.to_string())
+}
+
+/// Byte offsets of `pat` within `code[from..to]`.
+fn occurrences_in<'a>(
+    code: &'a str,
+    pat: &'a str,
+    from: usize,
+    to: usize,
+) -> impl Iterator<Item = usize> + 'a {
+    let to = to.min(code.len());
+    let mut cursor = from.min(to);
+    std::iter::from_fn(move || {
+        let off = code[cursor..to].find(pat)?;
+        let at = cursor + off;
+        cursor = at + pat.len();
+        Some(at)
+    })
+}
+
+/// Tarjan's strongly-connected-components over an adjacency list.
+fn strongly_connected(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Default, Clone)]
+    struct Node {
+        index: Option<usize>,
+        low: usize,
+        on_stack: bool,
+    }
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        nodes: Vec<Node>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn visit(s: &mut State<'_>, v: usize) {
+        s.nodes[v].index = Some(s.next);
+        s.nodes[v].low = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.nodes[v].on_stack = true;
+        for i in 0..s.adj[v].len() {
+            let w = s.adj[v][i];
+            if s.nodes[w].index.is_none() {
+                visit(s, w);
+                s.nodes[v].low = s.nodes[v].low.min(s.nodes[w].low);
+            } else if s.nodes[w].on_stack {
+                s.nodes[v].low = s.nodes[v].low.min(s.nodes[w].index.unwrap());
+            }
+        }
+        if Some(s.nodes[v].low) == s.nodes[v].index {
+            let mut comp = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("tarjan stack underflow");
+                s.nodes[w].on_stack = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            s.out.push(comp);
+        }
+    }
+    let mut s = State {
+        adj,
+        nodes: vec![Node::default(); adj.len()],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..adj.len() {
+        if s.nodes[v].index.is_none() {
+            visit(&mut s, v);
+        }
+    }
+    s.out
+}
+
+/// Convenience driver for fixtures and tests: masks each
+/// `(rel_path, crate_name, is_test_file, text)` and analyzes the set.
+pub fn analyze_texts(files: &[(&str, &str, bool, &str)]) -> (Vec<Violation>, AnalyzerStats) {
+    let masked: Vec<MaskedSource> = files.iter().map(|f| lexer::mask_source(f.3)).collect();
+    let inputs: Vec<SourceInput<'_>> = files
+        .iter()
+        .zip(&masked)
+        .map(|(f, m)| SourceInput {
+            rel_path: f.0,
+            crate_name: f.1,
+            is_test_file: f.2,
+            masked: m,
+        })
+        .collect();
+    analyze(&inputs)
+}

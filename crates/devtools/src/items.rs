@@ -1,0 +1,556 @@
+//! Syntactic item parsing on top of the masked token stream (see
+//! [`crate::lexer`]): `fn` items with their enclosing `impl`/`trait`
+//! owner, call sites inside bodies, and `// lint:hotpath(<name>)` root
+//! annotations.
+//!
+//! This is deliberately *approximate*. A faithful parser would mean a
+//! full Rust grammar; the analyzer's contract (DESIGN.md §10) is
+//! conservative over-approximation, so this module only has to find
+//! every fn body and every plausible call site. Resolving a call to
+//! *more* definitions than the compiler would is acceptable; dropping
+//! one is not — anything that cannot be attributed is surfaced through
+//! the `analyzer.unresolved` stat instead of being silently ignored.
+
+use crate::context::line_of;
+use crate::lexer::MaskedSource;
+
+/// One `fn` item found in a masked source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// Name of the enclosing `impl` type (or `trait`), if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte span of the body (brace offsets, inclusive). `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// Display label: `Owner::name` or bare `name`.
+    pub fn label(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A parsed `// lint:hotpath(<name>)` root annotation.
+#[derive(Debug, Clone)]
+pub struct HotpathAnnotation {
+    /// The hot path's name (e.g. `append`).
+    pub hotpath: String,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// Index into [`FileItems::fns`] of the annotated function, or
+    /// `None` when the annotation is dangling (no fn follows).
+    pub fn_index: Option<usize>,
+}
+
+/// All items parsed from one masked file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub hotpaths: Vec<HotpathAnnotation>,
+}
+
+/// How many source lines a hotpath annotation may sit above its fn
+/// (attributes and visibility lines are allowed in between).
+const HOTPATH_REACH_LINES: usize = 8;
+
+/// Parses fn items, their impl/trait owners, and hotpath annotations.
+pub fn parse_items(masked: &MaskedSource) -> FileItems {
+    let code = &masked.code;
+    let bytes = code.as_bytes();
+    let owners = owner_spans(code);
+    let mut fns = Vec::new();
+
+    for at in keyword_occurrences(code, "fn") {
+        // Name follows the keyword; `fn(` with no name is a fn-pointer
+        // type, not an item.
+        let mut j = at + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = code[name_start..j].to_string();
+        // Body = the first brace after the signature; a `;` first means
+        // a bodyless declaration.
+        let mut body = None;
+        let mut k = j;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => {
+                    body = matching_brace(bytes, k).map(|e| (k, e));
+                    break;
+                }
+                b';' => break,
+                _ => k += 1,
+            }
+        }
+        let owner = owners
+            .iter()
+            .filter(|o| o.body.0 < at && at < o.body.1)
+            .min_by_key(|o| o.body.1 - o.body.0)
+            .map(|o| o.name.clone());
+        fns.push(FnItem {
+            name,
+            owner,
+            line: line_of(bytes, at),
+            start: at,
+            body,
+        });
+    }
+
+    let mut hotpaths = Vec::new();
+    for c in &masked.comments {
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue; // block comments cannot carry annotations
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comments talk about the syntax, never invoke it
+        }
+        let body = body.trim_start();
+        let Some(rest) = body.strip_prefix("lint:hotpath") else {
+            continue;
+        };
+        let name = parse_hotpath_name(rest);
+        let fn_index = name.as_ref().and_then(|_| {
+            fns.iter()
+                .position(|f| f.line >= c.line && f.line <= c.line + HOTPATH_REACH_LINES)
+        });
+        hotpaths.push(HotpathAnnotation {
+            hotpath: name.unwrap_or_default(),
+            line: c.line,
+            fn_index,
+        });
+    }
+
+    FileItems { fns, hotpaths }
+}
+
+/// Parses `(name)` (with optional trailing prose) after `lint:hotpath`.
+/// Returns `None` when malformed or the name is empty.
+fn parse_hotpath_name(rest: &str) -> Option<String> {
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let name = rest[..close].trim();
+    let valid = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    valid.then(|| name.to_string())
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (method name, last path segment, or macro name).
+    pub name: String,
+    pub kind: CallKind,
+    /// Absolute byte offset of the name in the file.
+    pub offset: usize,
+}
+
+/// The syntactic shape of a call, which decides how it resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(…)` — resolves to every fn with that name.
+    Method,
+    /// `Qual::name(…)` — resolves by `(owner, name)`, falling back to
+    /// every fn with that name when the qualifier is not a known owner
+    /// (it may be a module path segment).
+    Qualified(String),
+    /// `name(…)` — resolves to every fn with that name.
+    Bare,
+    /// `name!(…)` — macros expand lexically; the analyzer's pattern
+    /// scan sees their call sites directly, so no edge is drawn.
+    Macro,
+}
+
+/// Keywords and ubiquitous constructors that look like bare calls but
+/// are not function calls the graph should chase.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "mut", "ref", "else",
+    "let", "pub", "use", "where", "unsafe", "dyn", "await", "yield", "break", "continue", "fn",
+    "impl", "struct", "enum", "union", "trait", "mod", "const", "static", "type", "crate", "super",
+    "self", "Fn", "FnMut", "FnOnce", "Some", "Ok", "Err",
+];
+
+/// Extracts every plausible call site from `code[span.0..span.1]`
+/// (absolute offsets in the returned sites).
+pub fn call_sites(code: &str, span: (usize, usize)) -> Vec<CallSite> {
+    let bytes = code.as_bytes();
+    let hi = span.1.min(bytes.len());
+    let mut out = Vec::new();
+    let mut i = span.0;
+    while i < hi {
+        if !is_ident_start(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let name_start = i;
+        let mut j = i;
+        while j < hi && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let name = &code[name_start..j];
+        // Optional turbofish between the name and the argument list.
+        let mut after = j;
+        if code[after..hi.min(code.len())].starts_with("::<") {
+            after = skip_angle_brackets(bytes, after + 2, hi);
+        }
+        let followed_by_paren = bytes.get(after) == Some(&b'(');
+        let is_macro = bytes.get(j) == Some(&b'!')
+            && matches!(bytes.get(j + 1), Some(b'(') | Some(b'[') | Some(b'{'));
+        if is_macro {
+            out.push(CallSite {
+                name: name.to_string(),
+                kind: CallKind::Macro,
+                offset: name_start,
+            });
+            i = j + 1;
+            continue;
+        }
+        if !followed_by_paren {
+            i = j;
+            continue;
+        }
+        // Definition, not a call: `fn name(`.
+        if preceded_by_keyword(bytes, name_start, "fn") {
+            i = j;
+            continue;
+        }
+        let kind = if name_start > 0 && bytes[name_start - 1] == b'.' {
+            CallKind::Method
+        } else if name_start >= 2 && &bytes[name_start - 2..name_start] == b"::" {
+            match path_qualifier(code, name_start - 2) {
+                Some(q) => CallKind::Qualified(q),
+                None => CallKind::Bare,
+            }
+        } else if NON_CALL_IDENTS.contains(&name) {
+            i = j;
+            continue;
+        } else {
+            CallKind::Bare
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            kind,
+            offset: name_start,
+        });
+        i = j;
+    }
+    out
+}
+
+/// The path segment immediately before the `::` at `colon_at`
+/// (e.g. `RowSet` in `RowSet::default`). `None` for non-ident
+/// qualifiers like `<Foo as Bar>::baz` or `Vec::<u8>::new`.
+fn path_qualifier(code: &str, colon_at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = colon_at;
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    if i == colon_at || !is_ident_start(bytes[i]) {
+        return None;
+    }
+    Some(code[i..colon_at].to_string())
+}
+
+/// Whether the identifier starting at `at` is directly preceded by the
+/// given keyword (allowing whitespace in between).
+fn preceded_by_keyword(bytes: &[u8], at: usize, kw: &str) -> bool {
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let k = kw.as_bytes();
+    i >= k.len()
+        && &bytes[i - k.len()..i] == k
+        && (i == k.len() || !is_ident_byte(bytes[i - k.len() - 1]))
+}
+
+/// An `impl`/`trait` block: the owner name and its body span.
+struct OwnerSpan {
+    name: String,
+    body: (usize, usize),
+}
+
+/// Finds every `impl Type { … }` / `impl Trait for Type { … }` /
+/// `trait Name { … }` block and its body span. Return-position
+/// `impl Trait` is filtered by requiring item position (preceded by
+/// nothing, `}`, `;`, `{`, or an attribute's `]`).
+fn owner_spans(code: &str) -> Vec<OwnerSpan> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        for at in keyword_occurrences(code, kw) {
+            if kw == "impl" && !in_item_position(bytes, at) {
+                continue;
+            }
+            let mut j = at + kw.len();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'<') {
+                j = skip_angle_brackets(bytes, j, bytes.len());
+            }
+            let Some(brace) = code[j..].find('{').map(|o| j + o) else {
+                continue;
+            };
+            let header = &code[j..brace];
+            let target = if kw == "impl" {
+                header.rsplit(" for ").next().unwrap_or(header)
+            } else {
+                header
+            };
+            let target = target.split(" where ").next().unwrap_or(target);
+            let name = type_head(target);
+            if name.is_empty() {
+                continue;
+            }
+            let Some(end) = matching_brace(bytes, brace) else {
+                continue;
+            };
+            out.push(OwnerSpan {
+                name,
+                body: (brace, end),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the keyword at `at` sits in item position (start of file /
+/// after `}`, `;`, `{`, or an attribute `]`), as opposed to type
+/// position (`-> impl Iterator`, `x: impl Fn()`).
+fn in_item_position(bytes: &[u8], at: usize) -> bool {
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    i == 0 || matches!(bytes[i - 1], b'}' | b';' | b'{' | b']')
+}
+
+/// The head identifier of a type expression: strips `&`/`mut `/`dyn `
+/// prefixes, generics, and leading path segments.
+/// `vortex_sms::api::SmsHandle<'a>` → `SmsHandle`.
+fn type_head(t: &str) -> String {
+    let t = t.trim();
+    let t = t.trim_start_matches('&').trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t);
+    let t = t.strip_prefix("dyn ").unwrap_or(t);
+    let head: &str = t
+        .split(|c: char| c == '<' || c.is_whitespace() || c == '(')
+        .next()
+        .unwrap_or(t);
+    head.rsplit("::").next().unwrap_or(head).to_string()
+}
+
+/// Positions where `kw` occurs as a whole token.
+fn keyword_occurrences(code: &str, kw: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find(kw) {
+        let at = from + off;
+        from = at + kw.len();
+        if at > 0 && (is_ident_byte(bytes[at - 1]) || bytes[at - 1] == b'\'') {
+            continue;
+        }
+        if let Some(&b) = bytes.get(at + kw.len()) {
+            if is_ident_byte(b) {
+                continue;
+            }
+        }
+        out.push(at);
+    }
+    out
+}
+
+/// Skips a balanced `<…>` starting at `i` (which must point at `<`),
+/// tolerating `->` inside (`Fn() -> T`). Returns the position after the
+/// closing `>`, or `limit` when unbalanced.
+fn skip_angle_brackets(bytes: &[u8], mut i: usize, limit: usize) -> usize {
+    let mut depth = 0isize;
+    while i < limit {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&mask_source(src))
+    }
+
+    #[test]
+    fn free_fn_and_impl_method_owners() {
+        let src = "fn free() { a(); }\n\
+                   struct S;\n\
+                   impl S {\n    fn method(&self) { b(); }\n}\n\
+                   impl Clone for S {\n    fn clone(&self) -> S { S }\n}\n";
+        let it = items(src);
+        let names: Vec<(String, Option<String>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("S".into())),
+                ("clone".into(), Some("S".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u8) -> u8) -> u8 { cb(1) }";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "real");
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_owner() {
+        let src = "fn maker() -> impl Iterator<Item = u8> { std::iter::empty() }\n\
+                   fn after() {}\n";
+        let it = items(src);
+        assert!(it.fns.iter().all(|f| f.owner.is_none()));
+    }
+
+    #[test]
+    fn bodyless_trait_methods() {
+        let src = "trait T {\n    fn decl(&self);\n    fn with_default(&self) { x(); }\n}\n";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 2);
+        assert!(it.fns[0].body.is_none());
+        assert!(it.fns[1].body.is_some());
+        assert_eq!(it.fns[0].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn generic_impl_for_path_type() {
+        let src = "impl<T: Clone> From<Vec<T>> for crate::wrap::Holder<T> {\n\
+                   fn from(v: Vec<T>) -> Self { todo() }\n}\n";
+        let it = items(src);
+        assert_eq!(it.fns[0].owner.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn hotpath_annotation_attaches_through_attributes() {
+        let src = "// lint:hotpath(append) client submit leg\n\
+                   #[inline]\npub fn append_at() {}\n";
+        let it = items(src);
+        assert_eq!(it.hotpaths.len(), 1);
+        assert_eq!(it.hotpaths[0].hotpath, "append");
+        assert_eq!(it.hotpaths[0].fn_index, Some(0));
+    }
+
+    #[test]
+    fn dangling_and_malformed_hotpath_annotations() {
+        let filler = "\n".repeat(12); // push the fn out of annotation reach
+        let src = format!(
+            "// lint:hotpath(append)\nstruct NoFnHere;\n{filler}// lint:hotpath()\nfn f() {{}}\n"
+        );
+        let it = items(&src);
+        assert_eq!(it.hotpaths.len(), 2);
+        assert_eq!(it.hotpaths[0].fn_index, None, "no fn within reach");
+        assert!(it.hotpaths[1].hotpath.is_empty(), "empty name is malformed");
+    }
+
+    #[test]
+    fn call_site_kinds() {
+        let src = "fn f() { g(); x.m(); RowSet::default(); mac!(1); \
+                   it.collect::<Vec<u8>>(); if x { h() } }";
+        let it = items(src);
+        let body = it.fns[0].body.unwrap();
+        let masked = mask_source(src);
+        let calls = call_sites(&masked.code, (body.0, body.1));
+        let kinds: Vec<(&str, &CallKind)> =
+            calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
+        assert!(kinds.contains(&("g", &CallKind::Bare)));
+        assert!(kinds.contains(&("m", &CallKind::Method)));
+        assert!(kinds.contains(&("default", &CallKind::Qualified("RowSet".into()))));
+        assert!(kinds.contains(&("mac", &CallKind::Macro)));
+        assert!(kinds.contains(&("collect", &CallKind::Method)));
+        assert!(kinds.contains(&("h", &CallKind::Bare)));
+        assert!(!kinds.iter().any(|(n, _)| *n == "if"));
+    }
+
+    #[test]
+    fn nested_fn_definition_is_not_a_call() {
+        let src = "fn outer() { fn inner(x: u8) -> u8 { x } inner(3); }";
+        let it = items(src);
+        let body = it
+            .fns
+            .iter()
+            .find(|f| f.name == "outer")
+            .unwrap()
+            .body
+            .unwrap();
+        let masked = mask_source(src);
+        let calls = call_sites(&masked.code, (body.0, body.1));
+        let inner_calls: Vec<_> = calls.iter().filter(|c| c.name == "inner").collect();
+        assert_eq!(inner_calls.len(), 1, "definition skipped, call kept");
+    }
+}

@@ -189,12 +189,18 @@ pub fn mask_source(src: &str) -> MaskedSource {
             continue;
         }
 
-        // Char literal vs lifetime.
+        // Char literal vs lifetime. A char literal is one escape or one
+        // UTF-8 character (1–4 bytes — `'é'` is four source bytes, not
+        // three) followed by a closing quote; anything else is a
+        // lifetime and passes through as code.
         if b == b'\'' {
             let is_char_literal = match next {
                 Some(b'\\') => true,
-                Some(_) => bytes.get(i + 2) == Some(&b'\''),
-                None => false,
+                Some(nb) if nb != b'\'' => {
+                    let char_len = utf8_len(nb);
+                    bytes.get(i + 1 + char_len) == Some(&b'\'')
+                }
+                _ => false,
             };
             if is_char_literal {
                 emit!(b'\'');
@@ -263,6 +269,16 @@ fn raw_string_prefix(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
 /// Whether the `"` at position `i` closes a raw string with `hashes` #s.
 fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
     (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Byte length of the UTF-8 sequence starting with `lead`.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +353,61 @@ mod tests {
             "newline structure must survive masking"
         );
         assert_eq!(m.comments[0].line, 3);
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        // `'é'` is 4 source bytes; the old 1-byte lookahead mis-lexed it
+        // as a lifetime and let the rest of the line leak into the
+        // masked code as a string-open.
+        let src = "let c = 'é'; let d = '\u{1F600}'; after.unwrap();";
+        let m = mask_source(src);
+        assert!(
+            m.code.contains("after.unwrap()"),
+            "code after multi-byte char literals must survive: {:?}",
+            m.code
+        );
+        assert!(!m.code.contains('é'), "char-literal contents are blanked");
+        assert_eq!(m.code.matches('\'').count(), 4, "all four quotes kept");
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let src = "a /* 1 /* 2 /* 3 .unwrap() */ 2 */ 1 */ b";
+        let m = mask_source(src);
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains('a') && m.code.contains('b'));
+        // Unterminated: everything to EOF is comment, nothing panics.
+        let m2 = mask_source("x(); /* open /* deeper */ still-open .expect(");
+        assert!(m2.code.contains("x()"));
+        assert!(!m2.code.contains(".expect("));
+        assert_eq!(m2.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers_and_unterminated_raw_strings() {
+        // `r#fn` is a raw identifier, not a raw string — the code after
+        // it must survive masking.
+        let src = "fn r#fn() { r#loop.call(); } tail();";
+        let m = mask_source(src);
+        assert!(m.code.contains("tail()"), "raw identifiers are code");
+        // Unterminated raw string blanks to EOF without panicking.
+        let m2 = mask_source("before(); let s = r##\"never closed .unwrap()");
+        assert!(m2.code.contains("before()"));
+        assert!(!m2.code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literal_followed_by_method_call() {
+        // A masked char literal must not swallow the delimiter of the
+        // next string, and lifetimes next to generics stay intact.
+        let src = "fn g<'a, 'b>(v: &'a [u8]) { if c == ':' { s.split(':'); } }";
+        let m = mask_source(src);
+        assert!(m.code.contains("<'a, 'b>"));
+        assert!(m.code.contains("s.split("));
+        // The only surviving colon is the type-annotation one; both
+        // char-literal colons are blanked.
+        assert_eq!(m.code.matches(':').count(), 1, "code: {:?}", m.code);
     }
 
     #[test]

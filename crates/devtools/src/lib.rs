@@ -21,7 +21,9 @@
 //! CONTRIBUTING.md ("Static analysis & invariants").
 
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -41,6 +43,8 @@ pub struct ScanReport {
     pub violations: Vec<Violation>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call-graph analyzer figures (L010–L012 pass).
+    pub analyzer: callgraph::AnalyzerStats,
 }
 
 impl ScanReport {
@@ -53,6 +57,126 @@ impl ScanReport {
                 .or_insert(0) += 1;
         }
         counts
+    }
+
+    /// Renders the report as a machine-readable JSON document (schema
+    /// version 1) for CI artifacts: per-(rule, crate) counts against
+    /// the given baseline, every violation, and the analyzer figures.
+    /// Hand-rolled — the workspace takes no serialization dependency
+    /// for one stable, flat document.
+    pub fn to_json(&self, base: &Counts) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let counts = self.counts();
+        let (regressions, improvements) = baseline::compare(&counts, base);
+        let mut out = String::from("{\n  \"schema\": 1,\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"total_violations\": {},\n",
+            self.files_scanned,
+            self.violations.len()
+        ));
+        let a = &self.analyzer;
+        out.push_str(&format!(
+            "  \"analyzer\": {{\"functions\": {}, \"call_sites\": {}, \"edges\": {}, \
+             \"unresolved\": {}, \"roots\": {}, \"reachable\": {}, \"lock_sites\": {}, \
+             \"lock_edges\": {}, \"lock_unnamed\": {}}},\n",
+            a.functions,
+            a.call_sites,
+            a.edges,
+            a.unresolved,
+            a.roots,
+            a.reachable,
+            a.lock_sites,
+            a.lock_edges,
+            a.lock_unnamed
+        ));
+        let count_rows: Vec<String> =
+            counts
+                .iter()
+                .map(|((rule, krate), n)| {
+                    format!(
+                    "    {{\"rule\": \"{}\", \"crate\": \"{}\", \"count\": {}, \"baseline\": {}}}",
+                    esc(rule),
+                    esc(krate),
+                    n,
+                    base.get(&(rule.clone(), krate.clone())).copied().unwrap_or(0)
+                )
+                })
+                .collect();
+        out.push_str(&format!(
+            "  \"counts\": [\n{}\n  ],\n",
+            count_rows.join(",\n")
+        ));
+        let delta_rows = |ds: &[baseline::Regression]| -> String {
+            ds.iter()
+                .map(|d| {
+                    format!(
+                        "    {{\"rule\": \"{}\", \"crate\": \"{}\", \"baseline\": {}, \
+                         \"actual\": {}}}",
+                        esc(&d.rule),
+                        esc(&d.crate_name),
+                        d.baseline,
+                        d.actual
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let reg = delta_rows(&regressions);
+        let imp = delta_rows(&improvements);
+        out.push_str(&format!(
+            "  \"regressions\": [{}],\n",
+            if reg.is_empty() {
+                String::new()
+            } else {
+                format!("\n{reg}\n  ")
+            }
+        ));
+        out.push_str(&format!(
+            "  \"improvements\": [{}],\n",
+            if imp.is_empty() {
+                String::new()
+            } else {
+                format!("\n{imp}\n  ")
+            }
+        ));
+        let viol_rows: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"rule\": \"{}\", \"crate\": \"{}\", \"path\": \"{}\", \
+                     \"line\": {}, \"message\": \"{}\"}}",
+                    v.rule,
+                    esc(&v.crate_name),
+                    esc(&v.path),
+                    v.line,
+                    esc(&v.message)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  \"violations\": [{}]\n}}\n",
+            if viol_rows.is_empty() {
+                String::new()
+            } else {
+                format!("\n{}\n  ", viol_rows.join(",\n"))
+            }
+        ));
+        out
     }
 }
 
@@ -67,9 +191,12 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
     }
     let mut report = ScanReport::default();
     // Workspace-wide state for L007's global half: every non-test
-    // `crash_point!` call site, plus the registry catalogue.
+    // `crash_point!` call site, plus the registry catalogue. Masked
+    // sources are retained so the call-graph pass (L010–L012) can see
+    // the whole workspace at once.
     let mut sites: Vec<rules::CrashPointSite> = Vec::new();
     let mut registry: Option<Vec<String>> = None;
+    let mut masked_files: Vec<lexer::MaskedSource> = Vec::with_capacity(sources.len());
     for src in &sources {
         let abs = root.join(&src.rel_path);
         let text = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
@@ -99,11 +226,25 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
                 }
             }
         }
+        masked_files.push(masked);
     }
     report.violations.extend(rules::check_crash_points_global(
         &sites,
         registry.as_deref(),
     ));
+    let inputs: Vec<callgraph::SourceInput<'_>> = sources
+        .iter()
+        .zip(&masked_files)
+        .map(|(src, masked)| callgraph::SourceInput {
+            rel_path: &src.rel_path,
+            crate_name: &src.crate_name,
+            is_test_file: src.is_test_file,
+            masked,
+        })
+        .collect();
+    let (graph_violations, analyzer) = callgraph::analyze(&inputs);
+    report.violations.extend(graph_violations);
+    report.analyzer = analyzer;
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));

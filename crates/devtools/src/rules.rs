@@ -9,9 +9,12 @@
 use crate::context::{in_spans, line_of, test_line_spans};
 use crate::lexer::MaskedSource;
 
-/// Rules enforced by vortex-lint, in catalogue order.
+/// Rules enforced by vortex-lint, in catalogue order. L010–L012 are
+/// the call-graph rules, run by the workspace pass
+/// ([`crate::callgraph`]) rather than per-file.
 pub const RULES: &[&str] = &[
-    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
+    "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010", "L011",
+    "L012",
 ];
 
 /// The file defining the crash-point registry: L007's source of truth
@@ -192,6 +195,22 @@ fn parse_suppressions(input: &FileInput<'_>) -> (Vec<Suppression>, Vec<Violation
         }
     }
     (sups, bad)
+}
+
+/// Valid suppression targets of one masked file, as `(rule, line)`
+/// pairs. The workspace analyzer uses this to honor `lint:allow` on
+/// L010–L012 findings, which are produced outside [`check_file`];
+/// malformed comments are already reported as `L000` by the per-file
+/// pass, so they are simply skipped here.
+pub(crate) fn suppression_targets(masked: &MaskedSource) -> Vec<(String, usize)> {
+    let input = FileInput {
+        rel_path: "",
+        crate_name: "",
+        is_test_file: false,
+        masked,
+    };
+    let (sups, _) = parse_suppressions(&input);
+    sups.into_iter().map(|s| (s.rule, s.target_line)).collect()
 }
 
 /// Parses `(RULE, reason...)` from the text following `lint:allow`.
@@ -765,7 +784,7 @@ fn occurrences_at<'a>(code: &'a str, pat: &'a str) -> impl Iterator<Item = usize
 }
 
 /// Extracts `name` from a statement prefix `let [mut] name = …`.
-fn binding_name(stmt: &str) -> Option<String> {
+pub(crate) fn binding_name(stmt: &str) -> Option<String> {
     let rest = stmt.strip_prefix("let ")?;
     let rest = rest.strip_prefix("mut ").unwrap_or(rest);
     let name: String = rest
@@ -780,7 +799,7 @@ fn binding_name(stmt: &str) -> Option<String> {
 }
 
 /// Byte offset where the innermost scope enclosing `pos` closes.
-fn enclosing_scope_end(bytes: &[u8], pos: usize) -> usize {
+pub(crate) fn enclosing_scope_end(bytes: &[u8], pos: usize) -> usize {
     let mut depth = 0isize;
     let mut i = pos;
     while i < bytes.len() {

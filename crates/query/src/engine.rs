@@ -143,6 +143,7 @@ impl QueryEngine {
     }
 
     /// Scans a table at a snapshot with partition elimination.
+    // lint:hotpath(scan) — query leg: prune, parallel fragment reads, tail
     pub fn scan(
         &self,
         table: TableId,

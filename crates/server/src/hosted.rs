@@ -13,7 +13,7 @@ use vortex_common::bloom::BloomFilter;
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{FragmentId, IdGen};
 use vortex_common::obs;
-use vortex_common::row::RowSet;
+use vortex_common::row::{Row, RowSet};
 use vortex_common::schema::FieldMode;
 use vortex_common::stats::ColumnStats;
 use vortex_common::truetime::{Timestamp, TrueTime};
@@ -87,6 +87,45 @@ pub struct HostedStreamlet {
     /// pending, §7.1).
     uncommitted_tail: bool,
     last_append_at: Timestamp,
+    /// (column index, name) pairs eligible for zone-map stats, computed
+    /// once at open — the spec is immutable for the streamlet's life, so
+    /// the append path never re-derives (or re-allocates) this.
+    tracked_cols: Vec<(usize, String)>,
+    /// Partition + clustering column indexes, computed once at open.
+    key_cols: Vec<usize>,
+}
+
+/// Columns eligible for per-fragment zone-map stats: scalar, non-repeated.
+fn tracked_columns(spec: &StreamletSpec) -> Vec<(usize, String)> {
+    spec.schema
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !matches!(f.ftype, vortex_common::schema::FieldType::Struct(_))
+                && f.mode != FieldMode::Repeated
+        })
+        .map(|(i, f)| (i, f.name.clone()))
+        .collect()
+}
+
+/// Partition column followed by clustering columns, deduplicated.
+fn key_columns(spec: &StreamletSpec) -> Vec<usize> {
+    let schema = &spec.schema;
+    let mut cols = Vec::new();
+    if let Some(p) = &schema.partition {
+        if let Some(i) = schema.column_index(&p.column) {
+            cols.push(i);
+        }
+    }
+    for c in &schema.clustering {
+        if let Some(i) = schema.column_index(c) {
+            if !cols.contains(&i) {
+                cols.push(i);
+            }
+        }
+    }
+    cols
 }
 
 impl HostedStreamlet {
@@ -98,6 +137,8 @@ impl HostedStreamlet {
         fleet: &StorageFleet,
         tt: &TrueTime,
     ) -> VortexResult<Self> {
+        let tracked_cols = tracked_columns(&spec);
+        let key_cols = key_columns(&spec);
         let mut sl = Self {
             spec,
             current: None,
@@ -110,41 +151,11 @@ impl HostedStreamlet {
             rows_dirty: false,
             uncommitted_tail: false,
             last_append_at: Timestamp::MIN,
+            tracked_cols,
+            key_cols,
         };
         sl.open_fragment(0, ids, fleet, tt)?;
         Ok(sl)
-    }
-
-    fn tracked_columns(&self) -> Vec<(usize, String)> {
-        self.spec
-            .schema
-            .fields
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| {
-                !matches!(f.ftype, vortex_common::schema::FieldType::Struct(_))
-                    && f.mode != FieldMode::Repeated
-            })
-            .map(|(i, f)| (i, f.name.clone()))
-            .collect()
-    }
-
-    fn key_columns(&self) -> Vec<usize> {
-        let schema = &self.spec.schema;
-        let mut cols = Vec::new();
-        if let Some(p) = &schema.partition {
-            if let Some(i) = schema.column_index(&p.column) {
-                cols.push(i);
-            }
-        }
-        for c in &schema.clustering {
-            if let Some(i) = schema.column_index(c) {
-                if !cols.contains(&i) {
-                    cols.push(i);
-                }
-            }
-        }
-        cols
     }
 
     fn open_fragment(
@@ -186,9 +197,9 @@ impl HostedStreamlet {
             )));
         }
         let stats = self
-            .tracked_columns()
-            .into_iter()
-            .map(|(i, n)| (i, n, ColumnStats::new()))
+            .tracked_cols
+            .iter()
+            .map(|(i, n)| (*i, n.clone(), ColumnStats::new()))
             .collect();
         self.current = Some(CurrentFragment {
             writer,
@@ -386,27 +397,29 @@ impl HostedStreamlet {
             }
         }
 
-        // Chunk into ≤ block_buffer_bytes blocks (§5.4.4).
-        let mut chunks: Vec<RowSet> = Vec::new();
-        let mut acc = RowSet::default();
-        let mut acc_bytes = 0usize;
-        for r in &rows.rows {
-            let rb = r.approx_bytes();
-            if acc_bytes + rb > tuning.block_buffer_bytes && !acc.is_empty() {
-                chunks.push(std::mem::take(&mut acc));
-                acc_bytes = 0;
-            }
-            acc_bytes += rb;
-            acc.rows.push(r.clone());
-        }
-        if !acc.is_empty() {
-            chunks.push(acc);
-        }
-
+        // Chunk into ≤ block_buffer_bytes blocks (§5.4.4). Chunks are
+        // index ranges over the caller's rows — the hot path borrows
+        // slices instead of cloning every row into scratch RowSets.
+        let all = &rows.rows[..];
         let first_stream_row = next_offset;
         let mut total_service = 0u64;
         let mut completion = start;
-        for chunk in &chunks {
+        let mut chunk_count = 0u64;
+        let mut lo = 0usize;
+        while lo < all.len() {
+            let mut hi = lo;
+            let mut acc_bytes = 0usize;
+            while hi < all.len() {
+                let rb = all[hi].approx_bytes();
+                if hi > lo && acc_bytes + rb > tuning.block_buffer_bytes {
+                    break;
+                }
+                acc_bytes += rb;
+                hi += 1;
+            }
+            let chunk = &all[lo..hi];
+            lo = hi;
+            chunk_count += 1;
             let ts = tt.record_timestamp();
             let (svc, done_at) = self.write_chunk(chunk, ts, completion, tuning, ids, fleet, tt)?;
             total_service += svc;
@@ -430,7 +443,7 @@ impl HostedStreamlet {
         // Server leg of the append span (§4.2.2: request → both-replica
         // durable), plus data-plane counters for the unified registry.
         let m = obs::global();
-        m.counter("append.server.chunks").add(chunks.len() as u64);
+        m.counter("append.server.chunks").add(chunk_count);
         m.counter("append.server.rows").add(rows.len() as u64);
         m.histogram("append.server.service_us")
             .record(total_service);
@@ -449,7 +462,7 @@ impl HostedStreamlet {
     #[allow(clippy::too_many_arguments)]
     fn write_chunk(
         &mut self,
-        chunk: &RowSet,
+        chunk: &[Row],
         ts: Timestamp,
         start: Timestamp,
         _tuning: WriteTuning,
@@ -550,18 +563,18 @@ impl HostedStreamlet {
         }
     }
 
-    fn record_properties(&mut self, chunk: &RowSet, ts: Timestamp) {
-        let key_cols = self.key_columns();
+    fn record_properties(&mut self, chunk: &[Row], ts: Timestamp) {
+        let key_cols = &self.key_cols;
         let Some(cur) = self.current.as_mut() else {
             return;
         };
-        for r in &chunk.rows {
+        for r in chunk {
             for (idx, _, s) in cur.stats.iter_mut() {
                 if let Some(v) = r.values.get(*idx) {
                     s.observe(v);
                 }
             }
-            for k in &key_cols {
+            for k in key_cols {
                 if let Some(v) = r.values.get(*k) {
                     cur.bloom_keys.insert(v.encode_key());
                 }

@@ -193,6 +193,7 @@ impl StreamServer {
     /// `declared_schema_version` is the writer's schema version;
     /// `start` is the request's virtual send time (for latency
     /// accounting; pass `Timestamp::MIN` when not simulating time).
+    // lint:hotpath(append) — server leg: admit → streamlet lock → dual-replica write
     pub fn append(
         &self,
         streamlet: StreamletId,

@@ -274,7 +274,7 @@ fn write_fragment(
             })
             .collect(),
     );
-    bytes.extend(w.data_block(&rows, r.tt.record_timestamp()).unwrap());
+    bytes.extend(w.data_block(&rows.rows, r.tt.record_timestamp()).unwrap());
     if commit {
         bytes.extend(w.commit_record(r.tt.record_timestamp()).unwrap());
     }
@@ -370,7 +370,7 @@ fn reconcile_with_diverged_replicas_takes_common_prefix() {
         Value::Int64(8),
         Value::String("divergent".into()),
     ])]);
-    let block = w.data_block(&rows, r.tt.record_timestamp()).unwrap();
+    let block = w.data_block(&rows.rows, r.tt.record_timestamp()).unwrap();
     // Replica 0 gets header+block; replica 1 gets only the header.
     let header_only = frag1.clone();
     frag1.extend(block);
@@ -1048,7 +1048,7 @@ fn double_ownership_stays_correct_via_txns() {
         Value::Int64(1),
         Value::String("x".into()),
     ])]);
-    bytes.extend(w.data_block(&rows, tt.record_timestamp()).unwrap());
+    bytes.extend(w.data_block(&rows.rows, tt.record_timestamp()).unwrap());
     bytes.extend(w.commit_record(tt.record_timestamp()).unwrap());
     let path = wos_path(t.table, h.streamlet.streamlet, 0);
     for c in h.streamlet.clusters {

@@ -136,6 +136,7 @@ impl ParsedFragment {
 /// partial writes at the end" (§7.1). Inside the limit, corruption is an
 /// error; past the limit (or past the last parseable record when no limit
 /// is given), bytes are counted in `torn_bytes` and ignored.
+// lint:hotpath(scan) — decode leg: every fragment read passes through here
 pub fn parse_fragment(bytes: &[u8], key: &Key, limit: Option<u64>) -> VortexResult<ParsedFragment> {
     let window: &[u8] = match limit {
         Some(l) if (l as usize) < bytes.len() => &bytes[..l as usize],
@@ -352,8 +353,8 @@ mod tests {
             row_count: 10,
         }];
         let (mut w, mut file) = FragmentWriter::new(cfg(), 10, fm, Timestamp(100));
-        file.extend(w.data_block(&rows(0, 4), Timestamp(200)).unwrap());
-        file.extend(w.data_block(&rows(4, 6), Timestamp(300)).unwrap());
+        file.extend(w.data_block(&rows(0, 4).rows, Timestamp(200)).unwrap());
+        file.extend(w.data_block(&rows(4, 6).rows, Timestamp(300)).unwrap());
         (file, w)
     }
 
@@ -396,7 +397,7 @@ mod tests {
     fn torn_tail_is_skipped() {
         let (mut file, mut w) = build_fragment();
         let full_len = file.len();
-        let block3 = w.data_block(&rows(10, 2), Timestamp(500)).unwrap();
+        let block3 = w.data_block(&rows(10, 2).rows, Timestamp(500)).unwrap();
         // Write only half of the third block: simulated torn write.
         file.extend_from_slice(&block3[..block3.len() / 2]);
         let p = parse_fragment(&file, &key(), None).unwrap();

@@ -7,12 +7,12 @@
 //! clusters").
 
 use vortex_common::bloom::BloomFilter;
-use vortex_common::codec::encode_rowset;
+use vortex_common::codec::encode_rows;
 use vortex_common::compress::{compress, decompress};
 use vortex_common::crc::crc32c;
 use vortex_common::crypt::{apply_keystream, Nonce};
 use vortex_common::error::{VortexError, VortexResult};
-use vortex_common::row::RowSet;
+use vortex_common::row::Row;
 use vortex_common::truetime::Timestamp;
 
 use crate::format::{
@@ -115,14 +115,18 @@ impl FragmentWriter {
     /// The pipeline is: encode → CRC(plaintext) → compress →
     /// decompress-verify (§5.4.5's corruption guard) → encrypt →
     /// CRC(payload) → frame.
-    pub fn data_block(&mut self, rows: &RowSet, timestamp: Timestamp) -> VortexResult<Vec<u8>> {
+    ///
+    /// Takes a borrowed row slice so the server can chunk a batch by
+    /// index range without materialising per-chunk `RowSet`s.
+    // lint:hotpath(append) — encode leg: every durable byte passes through here
+    pub fn data_block(&mut self, rows: &[Row], timestamp: Timestamp) -> VortexResult<Vec<u8>> {
         self.check_writable()?;
         if rows.is_empty() {
             return Err(VortexError::InvalidArgument(
                 "data block must contain rows".into(),
             ));
         }
-        let plain = encode_rowset(rows);
+        let plain = encode_rows(rows);
         let plain_crc = crc32c(&plain);
         let compressed = compress(&plain);
         // Guard against corruption during compression: decompress and
@@ -309,7 +313,7 @@ mod tests {
     use super::*;
     use vortex_common::crypt::Key;
     use vortex_common::ids::{FragmentId, StreamletId};
-    use vortex_common::row::{Row, Value};
+    use vortex_common::row::{Row, RowSet, Value};
 
     fn cfg() -> FragmentConfig {
         FragmentConfig {
@@ -339,10 +343,10 @@ mod tests {
         let (mut w, header) = FragmentWriter::new(cfg(), 100, vec![], Timestamp(1));
         assert_eq!(w.logical_size(), header.len() as u64);
         assert_eq!(w.next_row(), 100);
-        let b1 = w.data_block(&rows(5), Timestamp(2)).unwrap();
+        let b1 = w.data_block(&rows(5).rows, Timestamp(2)).unwrap();
         assert_eq!(w.next_row(), 105);
         assert_eq!(w.rows_written(), 5);
-        let b2 = w.data_block(&rows(3), Timestamp(3)).unwrap();
+        let b2 = w.data_block(&rows(3).rows, Timestamp(3)).unwrap();
         assert_eq!(w.next_row(), 108);
         assert_eq!(
             w.logical_size(),
@@ -353,17 +357,17 @@ mod tests {
     #[test]
     fn empty_data_block_rejected() {
         let (mut w, _) = FragmentWriter::new(cfg(), 0, vec![], Timestamp(1));
-        assert!(w.data_block(&RowSet::default(), Timestamp(2)).is_err());
+        assert!(w.data_block(&[], Timestamp(2)).is_err());
     }
 
     #[test]
     fn finalize_locks_writer() {
         let (mut w, _) = FragmentWriter::new(cfg(), 0, vec![], Timestamp(1));
-        w.data_block(&rows(1), Timestamp(2)).unwrap();
+        w.data_block(&rows(1).rows, Timestamp(2)).unwrap();
         let bloom = BloomFilter::with_capacity(10, 0.01);
         w.finalize(&bloom, Timestamp(3)).unwrap();
         assert!(w.is_finalized());
-        assert!(w.data_block(&rows(1), Timestamp(4)).is_err());
+        assert!(w.data_block(&rows(1).rows, Timestamp(4)).is_err());
         assert!(w.commit_record(Timestamp(4)).is_err());
         assert!(w.flush_record(0, Timestamp(4)).is_err());
         assert!(w.finalize(&bloom, Timestamp(4)).is_err());
@@ -374,7 +378,7 @@ mod tests {
         let (mut w, _) = FragmentWriter::new(cfg(), 0, vec![], Timestamp(1));
         let marker = "VERYRECOGNIZABLESTRINGVALUE";
         let rs = RowSet::new(vec![Row::insert(vec![Value::String(marker.into())])]);
-        let chunk = w.data_block(&rs, Timestamp(2)).unwrap();
+        let chunk = w.data_block(&rs.rows, Timestamp(2)).unwrap();
         let haystack = chunk
             .windows(marker.len())
             .any(|win| win == marker.as_bytes());
@@ -394,7 +398,7 @@ mod tests {
     #[test]
     fn commit_record_carries_row_watermark() {
         let (mut w, _) = FragmentWriter::new(cfg(), 50, vec![], Timestamp(1));
-        w.data_block(&rows(7), Timestamp(2)).unwrap();
+        w.data_block(&rows(7).rows, Timestamp(2)).unwrap();
         let chunk = w.commit_record(Timestamp(3)).unwrap();
         let rec = RecordHeader::from_bytes(&chunk).unwrap();
         assert_eq!(rec.rtype, RecordType::Commit);

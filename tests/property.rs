@@ -163,7 +163,7 @@ proptest! {
                     .collect(),
             );
             all.extend(batch.iter().cloned());
-            file.extend(w.data_block(&rs, vortex::Timestamp(10 + i as u64)).unwrap());
+            file.extend(w.data_block(&rs.rows, vortex::Timestamp(10 + i as u64)).unwrap());
         }
         file.extend(w.commit_record(vortex::Timestamp(999)).unwrap());
         let parsed = parse_fragment(&file, &key, None).unwrap();
@@ -287,7 +287,10 @@ fn build_fragment(batches: &[Vec<(i64, String)>], key: &Key) -> (Vec<u8>, Vec<(i
                 .collect(),
         );
         all.extend(batch.iter().cloned());
-        file.extend(w.data_block(&rs, vortex::Timestamp(10 + i as u64)).unwrap());
+        file.extend(
+            w.data_block(&rs.rows, vortex::Timestamp(10 + i as u64))
+                .unwrap(),
+        );
     }
     file.extend(w.commit_record(vortex::Timestamp(999)).unwrap());
     (file, all)
