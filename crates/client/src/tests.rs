@@ -469,3 +469,54 @@ fn heartbeat_then_read_uses_fragment_specs() {
     let tr = r.client.read_rows(t.table).unwrap();
     assert_eq!(tr.rows.len(), 10);
 }
+
+#[test]
+fn dedup_ledger_stays_bounded_under_steady_appends() {
+    // Satellite regression: the exactly-once dedup ledger must evict
+    // entries below the committed watermark — steady-state appends keep
+    // it O(1), never O(stream length).
+    let r = rig();
+    let t = r.client.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    for i in 0..50 {
+        w.append(rows(i * 4, 4)).unwrap();
+        assert!(
+            w.dedup_ledger_len() <= 1,
+            "ledger grew to {} after {} appends",
+            w.dedup_ledger_len(),
+            i + 1
+        );
+    }
+    assert_eq!(w.dedup_ledger_len(), 0, "fully acked writer holds nothing");
+    assert_eq!(r.client.read_rows(t.table).unwrap().rows.len(), 200);
+}
+
+#[test]
+fn dedup_ledger_evicts_after_ambiguous_retry_resolves() {
+    // Force the ambiguous-ack path (both replicas fail → rotate →
+    // reconcile), then confirm the ledger entry for the ambiguous batch
+    // is dropped once the watermark passes it.
+    let r = rig();
+    let t = r.client.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 8)).unwrap();
+    for c in 0..2u64 {
+        r.fleet
+            .get(ClusterId::from_raw(c))
+            .unwrap()
+            .faults()
+            .fail_next_appends(2);
+    }
+    let res = w.append(rows(8, 8)).unwrap();
+    assert_eq!(res.row_offset, 8);
+    w.append(rows(16, 8)).unwrap();
+    assert!(
+        w.dedup_ledger_len() <= 1,
+        "ambiguous batches must not pin ledger entries: {}",
+        w.dedup_ledger_len()
+    );
+    assert_eq!(
+        keys(&r.client.read_rows(t.table).unwrap()),
+        (0..24).collect::<Vec<_>>()
+    );
+}

@@ -1,6 +1,8 @@
 //! The write side of the thick client: offset-tracked, retrying,
 //! schema-evolution-aware appends (§4.2, §5.4).
 
+use std::collections::BTreeMap;
+
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{StreamId, TableId};
 use vortex_common::obs;
@@ -70,6 +72,13 @@ pub struct StreamWriter {
     schema: Schema,
     opts: WriterOptions,
     next_offset: u64,
+    /// Exactly-once dedup ledger: stream offset → row count of every
+    /// batch this writer has submitted whose outcome the server may
+    /// remember (§4.2.2's ambiguous ack). Entries wholly below the
+    /// committed watermark (`next_offset` after an acknowledgement) are
+    /// evicted, so the ledger holds only the unresolved window — it
+    /// never grows with stream length.
+    submitted: BTreeMap<u64, u64>,
     transport: AdaptiveTransport,
     last_completion: Timestamp,
     max_rotate_retries: usize,
@@ -99,6 +108,7 @@ impl StreamWriter {
         Ok(Self {
             schema: handle.schema.clone(),
             next_offset: handle.streamlet.first_stream_row,
+            submitted: BTreeMap::new(), // lint:allow(L010, writer-construction ledger init; hot edge is a name-resolved fs `create`)
             sms,
             tt,
             table,
@@ -123,6 +133,27 @@ impl StreamWriter {
     /// The stream-level row offset the next append will use.
     pub fn next_offset(&self) -> u64 {
         self.next_offset
+    }
+
+    /// Unresolved entries in the exactly-once dedup ledger (bounded by
+    /// eviction below the committed watermark; exposed for tests and
+    /// leak probes).
+    pub fn dedup_ledger_len(&self) -> usize {
+        self.submitted.len()
+    }
+
+    /// Drops dedup-ledger entries wholly below the committed watermark:
+    /// future retries always carry offsets at or above it, so those
+    /// entries can never be queried again.
+    fn evict_acked(&mut self) {
+        let w = self.next_offset;
+        while let Some((&off, &rows)) = self.submitted.first_key_value() {
+            if off + rows <= w {
+                self.submitted.remove(&off);
+            } else {
+                break;
+            }
+        }
     }
 
     /// The schema version this writer currently serializes against.
@@ -180,6 +211,13 @@ impl StreamWriter {
         let mut throttle_retries = 0usize;
         loop {
             let expected = self.opts.exactly_once.then_some(self.next_offset);
+            if self.opts.exactly_once {
+                // Remember the batch before the RPC: if the ack is lost,
+                // a later OffsetMismatch must be checkable against what
+                // was actually submitted at this offset.
+                // lint:allow(L010, bounded dedup ledger — evicted below the committed watermark)
+                self.submitted.insert(self.next_offset, padded.len() as u64);
+            }
             let outcome = self.handle.server.append(
                 self.handle.streamlet.streamlet,
                 &padded,
@@ -191,6 +229,7 @@ impl StreamWriter {
                 Ok(ack) => {
                     self.transport.on_response();
                     self.next_offset = ack.first_stream_row + ack.row_count;
+                    self.evict_acked();
                     self.last_completion = self.last_completion.max(ack.completion);
                     // Client leg of the append span: send → durable ack,
                     // in virtual time (§4.2.2 ack path).
@@ -210,7 +249,10 @@ impl StreamWriter {
                 }
                 Err(VortexError::OffsetMismatch {
                     provided, expected, ..
-                }) if self.opts.exactly_once && expected == provided + padded.len() as u64 => {
+                }) if self.opts.exactly_once
+                    && expected >= provided + padded.len() as u64
+                    && self.submitted.get(&provided).copied() == Some(padded.len() as u64) =>
+                {
                     // An earlier attempt executed but its acknowledgement
                     // was lost (§4.2.2's ambiguous ack) and the retry came
                     // back to the same streamlet: the server's
@@ -218,6 +260,7 @@ impl StreamWriter {
                     // landed. Duplicate — report success at the original
                     // offset.
                     self.next_offset = expected;
+                    self.evict_acked();
                     self.transport.on_response();
                     let m = obs::global();
                     m.counter("append.client.calls").inc();
@@ -284,6 +327,7 @@ impl StreamWriter {
                         // original offset.
                         let row_offset = self.next_offset;
                         self.next_offset = reconciled;
+                        self.evict_acked();
                         self.transport.on_response();
                         let m = obs::global();
                         m.counter("append.client.calls").inc();
@@ -297,6 +341,7 @@ impl StreamWriter {
                         });
                     }
                     self.next_offset = self.next_offset.max(reconciled);
+                    self.evict_acked();
                 }
                 Err(e) => {
                     self.transport.on_response();

@@ -39,6 +39,7 @@ pub mod crypt;
 pub mod error;
 pub mod ids;
 pub mod latency;
+pub mod mailbox;
 pub mod mask;
 pub mod obs;
 pub mod row;

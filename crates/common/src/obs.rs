@@ -443,6 +443,27 @@ impl Span {
 }
 
 // ---------------------------------------------------------------------------
+// Group-commit metrics (shard-per-core Stream Server)
+// ---------------------------------------------------------------------------
+
+/// Histogram: appends coalesced into each shard group commit. The knee
+/// of the saturation bench shows up here as the mean batch size climbing
+/// above one.
+pub const GROUP_COMMIT_APPENDS: &str = "server.group_commit.appends";
+/// Histogram: payload bytes per shard group commit.
+pub const GROUP_COMMIT_BYTES: &str = "server.group_commit.bytes";
+/// Counter: group commits executed across all shards.
+pub const GROUP_COMMIT_GROUPS: &str = "server.group_commit.groups";
+/// Counter: WAL events folded into record-aligned group WAL appends.
+pub const GROUP_COMMIT_WAL_EVENTS: &str = "server.group_commit.wal_events";
+/// Counter: appends shed at a full shard mailbox (backpressure).
+pub const SHARD_MAILBOX_SHED: &str = "server.shard.mailbox_shed";
+/// Per-shard append counter prefix; shards intern
+/// `"{prefix}{idx:02}.appends"` once at spawn so the hot path never
+/// formats a metric name.
+pub const SHARD_APPENDS_PREFIX: &str = "server.shard";
+
+// ---------------------------------------------------------------------------
 // Freshness probe
 // ---------------------------------------------------------------------------
 

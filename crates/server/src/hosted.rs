@@ -22,6 +22,8 @@ use vortex_sms::meta::wos_path;
 use vortex_sms::server_ctl::StreamletSpec;
 use vortex_wos::{FileMapEntry, FragmentConfig, FragmentWriter};
 
+use crate::wal::WalEvent;
+
 pub use vortex_sms::server_ctl::AppendAck;
 
 /// State of one fragment currently being written.
@@ -93,6 +95,9 @@ pub struct HostedStreamlet {
     tracked_cols: Vec<(usize, String)>,
     /// Partition + clustering column indexes, computed once at open.
     key_cols: Vec<usize>,
+    /// How many entries of `done` have already been handed to the WAL
+    /// (see [`HostedStreamlet::drain_unlogged_seals`]).
+    wal_logged_seals: usize,
 }
 
 /// Columns eligible for per-fragment zone-map stats: scalar, non-repeated.
@@ -128,6 +133,57 @@ fn key_columns(spec: &StreamletSpec) -> Vec<usize> {
     cols
 }
 
+/// One append inside a shard group commit: a borrowed view of the
+/// caller's rows plus the per-append protocol fields of §4.2.2/§5.4.1.
+pub struct GroupAppend<'a> {
+    /// Rows to append (borrowed from the request; never cloned).
+    pub rows: &'a RowSet,
+    /// The writer's declared schema version (§5.4.1 schema relay).
+    pub declared_schema_version: u32,
+    /// The §4.2.2 offset-idempotency token, when the writer sent one.
+    pub expected_stream_offset: Option<u64>,
+    /// Virtual send time; ack latency is measured from here.
+    pub start: Timestamp,
+}
+
+/// A staged encoded block: `entry`'s rows `[lo, hi)`, encoded at `ts`,
+/// sitting in the group arena awaiting the next flush.
+struct StagedChunk {
+    entry: usize,
+    lo: usize,
+    hi: usize,
+    ts: Timestamp,
+}
+
+/// Per-entry accumulator while a group commit is in flight.
+#[derive(Default)]
+struct EntryAcc {
+    first_stream_row: u64,
+    total_rows: u64,
+    flushed_rows: u64,
+    service_us: u64,
+    completion: Timestamp,
+    failed: Option<VortexError>,
+}
+
+/// Reusable group-commit arenas: a shard allocates one of these at spawn
+/// and threads it through every [`HostedStreamlet::append_group`] call,
+/// so the steady-state append hot path performs no heap allocation for
+/// staging (buffers are cleared, never shrunk).
+#[derive(Default)]
+pub struct GroupScratch {
+    staged: Vec<u8>,
+    chunks: Vec<StagedChunk>,
+    acc: Vec<EntryAcc>,
+}
+
+impl GroupScratch {
+    /// A fresh arena set (empty; grows to the shard's working set).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl HostedStreamlet {
     /// Opens the streamlet: creates fragment 0 by writing its header to
     /// both replica clusters.
@@ -153,6 +209,7 @@ impl HostedStreamlet {
             last_append_at: Timestamp::MIN,
             tracked_cols,
             key_cols,
+            wal_logged_seals: 0,
         };
         sl.open_fragment(0, ids, fleet, tt)?;
         Ok(sl)
@@ -260,19 +317,22 @@ impl HostedStreamlet {
         bytes: &[u8],
         start: Timestamp,
     ) -> VortexResult<(u64, Timestamp)> {
-        let (path, expected) = {
-            let cur = self
-                .current
-                .as_ref()
-                .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
-            (cur.path.clone(), cur.expected_lens)
-        };
-        let (svc, done, lens) = self.write_both(fleet, &path, bytes, start)?;
+        let cur = self
+            .current
+            .as_ref()
+            .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
+        let expected = cur.expected_lens;
+        let (svc, done, lens) = self.write_both(fleet, &cur.path, bytes, start)?;
         let want = [
             expected[0] + bytes.len() as u64,
             expected[1] + bytes.len() as u64,
         ];
         if lens != want {
+            let path = self
+                .current
+                .as_ref()
+                .map(|c| c.path.as_str())
+                .unwrap_or("<closed>");
             return Err(VortexError::LeaseLost(format!(
                 "foreign bytes in {path}: expected lens {want:?}, observed {lens:?}"
             )));
@@ -353,6 +413,10 @@ impl HostedStreamlet {
     /// idempotency check of §4.2.2; `declared_schema_version` implements
     /// the schema relay of §5.4.1 (`latest_version` is the server's most
     /// recent knowledge for the table).
+    ///
+    /// Single-entry wrapper over [`HostedStreamlet::append_group`]: the
+    /// shard commit loop is the real caller; this exists for tests and
+    /// the locked baseline arm of the saturation bench.
     #[allow(clippy::too_many_arguments)]
     pub fn append(
         &mut self,
@@ -366,122 +430,341 @@ impl HostedStreamlet {
         fleet: &StorageFleet,
         tt: &TrueTime,
     ) -> VortexResult<AppendAck> {
-        if self.revoked || self.finalized {
-            return Err(VortexError::StreamletFinalized(self.spec.streamlet));
+        let entry = GroupAppend {
+            rows,
+            declared_schema_version,
+            expected_stream_offset,
+            start,
+        };
+        let mut out = Vec::with_capacity(1); // lint:allow(L010, wrapper scratch; the shard path reuses arenas)
+        let mut scratch = GroupScratch::new();
+        self.append_group(
+            std::slice::from_ref(&entry),
+            latest_version,
+            tuning,
+            ids,
+            fleet,
+            tt,
+            &mut scratch,
+            &mut out,
+        );
+        match out.pop() {
+            Some(res) => res,
+            None => Err(VortexError::Internal(
+                "append_group produced no result".into(),
+            )),
         }
-        if rows.is_empty() {
-            return Err(VortexError::InvalidArgument("empty append".into()));
-        }
-        if declared_schema_version < latest_version {
-            return Err(VortexError::SchemaVersionMismatch {
-                table: self.spec.table,
-                writer_version: declared_schema_version,
-                current_version: latest_version,
-            });
-        }
-        let next_offset = self.spec.first_stream_row + self.rows_acked;
-        if let Some(expected) = expected_stream_offset {
-            if expected != next_offset {
-                return Err(VortexError::OffsetMismatch {
-                    stream: self.spec.stream,
-                    provided: expected,
-                    expected: next_offset,
-                });
-            }
-        }
-        // Row validation against the schema the server holds (when the
-        // writer speaks the same version).
-        if declared_schema_version == self.spec.schema.version {
-            for r in &rows.rows {
-                self.spec.schema.validate_row(r)?;
-            }
-        }
-
-        // Chunk into ≤ block_buffer_bytes blocks (§5.4.4). Chunks are
-        // index ranges over the caller's rows — the hot path borrows
-        // slices instead of cloning every row into scratch RowSets.
-        let all = &rows.rows[..];
-        let first_stream_row = next_offset;
-        let mut total_service = 0u64;
-        let mut completion = start;
-        let mut chunk_count = 0u64;
-        let mut lo = 0usize;
-        while lo < all.len() {
-            let mut hi = lo;
-            let mut acc_bytes = 0usize;
-            while hi < all.len() {
-                let rb = all[hi].approx_bytes();
-                if hi > lo && acc_bytes + rb > tuning.block_buffer_bytes {
-                    break;
-                }
-                acc_bytes += rb;
-                hi += 1;
-            }
-            let chunk = &all[lo..hi];
-            lo = hi;
-            chunk_count += 1;
-            let ts = tt.record_timestamp();
-            let (svc, done_at) = self.write_chunk(chunk, ts, completion, tuning, ids, fleet, tt)?;
-            total_service += svc;
-            completion = done_at;
-            // Account the chunk only after both replicas acked.
-            self.rows_acked += chunk.len() as u64;
-            self.rows_dirty = true;
-            self.uncommitted_tail = true;
-            self.last_append_at = ts;
-            self.record_properties(chunk, ts);
-            // Rotate when the fragment hits its max size.
-            let needs_rotate = self
-                .current
-                .as_ref()
-                .map(|c| c.writer.logical_size() >= tuning.fragment_max_bytes)
-                .unwrap_or(false);
-            if needs_rotate {
-                self.rotate(true, ids, fleet, tt)?;
-            }
-        }
-        // Server leg of the append span (§4.2.2: request → both-replica
-        // durable), plus data-plane counters for the unified registry.
-        let m = obs::global();
-        m.counter("append.server.chunks").add(chunk_count);
-        m.counter("append.server.rows").add(rows.len() as u64);
-        m.histogram("append.server.service_us")
-            .record(total_service);
-        obs::Span::begin("append.server", start).end(completion);
-        Ok(AppendAck {
-            first_stream_row,
-            row_count: rows.len() as u64,
-            completion,
-            service_us: total_service,
-        })
     }
 
-    /// Writes one data block, running the §5.3 error path on failure:
-    /// close the fragment, retry on the next one, finalize the streamlet
-    /// if the retry fails too.
+    /// Group commit (§5.3 re-architected): lands a run of appends for this
+    /// streamlet with as few Colossus writes as possible. All entries'
+    /// data blocks are staged into one arena and written with a single
+    /// dual-replica append per fragment extent, so the ~600µs Colossus
+    /// base overhead is charged once per *group* instead of once per
+    /// append. Pushes exactly one result per entry onto `results`, in
+    /// entry order.
+    ///
+    /// Entries are validated against the streamlet state *as if* all
+    /// earlier entries in the group had already landed (offset checks see
+    /// staged rows), so a writer pipelining appends through one shard
+    /// observes the same semantics as the old serial path. A terminal
+    /// failure (lease loss, repeated write failure, simulated crash)
+    /// fails every entry whose rows were not yet durable; entries that
+    /// already flushed keep their acks — the shard layer decides whether
+    /// a simulated crash widens to the whole group.
     #[allow(clippy::too_many_arguments)]
-    fn write_chunk(
+    pub fn append_group(
         &mut self,
-        chunk: &[Row],
-        ts: Timestamp,
-        start: Timestamp,
-        _tuning: WriteTuning,
+        entries: &[GroupAppend<'_>],
+        latest_version: u32,
+        tuning: WriteTuning,
         ids: &IdGen,
         fleet: &StorageFleet,
         tt: &TrueTime,
-    ) -> VortexResult<(u64, Timestamp)> {
+        scratch: &mut GroupScratch,
+        results: &mut Vec<VortexResult<AppendAck>>,
+    ) {
+        scratch.staged.clear();
+        scratch.chunks.clear();
+        scratch.acc.clear();
+        scratch.acc.resize_with(entries.len(), EntryAcc::default);
+        let GroupScratch {
+            staged,
+            chunks: staged_chunks,
+            acc,
+        } = scratch;
+        let mut staged_rows: u64 = 0;
+        // Acked fragment extent excluding staged-but-unflushed blocks: a
+        // failed group write force-closes the fragment here.
+        let mut stage_base = self.stage_base();
+        // Virtual write start chains across flushes the way the old
+        // per-chunk path chained completions.
+        let mut write_start: Option<Timestamp> = None;
+        // Terminal error: everything staged or later-arriving fails with
+        // (a clone of) this.
+        let mut dead: Option<VortexError> = None;
+
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(e) = &dead {
+                acc[i].failed = Some(e.clone()); // lint:allow(L010, cold terminal-error path)
+                continue;
+            }
+            if self.revoked || self.finalized {
+                acc[i].failed = Some(VortexError::StreamletFinalized(self.spec.streamlet));
+                continue;
+            }
+            if entry.rows.is_empty() {
+                acc[i].failed = Some(VortexError::InvalidArgument("empty append".into()));
+                continue;
+            }
+            if entry.declared_schema_version < latest_version {
+                acc[i].failed = Some(VortexError::SchemaVersionMismatch {
+                    table: self.spec.table,
+                    writer_version: entry.declared_schema_version,
+                    current_version: latest_version,
+                });
+                continue;
+            }
+            // Offset check sees staged rows: earlier group entries count
+            // as landed for idempotency purposes.
+            let next_offset = self.spec.first_stream_row + self.rows_acked + staged_rows;
+            if let Some(expected) = entry.expected_stream_offset {
+                if expected != next_offset {
+                    acc[i].failed = Some(VortexError::OffsetMismatch {
+                        stream: self.spec.stream,
+                        provided: expected,
+                        expected: next_offset,
+                    });
+                    continue;
+                }
+            }
+            // Row validation against the schema the server holds (when
+            // the writer speaks the same version).
+            if entry.declared_schema_version == self.spec.schema.version {
+                let mut bad = None;
+                for r in &entry.rows.rows {
+                    if let Err(e) = self.spec.schema.validate_row(r) {
+                        bad = Some(e);
+                        break;
+                    }
+                }
+                if let Some(e) = bad {
+                    acc[i].failed = Some(e);
+                    continue;
+                }
+            }
+            acc[i].first_stream_row = next_offset;
+            acc[i].total_rows = entry.rows.len() as u64;
+            acc[i].completion = entry.start;
+            if write_start.is_none() {
+                write_start = Some(entry.start);
+            }
+
+            // Chunk into ≤ block_buffer_bytes blocks (§5.4.4) and stage
+            // each encoded block into the group arena. Chunks are index
+            // ranges over the caller's rows — the hot path borrows slices
+            // instead of cloning rows into scratch RowSets.
+            let all = &entry.rows.rows[..];
+            let mut lo = 0usize;
+            while lo < all.len() {
+                let mut hi = lo;
+                let mut acc_bytes = 0usize;
+                while hi < all.len() {
+                    let rb = all[hi].approx_bytes();
+                    if hi > lo && acc_bytes + rb > tuning.block_buffer_bytes {
+                        break;
+                    }
+                    acc_bytes += rb;
+                    hi += 1;
+                }
+                let ts = tt.record_timestamp();
+                let Some(cur) = self.current.as_mut() else {
+                    acc[i].failed = Some(VortexError::StreamletFinalized(self.spec.streamlet));
+                    break;
+                };
+                match cur.writer.data_block(&all[lo..hi], ts) {
+                    Ok(block) => staged.extend_from_slice(&block), // lint:allow(L010, group arena reuse)
+                    Err(e) => {
+                        acc[i].failed = Some(e);
+                        break;
+                    }
+                }
+                staged_chunks.push(StagedChunk {
+                    entry: i,
+                    lo,
+                    hi,
+                    ts,
+                }); // lint:allow(L010, chunk-index arena reuse)
+                staged_rows += (hi - lo) as u64;
+                lo = hi;
+                // Rotate when the fragment hits its max size: flush the
+                // staged arena first so the sealed fragment carries it.
+                let needs_rotate = self
+                    .current
+                    .as_ref()
+                    .map(|c| c.writer.logical_size() >= tuning.fragment_max_bytes)
+                    .unwrap_or(false);
+                if needs_rotate {
+                    let ws = write_start.unwrap_or(entry.start);
+                    match self.flush_staged_group(
+                        fleet,
+                        ids,
+                        tt,
+                        entries,
+                        staged,
+                        staged_chunks,
+                        acc.as_mut_slice(),
+                        &mut stage_base,
+                        ws,
+                    ) {
+                        Ok(Some(done_at)) => {
+                            staged_rows = 0;
+                            write_start = Some(done_at);
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            dead = Some(e);
+                            break;
+                        }
+                    }
+                    if dead.is_none() {
+                        if let Err(e) = self.rotate(true, ids, fleet, tt) {
+                            dead = Some(e);
+                            break;
+                        }
+                        stage_base = self.stage_base();
+                    }
+                }
+            }
+            if dead.is_some() {
+                continue;
+            }
+        }
+
+        // Land whatever is still staged.
+        if dead.is_none() && !staged_chunks.is_empty() {
+            let ws = write_start.unwrap_or(Timestamp::MIN);
+            match self.flush_staged_group(
+                fleet,
+                ids,
+                tt,
+                entries,
+                staged,
+                staged_chunks,
+                acc.as_mut_slice(),
+                &mut stage_base,
+                ws,
+            ) {
+                Ok(_) => {}
+                Err(e) => dead = Some(e),
+            }
+        }
+        if let Some(e) = &dead {
+            // Unflushed staged entries (and any entry not yet failed but
+            // not fully flushed) inherit the terminal error.
+            for c in staged_chunks.iter() {
+                if acc[c.entry].failed.is_none() {
+                    acc[c.entry].failed = Some(e.clone()); // lint:allow(L010, cold terminal-error path)
+                }
+            }
+        }
+
+        // Resolve per-entry results, in order, and record metrics for the
+        // entries that fully landed.
+        let m = obs::global();
+        let mut group_rows = 0u64;
+        for (i, a) in acc.iter_mut().enumerate() {
+            if let Some(e) = a.failed.take() {
+                results.push(Err(e)); // lint:allow(L010, results arena reuse)
+                continue;
+            }
+            if a.flushed_rows != a.total_rows {
+                // A terminal error stopped the group before this entry's
+                // rows became durable (covered above unless the entry
+                // staged nothing at all).
+                let e = dead
+                    .clone() // lint:allow(L010, cold terminal-error path)
+                    .unwrap_or(VortexError::StreamletFinalized(self.spec.streamlet));
+                results.push(Err(e)); // lint:allow(L010, results arena reuse)
+                continue;
+            }
+            group_rows += a.total_rows;
+            m.histogram("append.server.service_us").record(a.service_us);
+            obs::Span::begin("append.server", entries[i].start).end(a.completion);
+            // lint:allow(L010, results arena reuse)
+            results.push(Ok(AppendAck {
+                first_stream_row: a.first_stream_row,
+                row_count: a.total_rows,
+                completion: a.completion,
+                service_us: a.service_us,
+            }));
+        }
+        if group_rows > 0 {
+            m.counter("append.server.rows").add(group_rows);
+        }
+    }
+
+    /// Acked extent of the current fragment (size, rows), excluding any
+    /// blocks staged in the writer but not yet durable.
+    fn stage_base(&self) -> (u64, u64) {
+        self.current
+            .as_ref()
+            .map(|c| (c.writer.logical_size(), c.writer.rows_written()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Lands the staged arena with one dual-replica write, running the
+    /// §5.3 error path on failure: close the fragment at its pre-group
+    /// extent, re-encode the staged chunks on the next fragment, retry
+    /// once; a second failure finalizes the streamlet. Returns the write
+    /// completion (None when nothing was staged); a terminal error fails
+    /// the rest of the group.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_staged_group(
+        &mut self,
+        fleet: &StorageFleet,
+        ids: &IdGen,
+        tt: &TrueTime,
+        entries: &[GroupAppend<'_>],
+        staged: &mut Vec<u8>,
+        staged_chunks: &mut Vec<StagedChunk>,
+        acc: &mut [EntryAcc],
+        stage_base: &mut (u64, u64),
+        start: Timestamp,
+    ) -> VortexResult<Option<Timestamp>> {
+        if staged_chunks.is_empty() {
+            return Ok(None);
+        }
         for attempt in 0..2 {
-            let cur = self
-                .current
-                .as_mut()
-                .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
-            // Snapshot the acked extent BEFORE encoding: a failed block
-            // must not count toward the fragment's committed size or rows.
-            let pre_size = cur.writer.logical_size();
-            let pre_rows = cur.writer.rows_written();
-            let block = cur.writer.data_block(chunk, ts)?;
-            match self.write_owned(fleet, &block, start) {
-                Ok(out) => return Ok(out),
+            if self.current.is_none() {
+                return Err(VortexError::StreamletFinalized(self.spec.streamlet));
+            }
+            match self.write_owned(fleet, staged, start) {
+                Ok((svc, done_at)) => {
+                    let m = obs::global();
+                    m.counter("append.server.chunks")
+                        .add(staged_chunks.len() as u64);
+                    let mut last_entry = usize::MAX;
+                    for c in staged_chunks.drain(..) {
+                        let rows = (c.hi - c.lo) as u64;
+                        self.rows_acked += rows;
+                        self.rows_dirty = true;
+                        self.uncommitted_tail = true;
+                        self.last_append_at = c.ts;
+                        self.record_properties(&entries[c.entry].rows.rows[c.lo..c.hi], c.ts);
+                        acc[c.entry].flushed_rows += rows;
+                        acc[c.entry].completion = done_at;
+                        // The group's single write is charged once per
+                        // participating entry's ack (each waited on it).
+                        if c.entry != last_entry {
+                            acc[c.entry].service_us += svc;
+                            last_entry = c.entry;
+                        }
+                    }
+                    staged.clear();
+                    *stage_base = self.stage_base();
+                    return Ok(Some(done_at));
+                }
                 Err(e @ VortexError::LeaseLost(_)) => {
                     // A reconciler poisoned the log (§5.6): relinquish
                     // ownership immediately — never retry on a new
@@ -500,13 +783,26 @@ impl HostedStreamlet {
                     return Err(e);
                 }
                 Err(e) if attempt == 0 => {
-                    // First failure: the block may be torn in one replica.
-                    // Close this fragment at its pre-failure extent and
-                    // retry on the next one (§5.3); the new fragment's
-                    // File Map records the committed size of this one.
+                    // First failure: the group write may be torn in one
+                    // replica. Close this fragment at its pre-group acked
+                    // extent, open the next one, and re-encode the staged
+                    // chunks there (§5.3); the new fragment's File Map
+                    // records the committed size of this one.
                     let _ = e;
-                    self.force_close_current(fleet, tt, pre_size, pre_rows);
+                    self.force_close_current(fleet, tt, stage_base.0, stage_base.1);
                     self.open_fragment_after_failure(ids, fleet, tt)?;
+                    *stage_base = self.stage_base();
+                    staged.clear();
+                    for c in staged_chunks.iter() {
+                        let cur = self
+                            .current
+                            .as_mut()
+                            .ok_or(VortexError::StreamletFinalized(self.spec.streamlet))?;
+                        let block = cur
+                            .writer
+                            .data_block(&entries[c.entry].rows.rows[c.lo..c.hi], c.ts)?;
+                        staged.extend_from_slice(&block); // lint:allow(L010, group arena reuse)
+                    }
                 }
                 Err(e) => {
                     // Second failure: finalize the streamlet; the client
@@ -520,6 +816,22 @@ impl HostedStreamlet {
             }
         }
         unreachable!("loop returns or errors");
+    }
+
+    /// WAL events for fragments sealed since the last drain. The shard
+    /// commit loop folds these into the group's single WAL record so a
+    /// rotation inside a group costs no extra log write.
+    pub fn drain_unlogged_seals(&mut self, out: &mut Vec<WalEvent>) {
+        while self.wal_logged_seals < self.done.len() {
+            let d = &self.done[self.wal_logged_seals];
+            out.push(WalEvent::FragmentSealed {
+                streamlet: self.spec.streamlet,
+                ordinal: d.ordinal,
+                committed_size: d.committed_size,
+                rows: d.first_row + d.row_count,
+            });
+            self.wal_logged_seals += 1;
+        }
     }
 
     fn force_close_current(

@@ -28,6 +28,7 @@
 
 pub mod hosted;
 pub mod server;
+mod shard;
 pub mod wal;
 
 #[cfg(test)]

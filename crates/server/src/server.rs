@@ -1,25 +1,42 @@
 //! The Stream Server task: hosts streamlets, serves appends/flushes,
 //! produces heartbeats, and persists its metadata (§5.3, §5.5).
+//!
+//! Since the shard-per-core refactor this type is a thin, lock-free
+//! facade: streamlet state lives on shard threads ([`crate::shard`]),
+//! each owned by exactly one thread, and every operation is a message
+//! routed to the owning shard (streamlet id modulo shard count). The
+//! append hot path touches only atomics (flow control), a bounded
+//! mailbox post, and a park on the reply slot — no mutex, no shared
+//! map — while shards coalesce queued appends into group commits.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use vortex_colossus::StorageFleet;
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::ids::{ClusterId, IdGen, ServerId, StreamletId, TableId};
+use vortex_common::mailbox::{mailbox, MailboxReceiver, MailboxSender, PostError, ReplySlot};
+use vortex_common::obs;
 use vortex_common::row::RowSet;
 use vortex_common::truetime::{Timestamp, TrueTime};
 use vortex_sms::heartbeat::{HeartbeatReport, HeartbeatResponse};
-use vortex_sms::meta::wos_path;
 use vortex_sms::server_ctl::{LoadReport, StreamServerApi, StreamletSpec};
 
-use crate::hosted::{HostedStreamlet, WriteTuning};
-use crate::wal::{ServerLog, WalEvent};
+use crate::shard::{AppendReq, CtlReq, Shard, ShardMsg};
+use crate::wal::{self, ServerLog, WalEvent};
 
 pub use crate::hosted::AppendAck;
+
+/// How long one park on a reply slot lasts. Delivery unparks the waiter
+/// immediately; the interval is only a safety net against lost tokens.
+const REPLY_PARK: Duration = Duration::from_millis(1);
+/// Park budget for append acks (~30s of virtual patience).
+const APPEND_MAX_PARKS: u32 = 30_000;
+/// Park budget for control-plane replies (~60s).
+const CTL_MAX_PARKS: u32 = 60_000;
 
 /// Stream Server configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +54,16 @@ pub struct ServerConfig {
     pub commit_idle_micros: u64,
     /// Flow-control cap on in-flight (admitted, unacked) bytes (§5.4.2).
     pub flow_control_bytes: u64,
+    /// Shard threads (single-writer streamlet owners). Streamlets are
+    /// routed by id modulo this count.
+    pub shards: u32,
+    /// Max appends coalesced into one group commit.
+    pub group_max_appends: usize,
+    /// Max bytes coalesced into one group commit.
+    pub group_max_bytes: u64,
+    /// Bounded depth of each shard's data-plane mailbox; posts beyond it
+    /// are shed as retryable backpressure.
+    pub shard_queue_depth: usize,
 }
 
 impl ServerConfig {
@@ -49,65 +76,58 @@ impl ServerConfig {
             fragment_max_bytes: vortex_wos::DEFAULT_FRAGMENT_MAX_BYTES,
             commit_idle_micros: 100_000, // 100ms of virtual inactivity
             flow_control_bytes: 256 << 20,
+            shards: 4,
+            group_max_appends: 64,
+            group_max_bytes: 8 << 20,
+            shard_queue_depth: 1024,
         }
     }
 }
 
-/// A running Stream Server.
+/// A running Stream Server: a lock-free facade over its shard threads.
 pub struct StreamServer {
     cfg: ServerConfig,
-    fleet: StorageFleet,
     tt: TrueTime,
-    ids: Arc<IdGen>,
-    streamlets: RwLock<HashMap<StreamletId, Arc<Mutex<HostedStreamlet>>>>,
+    /// One mailbox per shard thread, in shard-index order.
+    shards: Vec<MailboxSender<ShardMsg>>,
+    /// Per-shard writable-streamlet counts, published by the shards.
+    writable_counts: Vec<Arc<AtomicU64>>,
+    joins: Vec<JoinHandle<()>>,
     /// Streamlets a *previous incarnation* of this server hosted,
     /// replayed from its WAL + checkpoint on [`StreamServer::recover`]:
     /// (table, rows-at-crash). Never writable again — the SMS reconciles
     /// their true committed lengths from Colossus (§7.1) and places new
     /// streamlets elsewhere — but the identity lets the restarted server
-    /// answer metadata probes and execute GC orders for them.
-    recovered: RwLock<HashMap<StreamletId, (TableId, u64)>>,
-    latest_schema: RwLock<HashMap<TableId, u32>>,
+    /// answer metadata probes for them. Immutable after construction, so
+    /// no lock guards it.
+    recovered: HashMap<StreamletId, (TableId, u64)>,
     quarantined: AtomicBool,
     in_flight_bytes: AtomicU64,
     bytes_since_heartbeat: AtomicU64,
     last_heartbeat_at: AtomicU64,
-    log: Mutex<ServerLog>,
 }
 
 impl StreamServer {
-    /// Starts a server (opening a fresh metadata-log epoch).
+    /// Starts a server: opens one metadata-log epoch per shard and spawns
+    /// the shard threads.
     pub fn new(
         cfg: ServerConfig,
         fleet: StorageFleet,
         tt: TrueTime,
         ids: Arc<IdGen>,
     ) -> VortexResult<Arc<Self>> {
-        let home = fleet.get(cfg.cluster)?;
-        let log = ServerLog::open(cfg.server, home)?;
-        Ok(Arc::new(Self {
-            last_heartbeat_at: AtomicU64::new(tt.record_timestamp().0),
-            cfg,
-            fleet,
-            tt,
-            ids,
-            streamlets: RwLock::new(HashMap::new()),
-            recovered: RwLock::new(HashMap::new()),
-            latest_schema: RwLock::new(HashMap::new()),
-            quarantined: AtomicBool::new(false),
-            in_flight_bytes: AtomicU64::new(0),
-            bytes_since_heartbeat: AtomicU64::new(0),
-            log: Mutex::new(log),
-        }))
+        // lint:allow(L010, cold construction — once per server lifetime)
+        Self::start(cfg, fleet, tt, ids, HashMap::new())
     }
 
     /// Starts a replacement instance after a process death, rebuilding
-    /// from durable state ONLY: the dead incarnation's checkpoint + WAL
-    /// are replayed into the [recovered-streamlet map](Self::recover_summary)
-    /// and a fresh log epoch is opened. Nothing of the dead instance's
-    /// memory survives — recovered streamlets are identity-only (never
-    /// writable); the SMS's reconciliation protocol (§5.6, §7.1)
-    /// re-derives exact committed lengths from Colossus.
+    /// from durable state ONLY: the dead incarnation's per-shard
+    /// checkpoints + WALs are replayed into the
+    /// [recovered-streamlet map](Self::recover_summary) and fresh log
+    /// epochs are opened. Nothing of the dead instance's memory survives
+    /// — recovered streamlets are identity-only (never writable); the
+    /// SMS's reconciliation protocol (§5.6, §7.1) re-derives exact
+    /// committed lengths from Colossus.
     pub fn recover(
         cfg: ServerConfig,
         fleet: StorageFleet,
@@ -115,13 +135,86 @@ impl StreamServer {
         ids: Arc<IdGen>,
     ) -> VortexResult<Arc<Self>> {
         let summary = Self::recover_summary(&cfg, &fleet)?;
-        let server = Self::new(cfg, fleet, tt, ids)?;
-        let mut map = server.recovered.write();
+        let mut recovered = HashMap::new();
         for (table, slid, rows) in summary {
-            map.insert(slid, (table, rows));
+            recovered.insert(slid, (table, rows));
         }
-        drop(map);
-        Ok(server)
+        Self::start(cfg, fleet, tt, ids, recovered)
+    }
+
+    fn start(
+        cfg: ServerConfig,
+        fleet: StorageFleet,
+        tt: TrueTime,
+        ids: Arc<IdGen>,
+        recovered: HashMap<StreamletId, (TableId, u64)>,
+    ) -> VortexResult<Arc<Self>> {
+        let nshards = cfg.shards.max(1) as usize;
+        let mut senders = Vec::with_capacity(nshards); // lint:allow(L010, cold construction)
+        let mut writable_counts = Vec::with_capacity(nshards); // lint:allow(L010, cold construction)
+        let mut joins = Vec::with_capacity(nshards); // lint:allow(L010, cold construction)
+        let spawn = |idx: usize| -> VortexResult<(
+            MailboxSender<ShardMsg>,
+            Arc<AtomicU64>,
+            JoinHandle<()>,
+        )> {
+            let home = fleet.get(cfg.cluster)?;
+            let log = ServerLog::open(cfg.server, idx as u32, home)?;
+            let (tx, rx) = mailbox::<ShardMsg>(cfg.shard_queue_depth);
+            let w = Arc::new(AtomicU64::new(0)); // lint:allow(L010, cold construction)
+            let shard = Shard::new(
+                idx as u32,
+                cfg.clone(), // lint:allow(L010, cold construction)
+                fleet.clone(), // lint:allow(L010, cold construction)
+                tt.clone(), // lint:allow(L010, cold construction)
+                Arc::clone(&ids),
+                log,
+                Arc::clone(&w),
+            );
+            // The shard loop runs on its own thread: blocking there never
+            // blocks the spawner. The fn-pointer indirection marks that
+            // thread boundary for the call-graph lint (whose reachability
+            // is lexical); the loop's hot path is analyzed from its own
+            // `lint:hotpath(shard_commit)` root instead.
+            let entry: fn(Shard, MailboxReceiver<ShardMsg>) = Shard::run;
+            let join = std::thread::Builder::new()
+                .name(format!("vortex-shard-{:x}.{idx}", cfg.server.raw())) // lint:allow(L010, cold construction)
+                .spawn(move || entry(shard, rx))
+                .map_err(|e| VortexError::Internal(format!("spawn shard thread: {e}")))?; // lint:allow(L010, cold construction)
+            Ok((tx, w, join))
+        };
+        for idx in 0..nshards {
+            match spawn(idx) {
+                Ok((tx, w, join)) => {
+                    senders.push(tx); // lint:allow(L010, cold construction)
+                    writable_counts.push(w); // lint:allow(L010, cold construction)
+                    joins.push(join); // lint:allow(L010, cold construction)
+                }
+                Err(e) => {
+                    // Unwind the shards already started.
+                    for tx in &senders {
+                        tx.close();
+                    }
+                    for j in joins {
+                        let _ = j.join(); // lint:allow(L010, cold unwind — thread join, not string join)
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // lint:allow(L010, cold construction)
+        Ok(Arc::new(Self {
+            last_heartbeat_at: AtomicU64::new(tt.record_timestamp().0),
+            cfg,
+            tt,
+            shards: senders,
+            writable_counts,
+            joins,
+            recovered,
+            quarantined: AtomicBool::new(false),
+            in_flight_bytes: AtomicU64::new(0),
+            bytes_since_heartbeat: AtomicU64::new(0),
+        }))
     }
 
     /// The server's configuration.
@@ -135,37 +228,26 @@ impl StreamServer {
         self.quarantined.store(v, Ordering::SeqCst);
     }
 
-    fn tuning(&self) -> WriteTuning {
-        WriteTuning {
-            block_buffer_bytes: self.cfg.block_buffer_bytes,
-            fragment_max_bytes: self.cfg.fragment_max_bytes,
-        }
+    fn shard_of(&self, streamlet: StreamletId) -> &MailboxSender<ShardMsg> {
+        &self.shards[streamlet.raw() as usize % self.shards.len()]
     }
 
-    fn hosted(&self, streamlet: StreamletId) -> VortexResult<Arc<Mutex<HostedStreamlet>>> {
-        self.streamlets
-            .read()
-            .get(&streamlet)
-            .cloned()
-            .ok_or_else(|| VortexError::NotFound(format!("streamlet {streamlet} not hosted")))
-    }
-
-    /// Data-plane lookup. A streamlet this incarnation does not host is
-    /// reported as [`VortexError::StreamletFinalized`] — retryable and
-    /// metadata-refreshing — because the writer's correct move is the
-    /// same whether the streamlet was really finalized or its server
-    /// restarted without in-memory write state (recovered streamlets are
-    /// never writable): reconcile through the SMS and rotate to a
-    /// successor streamlet (§5.6).
-    fn hosted_for_write(
+    /// Posts a control request to a shard and parks for the reply.
+    fn ctl_wait<T: Clone>(
         &self,
-        streamlet: StreamletId,
-    ) -> VortexResult<Arc<Mutex<HostedStreamlet>>> {
-        self.streamlets
-            .read()
-            .get(&streamlet)
-            .cloned()
-            .ok_or(VortexError::StreamletFinalized(streamlet))
+        shard: &MailboxSender<ShardMsg>,
+        reply: &Arc<ReplySlot<T>>,
+        msg: CtlReq,
+    ) -> VortexResult<T> {
+        if shard.post(ShardMsg::Ctl(msg)).is_err() {
+            return Err(VortexError::Unavailable("server shutting down".into()));
+        }
+        match reply.await_reply(CTL_MAX_PARKS, REPLY_PARK) {
+            Some(v) => Ok(v.clone()), // lint:allow(L010, control-plane reply copy)
+            None => Err(VortexError::Unavailable(
+                "shard did not answer control request".into(),
+            )),
+        }
     }
 
     /// Admits `bytes` under flow control, erroring with
@@ -187,13 +269,15 @@ impl StreamServer {
         })
     }
 
-    /// Appends a row batch to a hosted streamlet.
+    /// Appends a row batch to a hosted streamlet: admit under flow
+    /// control, route to the owning shard's bounded mailbox, park until
+    /// the shard's group commit resolves the ack.
     ///
     /// `expected_stream_offset` is the optional `row_offset` of §4.2.2;
     /// `declared_schema_version` is the writer's schema version;
     /// `start` is the request's virtual send time (for latency
     /// accounting; pass `Timestamp::MIN` when not simulating time).
-    // lint:hotpath(append) — server leg: admit → streamlet lock → dual-replica write
+    // lint:hotpath(append) — facade leg: admit → mailbox post → park for group ack
     pub fn append(
         &self,
         streamlet: StreamletId,
@@ -204,87 +288,113 @@ impl StreamServer {
     ) -> VortexResult<AppendAck> {
         let bytes = rows.approx_bytes() as u64;
         let _guard = self.admit(bytes)?;
-        let hosted = self.hosted_for_write(streamlet)?;
-        // lint:allow(L005, the per-streamlet lock is what serializes appends to one streamlet (§4.2.2); only this streamlet's writers wait, never the server map)
-        let mut sl = hosted.lock();
-        let latest = self
-            .latest_schema
-            .read()
-            .get(&sl.spec.table)
-            .copied()
-            .unwrap_or(sl.spec.schema.version);
-        let ack = sl.append(
-            rows,
+        let reply = ReplySlot::for_caller(); // lint:allow(L010, one-shot reply slot shared with the shard)
+        let req = AppendReq {
+            streamlet,
+            rows: rows.clone(), // lint:allow(L010, ownership handoff into the share-nothing shard)
             declared_schema_version,
             expected_stream_offset,
             start,
-            latest,
-            self.tuning(),
-            &self.ids,
-            &self.fleet,
-            &self.tt,
-        )?;
-        // The rows are durable on both replicas but the client has not
-        // seen the ack — the canonical ambiguous-ack instruction
-        // (§4.2.2); the client's offset-based retry must dedup.
-        vortex_common::crash_point!("server.append.pre_ack");
-        self.bytes_since_heartbeat
-            .fetch_add(bytes, Ordering::Relaxed);
-        Ok(ack)
+            bytes,
+            reply: Arc::clone(&reply),
+        };
+        match self.shard_of(streamlet).post_data(ShardMsg::Append(req)) {
+            Ok(()) => {}
+            Err(PostError::Full) => {
+                obs::global().counter(obs::SHARD_MAILBOX_SHED).inc();
+                // Same retryable backpressure signal as flow control —
+                // and like it, allocation-free.
+                return Err(VortexError::Throttled {
+                    in_flight_bytes: bytes,
+                    limit_bytes: self.cfg.shard_queue_depth as u64,
+                });
+            }
+            Err(PostError::Closed) => {
+                return Err(VortexError::Unavailable("server shutting down".into()));
+                // lint:allow(L010, cold shutdown path)
+            }
+        }
+        let ack = match reply.await_reply(APPEND_MAX_PARKS, REPLY_PARK) {
+            // The ack is a small Copy struct; the slot keeps ownership.
+            Some(res) => res.clone(), // lint:allow(L010, copying a Copy-sized ack out of the slot)
+            None => Err(VortexError::Unavailable(
+                // lint:allow(L010, cold timeout path)
+                "append ack timed out".into(),
+            )),
+        };
+        if ack.is_ok() {
+            self.bytes_since_heartbeat
+                .fetch_add(bytes, Ordering::Relaxed);
+        }
+        ack
     }
 
     /// Persists a flush watermark (streamlet-relative) to the log
     /// (§5.4.4). The SMS-side stream watermark is updated separately by
     /// the client library.
     pub fn flush(&self, streamlet: StreamletId, flush_row: u64) -> VortexResult<()> {
-        let hosted = self.hosted_for_write(streamlet)?;
-        let mut sl = hosted.lock();
-        sl.flush(flush_row, &self.ids, &self.fleet, &self.tt)
+        let reply = ReplySlot::for_caller();
+        self.ctl_wait(
+            self.shard_of(streamlet),
+            &reply,
+            CtlReq::Flush {
+                streamlet,
+                flush_row,
+                reply: Arc::clone(&reply),
+            },
+        )?
     }
 
     /// Finalizes a hosted streamlet (bloom + footer on the last
     /// fragment).
     pub fn finalize_streamlet(&self, streamlet: StreamletId) -> VortexResult<()> {
-        let hosted = self.hosted(streamlet)?;
-        let mut sl = hosted.lock();
-        sl.finalize(&self.fleet, &self.tt)?;
-        self.log_event(&WalEvent::StreamletFinalized { streamlet });
-        Ok(())
+        let reply = ReplySlot::for_caller();
+        self.ctl_wait(
+            self.shard_of(streamlet),
+            &reply,
+            CtlReq::Finalize {
+                streamlet,
+                reply: Arc::clone(&reply),
+            },
+        )?
     }
 
     /// Idle tick: writes standalone commit records for streamlets whose
-    /// tail has been quiet (§7.1).
+    /// tail has been quiet (§7.1). Broadcast to every shard.
     pub fn tick(&self) -> usize {
         let now = self.tt.record_timestamp();
-        let mut committed = 0;
-        let all: Vec<_> = self.streamlets.read().values().cloned().collect();
-        for h in all {
-            let mut sl = h.lock();
-            if sl
-                .commit_if_idle(
+        let mut committed = 0usize;
+        for shard in &self.shards {
+            let reply = ReplySlot::for_caller();
+            if let Ok(n) = self.ctl_wait(
+                shard,
+                &reply,
+                CtlReq::Tick {
                     now,
-                    self.cfg.commit_idle_micros,
-                    &self.ids,
-                    &self.fleet,
-                    &self.tt,
-                )
-                .unwrap_or(false)
-            {
-                committed += 1;
+                    reply: Arc::clone(&reply),
+                },
+            ) {
+                committed += n;
             }
         }
         committed
     }
 
     /// Builds the heartbeat report (§5.5): per-streamlet deltas (or full
-    /// state) + load.
+    /// state) + load, merged across shards.
     pub fn build_heartbeat(&self, full_state: bool) -> HeartbeatReport {
         let mut deltas = Vec::new();
-        let all: Vec<_> = self.streamlets.read().values().cloned().collect();
-        for h in all {
-            let mut sl = h.lock();
-            if let Some(d) = sl.heartbeat_delta(full_state) {
-                deltas.push(d);
+        for shard in &self.shards {
+            let reply = ReplySlot::for_caller();
+            if let Ok(part) = self.ctl_wait(
+                shard,
+                &reply,
+                CtlReq::Heartbeat {
+                    full: full_state,
+                    reply: Arc::clone(&reply),
+                },
+            ) {
+                deltas.extend(part);
             }
         }
         deltas.sort_by_key(|d| d.streamlet);
@@ -325,101 +435,103 @@ impl StreamServer {
         // avoids any in-flight races", §5.4.3).
         let now = self.tt.record_timestamp();
         for slid in &resp.unknown_streamlets {
-            let Ok(h) = self.hosted(*slid) else { continue };
-            let age_ok = {
-                let sl = h.lock();
-                now.micros().saturating_sub(sl.spec_created_micros()) >= min_orphan_age_micros
-            };
-            if age_ok {
-                let table = h.lock().spec.table;
-                let ordinals: Vec<u32> = {
-                    let sl = h.lock();
-                    sl.done_fragments().iter().map(|d| d.ordinal).collect()
-                };
-                match self.gc_fragments(table, *slid, ordinals) {
-                    Err(e @ VortexError::SimulatedCrash(_)) => return Err(e),
-                    _ => {
-                        self.streamlets.write().remove(slid);
-                    }
-                }
+            let reply = ReplySlot::for_caller();
+            if let Ok(Err(e @ VortexError::SimulatedCrash(_))) = self.ctl_wait(
+                self.shard_of(*slid),
+                &reply,
+                CtlReq::GcUnknown {
+                    streamlet: *slid,
+                    now,
+                    min_age_micros: min_orphan_age_micros,
+                    reply: Arc::clone(&reply),
+                },
+            ) {
+                return Err(e);
             }
         }
         Ok(acks)
     }
 
-    /// Writes a metadata checkpoint and truncates the WAL (§5.3).
+    /// Writes per-shard metadata checkpoints and truncates the WALs
+    /// (§5.3).
     pub fn checkpoint(&self) -> VortexResult<()> {
-        let snapshot = self.snapshot_bytes();
-        let home = self.fleet.get(self.cfg.cluster)?;
-        self.log.lock().checkpoint(home, &snapshot)
-    }
-
-    fn snapshot_bytes(&self) -> Vec<u8> {
-        use vortex_common::codec::put_uvarint;
-        let mut out = Vec::new();
-        let map = self.streamlets.read();
-        put_uvarint(&mut out, map.len() as u64);
-        for (slid, h) in map.iter() {
-            let sl = h.lock();
-            put_uvarint(&mut out, slid.raw());
-            put_uvarint(&mut out, sl.spec.table.raw());
-            put_uvarint(&mut out, sl.rows());
-            put_uvarint(&mut out, sl.done_fragments().len() as u64);
-            out.push(sl.is_writable() as u8);
+        for shard in &self.shards {
+            let reply = ReplySlot::for_caller();
+            self.ctl_wait(
+                shard,
+                &reply,
+                CtlReq::Checkpoint {
+                    reply: Arc::clone(&reply),
+                },
+            )??;
         }
-        out
+        Ok(())
     }
 
-    /// Recovers hosted-streamlet *identity* from the metadata log of a
+    /// Recovers hosted-streamlet *identity* from the metadata logs of a
     /// crashed instance: the returned streamlets are known (table, id,
-    /// rows) pairs that the restarted server can heartbeat and GC, but
-    /// never writes to again (the SMS reconciles and re-places them).
+    /// rows) tuples that the restarted server can heartbeat, but never
+    /// writes to again (the SMS reconciles and re-places them). Merges
+    /// every shard log the dead incarnation left behind.
     pub fn recover_summary(
         cfg: &ServerConfig,
         fleet: &StorageFleet,
     ) -> VortexResult<Vec<(TableId, StreamletId, u64)>> {
         let home = fleet.get(cfg.cluster)?;
-        let (snapshot, events) = ServerLog::recover(cfg.server, home)?;
         let mut known: HashMap<StreamletId, (TableId, u64)> = HashMap::new();
-        if let Some(snap) = snapshot {
-            use vortex_common::codec::get_uvarint;
-            let mut pos = 0usize;
-            let n = get_uvarint(&snap, &mut pos)? as usize;
-            for _ in 0..n {
-                let slid = StreamletId::from_raw(get_uvarint(&snap, &mut pos)?);
-                let table = TableId::from_raw(get_uvarint(&snap, &mut pos)?);
-                let rows = get_uvarint(&snap, &mut pos)?;
-                let _nfrags = get_uvarint(&snap, &mut pos)?;
-                let _writable = snap.get(pos).copied().unwrap_or(0);
-                pos += 1;
-                known.insert(slid, (table, rows));
+        for shard in wal::shards_present(cfg.server, home)? {
+            let (snapshot, events) = ServerLog::recover(cfg.server, shard, home)?;
+            if let Some(snap) = snapshot {
+                use vortex_common::codec::get_uvarint;
+                let mut pos = 0usize;
+                let n = get_uvarint(&snap, &mut pos)? as usize;
+                for _ in 0..n {
+                    let slid = StreamletId::from_raw(get_uvarint(&snap, &mut pos)?);
+                    let table = TableId::from_raw(get_uvarint(&snap, &mut pos)?);
+                    let rows = get_uvarint(&snap, &mut pos)?;
+                    let _nfrags = get_uvarint(&snap, &mut pos)?;
+                    let _writable = snap.get(pos).copied().unwrap_or(0);
+                    pos += 1;
+                    known.insert(slid, (table, rows));
+                }
             }
-        }
-        for e in events {
-            match e {
-                WalEvent::StreamletOpened {
-                    table, streamlet, ..
-                } => {
-                    known.entry(streamlet).or_insert((table, 0));
-                }
-                WalEvent::FragmentSealed {
-                    streamlet,
-                    rows,
-                    ordinal,
-                    ..
-                } => {
-                    if let Some((_, r)) = known.get_mut(&streamlet) {
-                        let _ = ordinal;
-                        *r = (*r).max(rows);
+            for e in events {
+                match e {
+                    WalEvent::StreamletOpened {
+                        table, streamlet, ..
+                    } => {
+                        known.entry(streamlet).or_insert((table, 0));
                     }
+                    WalEvent::FragmentSealed {
+                        streamlet,
+                        rows,
+                        ordinal,
+                        ..
+                    } => {
+                        if let Some((_, r)) = known.get_mut(&streamlet) {
+                            let _ = ordinal;
+                            *r = (*r).max(rows);
+                        }
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
         }
         Ok(known
             .into_iter()
             .map(|(slid, (t, rows))| (t, slid, rows))
             .collect())
+    }
+}
+
+impl Drop for StreamServer {
+    fn drop(&mut self) {
+        for tx in &self.shards {
+            tx.close();
+        }
+        for j in std::mem::take(&mut self.joins) {
+            let _ = j.join(); // lint:allow(L010, cold teardown — thread join, not string join)
+        }
     }
 }
 
@@ -437,22 +549,6 @@ impl Drop for FlowGuard<'_> {
     }
 }
 
-impl HostedStreamlet {
-    /// Creation time proxy used for the orphan age guard.
-    fn spec_created_micros(&self) -> u64 {
-        // The epoch in the spec is a counter, not a time; hosted
-        // streamlets track no absolute creation instant, so treat epoch 0
-        // as "old". For simulation purposes the age guard only needs to
-        // distinguish "just created" from "long-lived": long-lived ones
-        // have produced fragments.
-        if self.done_fragments().is_empty() && self.rows() == 0 {
-            u64::MAX // brand new: never old enough to delete
-        } else {
-            0
-        }
-    }
-}
-
 impl StreamServerApi for StreamServer {
     fn server_id(&self) -> ServerId {
         self.cfg.server
@@ -463,19 +559,15 @@ impl StreamServerApi for StreamServer {
     }
 
     fn create_streamlet(&self, spec: StreamletSpec) -> VortexResult<()> {
-        let slid = spec.streamlet;
-        let table = spec.table;
-        let first = spec.first_stream_row;
-        let hosted = HostedStreamlet::open(spec, &self.ids, &self.fleet, &self.tt)?;
-        self.streamlets
-            .write()
-            .insert(slid, Arc::new(Mutex::new(hosted)));
-        self.log_event(&WalEvent::StreamletOpened {
-            table,
-            streamlet: slid,
-            first_stream_row: first,
-        });
-        Ok(())
+        let reply = ReplySlot::for_caller();
+        self.ctl_wait(
+            self.shard_of(spec.streamlet),
+            &reply,
+            CtlReq::Open {
+                spec,
+                reply: Arc::clone(&reply),
+            },
+        )?
     }
 
     fn load(&self) -> LoadReport {
@@ -484,11 +576,10 @@ impl StreamServerApi for StreamServer {
         let dt = (now.saturating_sub(last)).max(1) as f64 / 1e6;
         LoadReport {
             streamlets: self
-                .streamlets
-                .read()
-                .values()
-                .filter(|h| h.lock().is_writable())
-                .count() as u64,
+                .writable_counts
+                .iter()
+                .map(|w| w.load(Ordering::Acquire))
+                .sum(),
             append_bytes_per_sec: self.bytes_since_heartbeat.load(Ordering::Relaxed) as f64 / dt,
             in_flight_bytes: self.in_flight_bytes.load(Ordering::SeqCst),
             quarantined: self.quarantined.load(Ordering::SeqCst),
@@ -496,20 +587,29 @@ impl StreamServerApi for StreamServer {
     }
 
     fn streamlet_rows(&self, streamlet: StreamletId) -> Option<u64> {
-        self.streamlets
-            .read()
-            .get(&streamlet)
-            .map(|h| h.lock().rows())
+        let reply = ReplySlot::for_caller();
+        match self.ctl_wait(
+            self.shard_of(streamlet),
+            &reply,
+            CtlReq::Rows {
+                streamlet,
+                reply: Arc::clone(&reply),
+            },
+        ) {
+            Ok(Some(rows)) => Some(rows),
             // A previous incarnation's streamlet: report the rows its WAL
             // knew about (a lower bound; reconciliation reads the truth
             // from Colossus, §7.1).
-            .or_else(|| self.recovered.read().get(&streamlet).map(|&(_, r)| r))
+            _ => self.recovered.get(&streamlet).map(|&(_, r)| r),
+        }
     }
 
     fn notify_schema_version(&self, table: TableId, version: u32) {
-        let mut map = self.latest_schema.write();
-        let e = map.entry(table).or_insert(version);
-        *e = (*e).max(version);
+        // Broadcast, fire-and-forget: mailbox FIFO guarantees any append
+        // the same caller posts afterwards sees the new version.
+        for shard in &self.shards {
+            let _ = shard.post(ShardMsg::Ctl(CtlReq::SetSchema { table, version }));
+        }
     }
 
     fn gc_fragments(
@@ -518,38 +618,29 @@ impl StreamServerApi for StreamServer {
         streamlet: StreamletId,
         ordinals: Vec<u32>,
     ) -> VortexResult<Vec<u32>> {
-        let mut deleted = Vec::new();
-        for ord in ordinals {
-            // Mid-GC death: some fragments of the batch are deleted and
-            // unacknowledged. Deletion is idempotent and the SMS re-issues
-            // the work list on the next heartbeat (§5.5).
-            vortex_common::crash_point!("server.gc.mid");
-            let path = wos_path(table, streamlet, ord);
-            let mut ok = true;
-            for c in self.fleet.cluster_ids() {
-                if let Ok(cluster) = self.fleet.get(c) {
-                    if cluster.exists(&path) && cluster.delete(&path).is_err() {
-                        ok = false;
-                    }
-                }
-            }
-            if ok {
-                deleted.push(ord);
-            }
-        }
-        if !deleted.is_empty() {
-            self.log_event(&WalEvent::FragmentsDeleted {
+        let reply = ReplySlot::for_caller();
+        self.ctl_wait(
+            self.shard_of(streamlet),
+            &reply,
+            CtlReq::Gc {
+                table,
                 streamlet,
-                ordinals: deleted.clone(),
-            });
-        }
-        Ok(deleted)
+                ordinals,
+                reply: Arc::clone(&reply),
+            },
+        )?
     }
 
     fn revoke_streamlet(&self, streamlet: StreamletId) {
-        if let Some(h) = self.streamlets.read().get(&streamlet) {
-            h.lock().revoke();
-        }
+        let reply = ReplySlot::for_caller();
+        let _ = self.ctl_wait(
+            self.shard_of(streamlet),
+            &reply,
+            CtlReq::Revoke {
+                streamlet,
+                reply: Arc::clone(&reply),
+            },
+        );
     }
 
     fn finalize_streamlet_ctl(&self, streamlet: StreamletId) -> VortexResult<()> {
@@ -608,12 +699,6 @@ impl StreamServerApi for StreamServer {
 }
 
 impl StreamServer {
-    fn log_event(&self, event: &WalEvent) {
-        if let Ok(home) = self.fleet.get(self.cfg.cluster) {
-            let _ = self.log.lock().log(home, event);
-        }
-    }
-
     /// Resets the heartbeat throughput window (call after each heartbeat).
     pub fn reset_heartbeat_window(&self) {
         self.bytes_since_heartbeat.store(0, Ordering::Relaxed);
@@ -627,7 +712,7 @@ impl std::fmt::Debug for StreamServer {
         f.debug_struct("StreamServer")
             .field("server", &self.cfg.server)
             .field("cluster", &self.cfg.cluster)
-            .field("streamlets", &self.streamlets.read().len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }

@@ -12,13 +12,18 @@
 //! `VORTEX_CHAOS_SEED=<seed> cargo test --test chaos_crash`.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vortex::row::{Row, RowSet, Value};
 use vortex::schema::{Field, FieldType, PartitionTransform, Schema};
 use vortex::{Region, RegionConfig, ScanOptions, VortexError};
-use vortex_common::crashpoints;
+use vortex_common::{crashpoints, obs};
+
+/// Crash points and the metrics registry are process-global; the two
+/// soaks in this binary must not overlap. Each test holds this for its
+/// whole body.
+static SOAK_LOCK: Mutex<()> = Mutex::new(());
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -59,6 +64,7 @@ fn next_rand(state: &mut u64) -> u64 {
 
 #[test]
 fn chaos_kill_restart_exact_ledger() {
+    let _soak = SOAK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let seed = chaos_seed();
     eprintln!("chaos_crash seed = {seed} (override with VORTEX_CHAOS_SEED)");
 
@@ -426,6 +432,278 @@ fn chaos_kill_restart_exact_ledger() {
     eprintln!(
         "chaos_crash metrics (seed {seed}):\n{}",
         region.metrics_snapshot().to_table()
+    );
+}
+
+/// Shard-routing soak: many more concurrent streams than shards, so
+/// streamlet ids interleave across every shard of every server, while
+/// RPC faults make acks ambiguous and the supervisor kills/restarts
+/// servers mid-group. Verifies the shard-per-core data plane end to
+/// end:
+///
+/// - **exactly-once acks**: the final table holds exactly the acked
+///   rows (ambiguous acks dedup through the offset ledger);
+/// - **per-streamlet ordering**: within every stream, rows sorted by
+///   their storage offset carry strictly increasing writer keys — the
+///   single-writer shard discipline never reorders a stream;
+/// - **routing spread**: multiple shard mailboxes actually carried
+///   appends, and group commit batched them.
+#[test]
+fn chaos_shard_routing_many_streamlets() {
+    let _soak = SOAK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let seed = chaos_seed() ^ 0x5AAD; // distinct schedule from the kill soak
+    eprintln!("chaos_shard_routing seed = {seed} (override with VORTEX_CHAOS_SEED)");
+
+    const ROUTE_WRITERS: usize = 10; // > shards-per-server: ids must interleave
+    const ROUTE_RUN_FOR: Duration = Duration::from_secs(2);
+    const ROUTE_MIN_CYCLES: usize = 8;
+
+    let region = Arc::new(
+        Region::create(RegionConfig {
+            clusters: 3,
+            servers_per_cluster: 1,
+            fragment_max_bytes: 24 * 1024,
+            seed,
+            gc_grace_micros: Some(3_600_000_000),
+            ..RegionConfig::default()
+        })
+        .unwrap(),
+    );
+    let client = region.client();
+    let table = client
+        .create_table("chaos_routing", schema())
+        .unwrap()
+        .table;
+
+    // Ambiguous-ack axis: lost replies force exactly-once retries that
+    // must dedup against batches a shard already committed.
+    region.sms_rpc().faults().set_unavailable_permille(10);
+    region.server_rpc().faults().set_unavailable_permille(15);
+    region.server_rpc().faults().set_reply_lost_permille(12);
+
+    // Group-granularity crash axis: pre-ack deaths discard or orphan a
+    // whole group commit; restart + WAL replay must agree with the acks.
+    let _guards = [
+        crashpoints::arm_permille("server.replica.mid_write", 2, seed ^ 0x11),
+        crashpoints::arm_permille("server.append.pre_ack", 2, seed ^ 0x12),
+    ];
+
+    // Shard-balance baseline: counters are process-global, so judge this
+    // soak by deltas. The default config runs 4 shards per server; read
+    // a few extra slots in case the default grows.
+    let shard_counters: Vec<_> = (0..8)
+        .map(|i| obs::global().counter(&format!("{}{i:02}.appends", obs::SHARD_APPENDS_PREFIX)))
+        .collect();
+    let shard_before: Vec<u64> = shard_counters.iter().map(|c| c.get()).collect();
+    let groups_counter = obs::global().counter(obs::GROUP_COMMIT_GROUPS);
+    let groups_before = groups_counter.get();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let watermarks: Arc<Vec<AtomicI64>> =
+        Arc::new((0..ROUTE_WRITERS).map(|_| AtomicI64::new(0)).collect());
+    let cycles = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|s| {
+        // One stream per writer; varied batch sizes so group commits on
+        // a shard interleave appends from several streamlets.
+        for w in 0..ROUTE_WRITERS {
+            let client = region.client();
+            let stop = Arc::clone(&stop);
+            let watermarks = Arc::clone(&watermarks);
+            s.spawn(move || {
+                let mut writer = client.create_unbuffered_writer(table).unwrap();
+                let batch_rows = 3 + (w as i64 % 5) * 4; // 3..=19 rows
+                let mut next = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch = RowSet::new(
+                        (0..batch_rows)
+                            .map(|i| {
+                                let k = next + i;
+                                Row::insert(vec![
+                                    Value::Int64(k % 5),
+                                    Value::Int64(w as i64 * KEYSPACE_STRIDE + k),
+                                    Value::String(format!("route-w{w}-k{k}")),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    loop {
+                        match writer.append(batch.clone()) {
+                            Ok(_) => break,
+                            Err(e) if e.is_retryable() => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("route writer {w} failed (seed {seed}): {e}"),
+                        }
+                    }
+                    next += batch_rows;
+                    watermarks[w].store(next, Ordering::SeqCst);
+                }
+            });
+        }
+        // Supervisor: revive crash-point victims, murder a seeded server
+        // on a schedule. (Server kills only — the SMS stays up so the
+        // soak concentrates churn on the shard data plane.)
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            let cycles = Arc::clone(&cycles);
+            s.spawn(move || {
+                let mut rng = seed ^ 0x0B07_7E50; // routing supervisor lane
+                let n_servers = region.server_channels().len();
+                let mut tick = 0usize;
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    let mut revived = false;
+                    for idx in 0..n_servers {
+                        if region.server_channels()[idx].is_dead() {
+                            restart_server_with_retry(&region, idx, seed);
+                            cycles.fetch_add(1, Ordering::SeqCst);
+                            revived = true;
+                        }
+                    }
+                    if revived {
+                        let _ = region.run_heartbeats(true);
+                    }
+                    if done {
+                        break;
+                    }
+                    if tick % 3 == 0 {
+                        let r = next_rand(&mut rng);
+                        region.kill_server(r as usize % n_servers);
+                    }
+                    tick += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        // Heartbeats keep seals/rotations reconciled while writers run.
+        {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = region.run_heartbeats(false);
+                    region.advance_micros(1_000_000);
+                    std::thread::sleep(Duration::from_millis(7));
+                }
+            });
+        }
+
+        let start = Instant::now();
+        while start.elapsed() < ROUTE_RUN_FOR || cycles.load(Ordering::SeqCst) < ROUTE_MIN_CYCLES {
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                start.elapsed() < Duration::from_secs(60),
+                "routing soak stalled: only {} kill/restart cycles after 60s (seed {seed})",
+                cycles.load(Ordering::SeqCst)
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let completed = cycles.load(Ordering::SeqCst);
+    assert!(
+        completed >= ROUTE_MIN_CYCLES,
+        "only {completed} kill/restart cycles completed (seed {seed})"
+    );
+
+    // Settle, then judge.
+    region.sms_rpc().faults().clear();
+    region.server_rpc().faults().clear();
+    for _ in 0..3 {
+        region.run_heartbeats(true).unwrap();
+        region.advance_micros(1_000_000);
+    }
+
+    // ---- Exactly-once ledger across all streams ----
+    let mut expected: std::collections::BTreeSet<i64> = Default::default();
+    for (w, wm) in watermarks.iter().enumerate() {
+        let n = wm.load(Ordering::SeqCst);
+        assert!(n > 0, "route writer {w} never acked a batch (seed {seed})");
+        for k in 0..n {
+            expected.insert(w as i64 * KEYSPACE_STRIDE + k);
+        }
+    }
+    let engine = region.engine();
+    let res = engine
+        .scan(table, client.snapshot(), &ScanOptions::default())
+        .unwrap();
+    let mut got: Vec<i64> = res
+        .rows
+        .iter()
+        .map(|(_, r)| r.values[1].as_i64().unwrap())
+        .collect();
+    got.sort_unstable();
+    let want: Vec<i64> = expected.iter().copied().collect();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "routing ledger size mismatch after {completed} cycles (seed {seed})"
+    );
+    assert_eq!(got, want, "routing ledger mismatch (seed {seed})");
+
+    // ---- Per-streamlet ordering ----
+    // Group rows by source stream; within a stream, storage offsets must
+    // be unique and sorting by offset must sort the writer keys: the
+    // single-writer shard never reorders or duplicates a stream's rows.
+    let mut by_stream: std::collections::BTreeMap<u64, Vec<(u64, i64)>> = Default::default();
+    for (m, r) in &res.rows {
+        by_stream
+            .entry(m.stream)
+            .or_default()
+            .push((m.offset, r.values[1].as_i64().unwrap()));
+    }
+    assert!(
+        by_stream.len() >= ROUTE_WRITERS,
+        "expected at least {ROUTE_WRITERS} streams, saw {} (seed {seed})",
+        by_stream.len()
+    );
+    for (stream, rows) in &mut by_stream {
+        rows.sort_unstable_by_key(|(off, _)| *off);
+        let writer = rows[0].1 / KEYSPACE_STRIDE;
+        for pair in rows.windows(2) {
+            let ((off_a, key_a), (off_b, key_b)) = (pair[0], pair[1]);
+            assert!(
+                off_b > off_a,
+                "stream {stream}: duplicate offset {off_b} (seed {seed})"
+            );
+            assert!(
+                key_b > key_a,
+                "stream {stream}: offsets {off_a}->{off_b} reorder keys {key_a}->{key_b} (seed {seed})"
+            );
+        }
+        for (_, key) in rows.iter() {
+            assert_eq!(
+                key / KEYSPACE_STRIDE,
+                writer,
+                "stream {stream} mixes writers (seed {seed})"
+            );
+        }
+    }
+
+    // ---- Routing spread + group commit ----
+    let spread: Vec<u64> = shard_counters
+        .iter()
+        .zip(&shard_before)
+        .map(|(c, b)| c.get().saturating_sub(*b))
+        .collect();
+    let busy = spread.iter().filter(|&&d| d > 0).count();
+    eprintln!("chaos_shard_routing shard append deltas: {spread:?} (seed {seed})");
+    assert!(
+        busy >= 2,
+        "appends landed on only {busy} shard(s): {spread:?} (seed {seed})"
+    );
+    let groups = groups_counter.get() - groups_before;
+    let appends_total: u64 = spread.iter().sum();
+    assert!(groups > 0, "no group commits recorded (seed {seed})");
+    assert!(
+        appends_total >= groups,
+        "group commits ({groups}) exceed shard appends ({appends_total}) (seed {seed})"
+    );
+    eprintln!(
+        "chaos_shard_routing: {completed} cycles, {} streams, {groups} groups, {appends_total} shard appends (seed {seed})",
+        by_stream.len()
     );
 }
 
