@@ -48,6 +48,13 @@ use faults::FaultPlan;
 /// used for WOS placement.
 pub const BUCKET_CLUSTER_ID: ClusterId = ClusterId::from_raw(0xB0C);
 
+/// The well-known cluster id of the region's metastore durability
+/// domain — the stand-in for the regional Spanner deployment the
+/// control plane commits through (§5.1). The simulated metastore WALs
+/// and checkpoints into this cluster; like the bucket store, it is a
+/// separate failure domain, never part of the WOS replica fleet.
+pub const META_CLUSTER_ID: ClusterId = ClusterId::from_raw(0x5DB);
+
 /// Outcome of an append: the file's new length plus virtual-time cost.
 #[derive(Debug, Clone, Copy)]
 pub struct AppendOutcome {
@@ -294,13 +301,15 @@ impl StorageFleet {
             .ok_or_else(|| VortexError::NotFound(format!("cluster {id}")))
     }
 
-    /// All *replica* cluster ids (the bucket store excluded), sorted.
+    /// All *replica* cluster ids, sorted. The service clusters — the
+    /// bucket store and the metastore durability domain — are excluded:
+    /// WOS placement never lands on them.
     pub fn cluster_ids(&self) -> Vec<ClusterId> {
         let mut ids: Vec<_> = self
             .clusters
             .keys()
             .copied()
-            .filter(|c| *c != BUCKET_CLUSTER_ID)
+            .filter(|c| *c != BUCKET_CLUSTER_ID && *c != META_CLUSTER_ID)
             .collect();
         ids.sort();
         ids

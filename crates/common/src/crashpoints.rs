@@ -65,6 +65,21 @@ pub const REGISTRY: &[&str] = &[
     // stream but before the shuffle flush message and processed-marking
     // commit (§7.4) — the unflushed tail must stay invisible.
     "connector.state.pre_commit",
+    // Metastore: mid-way through appending a commit's WAL frame (§5.1)
+    // — a torn prefix of the record lands, the commit is never acked,
+    // and recovery must truncate the tail without losing earlier acks.
+    // (Direct `crashpoints::check` site: the torn prefix is written
+    // manually before the error propagates.)
+    "meta.wal.mid_append",
+    // Metastore: mid-way through writing a new checkpoint file, before
+    // any pointer update — the torn candidate must be ignored and the
+    // previously published checkpoint must keep recovery working.
+    // (Direct `crashpoints::check` site, as above.)
+    "meta.checkpoint.mid_write",
+    // Metastore: after the new checkpoint file is fully durable but
+    // before the version-pointer CAS publishes it — recovery must keep
+    // using the old checkpoint plus a longer WAL tail.
+    "meta.checkpoint.pre_publish",
 ];
 
 /// Number of currently armed points. The disarmed fast path is a single
@@ -112,6 +127,7 @@ pub fn check(name: &'static str) -> VortexResult<()> {
 
 #[inline(never)]
 fn check_armed(name: &str) -> VortexResult<()> {
+    // lint:allow(L011, reached only when a test armed at least one point; production traffic takes the relaxed-load fast path in check)
     let Some(state) = plan().read().get(name).cloned() else {
         return Ok(());
     };
@@ -143,6 +159,7 @@ fn check_armed(name: &str) -> VortexResult<()> {
 fn fire(name: &str, state: &ArmState) -> VortexError {
     state.fired.fetch_add(1, Ordering::Relaxed);
     TOTAL_FIRES.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(L010, fires only when a test has armed the point; the process is about to simulate death)
     VortexError::SimulatedCrash(name.to_string())
 }
 

@@ -72,6 +72,10 @@ pub struct DaemonConfig {
     pub optimize_every: Duration,
     /// GC + groomer cadence.
     pub gc_every: Duration,
+    /// Metastore checkpoint + compaction cadence (atomic publish + WAL
+    /// truncation; bounds SMS cold-restart replay by the tail since the
+    /// last checkpoint, not total history).
+    pub checkpoint_every: Duration,
     /// Send a full-state heartbeat every N rounds (§5.4.3's orphan
     /// guard).
     pub full_state_every: u64,
@@ -84,6 +88,7 @@ impl Default for DaemonConfig {
             tick_every: Duration::from_millis(10),
             optimize_every: Duration::from_millis(50),
             gc_every: Duration::from_millis(100),
+            checkpoint_every: Duration::from_millis(150),
             full_state_every: 10,
         }
     }
@@ -102,6 +107,8 @@ pub struct DaemonStats {
     pub optimizer_cycles: AtomicU64,
     /// GC sweeps run.
     pub gc_sweeps: AtomicU64,
+    /// Metastore checkpoints published (compaction + atomic publish).
+    pub meta_checkpoints: AtomicU64,
 }
 
 /// Handle to the running background loops; dropping it (or calling
@@ -194,6 +201,26 @@ impl RegionDaemon {
                 let _ = region.sms().run_groomer();
                 stats.gc_sweeps.fetch_add(1, Ordering::Relaxed);
                 if shutdown.sleep_or_stop(cfg.gc_every) {
+                    break;
+                }
+            }));
+        }
+        // Metastore checkpoint + compaction loop: bound cold-restart
+        // replay by the tail since the last published checkpoint. A
+        // fenced publish (concurrent checkpointer), a transient storage
+        // fault, or a simulated mid-checkpoint death all just mean the
+        // next round tries again — the previous checkpoint stays valid.
+        {
+            let (region, shutdown, stats) = (
+                Arc::clone(&region),
+                Arc::clone(&shutdown),
+                Arc::clone(&stats),
+            );
+            threads.push(std::thread::spawn(move || loop {
+                if region.checkpoint_metadata().is_ok() {
+                    stats.meta_checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+                if shutdown.sleep_or_stop(cfg.checkpoint_every) {
                     break;
                 }
             }));

@@ -104,6 +104,7 @@ pub use vortex_common::rpc::{
 pub use vortex_common::schema;
 pub use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
 pub use vortex_connector::{BeamSink, SinkConfig, SinkReport};
+pub use vortex_metastore::{MetaCheckpointOutcome, MetaRecovery, MetaStore};
 pub use vortex_optimizer::{ConversionReport, OptimizerConfig, ReclusterReport, StorageOptimizer};
 pub use vortex_query::{
     resolve_changes, AggKind, DmlExecutor, DmlReport, Expr, QueryEngine, ScanOptions, ScanResult,

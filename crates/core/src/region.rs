@@ -13,7 +13,7 @@ use vortex_common::latency::WriteProfile;
 use vortex_common::obs::{self, FreshnessProbe, MetricsSnapshot};
 use vortex_common::rpc::{class_scope, RpcChannel, RpcChannelConfig, WorkClass};
 use vortex_common::truetime::{SimClock, Timestamp, TrueTime};
-use vortex_metastore::MetaStore;
+use vortex_metastore::{MetaCheckpointOutcome, MetaRecovery, MetaStore};
 use vortex_optimizer::{OptimizerConfig, StorageOptimizer};
 use vortex_query::{DmlExecutor, QueryEngine};
 use vortex_server::{ServerConfig, StreamServer};
@@ -99,8 +99,10 @@ impl RegionConfig {
     }
 }
 
-/// Colossus path of the metastore checkpoint in cluster 0.
-const META_CHECKPOINT_PATH: &str = "meta/checkpoint";
+/// Floor of the metastore version-GC horizon: even with a short
+/// fragment-GC grace configured, MVCC history younger than this stays
+/// readable (the pre-durability default, kept for time-travel tests).
+const META_GC_GRACE_FLOOR_MICROS: u64 = 60_000_000;
 
 /// Decoded-row bound of the region's shared read cache (§9).
 const READ_CACHE_MAX_ROWS: usize = 64 * 1024;
@@ -140,6 +142,10 @@ pub struct Region {
     /// Region-wide commit-to-visible freshness probe (§8), fed by every
     /// [`Region::engine`] scan.
     freshness: Arc<FreshnessProbe>,
+    /// How construction rebuilt the metastore (checkpoint + WAL tail).
+    meta_recovery: MetaRecovery,
+    /// Effective metastore version-GC grace in virtual microseconds.
+    meta_gc_grace: u64,
 }
 
 impl Region {
@@ -189,18 +195,30 @@ impl Region {
             ),
         };
         fleet.add(bucket_store);
-        // On-disk regions restore control-plane metadata from the last
-        // checkpoint (production Spanner is durable by itself; the
-        // simulated metastore checkpoints into cluster 0).
-        let store = {
-            let restored = fleet
-                .get(ClusterId::from_raw(0))
-                .ok()
-                .filter(|_| cfg.disk_root.is_some())
-                .and_then(|c| c.read_all(META_CHECKPOINT_PATH).ok())
-                .and_then(|out| MetaStore::restore(tt.clone(), &out.data).ok());
-            restored.unwrap_or_else(|| MetaStore::new(tt.clone()))
+        // The metastore durability domain: a dedicated cluster standing
+        // in for the regional Spanner deployment (§5.1) — a separate
+        // failure domain from the WOS replica fleet, so a dark data
+        // cluster never blocks metadata commits.
+        let meta_cluster = match &cfg.disk_root {
+            Some(root) => Colossus::new_disk(
+                vortex_colossus::META_CLUSTER_ID,
+                root.join("meta"),
+                cfg.write_profile,
+                cfg.seed.wrapping_add(0x5DB),
+            )?,
+            None => Colossus::new_mem(
+                vortex_colossus::META_CLUSTER_ID,
+                cfg.write_profile,
+                cfg.seed.wrapping_add(0x5DB),
+            ),
         };
+        fleet.add(meta_cluster);
+        // Recover control-plane metadata from the latest valid
+        // published checkpoint plus the WAL tail. A fresh region cold
+        // starts from an empty cluster; every commit from here on is
+        // WAL-logged before it is acknowledged.
+        let (store, meta_recovery) =
+            MetaStore::recover(tt.clone(), fleet.get(vortex_colossus::META_CLUSTER_ID)?)?;
         // The restored metadata carries timestamps from the previous
         // incarnation; the fresh virtual clock must start beyond them or
         // new writes would sort before old snapshots.
@@ -313,7 +331,42 @@ impl Region {
             optimizer,
             read_cache: ReadCache::new(READ_CACHE_MAX_ROWS),
             freshness: Arc::new(FreshnessProbe::new(obs::global())),
+            meta_recovery,
+            meta_gc_grace: cfg
+                .gc_grace_micros
+                .unwrap_or(0)
+                .max(META_GC_GRACE_FLOOR_MICROS),
         })
+    }
+
+    /// How construction rebuilt the metastore: which checkpoint version
+    /// it loaded and how much WAL tail it replayed on top.
+    pub fn meta_recovery(&self) -> &MetaRecovery {
+        &self.meta_recovery
+    }
+
+    /// The metastore version-GC watermark: visible history older than
+    /// the effective grace (the configured fragment-GC grace, floored
+    /// at 60 virtual seconds) is collectible.
+    pub fn meta_gc_watermark(&self) -> Timestamp {
+        Timestamp(self.store.now().micros().saturating_sub(self.meta_gc_grace))
+    }
+
+    /// Rehydrates a *standby* metastore from cluster 0's durable state
+    /// — exactly what a rescheduled SMS host would do on cold restart
+    /// (§5.2.1). The replica shares nothing with the live store; soaks
+    /// compare the two to prove no acknowledged commit is lost and
+    /// nothing GC'd is resurrected.
+    pub fn recover_metastore_replica(&self) -> VortexResult<(Arc<MetaStore>, MetaRecovery)> {
+        MetaStore::recover(self.tt.clone(), self.meta_cluster()?)
+    }
+
+    /// The metastore durability domain: the dedicated cluster holding
+    /// the commit WAL, checkpoint files, and version pointer. Exposed
+    /// so chaos suites can aim fault injection at the control plane's
+    /// storage specifically.
+    pub fn meta_cluster(&self) -> VortexResult<&Arc<Colossus>> {
+        self.fleet.get(vortex_colossus::META_CLUSTER_ID)
     }
 
     /// The (channel-wrapped) SMS handle that owns `table` (Slicer
@@ -687,15 +740,16 @@ impl Region {
         Ok(())
     }
 
-    /// Checkpoints the control-plane metadata into cluster 0 so an
-    /// on-disk region can be reopened with its tables intact. (Writes a
-    /// fresh file each time; the previous checkpoint is replaced.)
-    pub fn checkpoint_metadata(&self) -> VortexResult<()> {
-        let c0 = self.fleet.get(vortex_common::ids::ClusterId::from_raw(0))?;
-        let bytes = self.store.snapshot_bytes();
-        let _ = c0.delete(META_CHECKPOINT_PATH);
-        c0.append(META_CHECKPOINT_PATH, &bytes, Timestamp::MIN)?;
-        Ok(())
+    /// Checkpoint + compaction: prunes metastore MVCC versions below
+    /// the [`Region::meta_gc_watermark`] (so GC'd fragments vanish from
+    /// the snapshot, not just from the visible view), then atomically
+    /// publishes a new checkpoint version and truncates the WAL prefix
+    /// it covers ([`MetaStore::checkpoint`]). A concurrent publisher
+    /// fences this call with `TxnConflict`; a simulated death inside
+    /// leaves the previous checkpoint intact.
+    pub fn checkpoint_metadata(&self) -> VortexResult<MetaCheckpointOutcome> {
+        self.store.gc_versions(self.meta_gc_watermark());
+        self.store.checkpoint()
     }
 
     /// One groomer sweep (§5.4.3): physically deletes fragments whose GC
@@ -703,9 +757,8 @@ impl Region {
     pub fn run_gc(&self, table: TableId) -> VortexResult<usize> {
         let _bg = class_scope(WorkClass::Background);
         let n = self.sms_handles[0].run_gc(table)?;
-        // Metastore MVCC garbage below a conservative watermark.
-        let wm = Timestamp(self.store.now().micros().saturating_sub(60_000_000));
-        self.store.gc_versions(wm);
+        // Metastore MVCC garbage below the daemon watermark.
+        self.store.gc_versions(self.meta_gc_watermark());
         Ok(n)
     }
 }

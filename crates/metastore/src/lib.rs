@@ -17,28 +17,38 @@
 //! - **snapshot reads** at any timestamp ([`MetaStore::read_at`],
 //!   [`MetaStore::scan_prefix_at`]), which is how query-time metadata
 //!   resolution sees a consistent fragment set;
-//! - version garbage collection below a caller-supplied watermark.
+//! - version garbage collection below a caller-supplied watermark;
+//! - **crash-consistent durability** ([`durability`]): commits append a
+//!   length+CRC-framed record of their write set to a WAL in Colossus
+//!   before they are acknowledged, checkpoints publish atomically
+//!   through a version-pointer CAS, and recovery replays
+//!   latest-valid-checkpoint + WAL tail ([`MetaStore::recover`]).
 //!
 //! Geographic replication is out of scope (it is orthogonal to every claim
 //! the paper makes about Vortex itself).
 
 #![warn(missing_docs)]
 
+pub mod durability;
+
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
 use vortex_common::error::{VortexError, VortexResult};
 use vortex_common::truetime::{Timestamp, TrueTime};
 
+use durability::Durability;
+pub use durability::{MetaCheckpointOutcome, MetaRecovery};
+
 /// One committed version of a key. `None` value = tombstone (deleted).
 #[derive(Debug, Clone)]
-struct Version {
-    ts: Timestamp,
-    value: Option<Vec<u8>>,
+pub(crate) struct Version {
+    pub(crate) ts: Timestamp,
+    pub(crate) value: Option<Vec<u8>>,
 }
 
 /// What a transaction read, for commit-time validation.
@@ -50,21 +60,41 @@ enum ReadFootprint {
 
 /// The metadata store. Cheap to share via `Arc`.
 pub struct MetaStore {
-    data: RwLock<BTreeMap<String, Vec<Version>>>,
-    commit_lock: Mutex<()>,
-    last_commit: AtomicU64,
+    pub(crate) data: RwLock<BTreeMap<String, Vec<Version>>>,
+    pub(crate) commit_lock: Mutex<()>,
+    pub(crate) last_commit: AtomicU64,
     tt: TrueTime,
+    /// Optional WAL + checkpoint machinery. Empty for plain in-memory
+    /// stores ([`MetaStore::new`]); set exactly once by
+    /// [`MetaStore::recover`], after which every commit is WAL-logged
+    /// before it is acknowledged.
+    pub(crate) durability: OnceLock<Durability>,
 }
 
 impl MetaStore {
     /// Creates a store whose commit timestamps come from `tt`.
     pub fn new(tt: TrueTime) -> Arc<Self> {
-        Arc::new(Self {
-            data: RwLock::new(BTreeMap::new()),
+        Arc::new(Self::from_parts(tt, BTreeMap::new(), 0))
+    }
+
+    pub(crate) fn from_parts(
+        tt: TrueTime,
+        data: BTreeMap<String, Vec<Version>>,
+        last_commit: u64,
+    ) -> Self {
+        Self {
+            data: RwLock::new(data),
             commit_lock: Mutex::new(()),
-            last_commit: AtomicU64::new(0),
+            last_commit: AtomicU64::new(last_commit),
             tt,
-        })
+            durability: OnceLock::new(),
+        }
+    }
+
+    /// Whether commits are WAL-logged to Colossus before being acked
+    /// (true after [`MetaStore::recover`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.get().is_some()
     }
 
     /// The highest commit timestamp so far: a safe snapshot that sees all
@@ -168,8 +198,14 @@ impl MetaStore {
     /// simulated store checkpoints into Colossus so on-disk regions
     /// survive restarts.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
-        use vortex_common::codec::put_uvarint;
         let _guard = self.commit_lock.lock(); // freeze commits mid-snapshot
+        self.encode_snapshot()
+    }
+
+    /// Serializes the store without taking the commit lock — callers
+    /// (checkpointing) must already hold it to freeze commits.
+    pub(crate) fn encode_snapshot(&self) -> Vec<u8> {
+        use vortex_common::codec::put_uvarint;
         let data = self.data.read();
         let mut out = Vec::new();
         out.extend_from_slice(b"VMST");
@@ -198,6 +234,15 @@ impl MetaStore {
 
     /// Restores a store from [`MetaStore::snapshot_bytes`] output.
     pub fn restore(tt: TrueTime, bytes: &[u8]) -> VortexResult<Arc<Self>> {
+        let (data, last_commit) = Self::decode_snapshot(bytes)?;
+        Ok(Arc::new(Self::from_parts(tt, data, last_commit)))
+    }
+
+    /// Decodes a snapshot into its version map and last-commit
+    /// timestamp, validating magic, CRC, and exact length.
+    pub(crate) fn decode_snapshot(
+        bytes: &[u8],
+    ) -> VortexResult<(BTreeMap<String, Vec<Version>>, u64)> {
         use vortex_common::codec::get_uvarint;
         if bytes.len() < 8 || &bytes[..4] != b"VMST" {
             return Err(VortexError::Decode("not a metastore snapshot".into()));
@@ -255,12 +300,20 @@ impl MetaStore {
         if pos != body.len() {
             return Err(VortexError::Decode("trailing snapshot bytes".into()));
         }
-        Ok(Arc::new(Self {
-            data: RwLock::new(data),
-            commit_lock: Mutex::new(()),
-            last_commit: AtomicU64::new(last_commit),
-            tt,
-        }))
+        Ok((data, last_commit))
+    }
+
+    /// Installs one replayed commit directly, bypassing validation and
+    /// the WAL (the record came *from* the WAL). Recovery-only: the
+    /// store is not yet shared when this runs.
+    pub(crate) fn apply_replay(&self, ts: Timestamp, writes: Vec<(String, Option<Vec<u8>>)>) {
+        // lint:allow(L011, replay runs only during cold-start recovery before the store is shared; no hot path can contend)
+        let mut data = self.data.write();
+        for (k, v) in writes {
+            // lint:allow(L010, replay runs only during cold-start recovery, never on the data path)
+            data.entry(k).or_default().push(Version { ts, value: v });
+        }
+        self.last_commit.store(ts.0, Ordering::SeqCst);
     }
 }
 
@@ -408,6 +461,14 @@ impl Txn {
         let tt_now = store.tt.record_timestamp().0;
         let prev = store.last_commit.load(Ordering::SeqCst);
         let commit_ts = Timestamp(tt_now.max(prev + 1));
+        // Durability barrier: the write set must be in the WAL before
+        // anything is installed or acknowledged. A failed append (torn
+        // or otherwise) aborts the commit with nothing installed, so the
+        // live store and a recovered store agree on exactly which
+        // commits exist.
+        if let Some(d) = store.durability.get() {
+            d.log_commit(commit_ts, &self.writes)?;
+        }
         {
             let mut data = store.data.write();
             for (k, v) in self.writes {

@@ -45,6 +45,7 @@ fn main() -> vortex::VortexResult<()> {
             tick_every: Duration::from_millis(40),
             optimize_every: Duration::from_millis(60),
             gc_every: Duration::from_millis(120),
+            checkpoint_every: Duration::from_millis(150),
             full_state_every: 8,
         },
     );

@@ -98,6 +98,16 @@ fn chaos_kill_restart_exact_ledger() {
             .faults()
             .set_torn_seed(seed.wrapping_add(i as u64));
     }
+    // The metastore durability domain is deliberately NOT in
+    // `cluster_ids()` (separate failure domain, like the bucket store),
+    // so its torn-append axis is seeded and dripped explicitly: WAL
+    // commit records, checkpoint files, and pointer-generation appends
+    // all see corrupted tails.
+    region
+        .meta_cluster()
+        .unwrap()
+        .faults()
+        .set_torn_seed(seed.wrapping_add(0x5DB));
 
     // RPC-fault axis: seeded pre-execution unavailability on both
     // service hops plus reply loss on the server hop (the ambiguous-ack
@@ -113,7 +123,7 @@ fn chaos_kill_restart_exact_ledger() {
     // making progress between deaths while rarer control-plane paths
     // (checkpoint, GC, streamlet open, optimizer commits) still die a
     // handful of times over the run.
-    let _guards = [
+    let guards = [
         crashpoints::arm_permille("server.replica.mid_write", 2, seed ^ 0x01),
         crashpoints::arm_permille("server.append.pre_ack", 2, seed ^ 0x02),
         crashpoints::arm_permille("server.checkpoint.mid", 300, seed ^ 0x03),
@@ -121,6 +131,13 @@ fn chaos_kill_restart_exact_ledger() {
         crashpoints::arm_permille("sms.open_streamlet.post_txn", 60, seed ^ 0x05),
         crashpoints::arm_permille("optimizer.convert.pre_commit", 80, seed ^ 0x06),
         crashpoints::arm_permille("optimizer.recluster.pre_commit", 80, seed ^ 0x07),
+        // Metastore durability points: a mid-append WAL death on any
+        // metadata commit (the commit is never acked — the SMS channel
+        // converts it into a task death), plus both checkpoint deaths
+        // (torn unpublished candidate; durable-but-unpublished file).
+        crashpoints::arm_permille("meta.wal.mid_append", 8, seed ^ 0x08),
+        crashpoints::arm_permille("meta.checkpoint.mid_write", 300, seed ^ 0x09),
+        crashpoints::arm_permille("meta.checkpoint.pre_publish", 300, seed ^ 0x0A),
     ];
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -129,6 +146,10 @@ fn chaos_kill_restart_exact_ledger() {
         Arc::new((0..WRITERS).map(|_| AtomicI64::new(0)).collect());
     // Completed kill→restart pairs across servers and SMS tasks.
     let cycles = Arc::new(AtomicUsize::new(0));
+    // Metastore checkpoints successfully published by the supervisor.
+    let meta_ckpts = Arc::new(AtomicUsize::new(0));
+    // Cold-recovery drills run against the metastore's durable state.
+    let meta_drills = Arc::new(AtomicUsize::new(0));
 
     std::thread::scope(|s| {
         // Writers: disjoint key spaces; every surfaced error during an
@@ -178,6 +199,8 @@ fn chaos_kill_restart_exact_ledger() {
             let region = Arc::clone(&region);
             let stop = Arc::clone(&stop);
             let cycles = Arc::clone(&cycles);
+            let meta_ckpts = Arc::clone(&meta_ckpts);
+            let meta_drills = Arc::clone(&meta_drills);
             s.spawn(move || {
                 let mut rng = seed ^ 0x50BE_12F1_5012; // supervisor lane
                 let n_servers = region.server_channels().len();
@@ -200,6 +223,24 @@ fn chaos_kill_restart_exact_ledger() {
                             restart_sms_with_retry(&region, idx, seed);
                             cycles.fetch_add(1, Ordering::SeqCst);
                             revived = true;
+                            // Recovery drill: rebuild a standby metastore
+                            // from durable state only — exactly what a
+                            // rescheduled SMS host does — and check it
+                            // came up from checkpoint + WAL tail.
+                            let (_, rep) = region.recover_metastore_replica().unwrap_or_else(|e| {
+                                panic!("metastore recovery drill failed (seed {seed}): {e}")
+                            });
+                            assert_eq!(
+                                rep.fallback_depth, 0,
+                                "a published checkpoint failed to load (seed {seed}): {rep:?}"
+                            );
+                            if meta_ckpts.load(Ordering::SeqCst) > 0 {
+                                assert!(
+                                    rep.checkpoint_version.is_some(),
+                                    "recovery ignored published checkpoints (seed {seed}): {rep:?}"
+                                );
+                            }
+                            meta_drills.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                     if revived {
@@ -233,6 +274,23 @@ fn chaos_kill_restart_exact_ledger() {
                             {
                                 region.kill_server(idx);
                             }
+                        }
+                    }
+                    // Metastore checkpoint phase: compaction + atomic
+                    // publish + WAL truncation, under the same torn
+                    // appends and armed crash points as everything
+                    // else. A simulated death mid-checkpoint is an SMS
+                    // host death (the checkpoint daemon rides the SMS
+                    // task); any other error — torn candidate, torn
+                    // pointer append, fencing — just means the next
+                    // round retries against intact prior state.
+                    if tick % 4 == 3 {
+                        match region.checkpoint_metadata() {
+                            Ok(_) => {
+                                meta_ckpts.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(VortexError::SimulatedCrash(_)) => region.kill_sms_task(0),
+                            Err(_) => {}
                         }
                     }
                     tick += 1;
@@ -292,6 +350,17 @@ fn chaos_kill_restart_exact_ledger() {
                     if i % 3 == 2 {
                         region.fleet().get(c).unwrap().faults().fail_next_appends(1);
                     }
+                    // Every few rounds, aim the same drip at the
+                    // metastore durability domain, so commit-WAL
+                    // records, checkpoint candidates, and pointer
+                    // generations all grow torn tails mid-soak.
+                    if i % 4 == 1 {
+                        let meta = region.meta_cluster().unwrap();
+                        meta.faults().torn_next_appends(1);
+                        if i % 8 == 5 {
+                            meta.faults().fail_next_appends(1);
+                        }
+                    }
                     i += 1;
                     std::thread::sleep(Duration::from_millis(17));
                 }
@@ -325,13 +394,42 @@ fn chaos_kill_restart_exact_ledger() {
         "chaos_crash: {completed} kill/restart cycles, {} crash-point fires (seed {seed})",
         crashpoints::total_fires()
     );
+    // The metastore axes actually exercised durability: checkpoints
+    // published through the churn, and SMS revives drilled recovery.
+    assert!(
+        meta_ckpts.load(Ordering::SeqCst) > 0,
+        "no metastore checkpoint ever published (seed {seed})"
+    );
+    assert!(
+        meta_drills.load(Ordering::SeqCst) > 0,
+        "no metastore recovery drill ran (seed {seed})"
+    );
 
-    // Settle: RPC faults off (the soak is over; the settle loop's
-    // heartbeats must not flake), then full-state heartbeats reconcile
-    // anything the last death left half-reported before the ledger is
-    // judged.
+    // Settle: disarm every crash point and stop minting storage faults
+    // (the ledger below judges durable state, not fault luck), revive
+    // anything a last racing iteration killed, then full-state
+    // heartbeats reconcile whatever the final death left half-reported.
+    drop(guards);
     region.sms_rpc().faults().clear();
     region.server_rpc().faults().clear();
+    for c in region.fleet().cluster_ids() {
+        let f = region.fleet().get(c).unwrap();
+        f.faults().torn_next_appends(0);
+        f.faults().fail_next_appends(0);
+    }
+    let meta = region.meta_cluster().unwrap();
+    meta.faults().torn_next_appends(0);
+    meta.faults().fail_next_appends(0);
+    for idx in 0..region.server_channels().len() {
+        if region.server_channels()[idx].is_dead() {
+            restart_server_with_retry(&region, idx, seed);
+        }
+    }
+    for idx in 0..region.sms_channels().len() {
+        if region.sms_channels()[idx].is_dead() {
+            restart_sms_with_retry(&region, idx, seed);
+        }
+    }
     for _ in 0..3 {
         region.run_heartbeats(true).unwrap();
         region.advance_micros(1_000_000);
@@ -425,6 +523,57 @@ fn chaos_kill_restart_exact_ledger() {
         observed <= got.len() as u64,
         "freshness double-counted: {observed} observed > {} visible rows (seed {seed})",
         got.len()
+    );
+
+    // ---- Metastore durability epilogue ----
+    // One final clean checkpoint, then a cold recovery drill: a standby
+    // built purely from durable state (published checkpoint + WAL tail)
+    // must equal the live store byte-for-byte — every acknowledged
+    // commit present, nothing GC'd resurrected — and must come up from
+    // the checkpoint alone, never by replaying full history.
+    let outcome = {
+        let mut last = None;
+        for _ in 0..50 {
+            match region.checkpoint_metadata() {
+                Ok(o) => {
+                    last = Some(o);
+                    break;
+                }
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => panic!("final metastore checkpoint failed (seed {seed}): {e}"),
+            }
+        }
+        last.unwrap_or_else(|| panic!("final metastore checkpoint kept failing (seed {seed})"))
+    };
+    let (replica, rep) = region
+        .recover_metastore_replica()
+        .unwrap_or_else(|e| panic!("final metastore recovery failed (seed {seed}): {e}"));
+    assert_eq!(
+        rep.checkpoint_version,
+        Some(outcome.version),
+        "recovery did not land on the just-published checkpoint (seed {seed}): {rep:?}"
+    );
+    assert_eq!(
+        rep.fallback_depth, 0,
+        "a published checkpoint failed to load (seed {seed}): {rep:?}"
+    );
+    assert_eq!(
+        rep.commits_replayed, 0,
+        "recovery replayed commits the checkpoint should cover (seed {seed}): {rep:?}"
+    );
+    assert_eq!(
+        rep.wal_epochs_replayed, 0,
+        "WAL epochs outlived the checkpoint that covers them (seed {seed}): {rep:?}"
+    );
+    assert_eq!(
+        replica.snapshot_bytes(),
+        region.store().snapshot_bytes(),
+        "standby metastore diverges from the live store after recovery (seed {seed})"
+    );
+    eprintln!(
+        "chaos_crash metastore: {} checkpoints published, {} recovery drills, final recovery {rep:?} (seed {seed})",
+        meta_ckpts.load(Ordering::SeqCst),
+        meta_drills.load(Ordering::SeqCst),
     );
 
     // Exit telemetry: the unified snapshot, tagged with the seed that

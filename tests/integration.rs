@@ -602,6 +602,7 @@ fn daemon_shutdown_is_prompt_even_with_long_periods() {
             tick_every: long,
             optimize_every: long,
             gc_every: long,
+            checkpoint_every: long,
             full_state_every: 10,
         },
     );
