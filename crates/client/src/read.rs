@@ -253,6 +253,38 @@ fn decode_fragment(
     Err(last_err)
 }
 
+/// Reads and parses a ROS block *without* materializing its rows, with
+/// the same replica failover as [`read_fragment`] — the entry point for
+/// compute pushdown: the caller evaluates predicates on the block's
+/// compressed column chunks and decodes only what the query needs.
+pub fn read_ros_block(
+    spec: &FragmentReadSpec,
+    fleet: &StorageFleet,
+    key: &vortex_common::crypt::Key,
+) -> VortexResult<RosBlock> {
+    if spec.meta.kind != vortex_sms::meta::FragmentKind::Ros {
+        return Err(VortexError::InvalidArgument(format!(
+            "{} is not a ROS block",
+            spec.meta.path
+        )));
+    }
+    let mut last_err = VortexError::Unavailable(format!("no replica for {}", spec.meta.path));
+    for c in spec.meta.clusters {
+        let bytes = match fleet.get(c).and_then(|cl| cl.read_all(&spec.meta.path)) {
+            Ok(out) => out.data,
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        };
+        match RosBlock::from_bytes(&bytes, key, spec.meta.fragment.raw()) {
+            Ok(block) => return Ok(block),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
 fn decode_fragment_bytes(
     spec: &FragmentReadSpec,
     key: &vortex_common::crypt::Key,

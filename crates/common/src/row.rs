@@ -149,6 +149,34 @@ impl Value {
         out
     }
 
+    /// Equality consistent with [`Value::encode_key`], without allocating:
+    /// two values are `key_eq` iff their `encode_key` bytes are equal.
+    ///
+    /// This differs from `PartialEq` for floats: `Float64` compares by bit
+    /// pattern, so `NaN == NaN` and `-0.0 != 0.0`. Encoders (run-length
+    /// detection, dictionary identity, the encoding chooser) must all use
+    /// this one equality — mixing it with `PartialEq` lets the chooser's
+    /// size estimate and the actual encoder disagree on NaN/-0.0 columns.
+    pub fn key_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int64(a), Int64(b)) => a == b,
+            (Float64(a), Float64(b)) => a.to_bits() == b.to_bits(),
+            (String(a), String(b)) => a == b,
+            (Bytes(a), Bytes(b)) => a == b,
+            (Timestamp(a), Timestamp(b)) => a == b,
+            (Date(a), Date(b)) => a == b,
+            (Numeric(a), Numeric(b)) => a == b,
+            (Json(a), Json(b)) => a == b,
+            (Struct(a), Struct(b)) | (Array(a), Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.key_eq(y))
+            }
+            _ => false,
+        }
+    }
+
     /// Whether this is SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)

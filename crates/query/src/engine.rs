@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use vortex_client::read::{read_fragment_cached, read_reconciled_tail, read_tail, TailOutcome};
+use vortex_client::read::{
+    read_fragment_cached, read_reconciled_tail, read_ros_block, read_tail, TailOutcome,
+};
 use vortex_client::ReadCache;
 use vortex_colossus::StorageFleet;
 use vortex_common::error::{VortexError, VortexResult};
@@ -22,6 +24,7 @@ use vortex_wos::format::{Footer, RecordHeader, RecordType, FOOTER_TOTAL_LEN, REC
 
 use crate::cdc::resolve_changes;
 use crate::expr::Expr;
+use crate::pushdown::{scan_ros_block, CPred, PushedBlock};
 
 /// Scan configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +39,16 @@ pub struct ScanOptions {
     pub use_bloom: bool,
     /// Parallel scan shards.
     pub parallelism: usize,
+    /// Evaluate the predicate inside compressed ROS blocks (zone-map
+    /// short-circuit, dictionary-id rewrite, run-level evaluation, late
+    /// materialization) instead of decode-then-filter. Disabled
+    /// automatically when `resolve_changes` is set — merge-on-read must
+    /// see every version of a key, including rows the filter would drop.
+    pub pushdown: bool,
+    /// Columns the caller needs materialized (`None` = all). Columns
+    /// outside the projection come back NULL; the predicate still
+    /// evaluates against stored values.
+    pub projection: Option<Vec<String>>,
 }
 
 impl Default for ScanOptions {
@@ -45,6 +58,8 @@ impl Default for ScanOptions {
             resolve_changes: false,
             use_bloom: true,
             parallelism: 8,
+            pushdown: true,
+            projection: None,
         }
     }
 }
@@ -60,7 +75,14 @@ pub struct ScanStats {
     pub pruned_by_bloom: usize,
     /// Streamlet tails probed.
     pub tails_scanned: usize,
-    /// Rows decoded from storage.
+    /// Column-chunk zones inspected across pushed-down ROS blocks (zero
+    /// on the decode-then-filter path).
+    pub zones_total: usize,
+    /// Zones skipped via per-zone min/max properties (the zone map).
+    pub zones_pruned: usize,
+    /// Rows decoded from storage. For pushed-down ROS blocks this counts
+    /// the rows of zones the zone map could not skip (masked rows
+    /// included — the zone was decoded regardless).
     pub rows_scanned: u64,
     /// Rows matching the predicate.
     pub rows_matched: u64,
@@ -83,6 +105,117 @@ pub struct ScanResult {
     pub rows: Vec<(RowMeta, Row)>,
     /// Pruning/scan counters.
     pub stats: ScanStats,
+}
+
+/// What one scanned fragment contributes to a scan round.
+#[derive(Debug, Default)]
+struct ShardYield {
+    /// Rows from the decode-then-filter path (visibility applied, still
+    /// unfiltered and unprojected).
+    raw: Vec<(RowMeta, Row)>,
+    /// Rows from pushed-down ROS scans (already filtered + projected).
+    pushed: Vec<(RowMeta, Row)>,
+    /// Visible-row commit timestamps from pushed fragments (raw rows
+    /// carry their own).
+    visible_ts: Vec<Timestamp>,
+    /// Zones inspected in pushed fragments.
+    zones_total: usize,
+    /// Zones the zone map skipped.
+    zones_pruned: usize,
+    /// Rows decoded by pushed scans.
+    rows_scanned: u64,
+}
+
+impl ShardYield {
+    fn raw(rows: Vec<(RowMeta, Row)>) -> Self {
+        ShardYield {
+            raw: rows,
+            ..Default::default()
+        }
+    }
+
+    fn pushed(p: PushedBlock) -> Self {
+        ShardYield {
+            pushed: p.rows,
+            visible_ts: p.visible_ts,
+            zones_total: p.zones_total,
+            zones_pruned: p.zones_pruned,
+            rows_scanned: p.rows_scanned,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs `f` over `items` (the surviving fragments) on up to `shards`
+/// scoped worker threads. A panicking worker surfaces as
+/// `VortexError::Internal` for its chunk instead of aborting the process
+/// (regression: scan workers used to be joined with `.unwrap()`, so one
+/// poisoned fragment took down the whole engine).
+fn scan_shards<'s, I, T, F>(items: &'s [I], shards: usize, f: &F) -> Vec<VortexResult<T>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&'s I) -> VortexResult<T> + Sync,
+{
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in items.chunks(items.len().div_ceil(shards).max(1)) {
+            handles.push(s.spawn(move || chunk.iter().map(f).collect::<Vec<_>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => vec![Err(panic_error(payload))],
+            })
+            .collect()
+    })
+}
+
+/// Renders a worker thread's panic payload as a scan error.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> VortexError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    VortexError::Internal(format!("scan worker panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+
+    /// Regression for the `h.join().unwrap()` bug: a panicking shard
+    /// thread must surface as an error, not take down the engine.
+    #[test]
+    fn worker_panic_becomes_error() {
+        // Quiet the default hook for the intentional panic below.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items = [1i32, 2, 3];
+        let results = scan_shards(&items, 2, &|&n| {
+            if n == 2 {
+                panic!("boom on item {n}");
+            }
+            Ok(n * 10)
+        });
+        std::panic::set_hook(hook);
+        // Chunk [1, 2] panics (its worker dies mid-chunk); chunk [3]
+        // completes. The scan sees an error, not a process abort.
+        assert_eq!(results.len(), 2);
+        assert!(
+            matches!(&results[0], Err(VortexError::Internal(m)) if m.contains("boom on item 2")),
+            "{results:?}"
+        );
+        assert!(matches!(results[1], Ok(30)), "{results:?}");
+        // String payloads (panic!("{}", x) style) are preserved too.
+        let e = panic_error(Box::new(String::from("owned message")));
+        assert!(
+            matches!(&e, VortexError::Internal(m) if m.contains("owned message")),
+            "{e:?}"
+        );
+    }
 }
 
 /// Aggregate functions.
@@ -186,27 +319,66 @@ impl QueryEngine {
                 survivors.push(spec);
             }
             // ---- Parallel fragment scans ----
-            let shards = opts.parallelism.max(1);
-            #[allow(unused_mut)]
-            let mut rows: Vec<(RowMeta, Row)> = Vec::new();
-            let results: Vec<VortexResult<Vec<(RowMeta, Row)>>> = std::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for chunk in survivors.chunks(survivors.len().div_ceil(shards).max(1)) {
-                    let fleet = &self.fleet;
-                    let key = &key;
-                    let cache = self.cache.as_deref();
-                    handles.push(s.spawn(move || {
-                        let mut out = Vec::new();
-                        for spec in chunk {
-                            out.extend(read_fragment_cached(spec, fleet, key, snapshot, cache)?);
-                        }
-                        Ok(out)
-                    }));
+            // ROS blocks go through compute pushdown (predicate evaluated
+            // on the compressed chunks, only projected columns of
+            // selected rows materialized) unless merge-on-read needs
+            // every row. A predicate naming a column the snapshot schema
+            // lacks cannot be compiled; such scans keep the legacy
+            // decode-then-filter semantics (which only error once a row
+            // actually reaches the filter).
+            let cpred = if opts.pushdown && !opts.resolve_changes {
+                CPred::compile(&opts.predicate, &rs.schema).ok()
+            } else {
+                None
+            };
+            let proj_idx: Option<Vec<usize>> = match &opts.projection {
+                Some(cols) => Some(
+                    cols.iter()
+                        .map(|c| {
+                            rs.schema.column_index(c).ok_or_else(|| {
+                                VortexError::InvalidArgument(format!(
+                                    "unknown projection column {c}"
+                                ))
+                            })
+                        })
+                        .collect::<VortexResult<_>>()?,
+                ),
+                None => None,
+            };
+            let arity = rs.schema.fields.len();
+            let want_ts = self.probe.is_some();
+            let results = scan_shards(&survivors, opts.parallelism.max(1), &|&spec| {
+                if spec.visibility.visible_from > snapshot {
+                    return Ok(ShardYield::default());
                 }
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                if let Some(pred) = &cpred {
+                    if spec.meta.kind == FragmentKind::Ros {
+                        let block = read_ros_block(spec, &self.fleet, &key)?;
+                        let pushed = scan_ros_block(
+                            &block,
+                            spec,
+                            pred,
+                            proj_idx.as_deref(),
+                            arity,
+                            want_ts,
+                        )?;
+                        return Ok(ShardYield::pushed(pushed));
+                    }
+                }
+                read_fragment_cached(spec, &self.fleet, &key, snapshot, self.cache.as_deref())
+                    .map(ShardYield::raw)
             });
+            let mut rows: Vec<(RowMeta, Row)> = Vec::new();
+            let mut pushed_rows: Vec<(RowMeta, Row)> = Vec::new();
+            let mut pushed_ts: Vec<Timestamp> = Vec::new();
             for r in results {
-                rows.extend(r?);
+                let y = r?;
+                rows.extend(y.raw);
+                pushed_rows.extend(y.pushed);
+                pushed_ts.extend(y.visible_ts);
+                stats.zones_total += y.zones_total;
+                stats.zones_pruned += y.zones_pruned;
+                stats.rows_scanned += y.rows_scanned;
             }
             // ---- Tails (no cached properties; always scanned, §7.2:
             // "the properties for the tail of a Streamlet are maintained
@@ -242,18 +414,19 @@ impl QueryEngine {
                 }
                 continue; // retry with reconciled metadata
             }
-            stats.rows_scanned = rows.len() as u64;
+            stats.rows_scanned += rows.len() as u64;
             // Commit timestamps of everything visible at this snapshot,
             // captured before CDC resolution / filtering can drop rows —
             // freshness (§8) measures when *committed* data became
-            // readable, not whether a predicate kept it.
+            // readable, not whether a predicate kept it. Pushed-down
+            // blocks contributed theirs (all visible rows, filtered or
+            // not) via the shard yields.
             let visible_ts: Vec<Timestamp> = if self.probe.is_some() {
-                rows.iter().map(|(m, _)| m.ts).collect()
+                rows.iter().map(|(m, _)| m.ts).chain(pushed_ts).collect()
             } else {
                 Vec::new()
             };
             // Pad short (pre-evolution) rows to the snapshot schema.
-            let arity = rs.schema.fields.len();
             for (_, r) in rows.iter_mut() {
                 while r.values.len() < arity {
                     r.values.push(Value::Null);
@@ -271,6 +444,22 @@ impl QueryEngine {
                     matched.push((m, r));
                 }
             }
+            // Late projection on the fallback path, mirroring the pushed
+            // one: columns outside the projection read NULL. (After the
+            // filter and CDC resolution — both see stored values.)
+            if let Some(proj) = &proj_idx {
+                for (_, r) in matched.iter_mut() {
+                    for (i, v) in r.values.iter_mut().enumerate() {
+                        if !proj.contains(&i) {
+                            *v = Value::Null;
+                        }
+                    }
+                }
+            }
+            // Pushed rows are pre-filtered and pre-projected; re-running
+            // the filter would wrongly drop rows whose predicate columns
+            // the projection nulled.
+            matched.extend(pushed_rows);
             stats.rows_matched = matched.len() as u64;
             matched.sort_by_key(|(m, _)| (m.stream, m.offset, m.ts));
             if let Some((h0, m0)) = cache_base {
@@ -313,6 +502,9 @@ impl QueryEngine {
             .add(stats.pruned_by_bloom as u64);
         m.counter("scan.tails_scanned")
             .add(stats.tails_scanned as u64);
+        m.counter("scan.zones_total").add(stats.zones_total as u64);
+        m.counter("scan.zones_pruned")
+            .add(stats.zones_pruned as u64);
         m.counter("scan.rows_scanned").add(stats.rows_scanned);
         m.counter("scan.rows_matched").add(stats.rows_matched);
         if self.cache.is_some() {
@@ -421,14 +613,20 @@ impl QueryEngine {
         Ok(None)
     }
 
-    /// COUNT(*) with a predicate.
+    /// COUNT(*) with a predicate. Counting needs no column values, so an
+    /// unset projection narrows to the empty set — pushed-down blocks
+    /// then materialize nothing at all for matching rows.
     pub fn count(
         &self,
         table: TableId,
         snapshot: Timestamp,
         opts: &ScanOptions,
     ) -> VortexResult<u64> {
-        Ok(self.scan(table, snapshot, opts)?.stats.rows_matched)
+        let mut opts = opts.clone();
+        if opts.projection.is_none() {
+            opts.projection = Some(Vec::new());
+        }
+        Ok(self.scan(table, snapshot, &opts)?.stats.rows_matched)
     }
 
     /// Grouped aggregation over a scan. `group_by` of `None` produces a
@@ -441,6 +639,25 @@ impl QueryEngine {
         group_by: Option<&str>,
         aggs: &[(AggKind, Option<&str>)],
     ) -> VortexResult<Vec<(Option<Value>, Vec<Value>)>> {
+        // Aggregation touches only the group and aggregate columns; when
+        // the caller didn't project explicitly, narrow to those so
+        // pushed-down blocks skip decoding everything else.
+        let mut opts = opts.clone();
+        if opts.projection.is_none() {
+            let mut cols: Vec<String> = Vec::new();
+            if let Some(g) = group_by {
+                cols.push(g.to_string());
+            }
+            for (_, c) in aggs {
+                if let Some(c) = c {
+                    if !cols.iter().any(|x| x == c) {
+                        cols.push(c.to_string());
+                    }
+                }
+            }
+            opts.projection = Some(cols);
+        }
+        let opts = &opts;
         let result = self.scan(table, snapshot, opts)?;
         let schema = &result.schema;
         let group_idx = match group_by {

@@ -46,6 +46,14 @@ pub enum Expr {
         /// Literal to compare against.
         value: Value,
     },
+    /// `column IN (v1, v2, ...)`. NULL list elements never match (SQL
+    /// three-valued logic collapsed to boolean, like [`Expr::Cmp`]).
+    In {
+        /// Column name (top level).
+        column: String,
+        /// Literals the column may equal.
+        values: Vec<Value>,
+    },
     /// `column IS NULL`.
     IsNull(String),
     /// Conjunction.
@@ -102,6 +110,14 @@ impl Expr {
         }
     }
 
+    /// `column IN (values...)`.
+    pub fn is_in(column: &str, values: Vec<Value>) -> Expr {
+        Expr::In {
+            column: column.into(),
+            values,
+        }
+    }
+
     /// `a AND b`.
     pub fn and(self, other: Expr) -> Expr {
         Expr::And(Box::new(self), Box::new(other))
@@ -144,6 +160,16 @@ impl Expr {
                     }
                 }
             }
+            Expr::In { column, values } => {
+                let idx = schema.column_index(column).ok_or_else(|| {
+                    VortexError::InvalidArgument(format!("unknown column {column}"))
+                })?;
+                let v = row.values.get(idx).unwrap_or(&Value::Null);
+                !v.is_null()
+                    && values
+                        .iter()
+                        .any(|l| !l.is_null() && v.total_cmp(l) == Ordering::Equal)
+            }
             Expr::IsNull(column) => {
                 let idx = schema.column_index(column).ok_or_else(|| {
                     VortexError::InvalidArgument(format!("unknown column {column}"))
@@ -177,6 +203,12 @@ impl Expr {
                     CmpOp::Gt | CmpOp::Ge => s.may_overlap_range(Some(value), None),
                 }
             }
+            Expr::In { column, values } => {
+                let Some(s) = stats_of(column) else {
+                    return true;
+                };
+                values.iter().any(|v| s.may_contain_point(v))
+            }
             Expr::IsNull(column) => stats_of(column).map(|s| s.has_null).unwrap_or(true),
             Expr::And(a, b) => a.may_match_stats(stats_of) && b.may_match_stats(stats_of),
             Expr::Or(a, b) => a.may_match_stats(stats_of) || b.may_match_stats(stats_of),
@@ -196,6 +228,15 @@ impl Expr {
                 op: CmpOp::Eq,
                 value,
             } if c == column => Some(value),
+            // A one-element IN list is an equality requirement (NULL
+            // elements never match, so they don't count).
+            Expr::In { column: c, values } if c == column => {
+                let mut non_null = values.iter().filter(|v| !v.is_null());
+                match (non_null.next(), non_null.next()) {
+                    (Some(v), None) => Some(v),
+                    _ => None,
+                }
+            }
             Expr::And(a, b) => a
                 .required_point(column)
                 .or_else(|| b.required_point(column)),
@@ -324,6 +365,35 @@ mod tests {
         assert!(Expr::eq("a", Value::Int64(25))
             .not()
             .may_match_stats(&lookup));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let s = schema();
+        let e = Expr::is_in("a", vec![Value::Int64(2), Value::Int64(5)]);
+        assert!(e.eval(&s, &row(5, None)).unwrap());
+        assert!(!e.eval(&s, &row(3, None)).unwrap());
+        // NULL row value and NULL list elements never match.
+        let e = Expr::is_in("b", vec![Value::Null, Value::String("x".into())]);
+        assert!(!e.eval(&s, &row(1, None)).unwrap());
+        assert!(e.eval(&s, &row(1, Some("x"))).unwrap());
+        assert!(!Expr::is_in("a", vec![Value::Null])
+            .eval(&s, &row(1, None))
+            .unwrap());
+        // Empty list matches nothing.
+        assert!(!Expr::is_in("a", vec![]).eval(&s, &row(1, None)).unwrap());
+        // Stats pruning: prune only when NO listed value can occur.
+        let lookup = |c: &str| (c == "a").then(|| stats(10, 20));
+        assert!(Expr::is_in("a", vec![Value::Int64(1), Value::Int64(15)]).may_match_stats(&lookup));
+        assert!(!Expr::is_in("a", vec![Value::Int64(1), Value::Int64(25)]).may_match_stats(&lookup));
+        // Singleton IN is a bloom-prunable point requirement.
+        let e = Expr::is_in("cust", vec![Value::Null, Value::String("c9".into())]);
+        assert_eq!(e.required_point("cust"), Some(&Value::String("c9".into())));
+        let e = Expr::is_in(
+            "cust",
+            vec![Value::String("c8".into()), Value::String("c9".into())],
+        );
+        assert_eq!(e.required_point("cust"), None);
     }
 
     #[test]

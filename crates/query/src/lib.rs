@@ -4,7 +4,8 @@
 //! metadata for the table as of a specific snapshot read time ... the SMS
 //! returns the union of the data in WOS and ROS." This crate is the
 //! processing engine: a typed expression evaluator ([`expr`]), a
-//! partition-eliminating parallel scan ([`engine`], §7.2), merge-on-read
+//! partition-eliminating parallel scan ([`engine`], §7.2) with compute
+//! pushdown over compressed ROS blocks ([`pushdown`]), merge-on-read
 //! resolution of UPSERT/DELETE change types ([`cdc`], §4.2.6), and the
 //! DML path — DELETE/UPDATE via deletion masks with reinserted rows,
 //! including whole-tail deletes (§7.3).
@@ -15,6 +16,7 @@ pub mod cdc;
 pub mod dml;
 pub mod engine;
 pub mod expr;
+pub mod pushdown;
 pub mod sql;
 
 #[cfg(test)]

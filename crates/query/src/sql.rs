@@ -238,6 +238,10 @@ impl Parser {
         false
     }
 
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
     fn expect_kw(&mut self, kw: &str) -> VortexResult<()> {
         if self.eat_kw(kw) {
             Ok(())
@@ -336,6 +340,43 @@ impl Parser {
             self.expect_kw("NULL")?;
             let e = Expr::IsNull(col);
             return Ok(if negated { e.not() } else { e });
+        }
+        // column [NOT] IN (lit, lit, ...)
+        let negated_in = {
+            let save = self.pos;
+            if self.eat_kw("NOT") {
+                if self.peek_kw("IN") {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("IN") {
+            if !self.eat_sym('(') {
+                return Err(VortexError::InvalidArgument("expected '(' after IN".into()));
+            }
+            let mut values = Vec::new();
+            loop {
+                values.push(self.parse_literal()?);
+                if self.eat_sym(',') {
+                    continue;
+                }
+                if self.eat_sym(')') {
+                    break;
+                }
+                return Err(VortexError::InvalidArgument(
+                    "expected ',' or ')' in IN list".into(),
+                ));
+            }
+            let e = Expr::In {
+                column: col,
+                values,
+            };
+            return Ok(if negated_in { e.not() } else { e });
         }
         let op = self.next()?;
         let lit = self.parse_literal()?;
@@ -607,6 +648,10 @@ pub(crate) fn render_expr(e: &Expr) -> String {
                 CmpOp::Ge => ">=",
             };
             format!("{column} {op} {}", render_literal(value))
+        }
+        Expr::In { column, values } => {
+            let list: Vec<String> = values.iter().map(render_literal).collect();
+            format!("{column} IN ({})", list.join(", "))
         }
         Expr::IsNull(c) => format!("{c} IS NULL"),
         Expr::And(a, b) => format!("({} AND {})", render_expr(a), render_expr(b)),

@@ -28,6 +28,10 @@ struct Rig {
 }
 
 fn rig() -> Rig {
+    rig_with_block_rows(128)
+}
+
+fn rig_with_block_rows(target_block_rows: usize) -> Rig {
     let clock = SimClock::new(1_000_000);
     let tt = TrueTime::simulated(clock.clone(), 100, 0);
     let fleet = StorageFleet::with_mem_clusters(2, WriteProfile::instant(), 23);
@@ -60,7 +64,7 @@ fn rig() -> Rig {
         tt,
         ids,
         OptimizerConfig {
-            target_block_rows: 128,
+            target_block_rows,
             merge_trigger: 0.5,
         },
     );
@@ -1057,4 +1061,323 @@ fn sql_across_schema_evolution() {
     assert_eq!(rows_of(&res)[0][0], Value::String("emea".into()));
     // Old-arity INSERT is rejected post-evolution.
     assert!(sql.execute("INSERT INTO sales VALUES (9, 'x', 1)").is_err());
+}
+
+// ---------------------------------------------------------------------
+// Compute pushdown over compressed ROS blocks: zone-map pruning, late
+// materialization, and the equivalence contract — a pushed scan must be
+// indistinguishable from decode-then-filter.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zone_map_prunes_within_a_block() {
+    let r = rig_with_block_rows(4096);
+    let t = r.sms.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    // One partition, 2000 rows already ordered by the clustering key:
+    // converts into a single ROS block spanning two zones.
+    let rs = RowSet::new(
+        (0..2000i64)
+            .map(|k| {
+                Row::insert(vec![
+                    Value::Int64(0),
+                    Value::String(format!("cust-{:04}", k / 40)),
+                    Value::Int64(k),
+                ])
+            })
+            .collect(),
+    );
+    w.append(rs).unwrap();
+    let s = w.stream_id();
+    r.sms.finalize_stream(t.table, s).unwrap();
+    r.opt.convert_wos(t.table).unwrap();
+
+    // The last customer lives entirely in the second zone, so the zone
+    // map skips the first without decoding it.
+    let opts = ScanOptions {
+        predicate: Expr::eq("customer", Value::String("cust-0049".into())),
+        ..ScanOptions::default()
+    };
+    let res = r
+        .engine
+        .scan(t.table, r.sms.read_snapshot(), &opts)
+        .unwrap();
+    assert_eq!(res.rows.len(), 40);
+    assert_eq!(res.stats.zones_total, 2, "{:?}", res.stats);
+    assert_eq!(res.stats.zones_pruned, 1, "{:?}", res.stats);
+    assert!(res.stats.rows_scanned <= 1024, "{:?}", res.stats);
+    assert_eq!(amounts(&res.rows), (1960..2000).collect::<Vec<_>>());
+
+    // Decode-then-filter agrees on the rows but skips nothing.
+    let res_off = r
+        .engine
+        .scan(
+            t.table,
+            r.sms.read_snapshot(),
+            &ScanOptions {
+                pushdown: false,
+                ..opts
+            },
+        )
+        .unwrap();
+    assert_eq!(amounts(&res_off.rows), amounts(&res.rows));
+    assert_eq!(res_off.stats.zones_pruned, 0);
+    assert_eq!(res_off.stats.rows_scanned, 2000);
+}
+
+#[test]
+fn projection_pushdown_nulls_unrequested_columns() {
+    let r = rig();
+    let t = load_converted(&r, 300);
+    let opts = ScanOptions {
+        predicate: Expr::eq("day", Value::Int64(1)),
+        projection: Some(vec!["amount".to_string()]),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t, r.sms.read_snapshot(), &opts).unwrap();
+    assert_eq!(res.rows.len(), 100);
+    for (_, row) in &res.rows {
+        assert_eq!(row.values[0], Value::Null);
+        assert_eq!(row.values[1], Value::Null);
+        assert!(row.values[2].as_i64().is_some());
+    }
+    assert_eq!(amounts(&res.rows), (100..200).collect::<Vec<_>>());
+
+    // Unknown projection column is a hard error on both paths.
+    for pushdown in [true, false] {
+        let bad = ScanOptions {
+            projection: Some(vec!["nope".to_string()]),
+            pushdown,
+            ..ScanOptions::default()
+        };
+        assert!(r.engine.scan(t, r.sms.read_snapshot(), &bad).is_err());
+    }
+}
+
+#[test]
+fn pushdown_handles_columns_added_after_conversion() {
+    let r = rig();
+    let t = r.sms.create_table("t", schema()).unwrap();
+    let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+    w.append(rows(0, 100)).unwrap();
+    let s = w.stream_id();
+    r.sms.finalize_stream(t.table, s).unwrap();
+    r.opt.convert_wos(t.table).unwrap();
+    let evolved = t
+        .schema
+        .evolve_add_column(vortex_common::schema::Field::nullable(
+            "region",
+            FieldType::String,
+        ))
+        .unwrap();
+    r.sms.update_schema(t.table, evolved).unwrap();
+    let snap = r.sms.read_snapshot();
+
+    // Old ROS blocks lack the column: IS NULL matches every row, any
+    // comparison matches none — and the zone map must not mis-prune.
+    let is_null = ScanOptions {
+        predicate: Expr::IsNull("region".into()),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t.table, snap, &is_null).unwrap();
+    assert_eq!(res.rows.len(), 100);
+    assert!(res.rows.iter().all(|(_, row)| row.values[3] == Value::Null));
+
+    let eq = ScanOptions {
+        predicate: Expr::eq("region", Value::String("emea".into())),
+        ..ScanOptions::default()
+    };
+    assert_eq!(r.engine.scan(t.table, snap, &eq).unwrap().rows.len(), 0);
+
+    // Projecting only the post-block column decodes nothing and pads.
+    let proj = ScanOptions {
+        projection: Some(vec!["region".to_string()]),
+        ..ScanOptions::default()
+    };
+    let res = r.engine.scan(t.table, snap, &proj).unwrap();
+    assert_eq!(res.rows.len(), 100);
+    assert!(res.rows.iter().all(|(_, row)| row.values[3] == Value::Null));
+}
+
+mod pushdown_equivalence {
+    use proptest::prelude::*;
+
+    use vortex_common::ids::TableId;
+    use vortex_common::row::{Row, RowSet, Value};
+    use vortex_common::schema::{Field, FieldType, PartitionTransform, Schema};
+
+    use super::{rig, Rig};
+    use crate::engine::ScanOptions;
+    use crate::expr::{CmpOp, Expr};
+
+    /// Like the shared test schema but with a nullable float column so
+    /// NULL, NaN and -0.0 flow through both evaluation paths.
+    fn pd_schema() -> Schema {
+        Schema::new(vec![
+            Field::required("day", FieldType::Int64),
+            Field::required("customer", FieldType::String),
+            Field::required("amount", FieldType::Int64),
+            Field::nullable("score", FieldType::Float64),
+        ])
+        .with_partition("day", PartitionTransform::Identity)
+        .with_clustering(&["customer"])
+    }
+
+    fn pd_rows(start: i64, n: usize, seed: i64) -> RowSet {
+        RowSet::new(
+            (0..n)
+                .map(|i| {
+                    let k = start + i as i64;
+                    let score = if (k + seed) % 7 == 0 {
+                        Value::Null
+                    } else if k % 13 == 0 {
+                        Value::Float64(f64::NAN)
+                    } else if k % 11 == 0 {
+                        Value::Float64(-0.0)
+                    } else {
+                        Value::Float64((k % 40) as f64 * 0.5)
+                    };
+                    Row::insert(vec![
+                        Value::Int64(k / 100),
+                        Value::String(format!("cust-{:04}", (k + seed) % 50)),
+                        Value::Int64(k),
+                        score,
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Converted ROS + deletion masks + a fresh unconverted tail: every
+    /// storage state the scan path distinguishes.
+    fn load_mixed(r: &Rig, seed: i64) -> TableId {
+        let t = r.sms.create_table("t", pd_schema()).unwrap();
+        let mut w = r.client.create_unbuffered_writer(t.table).unwrap();
+        w.append(pd_rows(0, 220, seed)).unwrap();
+        let s = w.stream_id();
+        r.sms.finalize_stream(t.table, s).unwrap();
+        r.opt.convert_wos(t.table).unwrap();
+        let lo = seed.rem_euclid(180);
+        r.dml
+            .delete_where(
+                t.table,
+                &Expr::ge("amount", Value::Int64(lo))
+                    .and(Expr::lt("amount", Value::Int64(lo + 20))),
+            )
+            .unwrap();
+        let mut w2 = r.client.create_unbuffered_writer(t.table).unwrap();
+        w2.append(pd_rows(220, 30, seed)).unwrap();
+        t.table
+    }
+
+    fn arb_op() -> impl Strategy<Value = CmpOp> {
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+        ]
+    }
+
+    fn arb_score_literal() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            (0i64..40).prop_map(|v| Value::Float64(v as f64 * 0.5)),
+            Just(Value::Float64(f64::NAN)),
+            Just(Value::Float64(-0.0)),
+            Just(Value::Float64(0.0)),
+            Just(Value::Null),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (arb_op(), -10i64..260).prop_map(|(op, v)| Expr::Cmp {
+                column: "amount".into(),
+                op,
+                value: Value::Int64(v),
+            }),
+            (arb_op(), 0i64..3).prop_map(|(op, v)| Expr::Cmp {
+                column: "day".into(),
+                op,
+                value: Value::Int64(v),
+            }),
+            (arb_op(), 0i64..55).prop_map(|(op, v)| Expr::Cmp {
+                column: "customer".into(),
+                op,
+                value: Value::String(format!("cust-{v:04}")),
+            }),
+            (arb_op(), arb_score_literal()).prop_map(|(op, value)| Expr::Cmp {
+                column: "score".into(),
+                op,
+                value,
+            }),
+            collection::vec(-5i64..255, 0..4)
+                .prop_map(|vs| Expr::is_in("amount", vs.into_iter().map(Value::Int64).collect(),)),
+            collection::vec(arb_score_literal(), 1..3).prop_map(|vs| Expr::is_in("score", vs)),
+            prop_oneof![Just("day"), Just("customer"), Just("amount"), Just("score")]
+                .prop_map(|c| Expr::IsNull(c.to_string())),
+        ];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                inner.prop_map(|a| a.not()),
+            ]
+        })
+    }
+
+    /// Row identity via the canonical key encoding: `PartialEq` would
+    /// call NaN != NaN and -0.0 == 0.0, hiding real divergence.
+    fn keys(rows: &[(vortex_ros::RowMeta, Row)]) -> Vec<(vortex_ros::RowMeta, Vec<Vec<u8>>)> {
+        rows.iter()
+            .map(|(m, r)| (*m, r.values.iter().map(|v| v.encode_key()).collect()))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // The pushed-down scan (zone maps, dictionary/run-level predicate
+        // evaluation, late materialization) must be indistinguishable
+        // from decode-then-filter: same rows, same order, same row
+        // provenance, same projection nulling, same match count.
+        #[test]
+        fn pushdown_equals_decode_then_filter(
+            pred in arb_pred(),
+            seed in 0i64..6,
+            proj_sel in 0usize..4,
+        ) {
+            let r = rig();
+            let t = load_mixed(&r, seed);
+            let projection = match proj_sel {
+                0 => None,
+                1 => Some(vec!["amount".to_string()]),
+                2 => Some(vec!["score".to_string(), "customer".to_string()]),
+                _ => Some(vec!["day".to_string(), "amount".to_string()]),
+            };
+            let snap = r.sms.read_snapshot();
+            let on = r
+                .engine
+                .scan(t, snap, &ScanOptions {
+                    predicate: pred.clone(),
+                    projection: projection.clone(),
+                    ..ScanOptions::default()
+                })
+                .unwrap();
+            let off = r
+                .engine
+                .scan(t, snap, &ScanOptions {
+                    predicate: pred,
+                    projection,
+                    pushdown: false,
+                    ..ScanOptions::default()
+                })
+                .unwrap();
+            prop_assert_eq!(keys(&on.rows), keys(&off.rows));
+            prop_assert_eq!(on.stats.rows_matched, off.stats.rows_matched);
+            prop_assert_eq!(on.schema.fields.len(), off.schema.fields.len());
+        }
+    }
 }

@@ -12,10 +12,27 @@ use vortex_common::schema::{ChangeType, Schema};
 use vortex_common::stats::ColumnStats;
 use vortex_common::truetime::Timestamp;
 
-use crate::encoding::{decode_column, encode_column, Encoding};
+use crate::encoding::{decode_chunk, encode_column, DecodedChunk, Encoding};
 
 const MAGIC: u32 = 0x534F5256; // "VROS"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// Rows per column chunk (zone). Each column is encoded per zone with its
+/// own encoding choice and min/max zone map, so scans can short-circuit
+/// inside a block, not just at fragment granularity.
+pub const ZONE_ROWS: usize = 1024;
+
+/// Chunk flag: the encoded bytes are additionally vsnap-compressed.
+const CHUNK_COMPRESSED: u8 = 0b1;
+
+/// One encoded column zone.
+#[derive(Debug, Clone)]
+struct ColumnChunk {
+    enc: Encoding,
+    compressed: bool,
+    stats: ColumnStats,
+    bytes: Vec<u8>,
+}
 
 /// Provenance of one row inside a ROS block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,17 +168,40 @@ impl RosBlockBuilder {
                 bloom.insert(&row.values[k].encode_key());
             }
         }
-        // Transpose into columns and encode.
+        // Transpose into columns and encode per zone: each zone gets its
+        // own encoding choice (cascading chooser), zone map, and — when
+        // it shrinks the chunk — vsnap compression on top.
+        let n = self.rows.len();
         let mut cols = Vec::with_capacity(self.ncols);
         for c in 0..self.ncols {
-            let column: Vec<Value> = self.rows.iter().map(|(_, r)| r.values[c].clone()).collect();
-            let (enc, bytes) = encode_column(&column);
-            cols.push((enc, compress(&bytes)));
+            let mut chunks = Vec::with_capacity(n.div_ceil(ZONE_ROWS));
+            for zone in self.rows.chunks(ZONE_ROWS) {
+                let column: Vec<Value> = zone.iter().map(|(_, r)| r.values[c].clone()).collect();
+                let mut zstats = ColumnStats::new();
+                for v in &column {
+                    zstats.observe(v);
+                }
+                let (enc, bytes) = encode_column(&column);
+                let packed = compress(&bytes);
+                let (compressed, bytes) = if packed.len() < bytes.len() {
+                    (true, packed)
+                } else {
+                    (false, bytes)
+                };
+                chunks.push(ColumnChunk {
+                    enc,
+                    compressed,
+                    stats: zstats,
+                    bytes,
+                });
+            }
+            cols.push(chunks);
         }
         let metas = self.rows.iter().map(|(m, _)| *m).collect();
         Ok(RosBlock {
             schema_version: self.schema_version,
-            row_count: self.rows.len(),
+            row_count: n,
+            zone_rows: ZONE_ROWS,
             metas,
             stats,
             bloom,
@@ -175,11 +215,14 @@ impl RosBlockBuilder {
 pub struct RosBlock {
     schema_version: u32,
     row_count: usize,
+    /// Rows per zone this block was built with (self-describing so the
+    /// constant can change without breaking old blocks).
+    zone_rows: usize,
     metas: Vec<RowMeta>,
     stats: Vec<(String, ColumnStats)>,
     bloom: BloomFilter,
-    /// Per user column: encoding + vsnap-compressed chunk.
-    cols: Vec<(Encoding, Vec<u8>)>,
+    /// Per user column: one encoded chunk per zone.
+    cols: Vec<Vec<ColumnChunk>>,
 }
 
 impl RosBlock {
@@ -218,16 +261,52 @@ impl RosBlock {
         &self.bloom
     }
 
+    /// Number of zones (column chunks per column).
+    pub fn zone_count(&self) -> usize {
+        self.row_count.div_ceil(self.zone_rows)
+    }
+
+    /// Row range covered by zone `z`.
+    pub fn zone_range(&self, z: usize) -> std::ops::Range<usize> {
+        let start = z * self.zone_rows;
+        start..((z + 1) * self.zone_rows).min(self.row_count)
+    }
+
+    /// The zone map: min/max/null properties of column `col` within zone
+    /// `z`. `None` when either index is out of range.
+    pub fn zone_stats(&self, col: usize, z: usize) -> Option<&ColumnStats> {
+        self.cols.get(col).and_then(|c| c.get(z)).map(|c| &c.stats)
+    }
+
+    /// Decodes one zone of one column, preserving dictionary/run
+    /// structure so predicates can be evaluated on the compressed form.
+    pub fn decode_zone(&self, col: usize, z: usize) -> VortexResult<DecodedChunk> {
+        let chunk = self.cols.get(col).and_then(|c| c.get(z)).ok_or_else(|| {
+            VortexError::InvalidArgument(format!("column {col} zone {z} out of range"))
+        })?;
+        let rows = self.zone_range(z).len();
+        if chunk.compressed {
+            let plain = decompress(&chunk.bytes)
+                .map_err(|e| VortexError::CorruptData(format!("column {col} zone {z}: {e}")))?;
+            decode_chunk(chunk.enc, &plain, rows)
+        } else {
+            decode_chunk(chunk.enc, &chunk.bytes, rows)
+        }
+    }
+
     /// Decodes one column — the columnar fast path: other columns are not
     /// touched.
     pub fn column(&self, idx: usize) -> VortexResult<Vec<Value>> {
-        let (enc, chunk) = self
+        let nchunks = self
             .cols
             .get(idx)
-            .ok_or_else(|| VortexError::InvalidArgument(format!("column {idx} out of range")))?;
-        let plain = decompress(chunk)
-            .map_err(|e| VortexError::CorruptData(format!("column {idx}: {e}")))?;
-        decode_column(*enc, &plain, self.row_count)
+            .ok_or_else(|| VortexError::InvalidArgument(format!("column {idx} out of range")))?
+            .len();
+        let mut out = Vec::with_capacity(self.row_count);
+        for z in 0..nchunks {
+            out.extend(self.decode_zone(idx, z)?.materialize());
+        }
+        Ok(out)
     }
 
     /// Decodes all rows with their provenance.
@@ -256,6 +335,7 @@ impl RosBlock {
         out.extend_from_slice(&self.schema_version.to_le_bytes());
         out.extend_from_slice(&(self.row_count as u64).to_le_bytes());
         out.extend_from_slice(&(self.cols.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.zone_rows as u32).to_le_bytes());
         // Row meta arrays (delta/varint encoded).
         for m in &self.metas {
             out.push(m.change_type.to_u8());
@@ -282,13 +362,20 @@ impl RosBlock {
         let bloom_bytes = self.bloom.to_bytes();
         out.extend_from_slice(&(bloom_bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(&bloom_bytes);
-        // Column directory then chunks.
-        for (enc, chunk) in &self.cols {
-            out.push(enc.to_u8());
-            out.extend_from_slice(&(chunk.len() as u64).to_le_bytes());
+        // Column directory (per column, per zone: encoding, flags, byte
+        // length, zone map) then the chunk payloads, column-major.
+        for chunks in &self.cols {
+            for c in chunks {
+                out.push(c.enc.to_u8());
+                out.push(if c.compressed { CHUNK_COMPRESSED } else { 0 });
+                put_uvarint(&mut out, c.bytes.len() as u64);
+                out.extend_from_slice(&c.stats.to_bytes());
+            }
         }
-        for (_, chunk) in &self.cols {
-            out.extend_from_slice(chunk);
+        for chunks in &self.cols {
+            for c in chunks {
+                out.extend_from_slice(&c.bytes);
+            }
         }
         // Encrypt, then seal with a ciphertext CRC.
         let nonce = Nonce::for_block(block_raw_id, u32::MAX);
@@ -339,11 +426,18 @@ impl RosBlock {
         let schema_version = u32::from_le_bytes(b[6..10].try_into().unwrap());
         let row_count = u64::from_le_bytes(b[10..18].try_into().unwrap()) as usize;
         pos = 18;
-        need(pos, 4)?;
+        need(pos, 8)?;
         let ncols = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let zone_rows = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
         if row_count > b.len() || ncols > b.len() {
             return Err(VortexError::Decode("implausible ros block header".into()));
+        }
+        if zone_rows == 0 || (row_count > 0 && zone_rows > ZONE_ROWS.max(row_count)) {
+            return Err(VortexError::Decode(format!(
+                "implausible zone size {zone_rows}"
+            )));
         }
         // Meta arrays.
         need(pos, row_count)?;
@@ -396,20 +490,51 @@ impl RosBlock {
         let bloom =
             BloomFilter::from_bytes(&b[pos..pos + blen]).map_err(VortexError::CorruptData)?;
         pos += blen;
-        // Column directory.
-        let mut dir = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            need(pos, 9)?;
-            let enc = Encoding::from_u8(b[pos])?;
-            let len = u64::from_le_bytes(b[pos + 1..pos + 9].try_into().unwrap()) as usize;
-            pos += 9;
-            dir.push((enc, len));
+        // Column directory: per column, per zone.
+        let nzones = row_count.div_ceil(zone_rows);
+        // Every directory entry costs ≥2 bytes, so more entries than
+        // remaining bytes is corrupt — reject before any allocation.
+        if ncols.saturating_mul(nzones) > b.len().saturating_sub(pos) {
+            return Err(VortexError::Decode("implausible chunk directory".into()));
         }
-        let mut cols = Vec::with_capacity(ncols);
-        for (enc, len) in dir {
-            need(pos, len)?;
-            cols.push((enc, b[pos..pos + len].to_vec()));
-            pos += len;
+        let mut cols: Vec<Vec<ColumnChunk>> = Vec::with_capacity(ncols);
+        let mut lens: Vec<usize> = Vec::with_capacity(ncols * nzones);
+        for _ in 0..ncols {
+            let mut chunks = Vec::with_capacity(nzones);
+            for _ in 0..nzones {
+                need(pos, 2)?;
+                let enc = Encoding::from_u8(b[pos])?;
+                let flags = b[pos + 1];
+                if flags & !CHUNK_COMPRESSED != 0 {
+                    return Err(VortexError::Decode(format!("bad chunk flags {flags:#x}")));
+                }
+                pos += 2;
+                let len = get_uvarint(b, &mut pos)? as usize;
+                if len > b.len() {
+                    return Err(VortexError::Decode(format!(
+                        "implausible chunk of {len} bytes"
+                    )));
+                }
+                let stats = ColumnStats::from_bytes(b, &mut pos)?;
+                lens.push(len);
+                chunks.push(ColumnChunk {
+                    enc,
+                    compressed: flags & CHUNK_COMPRESSED != 0,
+                    stats,
+                    bytes: Vec::new(),
+                });
+            }
+            cols.push(chunks);
+        }
+        let mut next = 0usize;
+        for chunks in cols.iter_mut() {
+            for c in chunks.iter_mut() {
+                let len = lens[next];
+                next += 1;
+                need(pos, len)?;
+                c.bytes = b[pos..pos + len].to_vec();
+                pos += len;
+            }
         }
         if pos != b.len() {
             return Err(VortexError::Decode(format!(
@@ -420,6 +545,7 @@ impl RosBlock {
         Ok(RosBlock {
             schema_version,
             row_count,
+            zone_rows,
             metas,
             stats,
             bloom,
@@ -430,7 +556,13 @@ impl RosBlock {
     /// Approximate serialized size (pre-encryption), used by the optimizer
     /// to pace block sizes.
     pub fn approx_bytes(&self) -> usize {
-        self.cols.iter().map(|(_, c)| c.len()).sum::<usize>() + self.metas.len() * 8 + 256
+        self.cols
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|c| c.bytes.len() + 16)
+            .sum::<usize>()
+            + self.metas.len() * 8
+            + 256
     }
 }
 

@@ -24,5 +24,5 @@
 pub mod block;
 pub mod encoding;
 
-pub use block::{RosBlock, RosBlockBuilder, RowMeta};
-pub use encoding::Encoding;
+pub use block::{RosBlock, RosBlockBuilder, RowMeta, ZONE_ROWS};
+pub use encoding::{DecodedChunk, Encoding};
